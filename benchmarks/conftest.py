@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table/figure (or an ablation) at a
+reproducible reduced scale, checks the paper's qualitative claim about it,
+and writes the full paper-shaped report to ``benchmarks/output/`` so the
+rows can be inspected after a ``--benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    def _save(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        # also echo to stdout so `pytest -s` shows the rows inline
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return _save

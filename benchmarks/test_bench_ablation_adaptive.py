@@ -1,0 +1,45 @@
+"""Ablation bench: automated chunking (§VII future work).
+
+AdaptiveExSample starts from 8 coarse chunks and splits chunks where
+samples concentrate.  Checked claims: it beats random, and it lands
+within a modest factor of the best *fixed* partition — without being told
+the right chunk count the way Fig. 4's sweep requires.
+"""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    format_ablation,
+    run_adaptive_ablation,
+)
+
+
+def test_bench_ablation_adaptive(benchmark, save_report):
+    config = AblationConfig(runs=5)
+    result = benchmark.pedantic(
+        run_adaptive_ablation, args=(config,), rounds=1, iterations=1
+    )
+    save_report("ablation_adaptive", format_ablation(result))
+
+    by = result.by_label()
+    half = config.num_instances // 2
+
+    adaptive = by["adaptive"].samples_to(half)
+    assert adaptive is not None
+
+    # beats random at half recall
+    rnd = by["random"].samples_to(half)
+    assert rnd is None or adaptive <= rnd
+
+    # within a small factor of the best fixed partition in the sweep —
+    # without having been told which M that is.
+    fixed = [
+        s.samples_to(half)
+        for label, s in by.items()
+        if label.startswith("fixed")
+    ]
+    best_fixed = min(t for t in fixed if t is not None)
+    assert adaptive <= 2.5 * best_fixed
+    # and it does not lose to the *bracketing* fixed choices a user
+    # without Fig. 4's sweep might have picked.
+    worst_fixed = max(t for t in fixed if t is not None)
+    assert adaptive <= 1.35 * worst_fixed

@@ -1,0 +1,73 @@
+"""Ablation bench: batched Thompson sampling (§III-F).
+
+B draws per iteration delay feedback: the statistics that guide draw k of
+a batch do not yet include the outcomes of draws 1..k-1.  The claim is
+that this costs little — even large batches stay well ahead of random —
+which is what makes the GPU-batching optimization free in practice.
+"""
+
+from repro.detection.costmodel import ThroughputModel, format_duration
+from repro.experiments.ablations import (
+    AblationConfig,
+    format_ablation,
+    run_batch_ablation,
+)
+from repro.experiments.reporting import format_table
+
+BATCH_SIZES = (1, 8, 64, 256)
+
+
+def _time_table(result, config) -> str:
+    """Modelled wall-clock to half recall: extra samples vs faster frames."""
+    model = ThroughputModel()
+    half = config.num_instances // 2
+    rows = []
+    for b in BATCH_SIZES:
+        series = result.by_label()[f"B={b}"]
+        samples = series.samples_to(half)
+        if samples is None:
+            continue
+        rows.append(
+            [
+                b,
+                samples,
+                f"{model.batched_detect_fps(b):.0f}",
+                format_duration(model.batched_detection_seconds(samples, b)),
+            ]
+        )
+    return format_table(
+        ["B", f"samples to {half}", "eff. fps", "modelled time"],
+        rows,
+        title="time-optimal batch size (throughput gain vs decision lag):",
+    )
+
+
+def test_bench_ablation_batch(benchmark, save_report):
+    config = AblationConfig(runs=5)
+    result = benchmark.pedantic(
+        run_batch_ablation,
+        args=(config, BATCH_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "ablation_batch",
+        format_ablation(result) + "\n\n" + _time_table(result, config),
+    )
+
+    by = result.by_label()
+    half = config.num_instances // 2
+
+    serial = by["B=1"].samples_to(half)
+    assert serial is not None
+    for b in BATCH_SIZES[1:]:
+        batched = by[f"B={b}"].samples_to(half)
+        # batching costs at most ~50% extra samples to half recall even
+        # at B=256 (a 256-frame decision lag on a 5000-sample budget).
+        assert batched is not None
+        assert batched <= 1.5 * serial + b
+
+    # and every batch size still beats random.
+    rnd = by["random"].samples_to(half)
+    largest = by[f"B={BATCH_SIZES[-1]}"].samples_to(half)
+    assert rnd is None or largest <= rnd

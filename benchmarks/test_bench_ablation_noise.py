@@ -1,0 +1,40 @@
+"""Ablation bench: robustness of the savings to detector noise.
+
+The paper's only assumption about the detector is that it is a black
+box; nothing in §III conditions on its accuracy.  Checked claim: the
+advantage over random persists when the detector misses a quarter and
+half of its detections — both methods slow down, the ordering does not
+flip.
+"""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    format_ablation,
+    run_noise_ablation,
+)
+
+MISS_RATES = (0.0, 0.25, 0.5)
+
+
+def test_bench_ablation_noise(benchmark, save_report):
+    config = AblationConfig(runs=5)
+    result = benchmark.pedantic(
+        run_noise_ablation, args=(config, MISS_RATES), rounds=1, iterations=1
+    )
+    save_report("ablation_noise", format_ablation(result))
+
+    by = result.by_label()
+    half = config.num_instances // 2
+
+    for miss in MISS_RATES:
+        ex = by[f"exsample@miss={miss:g}"].samples_to(half)
+        rnd = by[f"random@miss={miss:g}"].samples_to(half)
+        assert ex is not None
+        # the ordering survives the noise at every level.
+        assert rnd is None or ex <= rnd, (miss, ex, rnd)
+
+    # and noise genuinely hurts: the clean run is fastest for ExSample.
+    clean = by["exsample@miss=0"].samples_to(half)
+    noisy = by["exsample@miss=0.5"].samples_to(half)
+    assert clean is not None and noisy is not None
+    assert clean <= noisy

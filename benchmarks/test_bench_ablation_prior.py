@@ -1,0 +1,28 @@
+"""Ablation bench: Gamma prior sensitivity (§III-C).
+
+The paper uses Gamma(N1 + 0.1, n + 1) and reports "we did not observe a
+strong dependence on this value choice".  This bench sweeps (alpha0,
+beta0) across two orders of magnitude and checks the spread in
+samples-to-half-recall stays within a small constant factor.
+"""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    format_ablation,
+    run_prior_ablation,
+)
+
+
+def test_bench_ablation_prior(benchmark, save_report):
+    config = AblationConfig(runs=5)
+    result = benchmark.pedantic(
+        run_prior_ablation, args=(config,), rounds=1, iterations=1
+    )
+    save_report("ablation_prior", format_ablation(result))
+
+    half = config.num_instances // 2
+    times = {s.label: s.samples_to(half) for s in result.series}
+    assert all(t is not None for t in times.values()), times
+    fastest, slowest = min(times.values()), max(times.values())
+    # "no strong dependence": the whole prior sweep lands within 2x.
+    assert slowest <= 2.0 * fastest, times

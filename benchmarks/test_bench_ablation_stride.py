@@ -1,0 +1,44 @@
+"""Ablation bench: §II-B's naive strided-scan failure modes.
+
+"If objects appear in the video for much longer than the sampling rate,
+we may repeatedly compute detections of the same object. Similarly, if
+objects appear for shorter than the sampling rate, we may completely
+miss some objects."  Checked claims: large strides cap recall below 1.0
+for short-lived objects; small strides spend most occupied frames on
+re-detections; and no single stride is right for both duration regimes —
+the motivation for adaptive sampling.
+"""
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    format_stride_ablation,
+    run_stride_ablation,
+)
+
+STRIDES = (1, 30, 300, 3000)
+DURATIONS = (100.0, 2000.0)
+
+
+def test_bench_ablation_stride(benchmark, save_report):
+    config = AblationConfig(total_frames=100_000, num_instances=200)
+    outcomes = benchmark.pedantic(
+        run_stride_ablation, args=(config, STRIDES, DURATIONS), rounds=1, iterations=1
+    )
+    save_report("ablation_stride", format_stride_ablation(outcomes))
+
+    by = {(o.mean_duration, o.stride): o for o in outcomes}
+
+    # stride >> duration: a full pass permanently misses short objects.
+    assert by[(100.0, 3000)].misses_objects
+    assert by[(100.0, 3000)].recall_after_full_pass < 0.5
+    # stride << duration: most occupied frames are wasted re-detections.
+    assert by[(2000.0, 1)].redundant_fraction > 0.8
+    # recall ceiling is monotone non-increasing in the stride.
+    for duration in DURATIONS:
+        recalls = [by[(duration, s)].recall_after_full_pass for s in STRIDES]
+        assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    # no stride wins both regimes: any stride safe for short objects
+    # (recall >= 0.95) is badly redundant on long ones (> 30% waste).
+    for stride in STRIDES:
+        if by[(100.0, stride)].recall_after_full_pass >= 0.95:
+            assert by[(2000.0, stride)].redundant_fraction > 0.3

@@ -1,0 +1,23 @@
+"""Bench: Fig. 2 / §III-D — estimator and belief validation.
+
+Regenerates the (n, N1, R(n+1)) trajectory study: relative bias against
+the Eq. III.2 bound, empirical variance against the Eq. III.3 bound, and
+the belief's interval coverage, including the correlated-instances
+robustness check.
+"""
+
+from repro.experiments.fig2 import Fig2Config, format_fig2, run_fig2
+
+
+def test_bench_fig2(benchmark, save_report):
+    config = Fig2Config(runs=1000)
+    result = benchmark.pedantic(run_fig2, args=(config,), rounds=1, iterations=1)
+    save_report("fig2", format_fig2(result))
+
+    for cp in result.checkpoints:
+        # Eq. III.2: positive bias, below the max-p bound
+        assert cp.relative_bias <= cp.bias_bound_maxp + 0.02
+        # Eq. III.3: empirical variance below the bound (small slack)
+        assert cp.empirical_variance <= cp.variance_bound * 1.2
+    # dependence inflates variance beyond the belief's accounting
+    assert result.correlated_coverage_95 <= result.independent_coverage_95

@@ -1,0 +1,38 @@
+"""Bench: Fig. 3 — the skew x duration simulation grid (§IV-B).
+
+Paper shape being reproduced: savings grow along the skew axis (1x with
+no skew up to 84x at the paper's scale for skew 1/256), and ExSample never
+loses materially to random.  Absolute factors shrink at reduced scale; the
+ordering must hold.
+"""
+
+import numpy as np
+
+from repro.experiments.fig3 import Fig3Config, format_fig3, run_fig3
+
+
+def test_bench_fig3(benchmark, save_report):
+    config = Fig3Config(
+        total_frames=300_000,
+        num_instances=400,
+        runs=5,
+        max_samples=5000,
+    )
+    result = benchmark.pedantic(run_fig3, args=(config,), rounds=1, iterations=1)
+    save_report("fig3", format_fig3(result))
+
+    mid_target = config.targets()[1]
+    savings_by_skew = {}
+    for skew in config.skews:
+        cell_savings = [
+            result.cell(d, skew).savings[mid_target]
+            for d in config.mean_durations
+        ]
+        finite = [s for s in cell_savings if s is not None]
+        savings_by_skew[skew] = float(np.median(finite)) if finite else None
+
+    # no-skew column: parity with random (within noise)
+    assert 0.6 < savings_by_skew[None] < 1.6
+    # savings increase along the skew axis
+    assert savings_by_skew[1 / 32] > savings_by_skew[None]
+    assert savings_by_skew[1 / 256] > 1.5

@@ -1,0 +1,21 @@
+"""Bench: Fig. 6 — skew histograms and S metric for representative queries.
+
+Paper annotations being matched: archie/car and amsterdam/boat have S near
+1 (uniform spread), night-street/person is moderate, dashcam/bicycle and
+bdd1k/motor are strongly skewed; savings track S.
+"""
+
+from repro.experiments.evaluation import EvalConfig
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+
+def test_bench_fig6(benchmark, save_report):
+    config = EvalConfig(scale=0.1, runs=3)
+    result = benchmark.pedantic(run_fig6, args=(config,), rounds=1, iterations=1)
+    save_report("fig6", format_fig6(result))
+
+    s = {(p.skew.dataset, p.skew.category): p.skew.skew for p in result.panels}
+    assert s[("archie", "car")] < 2.5  # paper: 1.1
+    assert s[("dashcam", "bicycle")] > 5.0  # paper: 14
+    assert s[("bdd1k", "motor")] > 5.0  # paper: 19
+    assert s[("dashcam", "bicycle")] > s[("night_street", "person")] > s[("archie", "car")]

@@ -1,0 +1,105 @@
+"""Searching with no tuning knobs: adaptive chunking + scan-free scoring.
+
+ExSample's one awkward external parameter is the chunk count (§IV-C: too
+few caps the savings, too many pays an exploration tax).  The paper's
+future-work section (§VII) sketches two remedies, both implemented here:
+
+* :class:`AdaptiveExSample` — start from 8 coarse chunks, split wherever
+  results concentrate; no M to choose;
+* :class:`ScoredOrder` + :class:`ProximityScorer` — steer within-chunk
+  draws toward frames near past hits (and away from their immediate
+  duplicate neighbourhoods) with lazily evaluated scores: no proxy
+  model, no dataset scan.
+
+The script runs four configurations on the same skewed workload and
+prints their results curves: fixed-M ExSample (a good M and a terrible
+M), the adaptive sampler, and random.
+
+Run with::
+
+    python examples/no_knobs_search.py
+"""
+
+import numpy as np
+
+from repro import AdaptiveExSample, ExSample, OracleDetector, OracleDiscriminator
+from repro.core.chunking import even_count_chunks
+from repro.experiments.reporting import format_table, sparkline
+from repro.experiments.runner import make_simulation_repository
+
+TOTAL_FRAMES = 300_000
+INSTANCES = 300
+BUDGET = 3000
+
+
+def trajectory(sampler):
+    sampler.run(max_samples=BUDGET)
+    return sampler.history.results
+
+
+def main() -> None:
+    repo = make_simulation_repository(
+        TOTAL_FRAMES, INSTANCES, mean_duration=700.0, skew_fraction=1 / 32, seed=29
+    )
+    print(
+        f"workload: {INSTANCES} instances, 95% packed into "
+        f"1/32 of {TOTAL_FRAMES:,} frames\n"
+    )
+
+    def fixed(m, seed=29):
+        rng = np.random.default_rng(seed)
+        chunks = even_count_chunks(repo.total_frames, m, rng)
+        return ExSample(chunks, OracleDetector(repo), OracleDiscriminator(), rng=rng)
+
+    def adaptive(seed=29):
+        return AdaptiveExSample(
+            repo.total_frames,
+            OracleDetector(repo),
+            OracleDiscriminator(),
+            initial_chunks=8,
+            split_after=24,
+            min_chunk_frames=700,
+            rng=np.random.default_rng(seed),
+        )
+
+    runs = {
+        "fixed M=64 (good pick)": fixed(64),
+        "fixed M=4096 (bad pick)": fixed(4096),
+        "adaptive (no knob)": adaptive(),
+    }
+    curves = {label: trajectory(s) for label, s in runs.items()}
+
+    rng = np.random.default_rng(29)
+    random_order = rng.permutation(repo.total_frames)[:BUDGET]
+    disc = OracleDiscriminator()
+    det = OracleDetector(repo)
+    random_curve = []
+    for frame in random_order:
+        disc.observe(int(frame), det.detect(int(frame)))
+        random_curve.append(disc.result_count())
+    curves["random"] = np.array(random_curve)
+
+    rows = []
+    for label, curve in curves.items():
+        hits = np.nonzero(curve >= INSTANCES // 2)[0]
+        to_half = int(hits[0]) + 1 if len(hits) else None
+        rows.append([label, to_half, int(curve[-1])])
+    print(
+        format_table(
+            ["configuration", f"samples to {INSTANCES // 2}", "found at end"],
+            rows,
+        )
+    )
+    print()
+    for label, curve in curves.items():
+        print(f"  {label:<24s} {sparkline(curve)}")
+
+    ad = runs["adaptive (no knob)"]
+    print(
+        f"\nadaptive sampler made {ad.splits_performed} splits and ended with "
+        f"{ad.num_chunks} chunks, concentrated where the results were"
+    )
+
+
+if __name__ == "__main__":
+    main()

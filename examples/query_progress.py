@@ -1,0 +1,90 @@
+"""Live query progress: how many objects exist, and how long to get them?
+
+A user running "find traffic lights" over un-indexed video has no idea
+whether 50 or 5000 distinct lights exist — so they cannot set a LIMIT
+or know when diminishing returns hit.  The :class:`ProgressTracker`
+answers from the same seen-once/seen-twice statistics ExSample already
+keeps (no ground truth needed at decision time):
+
+* a Chao1 estimate of the total number of distinct objects;
+* the current Good-Turing discovery rate (new results per frame);
+* a forecast of the frames needed to reach a target.
+
+This script attaches the tracker to a live run, prints a progress
+dashboard at checkpoints, and at the end scores the estimates against
+the synthetic ground truth the tracker never saw.
+
+Run with::
+
+    python examples/query_progress.py
+"""
+
+import numpy as np
+
+from repro import ExSample, OracleDetector, OracleDiscriminator, ProgressTracker
+from repro.core.chunking import even_count_chunks
+from repro.experiments.reporting import format_table
+from repro.video.datasets import build_dataset, scaled_chunk_frames
+
+SCALE = 0.05
+CATEGORY = "traffic light"
+CHECKPOINTS = (100, 300, 1000, 3000)
+
+
+def main() -> None:
+    repo = build_dataset("dashcam", categories=[CATEGORY], scale=SCALE, seed=21)
+    true_total = len(repo.instances_of(CATEGORY))
+
+    rng = np.random.default_rng(21)
+    chunk_frames = scaled_chunk_frames("dashcam", SCALE)
+    chunks = even_count_chunks(repo.total_frames, repo.total_frames // chunk_frames, rng)
+    tracker = ProgressTracker()
+    sampler = ExSample(
+        chunks, OracleDetector(repo, category=CATEGORY), OracleDiscriminator(), rng=rng
+    )
+
+    rows = []
+    for budget in CHECKPOINTS:
+        sampler.run(max_samples=budget, callback=tracker.on_record)
+        snap = tracker.snapshot()
+        # forecast frames to reach 90% of the *estimated* population
+        target = int(0.9 * snap.estimated_total)
+        forecast = snap.samples_to_reach(target)
+        rows.append(
+            [
+                snap.samples,
+                snap.distinct_found,
+                f"{snap.estimated_total:.0f}",
+                f"{snap.estimated_recall:.2f}",
+                f"{snap.rate:.3f}",
+                f"{forecast:.0f}" if forecast is not None else "done/unknown",
+            ]
+        )
+
+    print(f"ground truth (hidden from the tracker): {true_total} distinct instances\n")
+    print(
+        format_table(
+            [
+                "frames",
+                "found",
+                "est. total",
+                "est. recall",
+                "rate (new/frame)",
+                "frames to est. 90%",
+            ],
+            rows,
+            title="progress dashboard:",
+        )
+    )
+
+    final = tracker.snapshot()
+    err = abs(final.estimated_total - true_total) / true_total
+    print(
+        f"\nfinal Chao1 estimate {final.estimated_total:.0f} vs true {true_total} "
+        f"({err:.0%} off, having processed "
+        f"{final.samples / repo.total_frames:.1%} of the frames)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: find 20 distinct bicycles in the dashcam dataset.
+
+This is the paper's motivating query shape — a *distinct object limit
+query* over un-indexed video — run end to end through the public API:
+
+1. build a repository (a calibrated synthetic stand-in for the paper's
+   10-hour dashcam corpus; see DESIGN.md for the substitution table);
+2. execute the query with ExSample and with the uniform-random baseline;
+3. compare frames processed and modelled GPU time.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DistinctObjectQuery, QueryEngine, build_dataset
+from repro.detection.costmodel import format_duration
+from repro.video.datasets import scaled_chunk_frames
+
+SCALE = 0.1  # 10% of the paper-scale corpus keeps this under a second
+LIMIT = 20
+
+
+def main() -> None:
+    repo = build_dataset("dashcam", categories=["bicycle"], scale=SCALE, seed=7)
+    print(
+        f"repository: {repo.name!r}, {repo.total_frames:,} frames, "
+        f"{len(repo.instances_of('bicycle'))} distinct bicycles (ground truth)"
+    )
+
+    engine = QueryEngine(
+        repo,
+        category="bicycle",
+        chunk_frames=scaled_chunk_frames("dashcam", SCALE),
+        seed=7,
+    )
+    query = DistinctObjectQuery("bicycle", limit=LIMIT)
+
+    for method in ("exsample", "random"):
+        result = engine.execute(query, method=method)
+        print(
+            f"  {method:<10s} {result.results_returned:3d} results in "
+            f"{result.frames_processed:5d} frames "
+            f"({format_duration(result.total_seconds)} of modelled GPU time)"
+        )
+
+    ex = engine.execute(query, method="exsample")
+    rnd = engine.execute(query, method="random")
+    if ex.frames_processed:
+        ratio = rnd.frames_processed / ex.frames_processed
+        print(f"savings: random needs {ratio:.1f}x the frames ExSample needs")
+
+
+if __name__ == "__main__":
+    main()

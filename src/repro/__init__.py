@@ -1,0 +1,66 @@
+"""repro — a full reproduction of *ExSample: Efficient Searches on Video
+Repositories through Adaptive Sampling* (Moll et al., ICDE 2022).
+
+The package is organized as the paper's system is:
+
+* :mod:`repro.core` — the contribution: the N1/n estimator, Gamma belief,
+  Thompson sampling over chunks, the Algorithm-1 loop, and the
+  distinct-object query API.
+* :mod:`repro.video` — the video repository substrate (synthetic, with
+  calibrated profiles of the six evaluation datasets).
+* :mod:`repro.detection` — the black-box object detector and cost model.
+* :mod:`repro.tracking` — the SORT-like discriminator.
+* :mod:`repro.baselines` — sequential scan, uniform random, random+, and
+  a BlazeIt-style proxy baseline.
+* :mod:`repro.analysis` — the formal bounds of §III, optimal chunk
+  weights (Eq. IV.1), skew metrics and evaluation metrics.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .core import (
+    AdaptiveExSample,
+    BayesUCB,
+    ChunkStatistics,
+    DistinctObjectQuery,
+    ExSample,
+    GammaBelief,
+    MultiQueryExSample,
+    ProgressTracker,
+    ProximityScorer,
+    QueryEngine,
+    QueryResult,
+    SamplingHistory,
+    ScoredOrder,
+    ThompsonSampling,
+)
+from .detection import OracleDetector, SimulatedDetector, ThroughputModel
+from .tracking import OracleDiscriminator, TrackingDiscriminator
+from .video import VideoRepository, build_dataset, dataset_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveExSample",
+    "BayesUCB",
+    "ChunkStatistics",
+    "DistinctObjectQuery",
+    "ExSample",
+    "GammaBelief",
+    "MultiQueryExSample",
+    "ProgressTracker",
+    "QueryEngine",
+    "QueryResult",
+    "ProximityScorer",
+    "SamplingHistory",
+    "ScoredOrder",
+    "ThompsonSampling",
+    "OracleDetector",
+    "SimulatedDetector",
+    "ThroughputModel",
+    "OracleDiscriminator",
+    "TrackingDiscriminator",
+    "VideoRepository",
+    "build_dataset",
+    "dataset_names",
+    "__version__",
+]

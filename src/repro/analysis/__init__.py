@@ -1,0 +1,71 @@
+"""Formal analysis (§III), optimal allocation (Eq. IV.1), skew and metrics."""
+
+from .bootstrap import (
+    BootstrapInterval,
+    bootstrap_ci,
+    geometric_mean_ci,
+    savings_ratio_ci,
+)
+from .metrics import (
+    TrajectoryBand,
+    band_over_runs,
+    geometric_mean,
+    log_spaced_grid,
+    median_samples_to_target,
+    results_at,
+    samples_to_target,
+    savings_ratio,
+)
+from .optimal import (
+    chunk_conditional_probabilities,
+    expected_results,
+    expected_results_curve,
+    optimal_weights,
+    uniform_weights,
+)
+from .skew import (
+    SkewSummary,
+    chunk_instance_counts,
+    half_coverage_set,
+    skew_metric,
+)
+from .theory import (
+    bias_bounds,
+    exact_bias,
+    exact_variance_n1,
+    expected_n1,
+    expected_r,
+    poisson_parameter,
+    variance_bound,
+)
+
+__all__ = [
+    "BootstrapInterval",
+    "bootstrap_ci",
+    "geometric_mean_ci",
+    "savings_ratio_ci",
+    "TrajectoryBand",
+    "band_over_runs",
+    "geometric_mean",
+    "log_spaced_grid",
+    "median_samples_to_target",
+    "results_at",
+    "samples_to_target",
+    "savings_ratio",
+    "chunk_conditional_probabilities",
+    "expected_results",
+    "expected_results_curve",
+    "optimal_weights",
+    "uniform_weights",
+    "SkewSummary",
+    "chunk_instance_counts",
+    "half_coverage_set",
+    "skew_metric",
+    "bias_bounds",
+    "exact_bias",
+    "exact_variance_n1",
+    "expected_n1",
+    "expected_r",
+    "poisson_parameter",
+    "variance_bound",
+]

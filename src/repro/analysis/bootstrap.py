@@ -1,0 +1,148 @@
+"""Bootstrap confidence intervals for the evaluation's headline numbers.
+
+The paper reports point statistics — per-query savings ratios, their
+geometric mean (1.9x), percentiles — over a modest number of runs and
+queries.  A reproduction should also say how *stable* those numbers are,
+so this module adds nonparametric bootstrap intervals:
+
+* :func:`bootstrap_ci` — percentile bootstrap for any statistic of one
+  sample;
+* :func:`savings_ratio_ci` — resamples the per-run frames-to-target of
+  baseline and method independently, rebuilding the ratio-of-medians
+  each replicate (the exact construction of the Fig. 3/5 labels);
+* :func:`geometric_mean_ci` — interval for the headline cross-query
+  geometric mean, resampling queries.
+
+All functions take an explicit ``rng`` so experiment outputs stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .metrics import geometric_mean
+
+__all__ = ["BootstrapInterval", "bootstrap_ci", "savings_ratio_ci", "geometric_mean_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    lo: float
+    hi: float
+    confidence: float
+    replicates: int
+
+    def __post_init__(self) -> None:
+        if not self.lo <= self.hi:
+            raise ValueError("interval bounds out of order")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return f"{self.estimate:.3g} [{self.lo:.3g}, {self.hi:.3g}] ({pct}% CI)"
+
+
+def _validate(confidence: float, replicates: int) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    if replicates <= 0:
+        raise ValueError("replicates must be positive")
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.median,
+    confidence: float = 0.95,
+    replicates: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap for ``statistic`` over one sample."""
+    _validate(confidence, replicates)
+    data = np.asarray(list(values), dtype=np.float64)
+    if len(data) == 0:
+        raise ValueError("need at least one value")
+    rng = rng if rng is not None else np.random.default_rng()
+    stats = np.empty(replicates)
+    for k in range(replicates):
+        resample = data[rng.integers(0, len(data), size=len(data))]
+        stats[k] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        estimate=float(statistic(data)),
+        lo=float(np.quantile(stats, alpha)),
+        hi=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        replicates=replicates,
+    )
+
+
+def savings_ratio_ci(
+    baseline_samples_to_target: Sequence[float],
+    method_samples_to_target: Sequence[float],
+    confidence: float = 0.95,
+    replicates: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapInterval:
+    """Interval for the ratio of medians (the Fig. 3/5 savings label).
+
+    Inputs are per-run frames-to-target for each arm (runs that never
+    reached the target should be filtered or censored by the caller, as
+    :func:`~repro.analysis.metrics.median_samples_to_target` does).
+    Baseline and method runs are independent, so each bootstrap
+    replicate resamples them independently.
+    """
+    _validate(confidence, replicates)
+    base = np.asarray(list(baseline_samples_to_target), dtype=np.float64)
+    ours = np.asarray(list(method_samples_to_target), dtype=np.float64)
+    if len(base) == 0 or len(ours) == 0:
+        raise ValueError("both arms need at least one run")
+    if np.any(base <= 0) or np.any(ours <= 0):
+        raise ValueError("frames-to-target must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    ratios = np.empty(replicates)
+    for k in range(replicates):
+        b = np.median(base[rng.integers(0, len(base), size=len(base))])
+        m = np.median(ours[rng.integers(0, len(ours), size=len(ours))])
+        ratios[k] = b / m
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        estimate=float(np.median(base) / np.median(ours)),
+        lo=float(np.quantile(ratios, alpha)),
+        hi=float(np.quantile(ratios, 1.0 - alpha)),
+        confidence=confidence,
+        replicates=replicates,
+    )
+
+
+def geometric_mean_ci(
+    ratios: Sequence[float],
+    confidence: float = 0.95,
+    replicates: int = 2000,
+    rng: np.random.Generator | None = None,
+) -> BootstrapInterval:
+    """Interval for the cross-query geometric mean (the headline 1.9x),
+    resampling queries with replacement."""
+    _validate(confidence, replicates)
+    vals = [float(v) for v in ratios]
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive ratios")
+    return bootstrap_ci(
+        vals,
+        statistic=lambda arr: geometric_mean(arr.tolist()),
+        confidence=confidence,
+        replicates=replicates,
+        rng=rng,
+    )

@@ -1,0 +1,141 @@
+"""Evaluation metrics: results curves, bands, savings ratios.
+
+The paper reports three kinds of numbers, all derived from "distinct
+results found vs frames processed" curves:
+
+* **trajectory bands** (Figs. 3, 4): median and 25–75 percentile of the
+  results curve across repeated runs, on a common sample grid;
+* **savings ratios** (Figs. 3, 5): the ratio of frames the baseline needs
+  to reach a target (result count or recall level) over the frames
+  ExSample needs — computed on medians across runs, labelled at 10/100/
+  1000 results in Fig. 3 and at .1/.5/.9 recall in Fig. 5;
+* **geometric means** of savings across queries (the headline 1.9x).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.sampler import SamplingHistory
+
+__all__ = [
+    "results_at",
+    "samples_to_target",
+    "TrajectoryBand",
+    "band_over_runs",
+    "median_samples_to_target",
+    "savings_ratio",
+    "geometric_mean",
+    "log_spaced_grid",
+]
+
+
+def results_at(history: SamplingHistory, n: int) -> int:
+    """Distinct results after the first ``n`` processed frames (step
+    interpolation; n beyond the run returns the final count)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    results = history.results
+    if len(results) == 0 or n == 0:
+        return 0
+    return int(results[min(n, len(results)) - 1])
+
+
+def samples_to_target(history: SamplingHistory, target: int) -> int | None:
+    """Frames processed when ``target`` results were first reached."""
+    return history.samples_to_reach(target)
+
+
+def log_spaced_grid(max_samples: int, points: int = 60, start: int = 1) -> np.ndarray:
+    """A log-spaced sample grid like the x axes of Figs. 3–4."""
+    if max_samples < start:
+        raise ValueError("max_samples must be >= start")
+    grid = np.unique(
+        np.round(np.logspace(math.log10(start), math.log10(max_samples), points))
+    ).astype(np.int64)
+    return grid
+
+
+@dataclass(frozen=True)
+class TrajectoryBand:
+    """Median and percentile band of results curves over repeated runs."""
+
+    grid: np.ndarray
+    median: np.ndarray
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def final_median(self) -> float:
+        return float(self.median[-1]) if len(self.median) else 0.0
+
+
+def band_over_runs(
+    histories: Sequence[SamplingHistory],
+    grid: np.ndarray,
+    percentiles: tuple[float, float] = (25.0, 75.0),
+) -> TrajectoryBand:
+    """Align runs on ``grid`` and take median and percentile envelopes —
+    the solid lines and shaded areas of Figs. 3 and 4."""
+    if not histories:
+        raise ValueError("need at least one run")
+    lo_p, hi_p = percentiles
+    if not 0.0 <= lo_p < hi_p <= 100.0:
+        raise ValueError("percentiles must be ordered within [0, 100]")
+    matrix = np.zeros((len(histories), len(grid)), dtype=np.float64)
+    for row, history in enumerate(histories):
+        results = history.results
+        for col, n in enumerate(grid):
+            matrix[row, col] = (
+                results[min(int(n), len(results)) - 1] if len(results) and n > 0 else 0
+            )
+    return TrajectoryBand(
+        grid=np.asarray(grid, dtype=np.int64),
+        median=np.median(matrix, axis=0),
+        lo=np.percentile(matrix, lo_p, axis=0),
+        hi=np.percentile(matrix, hi_p, axis=0),
+    )
+
+
+def median_samples_to_target(
+    histories: Sequence[SamplingHistory], target: int
+) -> float | None:
+    """Median frames-to-target across runs; ``None`` when fewer than half
+    the runs ever reach the target (the paper leaves such labels blank)."""
+    if not histories:
+        raise ValueError("need at least one run")
+    hits = [h.samples_to_reach(target) for h in histories]
+    reached = [h for h in hits if h is not None]
+    if len(reached) * 2 < len(hits):
+        return None
+    # censor unfinished runs at +inf; the median over all runs is defined
+    # because at least half reached the target.
+    values = [float(h) if h is not None else math.inf for h in hits]
+    return float(np.median(values))
+
+
+def savings_ratio(
+    baseline_histories: Sequence[SamplingHistory],
+    method_histories: Sequence[SamplingHistory],
+    target: int,
+) -> float | None:
+    """Fig. 3/5's savings label: baseline frames / method frames to reach
+    ``target`` results (medians across runs).  >1 means the method wins."""
+    base = median_samples_to_target(baseline_histories, target)
+    ours = median_samples_to_target(method_histories, target)
+    if base is None or ours is None or ours == 0:
+        return None
+    return base / ours
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive ratios (the paper's overall 1.9x)."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(vals))))

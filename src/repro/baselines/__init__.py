@@ -1,0 +1,20 @@
+"""Comparator methods: sequential scan, uniform random, random+, BlazeIt-style proxy."""
+
+from .base import FrameSequenceSampler
+from .blazeit import BlazeItSampler, ProxyModel, score_ordered_frames
+from .random_plus import RandomPlusSampler, random_plus_frame_order
+from .sequential import SequentialScanSampler, sequential_frame_order
+from .uniform import UniformRandomSampler, uniform_frame_order
+
+__all__ = [
+    "FrameSequenceSampler",
+    "BlazeItSampler",
+    "ProxyModel",
+    "score_ordered_frames",
+    "RandomPlusSampler",
+    "random_plus_frame_order",
+    "SequentialScanSampler",
+    "sequential_frame_order",
+    "UniformRandomSampler",
+    "uniform_frame_order",
+]

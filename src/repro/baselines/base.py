@@ -1,0 +1,115 @@
+"""Shared machinery for the non-adaptive baselines.
+
+Every baseline in §II-B is "a sampling loop where the choice of which
+frame to process next is based on an algorithm-specific decision" (§V-A).
+:class:`FrameSequenceSampler` factors out everything except that choice:
+subclasses (or callers) provide a lazy frame-index sequence, and the base
+class runs the identical detect→discriminate→record pipeline that
+:class:`repro.core.sampler.ExSample` uses, so that comparisons measure the
+*sampling decision* and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..core.sampler import SamplingHistory, StepRecord, process_frame
+from ..detection.detector import Detector
+from ..tracking.discriminator import Discriminator
+from ..video.repository import VideoRepository
+
+__all__ = ["FrameSequenceSampler"]
+
+
+class FrameSequenceSampler:
+    """Runs the Algorithm-1 pipeline over an externally chosen frame order.
+
+    The ``frames`` iterator defines the baseline: uniform random for the
+    random baseline, a stratified order for random+, arithmetic for the
+    sequential scan, score-descending for the proxy method.  Exhaustion of
+    the iterator means the whole repository has been processed.
+    """
+
+    def __init__(
+        self,
+        frames: Iterator[int],
+        detector: Detector,
+        discriminator: Discriminator,
+        repository: VideoRepository | None = None,
+    ):
+        self._frames = frames
+        self._detector = detector
+        self._discriminator = discriminator
+        self._repository = repository
+        self._history = SamplingHistory()
+        self._exhausted = False
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def history(self) -> SamplingHistory:
+        return self._history
+
+    @property
+    def results_found(self) -> int:
+        return self._discriminator.result_count()
+
+    @property
+    def frames_processed(self) -> int:
+        return len(self._history)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def discriminator(self) -> Discriminator:
+        return self._discriminator
+
+    # ------------------------------------------------------------- execution
+
+    def step(self) -> list[StepRecord]:
+        """Process the next frame of the sequence (empty list at the end)."""
+        if self._exhausted:
+            raise RuntimeError("frame sequence is exhausted")
+        try:
+            frame = next(self._frames)
+        except StopIteration:
+            self._exhausted = True
+            return []
+        d0, d1 = process_frame(
+            frame, self._detector, self._discriminator, self._repository
+        )
+        total = self._discriminator.result_count()
+        self._history.append(frame, d0, total)
+        return [
+            StepRecord(
+                sample_index=len(self._history),
+                chunk=0,
+                frame_index=frame,
+                d0=d0,
+                d1=d1,
+                results_total=total,
+            )
+        ]
+
+    def run(
+        self,
+        result_limit: int | None = None,
+        max_samples: int | None = None,
+        callback: Callable[[StepRecord], None] | None = None,
+    ) -> SamplingHistory:
+        """Same contract as :meth:`repro.core.sampler.ExSample.run`."""
+        if result_limit is not None and result_limit <= 0:
+            raise ValueError("result_limit must be positive")
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        while not self._exhausted:
+            if result_limit is not None and self.results_found >= result_limit:
+                break
+            if max_samples is not None and self.frames_processed >= max_samples:
+                break
+            for record in self.step():
+                if callback is not None:
+                    callback(record)
+        return self._history

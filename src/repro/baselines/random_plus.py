@@ -1,0 +1,55 @@
+"""The random+ baseline: stratified without-replacement sampling (§III-F).
+
+Plain uniform sampling "allows samples to happen very close to each other
+in quick succession"; random+ deliberately spreads early samples — one
+random frame out of every hour, then one out of every not-yet-sampled half
+hour, and so on.  The paper evaluates this order both as a standalone
+baseline and as the within-chunk order inside ExSample (where
+:mod:`repro.core.chunking` applies it per chunk).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.chunking import RandomPlusOrder
+from ..detection.detector import Detector
+from ..tracking.discriminator import Discriminator
+from ..video.repository import VideoRepository
+from .base import FrameSequenceSampler
+
+__all__ = ["RandomPlusSampler", "random_plus_frame_order"]
+
+
+def random_plus_frame_order(
+    total_frames: int, rng: np.random.Generator
+) -> Iterator[int]:
+    """Lazy stratified order over ``[0, total_frames)``."""
+    order = RandomPlusOrder(0, total_frames, rng)
+    while True:
+        frame = order.draw()
+        if frame is None:
+            return
+        yield frame
+
+
+class RandomPlusSampler(FrameSequenceSampler):
+    """Whole-repository random+ sampling (the §III-F ablation baseline)."""
+
+    def __init__(
+        self,
+        repository: VideoRepository,
+        detector: Detector,
+        discriminator: Discriminator,
+        rng: np.random.Generator | None = None,
+        charge_decode: bool = True,
+    ):
+        rng = rng if rng is not None else np.random.default_rng()
+        super().__init__(
+            frames=random_plus_frame_order(repository.total_frames, rng),
+            detector=detector,
+            discriminator=discriminator,
+            repository=repository if charge_decode else None,
+        )

@@ -1,0 +1,52 @@
+"""The naive sequential-scan baseline (§II-B).
+
+Processes frames in temporal order with an optional stride ("sample only
+one out of every n frames").  The paper notes its two failure modes, both
+observable with this implementation: high variance from uneven object
+placement (the scan can get stuck in an empty stretch) and sensitivity of
+the stride to unknown object durations (too small re-detects the same
+object; too large skips short-lived ones entirely).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..detection.detector import Detector
+from ..tracking.discriminator import Discriminator
+from ..video.repository import VideoRepository
+from .base import FrameSequenceSampler
+
+__all__ = ["SequentialScanSampler", "sequential_frame_order"]
+
+
+def sequential_frame_order(
+    total_frames: int, stride: int = 1, start: int = 0
+) -> Iterator[int]:
+    """Frames ``start, start+stride, ...`` — one pass over the data."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if not 0 <= start < total_frames:
+        raise ValueError("start must lie inside the frame range")
+    return iter(range(start, total_frames, stride))
+
+
+class SequentialScanSampler(FrameSequenceSampler):
+    """Naive execution: scan in order, optionally subsampled by a stride."""
+
+    def __init__(
+        self,
+        repository: VideoRepository,
+        detector: Detector,
+        discriminator: Discriminator,
+        stride: int = 1,
+        start: int = 0,
+        charge_decode: bool = True,
+    ):
+        super().__init__(
+            frames=sequential_frame_order(repository.total_frames, stride, start),
+            detector=detector,
+            discriminator=discriminator,
+            repository=repository if charge_decode else None,
+        )
+        self.stride = stride

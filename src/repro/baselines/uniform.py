@@ -1,0 +1,52 @@
+"""The uniform random-sampling baseline (§II-B).
+
+"Iteratively process frames uniformly sampled from the video repository
+(without replacement)."  This is the efficient baseline ExSample's savings
+are measured against throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.chunking import UniformOrder
+from ..detection.detector import Detector
+from ..tracking.discriminator import Discriminator
+from ..video.repository import VideoRepository
+from .base import FrameSequenceSampler
+
+__all__ = ["UniformRandomSampler", "uniform_frame_order"]
+
+
+def uniform_frame_order(
+    total_frames: int, rng: np.random.Generator
+) -> Iterator[int]:
+    """Lazy uniform-without-replacement order over ``[0, total_frames)``."""
+    order = UniformOrder(0, total_frames, rng)
+    while True:
+        frame = order.draw()
+        if frame is None:
+            return
+        yield frame
+
+
+class UniformRandomSampler(FrameSequenceSampler):
+    """Uniform random sampling without replacement over the repository."""
+
+    def __init__(
+        self,
+        repository: VideoRepository,
+        detector: Detector,
+        discriminator: Discriminator,
+        rng: np.random.Generator | None = None,
+        charge_decode: bool = True,
+    ):
+        rng = rng if rng is not None else np.random.default_rng()
+        super().__init__(
+            frames=uniform_frame_order(repository.total_frames, rng),
+            detector=detector,
+            discriminator=discriminator,
+            repository=repository if charge_decode else None,
+        )

@@ -1,0 +1,147 @@
+"""User-facing command line: run queries against the dataset profiles.
+
+This is the "downstream user" surface, distinct from the experiment CLI
+(``python -m repro.experiments``) which regenerates the paper:
+
+    python -m repro datasets
+    python -m repro query dashcam bicycle --limit 20
+    python -m repro query amsterdam boat --recall 0.5 --compare
+    python -m repro query bdd1k motor --limit 25 --method random --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.query import METHODS, DistinctObjectQuery, QueryEngine
+from .detection.costmodel import format_duration
+from .experiments.reporting import format_table
+from .video.datasets import (
+    build_dataset,
+    dataset_names,
+    get_profile,
+    scaled_chunk_frames,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        profile = get_profile(name)
+        rows.append(
+            [
+                name,
+                profile.total_frames,
+                profile.num_clips,
+                profile.num_chunks,
+                ", ".join(profile.category_names()),
+            ]
+        )
+    print(
+        format_table(
+            ["dataset", "frames", "clips", "chunks", "categories"],
+            rows,
+            title="available dataset profiles (synthetic, paper-calibrated):",
+        )
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    profile = get_profile(args.dataset)
+    if args.category not in profile.category_names():
+        print(
+            f"error: {args.dataset!r} has no category {args.category!r}; "
+            f"options: {profile.category_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.limit is None) == (args.recall is None):
+        print("error: pass exactly one of --limit / --recall", file=sys.stderr)
+        return 2
+
+    repo = build_dataset(
+        args.dataset, categories=[args.category], scale=args.scale, seed=args.seed
+    )
+    engine = QueryEngine(
+        repo,
+        category=args.category,
+        chunk_frames=scaled_chunk_frames(args.dataset, args.scale),
+        seed=args.seed,
+    )
+    query = DistinctObjectQuery(
+        args.category,
+        limit=args.limit,
+        recall_target=args.recall,
+        max_samples=args.max_samples,
+    )
+    methods = list(METHODS) if args.compare else [args.method]
+
+    print(
+        f"{repo.name}: {repo.total_frames:,} frames (scale {args.scale:g}), "
+        f"{len(repo.instances_of(args.category))} distinct "
+        f"{args.category!r} instances in ground truth"
+    )
+    rows = []
+    for method in methods:
+        result = engine.execute(query, method=method)
+        rows.append(
+            [
+                method,
+                result.results_returned,
+                f"{result.recall:.2f}",
+                result.frames_processed,
+                format_duration(result.detector_seconds),
+                format_duration(result.scan_seconds) if result.scan_seconds else "-",
+                "yes" if result.satisfied else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["method", "results", "recall", "frames", "detect time", "scan time", "satisfied"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Distinct-object search over the calibrated dataset profiles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list available dataset profiles")
+
+    query = sub.add_parser("query", help="run one distinct-object query")
+    query.add_argument("dataset", help="profile name (see `datasets`)")
+    query.add_argument("category", help="object category to search for")
+    stop = query.add_mutually_exclusive_group()
+    stop.add_argument("--limit", type=int, help="stop after this many distinct results")
+    stop.add_argument(
+        "--recall", type=float, help="stop at this ground-truth recall (evaluation mode)"
+    )
+    query.add_argument(
+        "--method", choices=METHODS, default="exsample", help="sampling method"
+    )
+    query.add_argument(
+        "--compare", action="store_true", help="run every method on the same query"
+    )
+    query.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale in (0, 1]; 1.0 is the paper-size corpus",
+    )
+    query.add_argument("--max-samples", type=int, default=None, help="frame budget cap")
+    query.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    return _cmd_query(args)

@@ -1,0 +1,332 @@
+"""Chunk partitioning and within-chunk frame sampling orders.
+
+ExSample "conceptually splits the input into chunks" (§III): fixed-length
+temporal spans (20–30 minutes in the evaluation) or one chunk per clip
+when clips are short (BDD).  Within a chosen chunk, frames are drawn
+without replacement; §III-F's **random+** order additionally spreads early
+samples across the chunk — one frame per half, then per quarter, and so on
+— instead of letting pure uniform draws cluster.
+
+Both orders are lazy: chunks can span hundreds of thousands of frames
+while a query samples only a handful, so full permutations are never
+materialized up front.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from ..video.repository import VideoRepository
+
+__all__ = [
+    "FrameOrder",
+    "UniformOrder",
+    "RandomPlusOrder",
+    "Chunk",
+    "fixed_size_chunks",
+    "even_count_chunks",
+    "chunks_from_clips",
+    "clip_aligned_chunks",
+    "make_chunks",
+]
+
+
+class FrameOrder(Protocol):
+    """A lazy without-replacement ordering of a frame range."""
+
+    def draw(self) -> int | None:  # pragma: no cover - protocol
+        """Next frame index, or ``None`` once the range is exhausted."""
+        ...
+
+    @property
+    def remaining(self) -> int:  # pragma: no cover - protocol
+        ...
+
+
+class UniformOrder:
+    """Uniform without-replacement order over ``[start, end)``.
+
+    Uses rejection sampling while the sampled fraction is small (O(1) per
+    draw, no memory proportional to the range) and falls back to an
+    explicit shuffled remainder once half the range is consumed.
+    """
+
+    def __init__(self, start: int, end: int, rng: np.random.Generator):
+        if end <= start:
+            raise ValueError("empty frame range")
+        self._start = start
+        self._end = end
+        self._rng = rng
+        self._sampled: set[int] = set()
+        self._tail: list[int] | None = None
+
+    @property
+    def remaining(self) -> int:
+        return (self._end - self._start) - len(self._sampled)
+
+    def draw(self) -> int | None:
+        if self.remaining == 0:
+            return None
+        if self._tail is not None:
+            frame = self._tail.pop()
+            self._sampled.add(frame)
+            return frame
+        size = self._end - self._start
+        if len(self._sampled) * 2 >= size:
+            # dense regime: enumerate what's left and shuffle it once.
+            left = [f for f in range(self._start, self._end) if f not in self._sampled]
+            self._rng.shuffle(left)
+            self._tail = left
+            return self.draw()
+        while True:
+            frame = int(self._rng.integers(self._start, self._end))
+            if frame not in self._sampled:
+                self._sampled.add(frame)
+                return frame
+
+
+class _Stratum:
+    """One interval of a random+ level with its already-sampled frames."""
+
+    __slots__ = ("lo", "hi", "sampled")
+
+    def __init__(self, lo: int, hi: int, sampled: set[int]):
+        self.lo = lo
+        self.hi = hi
+        self.sampled = sampled
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def exhausted(self) -> bool:
+        return len(self.sampled) >= self.size
+
+    def draw(self, rng: np.random.Generator) -> int:
+        free = self.size - len(self.sampled)
+        if free <= 0:
+            raise RuntimeError("drawing from an exhausted stratum")
+        if free <= 8 or len(self.sampled) * 2 >= self.size:
+            candidates = [f for f in range(self.lo, self.hi) if f not in self.sampled]
+            frame = candidates[int(rng.integers(len(candidates)))]
+        else:
+            while True:
+                frame = int(rng.integers(self.lo, self.hi))
+                if frame not in self.sampled:
+                    break
+        self.sampled.add(frame)
+        return frame
+
+    def split(self) -> list["_Stratum"]:
+        if self.size <= 1:
+            return [self]
+        mid = self.lo + self.size // 2
+        left = {f for f in self.sampled if f < mid}
+        right = self.sampled - left
+        return [_Stratum(self.lo, mid, left), _Stratum(mid, self.hi, right)]
+
+
+class RandomPlusOrder:
+    """§III-F's stratified *random+* without-replacement order.
+
+    Pass 0 draws one uniform frame from the whole range; pass *k* splits
+    the range into ``2^k`` strata, visits the non-exhausted ones in random
+    order and draws one not-yet-sampled frame from each.  Early samples are
+    therefore spread across the range (in a 1000-hour video, every hour is
+    touched before any hour is touched twice), while each individual draw
+    remains uniform within its stratum.
+    """
+
+    def __init__(self, start: int, end: int, rng: np.random.Generator):
+        if end <= start:
+            raise ValueError("empty frame range")
+        self._rng = rng
+        self._drawn = 0
+        self._size = end - start
+        root = _Stratum(start, end, set())
+        self._level: list[_Stratum] = [root]  # all strata of the current pass
+        self._queue: list[_Stratum] = [root]  # not-yet-visited, random order
+
+    @property
+    def remaining(self) -> int:
+        return self._size - self._drawn
+
+    def draw(self) -> int | None:
+        if self.remaining == 0:
+            return None
+        while True:
+            while self._queue:
+                stratum = self._queue.pop()
+                # only *not-yet-sampled* strata receive a sample this pass
+                # (§III-F); already-touched ones wait to be split further.
+                if not stratum.sampled and not stratum.exhausted:
+                    self._drawn += 1
+                    return stratum.draw(self._rng)
+            self._advance_level()
+
+    def _advance_level(self) -> None:
+        children: list[_Stratum] = []
+        for stratum in self._level:
+            for child in stratum.split():
+                if not child.exhausted:
+                    children.append(child)
+        if not children:  # pragma: no cover - guarded by `remaining`
+            raise RuntimeError("advancing an exhausted random+ order")
+        self._rng.shuffle(children)
+        self._level = children
+        self._queue = list(children)
+
+
+@dataclass
+class Chunk:
+    """A contiguous frame span with its own lazy sampling order."""
+
+    chunk_id: int
+    start_frame: int
+    end_frame: int
+    order: FrameOrder
+
+    def __post_init__(self) -> None:
+        if self.end_frame <= self.start_frame:
+            raise ValueError("chunk must contain at least one frame")
+
+    @property
+    def num_frames(self) -> int:
+        return self.end_frame - self.start_frame
+
+    @property
+    def remaining(self) -> int:
+        return self.order.remaining
+
+    @property
+    def exhausted(self) -> bool:
+        return self.order.remaining == 0
+
+    def sample(self) -> int:
+        """Draw the next frame from this chunk (Alg. 1, line 7)."""
+        frame = self.order.draw()
+        if frame is None:
+            raise RuntimeError(f"chunk {self.chunk_id} is exhausted")
+        return frame
+
+
+def _make_order(
+    start: int, end: int, rng: np.random.Generator, use_random_plus: bool
+) -> FrameOrder:
+    if use_random_plus:
+        return RandomPlusOrder(start, end, rng)
+    return UniformOrder(start, end, rng)
+
+
+def fixed_size_chunks(
+    total_frames: int,
+    chunk_frames: int,
+    rng: np.random.Generator,
+    use_random_plus: bool = True,
+) -> list[Chunk]:
+    """Tile ``[0, total_frames)`` with chunks of ``chunk_frames`` frames.
+
+    The trailing chunk may be shorter.  This is the paper's default
+    chunking (20-minute spans) for long recordings.
+    """
+    if total_frames <= 0:
+        raise ValueError("total_frames must be positive")
+    if chunk_frames <= 0:
+        raise ValueError("chunk_frames must be positive")
+    chunks = []
+    for chunk_id, start in enumerate(range(0, total_frames, chunk_frames)):
+        end = min(start + chunk_frames, total_frames)
+        chunks.append(
+            Chunk(chunk_id, start, end, _make_order(start, end, rng, use_random_plus))
+        )
+    return chunks
+
+
+def even_count_chunks(
+    total_frames: int,
+    num_chunks: int,
+    rng: np.random.Generator,
+    use_random_plus: bool = True,
+) -> list[Chunk]:
+    """Split ``[0, total_frames)`` into exactly ``num_chunks`` near-equal
+    chunks — the parametrization used by the §IV-C chunk-count sweep."""
+    if total_frames <= 0:
+        raise ValueError("total_frames must be positive")
+    if not 1 <= num_chunks <= total_frames:
+        raise ValueError("num_chunks must lie in [1, total_frames]")
+    edges = np.linspace(0, total_frames, num_chunks + 1).round().astype(np.int64)
+    chunks = []
+    for chunk_id in range(num_chunks):
+        start, end = int(edges[chunk_id]), int(edges[chunk_id + 1])
+        chunks.append(
+            Chunk(chunk_id, start, end, _make_order(start, end, rng, use_random_plus))
+        )
+    return chunks
+
+
+def chunks_from_clips(
+    repository: VideoRepository,
+    rng: np.random.Generator,
+    use_random_plus: bool = True,
+) -> list[Chunk]:
+    """One chunk per clip — the forced layout for short-clip corpora like
+    BDD, where sub-minute files leave nothing to subdivide (§V-A)."""
+    chunks = []
+    for clip in repository.clips:
+        chunks.append(
+            Chunk(
+                clip.clip_id,
+                clip.start_frame,
+                clip.end_frame,
+                _make_order(clip.start_frame, clip.end_frame, rng, use_random_plus),
+            )
+        )
+    return chunks
+
+
+def clip_aligned_chunks(
+    repository: VideoRepository,
+    chunk_frames: int,
+    rng: np.random.Generator,
+    use_random_plus: bool = True,
+) -> list[Chunk]:
+    """Fixed-size chunks that never span a clip boundary.
+
+    The paper's layout for the dashcam dataset: "Drives longer than 20
+    minutes are split into 20 minute chunks" — each drive is chunked on
+    its own, so a chunk never mixes footage from two recordings (whose
+    content statistics are unrelated).  Clips shorter than
+    ``chunk_frames`` become single chunks.
+    """
+    if chunk_frames <= 0:
+        raise ValueError("chunk_frames must be positive")
+    chunks = []
+    for clip in repository.clips:
+        for start in range(clip.start_frame, clip.end_frame, chunk_frames):
+            end = min(start + chunk_frames, clip.end_frame)
+            chunks.append(
+                Chunk(
+                    len(chunks), start, end,
+                    _make_order(start, end, rng, use_random_plus),
+                )
+            )
+    return chunks
+
+
+def make_chunks(
+    repository: VideoRepository,
+    rng: np.random.Generator,
+    chunk_frames: int | None = None,
+    use_random_plus: bool = True,
+) -> list[Chunk]:
+    """Dataset-appropriate default: clip-aligned fixed-size spans when
+    ``chunk_frames`` is given (chunks never mix two recordings, per
+    §V-A's dashcam layout), otherwise one chunk per clip."""
+    if chunk_frames is None:
+        return chunks_from_clips(repository, rng, use_random_plus)
+    return clip_aligned_chunks(repository, chunk_frames, rng, use_random_plus)

@@ -1,0 +1,199 @@
+"""Query-progress estimation: how much is left, and how long to get it.
+
+The paper's estimator answers "what do I gain from the *next* frame"
+(Eq. III.1).  A user running a limit query wants the integral of that:
+*how many distinct objects exist, how many remain, and how many more
+frames until my target?*  None of this needs ground truth — it follows
+from the same seen-once/seen-twice statistics ExSample already keeps:
+
+* **richness** — the Chao1 lower-bound estimator of the total number of
+  distinct objects, ``N̂ = S + F1² / (2 F2)``, where S is the number of
+  distinct results so far and F1/F2 count results seen exactly once /
+  exactly twice.  Chao1 is the classic abundance-based species-richness
+  estimate and is consistent with the paper's Good–Turing view: F1
+  carries the information about what has not been seen yet.
+* **rate** — the global Good–Turing discovery rate F1/n, i.e. Eq. III.1
+  aggregated over all chunks: the expected number of new results in one
+  more (uniformly allocated) frame.
+* **forecast** — samples to reach a target result count, integrating the
+  rate as it decays.  Under the per-instance independent-sampling model
+  of §III-A, an as-yet-unseen instance with probability p is found after
+  a further m samples with probability 1-(1-p)^m; summing over the
+  estimated unseen pool with an exponential-decay approximation gives a
+  closed-form forecast that needs only (S, F1, F2, n).
+
+These are *estimates with the same caveats as the paper's* (§III-D): they
+assume instances occur independently and they are noisy early.  The
+:class:`ProgressTracker` therefore also exposes the raw statistics so
+callers can judge maturity (e.g. ``n`` still small, or F2 = 0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..tracking.discriminator import Discriminator
+
+__all__ = ["chao1_estimate", "discovery_rate", "ProgressSnapshot", "ProgressTracker"]
+
+
+def chao1_estimate(distinct: int, seen_once: int, seen_twice: int) -> float:
+    """Chao1 lower bound on total richness: ``S + F1²/(2·F2)``.
+
+    Uses the bias-corrected form ``S + F1(F1-1)/(2(F2+1))`` when F2 = 0,
+    which stays finite (the classic form divides by zero).
+    """
+    if distinct < 0 or seen_once < 0 or seen_twice < 0:
+        raise ValueError("counts must be non-negative")
+    if seen_once + seen_twice > distinct:
+        raise ValueError("F1 + F2 cannot exceed the distinct count")
+    if seen_twice > 0:
+        return distinct + (seen_once * seen_once) / (2.0 * seen_twice)
+    return distinct + (seen_once * max(0, seen_once - 1)) / 2.0
+
+
+def discovery_rate(seen_once: int, samples: int) -> float:
+    """Good–Turing rate F1/n: expected new results in one more frame.
+
+    This is Eq. III.1 summed over the whole dataset rather than one
+    chunk.  Zero samples means no information; by convention the rate is
+    then 1.0 (every frame is maximally informative before any data).
+    """
+    if seen_once < 0 or samples < 0:
+        raise ValueError("counts must be non-negative")
+    if samples == 0:
+        return 1.0
+    return seen_once / samples
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """Point-in-time progress report for a running query."""
+
+    samples: int
+    distinct_found: int
+    seen_once: int
+    seen_twice: int
+    estimated_total: float
+    estimated_remaining: float
+    rate: float
+
+    @property
+    def estimated_recall(self) -> float:
+        """Fraction of the *estimated* richness already found."""
+        if self.estimated_total <= 0:
+            return 1.0
+        return min(1.0, self.distinct_found / self.estimated_total)
+
+    def samples_to_reach(self, target_results: int) -> float | None:
+        """Forecast additional frames until ``target_results`` distinct
+        results, or ``None`` if the target exceeds the estimated total.
+
+        Model: the current discovery rate r = F1/n decays in proportion
+        to the unseen pool (each find depletes it), i.e.
+        ``d(found)/dm = r · remaining(m)/remaining(0)``, giving
+        exponential depletion with time constant ``remaining(0)/r``.
+        Inverting yields ``m = -(R0/r) · ln(1 - need/R0)``.
+        """
+        if target_results <= self.distinct_found:
+            return 0.0
+        need = target_results - self.distinct_found
+        remaining = self.estimated_remaining
+        if need > remaining or remaining <= 0:
+            return None
+        if self.rate <= 0:
+            return None
+        fraction = need / remaining
+        if fraction >= 1.0:
+            # target equals the estimated total: finite but huge; cap the
+            # log at the last-instance resolution rather than returning inf.
+            fraction = 1.0 - 0.5 / remaining
+        return -(remaining / self.rate) * math.log(1.0 - fraction)
+
+
+class ProgressTracker:
+    """Maintains query-progress estimates from sampler feedback.
+
+    Feed it either per-step counts (``update(d0, d1)``, mirroring the
+    Algorithm-1 update) or attach it to a sampler run as a callback::
+
+        tracker = ProgressTracker()
+        sampler.run(max_samples=..., callback=tracker.on_record)
+        print(tracker.snapshot().estimated_remaining)
+
+    The F2 statistic (results seen exactly twice, needed by Chao1) is
+    derived incrementally: a d1 event means a seen-once result became
+    seen-twice; a later match of that same result would decrement F2,
+    which per-step counts cannot see — so ``update`` accepts an optional
+    ``d2`` (matches of twice-seen results).  When wired to a
+    :class:`~repro.tracking.discriminator.Discriminator` through
+    :meth:`from_discriminator`, F2 is exact.
+    """
+
+    def __init__(self) -> None:
+        self._samples = 0
+        self._distinct = 0
+        self._f1 = 0
+        self._f2 = 0
+
+    # ---------------------------------------------------------------- inputs
+
+    def update(self, d0: int, d1: int, d2: int = 0) -> None:
+        """Apply one processed frame's counts.
+
+        ``d0``: new results; ``d1``: matches of seen-once results;
+        ``d2``: matches of seen-twice results (optional refinement).
+        """
+        if min(d0, d1, d2) < 0:
+            raise ValueError("counts must be non-negative")
+        self._samples += 1
+        self._distinct += d0
+        self._f1 += d0 - d1
+        self._f2 += d1 - d2
+        self._f1 = max(0, self._f1)
+        self._f2 = max(0, self._f2)
+
+    def on_record(self, record) -> None:
+        """Sampler-callback adapter (consumes a ``StepRecord``)."""
+        self.update(record.d0, record.d1)
+
+    @classmethod
+    def from_discriminator(
+        cls, discriminator: Discriminator, samples: int
+    ) -> "ProgressTracker":
+        """Exact statistics from an oracle discriminator's seen counts."""
+        counts = getattr(discriminator, "_seen_counts", None)
+        if counts is None:
+            raise TypeError(
+                "discriminator does not expose per-result sighting counts; "
+                "feed the tracker incrementally instead"
+            )
+        tracker = cls()
+        tracker._samples = samples
+        tracker._distinct = discriminator.result_count()
+        tracker._f1 = sum(1 for c in counts.values() if c == 1)
+        tracker._f2 = sum(1 for c in counts.values() if c == 2)
+        return tracker
+
+    # --------------------------------------------------------------- outputs
+
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    @property
+    def distinct_found(self) -> int:
+        return self._distinct
+
+    def snapshot(self) -> ProgressSnapshot:
+        total = chao1_estimate(self._distinct, self._f1, self._f2)
+        return ProgressSnapshot(
+            samples=self._samples,
+            distinct_found=self._distinct,
+            seen_once=self._f1,
+            seen_twice=self._f2,
+            estimated_total=total,
+            estimated_remaining=max(0.0, total - self._distinct),
+            rate=discovery_rate(self._f1, self._samples),
+        )

@@ -1,0 +1,315 @@
+"""Algorithm 1: the ExSample sampling loop (serial and batched).
+
+The loop has three parts per iteration (§III-E):
+
+1. **choice** — Thompson-sample the Gamma belief of every chunk, pick the
+   arg-max chunk, draw a frame from that chunk's without-replacement order;
+2. **io / decode / detect / match** — read the frame, run the detector,
+   let the discriminator split detections into new objects (``d0``) and
+   second sightings (``d1``);
+3. **update** — ``N1[j*] += |d0| - |d1|``; ``n[j*] += 1``; store the new
+   detections.
+
+The batched variant (§III-F) draws ``B`` Thompson samples per chunk, takes
+``B`` arg-maxes, processes the batch, and applies the commutative state
+updates together — the GPU-batching optimization, reproduced faithfully so
+its effect on result quality can be measured even though there is no GPU
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..detection.detector import Detector
+from ..tracking.discriminator import Discriminator
+from ..video.repository import VideoRepository
+from .chunking import Chunk
+from .estimator import ChunkStatistics
+from .policies import ChunkPolicy, ThompsonSampling
+
+__all__ = [
+    "StepRecord",
+    "SamplingHistory",
+    "ExSample",
+    "process_frame",
+    "process_frame_detailed",
+]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One processed frame: where it came from and what it yielded."""
+
+    sample_index: int  # 1-based count of frames processed so far
+    chunk: int
+    frame_index: int
+    d0: int
+    d1: int
+    results_total: int
+
+
+class SamplingHistory:
+    """Append-only log of a sampling run, shared by all methods.
+
+    Stores the cumulative results curve (distinct results after each
+    processed frame), which every figure in the evaluation is drawn from.
+    """
+
+    def __init__(self) -> None:
+        self._d0: list[int] = []
+        self._results: list[int] = []
+        self._frames: list[int] = []
+
+    def append(self, frame_index: int, d0: int, results_total: int) -> None:
+        self._frames.append(frame_index)
+        self._d0.append(d0)
+        self._results.append(results_total)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """1-based sample counts, aligned with :attr:`results`."""
+        return np.arange(1, len(self._results) + 1, dtype=np.int64)
+
+    @property
+    def results(self) -> np.ndarray:
+        """Cumulative distinct results after each sample."""
+        return np.asarray(self._results, dtype=np.int64)
+
+    @property
+    def frame_indices(self) -> np.ndarray:
+        return np.asarray(self._frames, dtype=np.int64)
+
+    @property
+    def new_result_frames(self) -> np.ndarray:
+        """Frames whose processing yielded at least one *new* result —
+        the frames a user would actually open to inspect their results."""
+        d0 = np.asarray(self._d0, dtype=np.int64)
+        frames = np.asarray(self._frames, dtype=np.int64)
+        return frames[d0 > 0]
+
+    def samples_to_reach(self, target_results: int) -> int | None:
+        """Frames processed when ``target_results`` was first reached, or
+        ``None`` if the run never got there."""
+        if target_results <= 0:
+            return 0
+        results = self.results
+        hits = np.flatnonzero(results >= target_results)
+        return int(hits[0]) + 1 if len(hits) else None
+
+
+def process_frame(
+    frame_index: int,
+    detector: Detector,
+    discriminator: Discriminator,
+    repository: VideoRepository | None = None,
+) -> tuple[int, int]:
+    """Stage 2 of Algorithm 1 for a single frame; returns (|d0|, |d1|)."""
+    outcome = process_frame_detailed(frame_index, detector, discriminator, repository)
+    return outcome.d0, outcome.d1
+
+
+def process_frame_detailed(
+    frame_index: int,
+    detector: Detector,
+    discriminator: Discriminator,
+    repository: VideoRepository | None = None,
+):
+    """Stage 2 of Algorithm 1, returning the full
+    :class:`~repro.tracking.discriminator.MatchOutcome` (the detection
+    identities are needed for the cross-chunk N1 adjustment)."""
+    if repository is not None:
+        repository.read(frame_index)  # charge the random decode
+    detections = detector.detect(frame_index)
+    return discriminator.observe(frame_index, detections)
+
+
+class ExSample:
+    """The adaptive sampler of Algorithm 1.
+
+    Parameters
+    ----------
+    chunks:
+        The temporal partition (see :mod:`repro.core.chunking`); each chunk
+        carries its own lazy without-replacement frame order.
+    detector / discriminator:
+        The black-box detector and the distinct-object discriminator.
+    policy:
+        Chunk-selection rule; defaults to Thompson sampling with the
+        paper's prior (alpha0 = 0.1, beta0 = 1).
+    batch_size:
+        Frames per iteration (§III-F batched sampling); 1 reproduces the
+        serial Algorithm 1 exactly.
+    repository:
+        Optional; when given, frame reads are charged to its decode stats.
+    cross_chunk_adjustment:
+        Footnote-1 / technical-report refinement of Eq. III.1: when a
+        second sighting (``d1``) matches a result first found in a
+        *different* chunk, decrement that chunk's N1 instead of the
+        currently sampled one (the +1 being cancelled lives there).
+        Requires detections carrying ``true_instance_id`` provenance;
+        detections without it fall back to the sampled chunk.  Off by
+        default — Algorithm 1 as printed.
+    """
+
+    def __init__(
+        self,
+        chunks: Sequence[Chunk],
+        detector: Detector,
+        discriminator: Discriminator,
+        policy: ChunkPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        batch_size: int = 1,
+        repository: VideoRepository | None = None,
+        cross_chunk_adjustment: bool = False,
+    ):
+        if not chunks:
+            raise ValueError("need at least one chunk")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._chunks = list(chunks)
+        self._detector = detector
+        self._discriminator = discriminator
+        self._policy = policy if policy is not None else ThompsonSampling()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._batch_size = batch_size
+        self._repository = repository
+        self._cross_chunk = cross_chunk_adjustment
+        self._first_chunk: dict[int, int] = {}  # true_instance_id -> chunk
+        self._stats = ChunkStatistics(len(self._chunks))
+        self._history = SamplingHistory()
+        self._available = np.array([not c.exhausted for c in self._chunks])
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def stats(self) -> ChunkStatistics:
+        return self._stats
+
+    @property
+    def discriminator(self) -> Discriminator:
+        return self._discriminator
+
+    @property
+    def chunks(self) -> list[Chunk]:
+        return list(self._chunks)
+
+    @property
+    def history(self) -> SamplingHistory:
+        return self._history
+
+    @property
+    def results_found(self) -> int:
+        return self._discriminator.result_count()
+
+    @property
+    def frames_processed(self) -> int:
+        return len(self._history)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every chunk's frame order is fully consumed."""
+        return not self._available.any()
+
+    # ------------------------------------------------------------- execution
+
+    def step(self) -> list[StepRecord]:
+        """Run one iteration (one frame, or one batch when batch_size > 1)."""
+        if self.exhausted:
+            raise RuntimeError("all chunks are exhausted")
+
+        picks = self._policy.choose(
+            self._stats, self._rng, self._available, batch_size=self._batch_size
+        )
+        records: list[StepRecord] = []
+        pending: list[tuple[int, int]] = []  # (chunk, frame)
+        for pick in picks:
+            chunk_idx = int(pick)
+            if not self._available[chunk_idx]:
+                # an earlier pick in this batch drained the chunk; re-draw.
+                if not self._available.any():
+                    break
+                chunk_idx = int(
+                    self._policy.choose(
+                        self._stats, self._rng, self._available, batch_size=1
+                    )[0]
+                )
+            chunk = self._chunks[chunk_idx]
+            frame = chunk.sample()
+            if chunk.exhausted:
+                self._available[chunk_idx] = False
+            pending.append((chunk_idx, frame))
+
+        # Stage 2+3: process the batch; per §III-F the updates commute, so
+        # applying them in batch order is equivalent to any other order.
+        for chunk_idx, frame in pending:
+            outcome = process_frame_detailed(
+                frame, self._detector, self._discriminator, self._repository
+            )
+            d0, d1 = outcome.d0, outcome.d1
+            if self._cross_chunk:
+                self._record_cross_chunk(chunk_idx, outcome)
+            else:
+                self._stats.record(chunk_idx, d0, d1)
+            total = self._discriminator.result_count()
+            self._history.append(frame, d0, total)
+            records.append(
+                StepRecord(
+                    sample_index=len(self._history),
+                    chunk=chunk_idx,
+                    frame_index=frame,
+                    d0=d0,
+                    d1=d1,
+                    results_total=total,
+                )
+            )
+        return records
+
+    def _record_cross_chunk(self, chunk_idx: int, outcome) -> None:
+        """Footnote-1 state update: d0 counts into the sampled chunk as
+        usual; each d1 retires a singleton from the chunk that *first*
+        found the matched result (falling back to the sampled chunk when
+        provenance is unavailable)."""
+        self._stats.record(chunk_idx, outcome.d0, 0)
+        for det in outcome.new_detections:
+            if det.true_instance_id is not None:
+                self._first_chunk.setdefault(det.true_instance_id, chunk_idx)
+        for det in outcome.second_sightings:
+            origin = chunk_idx
+            if det.true_instance_id is not None:
+                origin = self._first_chunk.get(det.true_instance_id, chunk_idx)
+            self._stats.retire(origin)
+
+    def run(
+        self,
+        result_limit: int | None = None,
+        max_samples: int | None = None,
+        callback: Callable[[StepRecord], None] | None = None,
+    ) -> SamplingHistory:
+        """Run until the limit clause, the sample budget, or exhaustion.
+
+        ``result_limit`` mirrors the query's LIMIT; ``max_samples`` is the
+        experimental budget used by the evaluation sweeps.  At least one
+        of the two should normally be given; with neither, the run ends
+        only when the whole repository has been sampled.
+        """
+        if result_limit is not None and result_limit <= 0:
+            raise ValueError("result_limit must be positive")
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+
+        while not self.exhausted:
+            if result_limit is not None and self.results_found >= result_limit:
+                break
+            if max_samples is not None and self.frames_processed >= max_samples:
+                break
+            for record in self.step():
+                if callback is not None:
+                    callback(record)
+        return self._history

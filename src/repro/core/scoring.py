@@ -1,0 +1,244 @@
+"""Scan-free predictive scoring — the §VII future-work integration.
+
+The paper's closing discussion (§VII) observes that the §III estimates
+stay valid "even if sampling within a chunk is non-uniform but based on a
+score", and that "a key to integrating these approaches would be a form
+of predictive scoring of frames that avoids scanning".  This module
+implements that integration:
+
+* :class:`FrameScorer` — a cheap score evaluated **lazily per frame**;
+  nothing is ever scanned up front, which is what separates this from the
+  BlazeIt-style proxy pipeline whose full-dataset scoring pass Table I
+  shows to be the bottleneck.
+* :class:`ScoredOrder` — a drop-in within-chunk
+  :class:`~repro.core.chunking.FrameOrder`: each draw samples ``k``
+  uniform candidate frames (without replacement) and keeps the
+  best-scoring one.  With ``k = 1`` it degenerates to the uniform order,
+  so the §III estimator guarantees are preserved in the limit, and for
+  any fixed ``k`` every not-yet-sampled frame keeps positive selection
+  probability (no starvation).
+* :class:`ProximityScorer` — a concrete scan-free predictor built from
+  the query's own feedback: frames near previous *hits* score higher
+  (results cluster in time — the same skew ExSample exploits across
+  chunks, used here within chunks), while frames inside a hit's likely
+  duration are penalized to avoid re-detecting the same object.
+* :class:`OccupancyScorer` — an oracle scorer (true number of unseen
+  instances visible in the frame); the upper bound a perfect predictor
+  could reach, used by the scoring ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from ..video.instances import InstanceSet
+
+__all__ = [
+    "FrameScorer",
+    "ConstantScorer",
+    "ProximityScorer",
+    "OccupancyScorer",
+    "ScoredOrder",
+    "scored_even_count_chunks",
+]
+
+
+class FrameScorer(Protocol):
+    """A cheap, lazily evaluated per-frame relevance score.
+
+    Implementations must be O(small) per call — the whole point is that
+    no dataset-wide scoring pass ever happens.
+    """
+
+    def score(self, frame_index: int) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class ConstantScorer:
+    """Scores every frame identically; makes ScoredOrder behave uniformly."""
+
+    def score(self, frame_index: int) -> float:
+        return 0.0
+
+
+class ProximityScorer:
+    """Feedback-driven scorer: attraction to past hits, repulsion from
+    their immediate neighbourhoods.
+
+    ``record`` feeds back each processed frame.  A frame that yielded new
+    results (``d0 > 0``) becomes a *hit*.  Candidate frames then score
+
+        score(f) = sum_h [ exp(-|f-h| / attract) - repel_weight * exp(-|f-h| / repel) ]
+
+    with ``repel`` sized to the expected object duration (frames within a
+    hit's span probably show the *same* object — a duplicate, worth
+    avoiding per §III-F) and ``attract`` sized to the clustering scale
+    (events cluster in time, so a hit makes the wider neighbourhood more
+    promising).  Frames that yielded nothing contribute a mild repulsion,
+    marking their neighbourhood as explored.
+    """
+
+    def __init__(
+        self,
+        attract_bandwidth: float = 5000.0,
+        repel_bandwidth: float = 500.0,
+        repel_weight: float = 1.5,
+        miss_weight: float = 0.25,
+        max_memory: int = 512,
+    ):
+        if attract_bandwidth <= 0 or repel_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if repel_weight < 0 or miss_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if max_memory <= 0:
+            raise ValueError("max_memory must be positive")
+        self._attract = attract_bandwidth
+        self._repel = repel_bandwidth
+        self._repel_weight = repel_weight
+        self._miss_weight = miss_weight
+        self._max_memory = max_memory
+        self._hits: list[int] = []
+        self._misses: list[int] = []
+
+    @property
+    def hits(self) -> list[int]:
+        return list(self._hits)
+
+    def record(self, frame_index: int, d0: int) -> None:
+        """Feed back one processed frame and its new-result count."""
+        if d0 < 0:
+            raise ValueError("d0 must be non-negative")
+        memory = self._hits if d0 > 0 else self._misses
+        memory.append(frame_index)
+        # bound per-score cost: drop the oldest memories first.
+        if len(memory) > self._max_memory:
+            del memory[: len(memory) - self._max_memory]
+
+    def score(self, frame_index: int) -> float:
+        total = 0.0
+        for hit in self._hits:
+            gap = abs(frame_index - hit)
+            total += math.exp(-gap / self._attract)
+            total -= self._repel_weight * math.exp(-gap / self._repel)
+        for miss in self._misses:
+            gap = abs(frame_index - miss)
+            total -= self._miss_weight * math.exp(-gap / self._repel)
+        return total
+
+
+class OccupancyScorer:
+    """Oracle scorer: how many *not-yet-found* instances are visible.
+
+    Uses ground truth, so it is evaluation-only — the ceiling any
+    predictive scorer could reach.  ``mark_found`` keeps it honest about
+    duplicates: frames showing only already-found objects score zero.
+    """
+
+    def __init__(self, instances: InstanceSet):
+        self._instances = list(instances)
+        self._found: set[int] = set()
+
+    def mark_found(self, instance_id: int) -> None:
+        self._found.add(instance_id)
+
+    def score(self, frame_index: int) -> float:
+        count = 0
+        for inst in self._instances:
+            if inst.instance_id in self._found:
+                continue
+            if inst.visible_at(frame_index):
+                count += 1
+        return float(count)
+
+
+class ScoredOrder:
+    """Best-of-``k`` score-guided without-replacement order (§VII).
+
+    Each draw: sample up to ``candidates`` distinct not-yet-drawn frames
+    uniformly, score them lazily, emit the arg-max.  The other candidates
+    are *returned to the pool* — only the emitted frame is consumed — so
+    the order remains a complete without-replacement enumeration of the
+    range, just biased toward high scores.
+    """
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        rng: np.random.Generator,
+        scorer: FrameScorer,
+        candidates: int = 8,
+    ):
+        if end <= start:
+            raise ValueError("empty frame range")
+        if candidates <= 0:
+            raise ValueError("candidates must be positive")
+        self._start = start
+        self._end = end
+        self._rng = rng
+        self._scorer = scorer
+        self._candidates = candidates
+        self._sampled: set[int] = set()
+
+    @property
+    def remaining(self) -> int:
+        return (self._end - self._start) - len(self._sampled)
+
+    def draw(self) -> int | None:
+        free = self.remaining
+        if free == 0:
+            return None
+        pool = self._draw_candidates(min(self._candidates, free))
+        best = max(pool, key=self._scorer.score)
+        self._sampled.add(best)
+        return best
+
+    def _draw_candidates(self, count: int) -> list[int]:
+        """``count`` distinct not-yet-sampled frames, uniformly."""
+        size = self._end - self._start
+        if len(self._sampled) * 2 >= size:
+            # dense regime: enumerate what's left and subsample exactly.
+            left = [f for f in range(self._start, self._end) if f not in self._sampled]
+            if len(left) <= count:
+                return left
+            picks = self._rng.choice(len(left), size=count, replace=False)
+            return [left[int(i)] for i in picks]
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            frame = int(self._rng.integers(self._start, self._end))
+            if frame not in self._sampled and frame not in chosen:
+                chosen.add(frame)
+        return list(chosen)
+
+
+def scored_even_count_chunks(
+    total_frames: int,
+    num_chunks: int,
+    rng: np.random.Generator,
+    scorer: FrameScorer,
+    candidates: int = 8,
+) -> list:
+    """Even chunks whose within-chunk order is score-guided.
+
+    The chunk-level Thompson sampling is untouched; only line 7 of
+    Algorithm 1 (``chunk.sample()``) changes, exactly as §VII suggests.
+    All chunks share one ``scorer`` so feedback anywhere informs draws
+    everywhere.
+    """
+    from .chunking import Chunk  # local import avoids a cycle
+
+    if total_frames <= 0:
+        raise ValueError("total_frames must be positive")
+    if not 1 <= num_chunks <= total_frames:
+        raise ValueError("num_chunks must lie in [1, total_frames]")
+    edges = np.linspace(0, total_frames, num_chunks + 1).round().astype(np.int64)
+    chunks = []
+    for chunk_id in range(num_chunks):
+        start, end = int(edges[chunk_id]), int(edges[chunk_id + 1])
+        chunks.append(
+            Chunk(chunk_id, start, end, ScoredOrder(start, end, rng, scorer, candidates))
+        )
+    return chunks

@@ -1,0 +1,21 @@
+"""Black-box detector substrate and cost accounting."""
+
+from .costmodel import ThroughputModel, format_duration, parse_duration
+from .detector import (
+    Detection,
+    Detector,
+    DetectorStats,
+    OracleDetector,
+    SimulatedDetector,
+)
+
+__all__ = [
+    "ThroughputModel",
+    "format_duration",
+    "parse_duration",
+    "Detection",
+    "Detector",
+    "DetectorStats",
+    "OracleDetector",
+    "SimulatedDetector",
+]

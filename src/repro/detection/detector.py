@@ -1,0 +1,231 @@
+"""The black-box object detector substrate.
+
+The paper "regard[s] object detectors as a black box with a costly
+runtime" (§II-A): the only things that matter to the sampling algorithms
+are *which boxes come back* for a sampled frame and *what each call
+costs*.  :class:`SimulatedDetector` reproduces both over synthetic ground
+truth, with the error modes real detectors exhibit:
+
+* **false negatives** — a visible object is missed with some probability
+  (size-dependent: smaller boxes are missed more often, as with real CNN
+  detectors on distant objects);
+* **false positives** — spurious boxes appear at a configurable per-frame
+  rate;
+* **localization jitter** — returned boxes are perturbed versions of the
+  ground-truth boxes;
+* **confidence scores** — higher for large, easy objects.
+
+The detector also counts its invocations, which the cost model converts to
+GPU seconds.  A perfect :class:`OracleDetector` variant (no noise) isolates
+sampling behaviour from detection behaviour in controlled experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..video.geometry import Box
+from ..video.instances import InstanceSet, ObjectInstance
+from ..video.repository import VideoRepository
+from ..video.synthetic import FRAME_HEIGHT, FRAME_WIDTH, OccupancySchedule
+
+__all__ = [
+    "Detection",
+    "Detector",
+    "SimulatedDetector",
+    "OracleDetector",
+    "DetectorStats",
+]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector output box.
+
+    ``true_instance_id`` is the provenance link used *only* by evaluation
+    code and the oracle discriminator; query-execution algorithms must not
+    look at it (the paper's algorithms only see boxes and scores).  It is
+    ``None`` for false positives.
+    """
+
+    frame_index: int
+    box: Box
+    category: str
+    score: float
+    true_instance_id: int | None = None
+
+    @property
+    def is_false_positive(self) -> bool:
+        return self.true_instance_id is None
+
+
+@dataclass
+class DetectorStats:
+    """Invocation counters consumed by the cost model."""
+
+    frames_processed: int = 0
+    detections_emitted: int = 0
+
+    def reset(self) -> None:
+        self.frames_processed = 0
+        self.detections_emitted = 0
+
+
+class Detector(Protocol):
+    """Anything that maps a frame index to a list of detections."""
+
+    stats: DetectorStats
+
+    def detect(self, frame_index: int) -> list[Detection]:  # pragma: no cover
+        ...
+
+
+class OracleDetector:
+    """Perfect detector: returns exactly the ground-truth boxes.
+
+    Useful for separating the sampling question (which frames to look at)
+    from detector noise, and as the reference detector used to build
+    pseudo-ground-truth, mirroring §V-A's ground-truth construction.
+    """
+
+    def __init__(self, repository: VideoRepository, category: str | None = None):
+        self._category = category
+        source = (
+            repository.instances
+            if category is None
+            else repository.instances_of(category)
+        )
+        self._schedule = OccupancySchedule(source)
+        self.stats = DetectorStats()
+
+    def detect(self, frame_index: int) -> list[Detection]:
+        self.stats.frames_processed += 1
+        out = []
+        for inst in self._schedule.visible(frame_index):
+            out.append(
+                Detection(
+                    frame_index=frame_index,
+                    box=inst.box_at(frame_index),
+                    category=inst.category,
+                    score=1.0,
+                    true_instance_id=inst.instance_id,
+                )
+            )
+        self.stats.detections_emitted += len(out)
+        return out
+
+
+class SimulatedDetector:
+    """A noisy black-box detector over synthetic ground truth.
+
+    Noise is deterministic per (seed, frame, instance): re-detecting the
+    same frame gives the same boxes, as a deployed deterministic CNN would.
+    That property matters because samplers may revisit frames near each
+    other and the discriminator must behave consistently.
+    """
+
+    def __init__(
+        self,
+        repository: VideoRepository,
+        category: str | None = None,
+        miss_rate: float = 0.1,
+        false_positive_rate: float = 0.02,
+        jitter: float = 0.03,
+        seed: int = 0,
+    ):
+        if not 0.0 <= miss_rate < 1.0:
+            raise ValueError("miss_rate must lie in [0, 1)")
+        if false_positive_rate < 0.0:
+            raise ValueError("false_positive_rate must be non-negative")
+        if jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        self._category = category
+        source = (
+            repository.instances
+            if category is None
+            else repository.instances_of(category)
+        )
+        self._schedule = OccupancySchedule(source)
+        self._miss_rate = miss_rate
+        self._fp_rate = false_positive_rate
+        self._jitter = jitter
+        self._seed = seed
+        self._fp_category = category if category is not None else "object"
+        self.stats = DetectorStats()
+
+    def detect(self, frame_index: int) -> list[Detection]:
+        self.stats.frames_processed += 1
+        out: list[Detection] = []
+        for inst in self._schedule.visible(frame_index):
+            rng = self._rng_for(frame_index, inst.instance_id)
+            box = inst.box_at(frame_index)
+            if rng.random() < self._effective_miss_rate(box):
+                continue
+            noisy = self._jitter_box(box, rng)
+            score = self._score(noisy, rng)
+            out.append(
+                Detection(
+                    frame_index=frame_index,
+                    box=noisy,
+                    category=inst.category,
+                    score=score,
+                    true_instance_id=inst.instance_id,
+                )
+            )
+        out.extend(self._false_positives(frame_index))
+        self.stats.detections_emitted += len(out)
+        return out
+
+    # ------------------------------------------------------------- internals
+
+    def _rng_for(self, frame_index: int, instance_id: int) -> np.random.Generator:
+        return np.random.default_rng(
+            (self._seed, 0x5EED, frame_index, instance_id)
+        )
+
+    def _effective_miss_rate(self, box: Box) -> float:
+        """Small objects are missed more often, up to 3x the base rate."""
+        if self._miss_rate == 0.0:
+            return 0.0
+        reference_area = 100.0 * 100.0
+        factor = min(3.0, max(0.5, reference_area / max(box.area, 1.0)))
+        return min(0.95, self._miss_rate * factor)
+
+    def _jitter_box(self, box: Box, rng: np.random.Generator) -> Box:
+        if self._jitter == 0.0:
+            return box
+        dx = rng.normal(0.0, self._jitter * max(box.width, 1.0))
+        dy = rng.normal(0.0, self._jitter * max(box.height, 1.0))
+        scale = float(np.exp(rng.normal(0.0, self._jitter)))
+        jittered = box.translate(float(dx), float(dy)).scale(scale)
+        return jittered.clip(FRAME_WIDTH, FRAME_HEIGHT)
+
+    def _score(self, box: Box, rng: np.random.Generator) -> float:
+        base = 0.5 + 0.5 * min(1.0, box.area / (300.0 * 300.0))
+        noise = rng.normal(0.0, 0.08)
+        return float(np.clip(base + noise, 0.05, 1.0))
+
+    def _false_positives(self, frame_index: int) -> list[Detection]:
+        if self._fp_rate == 0.0:
+            return []
+        rng = np.random.default_rng((self._seed, 0xFA15E, frame_index))
+        count = rng.poisson(self._fp_rate)
+        out = []
+        for _ in range(count):
+            w = float(rng.uniform(20, 120))
+            h = float(rng.uniform(20, 120))
+            cx = float(rng.uniform(w / 2, FRAME_WIDTH - w / 2))
+            cy = float(rng.uniform(h / 2, FRAME_HEIGHT - h / 2))
+            out.append(
+                Detection(
+                    frame_index=frame_index,
+                    box=Box.from_center(cx, cy, w, h),
+                    category=self._fp_category,
+                    score=float(rng.uniform(0.05, 0.6)),
+                    true_instance_id=None,
+                )
+            )
+        return out

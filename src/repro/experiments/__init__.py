@@ -1,0 +1,47 @@
+"""Reproduction harness: one module per table/figure of the evaluation.
+
+Run from the command line::
+
+    python -m repro.experiments fig2          # scaled-down defaults
+    python -m repro.experiments table1 --quick
+    python -m repro.experiments fig3 --full   # the paper's exact scale
+    python -m repro.experiments all
+
+or call ``run_*``/``format_*`` pairs programmatically.
+"""
+
+from .evaluation import EvalConfig, QueryEvaluation, evaluate_all, evaluate_query
+from .fig2 import Fig2Config, Fig2Result, format_fig2, run_fig2
+from .fig3 import Fig3Config, Fig3Result, format_fig3, run_fig3
+from .fig4 import Fig4Config, Fig4Result, format_fig4, run_fig4
+from .fig5 import Fig5Result, format_fig5, run_fig5
+from .fig6 import Fig6Result, format_fig6, run_fig6
+from .table1 import Table1Result, format_table1, run_table1
+
+__all__ = [
+    "EvalConfig",
+    "QueryEvaluation",
+    "evaluate_all",
+    "evaluate_query",
+    "Fig2Config",
+    "Fig2Result",
+    "format_fig2",
+    "run_fig2",
+    "Fig3Config",
+    "Fig3Result",
+    "format_fig3",
+    "run_fig3",
+    "Fig4Config",
+    "Fig4Result",
+    "format_fig4",
+    "run_fig4",
+    "Fig5Result",
+    "format_fig5",
+    "run_fig5",
+    "Fig6Result",
+    "format_fig6",
+    "run_fig6",
+    "Table1Result",
+    "format_table1",
+    "run_table1",
+]

@@ -1,0 +1,132 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments fig3
+    python -m repro.experiments table1 --quick
+    python -m repro.experiments fig2 --full --seed 7
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from .ablations import (
+    AblationConfig,
+    format_ablation,
+    run_adaptive_ablation,
+    run_batch_ablation,
+    run_crosschunk_ablation,
+    run_policy_ablation,
+    run_prior_ablation,
+    format_stride_ablation,
+    run_noise_ablation,
+    run_random_plus_ablation,
+    run_stride_ablation,
+    run_scoring_ablation,
+)
+from .evaluation import EvalConfig
+from .fig2 import Fig2Config, format_fig2, run_fig2
+from .fig3 import Fig3Config, format_fig3, run_fig3
+from .fig4 import Fig4Config, format_fig4, run_fig4
+from .fig5 import format_fig5, run_fig5
+from .fig6 import format_fig6, run_fig6
+from .table1 import format_table1, run_table1
+
+EXPERIMENTS = ("fig2", "fig3", "fig4", "fig5", "fig6", "table1")
+ABLATIONS = {
+    "ablation-policy": run_policy_ablation,
+    "ablation-randomplus": run_random_plus_ablation,
+    "ablation-batch": run_batch_ablation,
+    "ablation-prior": run_prior_ablation,
+    "ablation-adaptive": run_adaptive_ablation,
+    "ablation-scoring": run_scoring_ablation,
+    "ablation-crosschunk": run_crosschunk_ablation,
+    "ablation-noise": run_noise_ablation,
+}
+SPECIAL_ABLATIONS = {
+    "ablation-stride": (run_stride_ablation, format_stride_ablation),
+}
+
+
+def _config_for(name: str, mode: str, seed: int):
+    if name == "fig2":
+        base = {"quick": Fig2Config.quick, "full": Fig2Config.full, "default": Fig2Config}[mode]()
+    elif name == "fig3":
+        base = {"quick": Fig3Config.quick, "full": Fig3Config.full, "default": Fig3Config}[mode]()
+    elif name == "fig4":
+        base = {"quick": Fig4Config.quick, "full": Fig4Config.full, "default": Fig4Config}[mode]()
+    elif name in ABLATIONS or name in SPECIAL_ABLATIONS:
+        base = {"quick": AblationConfig.quick, "full": AblationConfig.full, "default": AblationConfig}[mode]()
+    else:  # table1, fig5, fig6 share EvalConfig
+        base = {"quick": EvalConfig.quick, "full": EvalConfig.full, "default": EvalConfig}[mode]()
+    return dataclasses.replace(base, seed=seed)
+
+
+_RUNNERS = {
+    "fig2": (run_fig2, format_fig2),
+    "fig3": (run_fig3, format_fig3),
+    "fig4": (run_fig4, format_fig4),
+    "fig5": (run_fig5, format_fig5),
+    "fig6": (run_fig6, format_fig6),
+    "table1": (run_table1, format_table1),
+}
+
+
+def run_one(name: str, mode: str, seed: int, json_dir: str | None = None) -> str:
+    config = _config_for(name, mode, seed)
+    if name in _RUNNERS:
+        run, fmt = _RUNNERS[name]
+    elif name in ABLATIONS:
+        run, fmt = ABLATIONS[name], format_ablation
+    elif name in SPECIAL_ABLATIONS:
+        run, fmt = SPECIAL_ABLATIONS[name]
+    else:
+        raise ValueError(f"unknown experiment {name!r}")
+    result = run(config)
+    if json_dir is not None:
+        from .persistence import save_json
+
+        save_json(result, f"{json_dir}/{name}.json", name=name)
+    return fmt(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the ExSample paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + tuple(ABLATIONS) + tuple(SPECIAL_ABLATIONS) + ("all", "ablations"),
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", help="smallest scale, seconds")
+    mode.add_argument("--full", action="store_true", help="the paper's exact scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also save each result as DIR/<experiment>.json",
+    )
+    args = parser.parse_args(argv)
+
+    mode_name = "quick" if args.quick else "full" if args.full else "default"
+    if args.experiment == "all":
+        names: tuple[str, ...] = EXPERIMENTS
+    elif args.experiment == "ablations":
+        names = tuple(ABLATIONS) + tuple(SPECIAL_ABLATIONS)
+    else:
+        names = (args.experiment,)
+    for name in names:
+        start = time.perf_counter()
+        print(run_one(name, mode_name, args.seed, json_dir=args.json))
+        print(f"\n[{name} took {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

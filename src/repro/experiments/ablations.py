@@ -1,0 +1,611 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+The paper makes four designed-in choices beyond the core estimator, each
+of which it justifies briefly; these experiments isolate them:
+
+* **policy** (§III-C): Thompson sampling vs Bayes-UCB ("we did not
+  observe different results"), vs the greedy point-estimate strawman of
+  §III-B, vs epsilon-greedy and uniform reference points;
+* **random+** (§III-F): the stratified within-chunk order vs plain
+  uniform without-replacement draws;
+* **batch** (§III-F): batched Thompson draws (B arg-maxes per iteration,
+  commutative state updates) vs the serial Algorithm 1;
+* **prior** (§III-C): sensitivity to the Gamma prior (alpha0, beta0) —
+  the paper uses (0.1, 1) and reports "no strong dependence".
+
+All four run on the same §IV-B-style workload (the skew-1/32 / 700-frame
+cell of Fig. 3, reduced in scale) so their effects are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.metrics import TrajectoryBand, band_over_runs, log_spaced_grid
+from ..core.policies import (
+    BayesUCB,
+    EpsilonGreedy,
+    GreedyMean,
+    ThompsonSampling,
+    UniformPolicy,
+)
+from .reporting import format_table, section, sparkline
+from .runner import make_simulation_repository, repeat_histories
+
+__all__ = [
+    "AblationConfig",
+    "AblationSeries",
+    "AblationResult",
+    "run_policy_ablation",
+    "run_random_plus_ablation",
+    "run_batch_ablation",
+    "run_prior_ablation",
+    "run_adaptive_ablation",
+    "run_scoring_ablation",
+    "run_crosschunk_ablation",
+    "run_noise_ablation",
+    "run_stride_ablation",
+    "StrideOutcome",
+    "FlakyDetector",
+    "format_ablation",
+    "format_stride_ablation",
+]
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Shared workload knobs for all four ablations.
+
+    The defaults reproduce a reduced version of the Fig. 3 cell with
+    skew 1/32 and 700-frame mean durations — the setting where chunking
+    matters but random is not hopeless, so policy differences show.
+    """
+
+    total_frames: int = 250_000
+    num_instances: int = 400
+    mean_duration: float = 700.0
+    skew: float = 1 / 32
+    num_chunks: int = 64
+    runs: int = 5
+    max_samples: int = 5000
+    seed: int = 0
+
+    @staticmethod
+    def quick() -> "AblationConfig":
+        return AblationConfig(
+            total_frames=100_000, num_instances=200, runs=3, max_samples=2000
+        )
+
+    @staticmethod
+    def full() -> "AblationConfig":
+        return AblationConfig(
+            total_frames=16_000_000,
+            num_instances=2000,
+            num_chunks=128,
+            runs=21,
+            max_samples=30_000,
+        )
+
+
+@dataclass(frozen=True)
+class AblationSeries:
+    """One ablation arm: a label and its trajectory band over runs."""
+
+    label: str
+    band: TrajectoryBand
+
+    def samples_to(self, target: float) -> int | None:
+        """First grid point where the median trajectory reaches ``target``."""
+        hits = np.nonzero(self.band.median >= target)[0]
+        return int(self.band.grid[hits[0]]) if len(hits) else None
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Outcome of one ablation: arms on a common grid, plus the workload."""
+
+    name: str
+    config: AblationConfig
+    series: list[AblationSeries]
+    grid: np.ndarray
+
+    def by_label(self) -> dict[str, AblationSeries]:
+        return {s.label: s for s in self.series}
+
+    def final_medians(self) -> dict[str, float]:
+        return {s.label: s.band.final_median() for s in self.series}
+
+
+def _run_arms(
+    name: str, config: AblationConfig, arms: dict[str, dict]
+) -> AblationResult:
+    """Run every arm on one shared repository and band the trajectories.
+
+    ``arms`` maps a label to extra :func:`repeat_histories` kwargs (always
+    the ``exsample`` method unless the kwargs say otherwise).
+    """
+    repo = make_simulation_repository(
+        config.total_frames,
+        config.num_instances,
+        config.mean_duration,
+        config.skew,
+        seed=config.seed,
+    )
+    grid = log_spaced_grid(config.max_samples, points=40)
+    series = []
+    for offset, (label, kwargs) in enumerate(arms.items()):
+        kwargs = dict(kwargs)
+        method = kwargs.pop("method", "exsample")
+        histories = repeat_histories(
+            repo,
+            method,
+            config.runs,
+            config.max_samples,
+            base_seed=config.seed + 131 * (offset + 1),
+            **kwargs,
+        )
+        series.append(AblationSeries(label, band_over_runs(histories, grid)))
+    return AblationResult(name=name, config=config, series=series, grid=grid)
+
+
+def run_policy_ablation(config: AblationConfig | None = None) -> AblationResult:
+    """Chunk-selection policy sweep (§III-B/III-C).
+
+    Expectation: Thompson and Bayes-UCB are indistinguishable; greedy is
+    no better (and can get stuck); uniform matches the random baseline.
+    """
+    config = config if config is not None else AblationConfig()
+    arms: dict[str, dict] = {
+        "thompson": {"policy": ThompsonSampling(), "num_chunks": config.num_chunks},
+        "bayes_ucb": {"policy": BayesUCB(), "num_chunks": config.num_chunks},
+        "greedy": {"policy": GreedyMean(), "num_chunks": config.num_chunks},
+        "eps_greedy": {
+            "policy": EpsilonGreedy(epsilon=0.1),
+            "num_chunks": config.num_chunks,
+        },
+        "uniform": {"policy": UniformPolicy(), "num_chunks": config.num_chunks},
+        "random": {"method": "random"},
+    }
+    return _run_arms("policy", config, arms)
+
+
+def run_random_plus_ablation(config: AblationConfig | None = None) -> AblationResult:
+    """Within-chunk order: stratified random+ vs plain uniform (§III-F).
+
+    Both ExSample variants share the Thompson policy; the standalone
+    ``random`` / ``random_plus`` baselines isolate the order's effect
+    without chunk adaptation.
+    """
+    config = config if config is not None else AblationConfig()
+    arms: dict[str, dict] = {
+        "exsample+random+": {
+            "num_chunks": config.num_chunks,
+            "use_random_plus": True,
+        },
+        "exsample+uniform": {
+            "num_chunks": config.num_chunks,
+            "use_random_plus": False,
+        },
+        "random+": {"method": "random_plus"},
+        "random": {"method": "random"},
+    }
+    return _run_arms("random_plus", config, arms)
+
+
+def run_batch_ablation(
+    config: AblationConfig | None = None,
+    batch_sizes: tuple[int, ...] = (1, 8, 64, 256),
+) -> AblationResult:
+    """Batched sampling (§III-F): B Thompson draws per iteration.
+
+    Larger batches delay feedback — the statistics that inform draw k of
+    a batch exclude the outcomes of draws 1..k-1 — so quality can degrade
+    slightly as B grows, while staying far above random.
+    """
+    config = config if config is not None else AblationConfig()
+    arms: dict[str, dict] = {
+        f"B={b}": {"num_chunks": config.num_chunks, "batch_size": b}
+        for b in batch_sizes
+    }
+    arms["random"] = {"method": "random"}
+    return _run_arms("batch", config, arms)
+
+
+def run_prior_ablation(
+    config: AblationConfig | None = None,
+    priors: tuple[tuple[float, float], ...] = (
+        (0.01, 1.0),
+        (0.1, 1.0),
+        (1.0, 1.0),
+        (0.1, 0.1),
+        (0.5, 5.0),
+    ),
+) -> AblationResult:
+    """Gamma prior sweep (§III-C): alpha0/beta0 around the paper's (0.1, 1)."""
+    config = config if config is not None else AblationConfig()
+    arms: dict[str, dict] = {
+        f"a0={a:g},b0={b:g}": {
+            "policy": ThompsonSampling(alpha0=a, beta0=b),
+            "num_chunks": config.num_chunks,
+        }
+        for a, b in priors
+    }
+    return _run_arms("prior", config, arms)
+
+
+def run_adaptive_ablation(config: AblationConfig | None = None) -> AblationResult:
+    """Automated chunking (§VII) vs fixed partitions.
+
+    The adaptive sampler starts from 8 coarse chunks and splits where
+    samples concentrate; fixed partitions bracket it from both sides (too
+    few chunks cap the exploitable skew, too many pay the Fig. 4
+    exploration tax).  The claim: adaptive tracks the best fixed M
+    without knowing it ahead of time.
+    """
+    config = config if config is not None else AblationConfig()
+    min_span = max(2, int(config.mean_duration))
+    arms: dict[str, dict] = {
+        "adaptive": {
+            "method": "adaptive",
+            "initial_chunks": 8,
+            "split_after": 24,
+            "min_chunk_frames": min_span,
+        },
+        "fixed M=8": {"num_chunks": 8},
+        f"fixed M={config.num_chunks}": {"num_chunks": config.num_chunks},
+        "fixed M=1024": {"num_chunks": 1024},
+        "random": {"method": "random"},
+    }
+    return _run_arms("adaptive", config, arms)
+
+
+def run_crosschunk_ablation(config: AblationConfig | None = None) -> AblationResult:
+    """Footnote-1 cross-chunk N1 adjustment vs Algorithm 1 as printed.
+
+    Long durations on a fine partition put many instances across chunk
+    boundaries, which is where the adjustment matters: a d1 sighting from
+    a neighbouring chunk should not erase the neighbour's credit.  The
+    claim is parity-or-better — the adjustment is a refinement, not a
+    regression.
+    """
+    config = config if config is not None else AblationConfig()
+    arms: dict[str, dict] = {
+        "algorithm-1": {
+            "num_chunks": config.num_chunks,
+            "cross_chunk_adjustment": False,
+        },
+        "cross-chunk": {
+            "num_chunks": config.num_chunks,
+            "cross_chunk_adjustment": True,
+        },
+        "random": {"method": "random"},
+    }
+    return _run_arms("crosschunk", config, arms)
+
+
+def run_scoring_ablation(config: AblationConfig | None = None) -> AblationResult:
+    """Scan-free predictive scoring (§VII) inside the ExSample loop.
+
+    Three within-chunk orders under the same Thompson chunk policy:
+
+    * ``random+`` — the paper's stratified order (the reference);
+    * ``proximity`` — the feedback-driven :class:`ProximityScorer`
+      (hits attract, their immediate neighbourhoods repel);
+    * ``oracle-score`` — the :class:`OccupancyScorer` ceiling (true
+      unseen-instance count per frame, still evaluated lazily).
+
+    The claim from §VII: score-guided within-chunk sampling composes
+    with the chunk bandit and can only help when the score is
+    informative, without ever paying a scan.
+    """
+    from ..core.chunking import even_count_chunks
+    from ..core.sampler import ExSample
+    from ..core.scoring import (
+        OccupancyScorer,
+        ProximityScorer,
+        scored_even_count_chunks,
+    )
+    from ..detection.detector import OracleDetector
+    from ..tracking.discriminator import OracleDiscriminator
+
+    config = config if config is not None else AblationConfig()
+    repo = make_simulation_repository(
+        config.total_frames,
+        config.num_instances,
+        config.mean_duration,
+        config.skew,
+        seed=config.seed,
+    )
+    grid = log_spaced_grid(config.max_samples, points=40)
+
+    def run_arm(make_sampler_and_callback, seed: int):
+        rng = np.random.default_rng(seed)
+        detector = OracleDetector(repo)
+        discriminator = OracleDiscriminator()
+        sampler, callback = make_sampler_and_callback(rng, detector, discriminator)
+        sampler.run(max_samples=config.max_samples, callback=callback)
+        return sampler.history
+
+    def stratified(rng, detector, discriminator):
+        chunks = even_count_chunks(repo.total_frames, config.num_chunks, rng)
+        return ExSample(chunks, detector, discriminator, rng=rng), None
+
+    def proximity(rng, detector, discriminator):
+        scorer = ProximityScorer(
+            attract_bandwidth=repo.total_frames / config.num_chunks,
+            repel_bandwidth=config.mean_duration,
+        )
+        chunks = scored_even_count_chunks(
+            repo.total_frames, config.num_chunks, rng, scorer
+        )
+        sampler = ExSample(chunks, detector, discriminator, rng=rng)
+        return sampler, lambda rec: scorer.record(rec.frame_index, rec.d0)
+
+    def oracle_score(rng, detector, discriminator):
+        scorer = OccupancyScorer(repo.instances)
+        chunks = scored_even_count_chunks(
+            repo.total_frames, config.num_chunks, rng, scorer
+        )
+        sampler = ExSample(chunks, detector, discriminator, rng=rng)
+        known: set[int] = set()
+
+        def feedback(rec) -> None:
+            if rec.d0 > 0:
+                for inst_id in discriminator.distinct_true_instances() - known:
+                    known.add(inst_id)
+                    scorer.mark_found(inst_id)
+
+        return sampler, feedback
+
+    arms = {
+        "random+": stratified,
+        "proximity": proximity,
+        "oracle-score": oracle_score,
+    }
+    series = []
+    for offset, (label, factory) in enumerate(arms.items()):
+        histories = [
+            run_arm(factory, seed=config.seed + 131 * (offset + 1) + 1000 * k)
+            for k in range(config.runs)
+        ]
+        series.append(AblationSeries(label, band_over_runs(histories, grid)))
+    return AblationResult(name="scoring", config=config, series=series, grid=grid)
+
+
+@dataclass(frozen=True)
+class StrideOutcome:
+    """One (stride, duration) cell of the §II-B stride experiment."""
+
+    stride: int
+    mean_duration: float
+    frames_processed: int
+    recall_after_full_pass: float
+    redundant_fraction: float  # occupied processed frames yielding nothing new
+
+    @property
+    def misses_objects(self) -> bool:
+        """True when a full strided pass cannot reach full recall —
+        §II-B's "objects visible for shorter than the sampling rate"."""
+        return self.recall_after_full_pass < 1.0
+
+
+def run_stride_ablation(
+    config: AblationConfig | None = None,
+    strides: tuple[int, ...] = (1, 30, 300, 3000),
+    durations: tuple[float, ...] = (100.0, 2000.0),
+) -> list[StrideOutcome]:
+    """§II-B's naive-execution failure modes, made measurable.
+
+    "If objects appear in the video for much longer than the sampling
+    rate, we may repeatedly compute detections of the same object.
+    Similarly, if objects appear for shorter than the sampling rate, we
+    may completely miss some objects."  One full strided pass per
+    (stride, duration) cell measures both: the recall ceiling (misses)
+    and the fraction of processed frames wasted on already-seen objects
+    (redundancy).  The optimal stride depends on the unknown durations —
+    which is exactly why a fixed stride cannot be right across queries,
+    and why ExSample adapts instead.
+    """
+    from ..baselines.sequential import SequentialScanSampler
+    from ..detection.detector import OracleDetector
+    from ..tracking.discriminator import OracleDiscriminator
+
+    config = config if config is not None else AblationConfig()
+    outcomes = []
+    for duration in durations:
+        repo = make_simulation_repository(
+            config.total_frames,
+            config.num_instances,
+            duration,
+            config.skew,
+            seed=config.seed,
+        )
+        for stride in strides:
+            detector = OracleDetector(repo)
+            discriminator = OracleDiscriminator()
+            sampler = SequentialScanSampler(
+                repo, detector, discriminator, stride=stride, charge_decode=False
+            )
+            history = sampler.run()  # one full pass
+            d0_per_frame = np.diff(np.concatenate([[0], history.results]))
+            processed = len(history)
+            # redundant = the frame showed at least one object yet every
+            # detection matched an already-known result ("repeatedly
+            # compute detections of the same object", §II-B).  Frames
+            # showing nothing are dead weight for any method and are
+            # excluded so the metric isolates the re-detection waste.
+            occupied = np.array(
+                [
+                    bool(repo.instances.visible_in(int(f)))
+                    for f in history.frame_indices
+                ]
+            )
+            redundant = int((occupied & (d0_per_frame == 0)).sum())
+            occupied_total = int(occupied.sum())
+            outcomes.append(
+                StrideOutcome(
+                    stride=stride,
+                    mean_duration=duration,
+                    frames_processed=processed,
+                    recall_after_full_pass=(
+                        history.results[-1] / config.num_instances
+                    ),
+                    redundant_fraction=(
+                        redundant / occupied_total if occupied_total else 0.0
+                    ),
+                )
+            )
+    return outcomes
+
+
+def format_stride_ablation(outcomes: list[StrideOutcome]) -> str:
+    lines = [section("Ablation — sequential stride (§II-B failure modes)")]
+    rows = [
+        [
+            f"{o.mean_duration:.0f}",
+            o.stride,
+            o.frames_processed,
+            f"{o.recall_after_full_pass:.2f}",
+            f"{o.redundant_fraction:.2f}",
+        ]
+        for o in outcomes
+    ]
+    lines.append(
+        format_table(
+            ["duration", "stride", "frames (full pass)", "recall ceiling", "redundant frac"],
+            rows,
+        )
+    )
+    lines.append(
+        "stride >> duration misses objects outright; stride << duration "
+        "burns most frames re-seeing known objects — the right stride "
+        "depends on durations no user knows in advance."
+    )
+    return "\n".join(lines)
+
+
+class FlakyDetector:
+    """Wraps a detector, dropping each detection with a fixed miss rate.
+
+    Misses are deterministic per (frame, instance) — a deterministic CNN
+    misses the *same* object in the *same* frame every time — which is
+    the property the discriminator's caching relies on.  Unlike
+    :class:`~repro.detection.detector.SimulatedDetector`, this works on
+    interval-only ground truth (no boxes), so the big §IV-style
+    simulations can be made noisy too.
+    """
+
+    def __init__(self, inner, miss_rate: float, seed: int = 0):
+        if not 0.0 <= miss_rate < 1.0:
+            raise ValueError("miss_rate must lie in [0, 1)")
+        self._inner = inner
+        self._miss_rate = miss_rate
+        self._seed = seed
+
+    def detect(self, frame_index: int):
+        detections = self._inner.detect(frame_index)
+        if self._miss_rate == 0.0:
+            return detections
+        kept = []
+        for det in detections:
+            key = det.true_instance_id if det.true_instance_id is not None else -1
+            rng = np.random.default_rng((self._seed, 0xF1A4E, frame_index, key))
+            if rng.random() >= self._miss_rate:
+                kept.append(det)
+        return kept
+
+
+def run_noise_ablation(
+    config: AblationConfig | None = None,
+    miss_rates: tuple[float, ...] = (0.0, 0.25, 0.5),
+) -> AblationResult:
+    """Robustness to detector noise: ExSample vs random per miss rate.
+
+    The paper treats the detector as a black box and never conditions on
+    its accuracy; this ablation checks the implicit claim that the
+    *advantage over random* survives a flaky detector.  Misses slow both
+    methods down (objects need more visits to be caught), but they feed
+    the same N1/n signal, so the relative ordering should persist.
+    """
+    from ..core.chunking import even_count_chunks
+    from ..core.sampler import ExSample
+    from ..detection.detector import OracleDetector
+    from ..tracking.discriminator import OracleDiscriminator
+
+    config = config if config is not None else AblationConfig()
+    repo = make_simulation_repository(
+        config.total_frames,
+        config.num_instances,
+        config.mean_duration,
+        config.skew,
+        seed=config.seed,
+    )
+    grid = log_spaced_grid(config.max_samples, points=40)
+
+    def run_once(miss: float, method: str, seed: int):
+        rng = np.random.default_rng(seed)
+        detector = FlakyDetector(OracleDetector(repo), miss, seed=config.seed)
+        discriminator = OracleDiscriminator()
+        if method == "exsample":
+            chunks = even_count_chunks(repo.total_frames, config.num_chunks, rng)
+            sampler = ExSample(chunks, detector, discriminator, rng=rng)
+            sampler.run(max_samples=config.max_samples)
+            return sampler.history
+        order = rng.permutation(repo.total_frames)[: config.max_samples]
+        from ..core.sampler import SamplingHistory, process_frame
+
+        history = SamplingHistory()
+        for frame in order:
+            d0, _d1 = process_frame(int(frame), detector, discriminator)
+            history.append(int(frame), d0, discriminator.result_count())
+        return history
+
+    series = []
+    for offset, miss in enumerate(miss_rates):
+        for method in ("exsample", "random"):
+            histories = [
+                run_once(miss, method, seed=config.seed + 131 * (offset + 1) + 1000 * k)
+                for k in range(config.runs)
+            ]
+            series.append(
+                AblationSeries(
+                    f"{method}@miss={miss:g}", band_over_runs(histories, grid)
+                )
+            )
+    return AblationResult(name="noise", config=config, series=series, grid=grid)
+
+
+def format_ablation(result: AblationResult) -> str:
+    """Text report: samples-to-{25%,50%} recall and final counts per arm."""
+    config = result.config
+    lines = [section(f"Ablation — {result.name}")]
+    lines.append(
+        f"N={config.num_instances} instances, {config.total_frames} frames, "
+        f"skew {config.skew:g}, duration {config.mean_duration:.0f}, "
+        f"M={config.num_chunks} chunks, {config.runs} runs, "
+        f"budget {config.max_samples} samples"
+    )
+    quarter = config.num_instances // 4
+    half = config.num_instances // 2
+    rows = []
+    for s in result.series:
+        rows.append(
+            [
+                s.label,
+                s.samples_to(quarter),
+                s.samples_to(half),
+                s.band.final_median(),
+            ]
+        )
+    lines.append(
+        format_table(
+            ["arm", f"samples to {quarter}", f"samples to {half}", "final median"],
+            rows,
+            title="median across runs:",
+        )
+    )
+    for s in result.series:
+        lines.append(f"  {s.label:<18s} {sparkline(s.band.median)}")
+    return "\n".join(lines)

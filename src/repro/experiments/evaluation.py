@@ -1,0 +1,154 @@
+"""Shared query-evaluation sweep behind Table I, Fig. 5 and Fig. 6.
+
+One pass over the 43 (dataset, category) queries of the evaluation runs
+ExSample and the random baseline to the requested recall levels and
+records frames-to-recall per run.  Table I converts the ExSample medians
+to full-scale time and compares against the proxy scan; Fig. 5 turns the
+per-level ratios into savings bars; Fig. 6 adds skew summaries.
+
+Scaling: datasets are built at a configurable ``scale`` (§ DESIGN.md);
+frames-to-recall measured at scale s estimate full-scale counts as
+``frames / s`` because per-instance probabilities scale as 1/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..detection.costmodel import ThroughputModel
+from ..video.datasets import (
+    all_queries,
+    build_dataset,
+    get_profile,
+    scaled_chunk_frames,
+)
+from .runner import run_history
+
+__all__ = ["EvalConfig", "QueryEvaluation", "evaluate_query", "evaluate_all"]
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    scale: float = 0.05
+    runs: int = 3
+    recall_levels: tuple[float, ...] = (0.1, 0.5, 0.9)
+    seed: int = 0
+    throughput: ThroughputModel = field(default_factory=ThroughputModel)
+    datasets: tuple[str, ...] | None = None  # None = all six
+
+    @staticmethod
+    def quick() -> "EvalConfig":
+        return EvalConfig(scale=0.03, runs=2)
+
+    @staticmethod
+    def full() -> "EvalConfig":
+        return EvalConfig(scale=1.0, runs=5)
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Per-query outcome: median frames-to-recall for both methods."""
+
+    dataset: str
+    category: str
+    scale: float
+    ground_truth_instances: int
+    num_chunks: int
+    # recall level -> median frames over runs (at the evaluation scale);
+    # None when fewer than half the runs reached the level in budget.
+    exsample_frames: dict[float, float | None]
+    random_frames: dict[float, float | None]
+
+    def savings(self, level: float) -> float | None:
+        ex = self.exsample_frames.get(level)
+        rnd = self.random_frames.get(level)
+        if ex is None or rnd is None or ex == 0:
+            return None
+        return rnd / ex
+
+    def full_scale_frames(self, level: float) -> float | None:
+        ex = self.exsample_frames.get(level)
+        if ex is None:
+            return None
+        return ex / self.scale
+
+    def full_scale_seconds(self, level: float, throughput: ThroughputModel) -> float | None:
+        frames = self.full_scale_frames(level)
+        if frames is None:
+            return None
+        return throughput.detection_seconds(int(round(frames)))
+
+
+def evaluate_query(
+    dataset: str,
+    category: str,
+    config: EvalConfig,
+) -> QueryEvaluation:
+    """Run both methods on one query and summarize frames-to-recall."""
+    repo = build_dataset(
+        dataset, categories=[category], seed=config.seed, scale=config.scale
+    )
+    chunk_frames = scaled_chunk_frames(dataset, config.scale)
+    instances = len(repo.instances_of(category))
+    targets = {
+        level: max(1, math.ceil(level * instances))
+        for level in config.recall_levels
+    }
+    max_target = max(targets.values())
+    budget = repo.total_frames  # without replacement: exhaustion is the cap
+
+    per_method: dict[str, dict[float, float | None]] = {}
+    for method in ("exsample", "random"):
+        frames_at: dict[float, list[float | None]] = {
+            level: [] for level in config.recall_levels
+        }
+        for run in range(config.runs):
+            history = run_history(
+                repo,
+                method,
+                max_samples=budget,
+                seed=config.seed + 101 * run + (0 if method == "exsample" else 7),
+                chunk_frames=chunk_frames,
+                result_limit=max_target,
+                category=category,
+            )
+            for level, target in targets.items():
+                frames_at[level].append(history.samples_to_reach(target))
+        medians: dict[float, float | None] = {}
+        for level, values in frames_at.items():
+            reached = [v for v in values if v is not None]
+            if len(reached) * 2 < len(values):
+                medians[level] = None
+            else:
+                censored = [float(v) if v is not None else math.inf for v in values]
+                medians[level] = float(np.median(censored))
+        per_method[method] = medians
+
+    if chunk_frames is None:
+        num_chunks = repo.num_clips
+    else:
+        num_chunks = -(-repo.total_frames // chunk_frames)
+    return QueryEvaluation(
+        dataset=dataset,
+        category=category,
+        scale=config.scale,
+        ground_truth_instances=instances,
+        num_chunks=num_chunks,
+        exsample_frames=per_method["exsample"],
+        random_frames=per_method["random"],
+    )
+
+
+def evaluate_all(config: EvalConfig | None = None) -> list[QueryEvaluation]:
+    """Evaluate every (dataset, category) query of the paper's Table I."""
+    config = config if config is not None else EvalConfig()
+    wanted = set(config.datasets) if config.datasets is not None else None
+    out = []
+    for dataset, category in all_queries():
+        if wanted is not None and dataset not in wanted:
+            continue
+        out.append(evaluate_query(dataset, category, config))
+    return out

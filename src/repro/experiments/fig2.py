@@ -1,0 +1,242 @@
+"""Fig. 2 + §III-D: empirical validation of the estimator and its belief.
+
+The paper simulates 1000 instances with heavily skewed lognormal ``p_i``,
+samples frames, and compares the histogram of the true R(n+1) given the
+observed (N1, n) against the Gamma(N1 + 0.1, n + 1) belief of Eq. III.4.
+The reproduction generates the same trajectories exactly (via the
+first/second-appearance representation — see
+:func:`repro.video.synthetic.first_second_appearance`) and reports, per
+checkpoint n:
+
+* the mean true R(n+1) vs the mean point estimate N1/n (relative bias),
+  next to the Eq. III.2 bias bounds;
+* the empirical Var[N1/n] next to the Eq. III.3 bound;
+* belief calibration: the fraction of runs whose true R lands inside the
+  central 50% and 90% intervals of the Gamma belief (the quantitative
+  version of "the curve fits the histograms");
+
+plus §III-D's robustness check: with *correlated* instances (co-occurring
+groups, violating the independence assumption) the nominal 95% interval
+should cover only ~80% of the time, as the paper observed on BDD-MOT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..analysis.theory import bias_bounds, variance_bound
+from ..core.belief import DEFAULT_ALPHA0, DEFAULT_BETA0
+from ..video.synthetic import first_second_appearance, lognormal_probabilities
+from .reporting import format_table, section
+
+__all__ = ["Fig2Config", "CheckpointStats", "Fig2Result", "run_fig2", "format_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Scaled-down defaults; ``full()`` matches the paper's scale."""
+
+    num_instances: int = 1000
+    runs: int = 400
+    checkpoints: tuple[int, ...] = (100, 1000, 14000, 120000, 180000)
+    mean_p: float = 3e-3
+    sigma_log: float = 1.75
+    group_size: int = 5  # for the correlated variant
+    seed: int = 0
+
+    @staticmethod
+    def full() -> "Fig2Config":
+        return Fig2Config(runs=10000)
+
+    @staticmethod
+    def quick() -> "Fig2Config":
+        return Fig2Config(runs=120, checkpoints=(100, 1000, 14000, 60000))
+
+
+@dataclass(frozen=True)
+class CheckpointStats:
+    """Aggregates over runs at one sample count n."""
+
+    n: int
+    mean_true_r: float
+    mean_estimate: float
+    relative_bias: float
+    bias_bound_maxp: float
+    bias_bound_moment: float
+    empirical_variance: float
+    variance_bound: float
+    coverage_50: float
+    coverage_90: float
+    mean_n1: float
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    config: Fig2Config
+    p_summary: dict[str, float]
+    checkpoints: list[CheckpointStats]
+    independent_coverage_95: float
+    correlated_coverage_95: float
+
+
+def _trajectories(
+    p: np.ndarray, checkpoints: np.ndarray, runs: int, rng: np.random.Generator,
+    groups: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per (run, checkpoint): N1(n) and true R(n+1).
+
+    ``groups`` optionally maps each instance to a co-occurrence group;
+    members of a group share their appearance times (perfect positive
+    correlation), which is the §III-D dependence stress test.
+    """
+    if groups is None:
+        p_eff = p
+    else:
+        # each group co-occurs as one shared event with the group's max p;
+        # every member's *effective* per-frame probability is that shared
+        # value, and it is what both the draws and the true R must use.
+        num_groups = int(groups.max()) + 1
+        group_p = np.zeros(num_groups)
+        np.maximum.at(group_p, groups, p)
+        p_eff = group_p[groups]
+
+    n1 = np.zeros((runs, len(checkpoints)), dtype=np.float64)
+    true_r = np.zeros((runs, len(checkpoints)), dtype=np.float64)
+    for run in range(runs):
+        if groups is None:
+            t1, t2 = first_second_appearance(p_eff, rng)
+        else:
+            g1, g2 = first_second_appearance(group_p, rng)
+            t1, t2 = g1[groups], g2[groups]
+        for col, n in enumerate(checkpoints):
+            seen_once = (t1 <= n) & (t2 > n)
+            unseen = t1 > n
+            n1[run, col] = seen_once.sum()
+            true_r[run, col] = p_eff[unseen].sum()
+    return n1, true_r
+
+
+def run_fig2(config: Fig2Config | None = None) -> Fig2Result:
+    config = config if config is not None else Fig2Config()
+    rng = np.random.default_rng(config.seed)
+    p = lognormal_probabilities(
+        config.num_instances, rng, mean_p=config.mean_p, sigma_log=config.sigma_log
+    )
+    checkpoints = np.asarray(config.checkpoints, dtype=np.int64)
+
+    n1, true_r = _trajectories(p, checkpoints, config.runs, rng)
+
+    stats: list[CheckpointStats] = []
+    a0, b0 = DEFAULT_ALPHA0, DEFAULT_BETA0
+    coverage_95_hits = 0
+    coverage_95_total = 0
+    for col, n in enumerate(checkpoints):
+        estimates = n1[:, col] / n
+        alphas = n1[:, col] + a0
+        scale = 1.0 / (n + b0)
+        lo50 = _scipy_stats.gamma.ppf(0.25, a=alphas, scale=scale)
+        hi50 = _scipy_stats.gamma.ppf(0.75, a=alphas, scale=scale)
+        lo90 = _scipy_stats.gamma.ppf(0.05, a=alphas, scale=scale)
+        hi90 = _scipy_stats.gamma.ppf(0.95, a=alphas, scale=scale)
+        r = true_r[:, col]
+        cov50 = float(np.mean((r >= lo50) & (r <= hi50)))
+        cov90 = float(np.mean((r >= lo90) & (r <= hi90)))
+
+        lo95 = _scipy_stats.gamma.ppf(0.025, a=alphas, scale=scale)
+        hi95 = _scipy_stats.gamma.ppf(0.975, a=alphas, scale=scale)
+        coverage_95_hits += int(np.sum((r >= lo95) & (r <= hi95)))
+        coverage_95_total += len(r)
+
+        mean_r = float(r.mean())
+        mean_est = float(estimates.mean())
+        max_p_bound, moment_bound = bias_bounds(p, int(n))
+        stats.append(
+            CheckpointStats(
+                n=int(n),
+                mean_true_r=mean_r,
+                mean_estimate=mean_est,
+                relative_bias=(mean_est - mean_r) / mean_est if mean_est > 0 else 0.0,
+                bias_bound_maxp=max_p_bound,
+                bias_bound_moment=moment_bound,
+                empirical_variance=float(estimates.var()),
+                variance_bound=variance_bound(p, int(n)),
+                coverage_50=cov50,
+                coverage_90=cov90,
+                mean_n1=float(n1[:, col].mean()),
+            )
+        )
+
+    independent_cov95 = coverage_95_hits / max(coverage_95_total, 1)
+
+    # correlated variant: co-occurring groups break independence; the
+    # belief's nominal 95% interval over-covers less (paper saw ~80%).
+    groups = np.arange(config.num_instances) // config.group_size
+    rng_corr = np.random.default_rng(config.seed + 1)
+    n1_c, r_c = _trajectories(p, checkpoints, config.runs, rng_corr, groups=groups)
+    hits = 0
+    total = 0
+    for col, n in enumerate(checkpoints):
+        alphas = n1_c[:, col] + a0
+        scale = 1.0 / (n + b0)
+        lo = _scipy_stats.gamma.ppf(0.025, a=alphas, scale=scale)
+        hi = _scipy_stats.gamma.ppf(0.975, a=alphas, scale=scale)
+        hits += int(np.sum((r_c[:, col] >= lo) & (r_c[:, col] <= hi)))
+        total += r_c.shape[0]
+    correlated_cov95 = hits / max(total, 1)
+
+    return Fig2Result(
+        config=config,
+        p_summary={
+            "min_p": float(p.min()),
+            "max_p": float(p.max()),
+            "mean_p": float(p.mean()),
+            "std_p": float(p.std()),
+        },
+        checkpoints=stats,
+        independent_coverage_95=independent_cov95,
+        correlated_coverage_95=correlated_cov95,
+    )
+
+
+def format_fig2(result: Fig2Result) -> str:
+    lines = [section("Fig. 2 / §III-D — estimator validation")]
+    ps = result.p_summary
+    lines.append(
+        f"p_i: min={ps['min_p']:.2g} max={ps['max_p']:.2g} "
+        f"mu_p={ps['mean_p']:.2g} sigma_p={ps['std_p']:.2g} "
+        f"(paper: min~3e-6, max~0.15, mu~3e-3, sigma~8e-3)"
+    )
+    rows = []
+    for cp in result.checkpoints:
+        rows.append(
+            [
+                cp.n,
+                cp.mean_n1,
+                cp.mean_true_r,
+                cp.mean_estimate,
+                cp.relative_bias,
+                cp.bias_bound_maxp,
+                cp.empirical_variance,
+                cp.variance_bound,
+                cp.coverage_50,
+                cp.coverage_90,
+            ]
+        )
+    lines.append(
+        format_table(
+            [
+                "n", "E[N1]", "E[R(n+1)]", "E[N1/n]", "rel.bias",
+                "bias bound", "Var[N1/n]", "var bound", "cov50", "cov90",
+            ],
+            rows,
+        )
+    )
+    lines.append(
+        f"belief 95% coverage: independent={result.independent_coverage_95:.2f} "
+        f"(nominal 0.95), correlated={result.correlated_coverage_95:.2f} "
+        f"(paper observed ~0.80 on BDD-MOT)"
+    )
+    return "\n".join(lines)

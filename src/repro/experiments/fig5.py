@@ -1,0 +1,113 @@
+"""Fig. 5: per-query time savings of ExSample over random sampling.
+
+One bar per (dataset, category) query at each recall level (.1, .5, .9).
+Since neither method has an upfront cost, time savings equal frame
+savings.  The paper's summary statistics over the bars:
+
+* maximum ≈ 6x, worst case ≈ 0.75x (amsterdam/boat),
+* 90th percentile 3.7x, 10th percentile 1.2x,
+* geometric mean ≈ 1.9x across all bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.bootstrap import BootstrapInterval, geometric_mean_ci
+from ..analysis.metrics import geometric_mean
+from .evaluation import EvalConfig, QueryEvaluation, evaluate_all
+from .paper_reference import FIG5_SUMMARY
+from .reporting import format_ratio, format_table, section
+
+__all__ = ["Fig5Result", "run_fig5", "format_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    config: EvalConfig
+    evaluations: list[QueryEvaluation]
+
+    def bars(self, level: float) -> list[tuple[str, str, float]]:
+        """(dataset, category, savings) for one recall panel, descending
+        savings — the order the paper draws the bars in."""
+        out = []
+        for ev in self.evaluations:
+            ratio = ev.savings(level)
+            if ratio is not None and math.isfinite(ratio):
+                out.append((ev.dataset, ev.category, ratio))
+        out.sort(key=lambda t: -t[2])
+        return out
+
+    def summary(self) -> dict[str, float]:
+        all_ratios = [
+            bar[2]
+            for level in self.config.recall_levels
+            for bar in self.bars(level)
+        ]
+        if not all_ratios:
+            raise ValueError("no finite savings ratios measured")
+        arr = np.asarray(all_ratios)
+        return {
+            "max_savings": float(arr.max()),
+            "min_savings": float(arr.min()),
+            "p90_savings": float(np.percentile(arr, 90)),
+            "p10_savings": float(np.percentile(arr, 10)),
+            "geometric_mean": geometric_mean(all_ratios),
+            "bars": float(len(arr)),
+        }
+
+    def headline_ci(
+        self, confidence: float = 0.95, replicates: int = 2000
+    ) -> BootstrapInterval:
+        """Bootstrap interval for the cross-query geometric mean — how
+        stable the headline 1.9x is under resampling of the query set."""
+        all_ratios = [
+            bar[2]
+            for level in self.config.recall_levels
+            for bar in self.bars(level)
+        ]
+        return geometric_mean_ci(
+            all_ratios,
+            confidence=confidence,
+            replicates=replicates,
+            rng=np.random.default_rng(self.config.seed),
+        )
+
+
+def run_fig5(config: EvalConfig | None = None) -> Fig5Result:
+    config = config if config is not None else EvalConfig()
+    return Fig5Result(config=config, evaluations=evaluate_all(config))
+
+
+def format_fig5(result: Fig5Result) -> str:
+    lines = [section("Fig. 5 — savings ratio ExSample vs random, per query")]
+    for level in result.config.recall_levels:
+        bars = result.bars(level)
+        lines.append(f"\nrecall {level}: (best and worst five)")
+        show = bars[:5] + ([("...", "...", float("nan"))] if len(bars) > 10 else []) + bars[-5:]
+        rows = [
+            [ds, cat, format_ratio(r) if math.isfinite(r) else "..."]
+            for ds, cat, r in show
+        ]
+        lines.append(format_table(["dataset", "category", "savings"], rows))
+    s = result.summary()
+    lines.append("\nsummary over all bars (paper values in parentheses):")
+    lines.append(
+        f"  geometric mean {s['geometric_mean']:.2f}x ({FIG5_SUMMARY['geometric_mean']}x)  "
+        f"max {s['max_savings']:.1f}x ({FIG5_SUMMARY['max_savings']}x)  "
+        f"min {s['min_savings']:.2f}x ({FIG5_SUMMARY['min_savings']}x)"
+    )
+    lines.append(
+        f"  p90 {s['p90_savings']:.1f}x ({FIG5_SUMMARY['p90_savings']}x)  "
+        f"p10 {s['p10_savings']:.1f}x ({FIG5_SUMMARY['p10_savings']}x)  "
+        f"bars {int(s['bars'])}"
+    )
+    ci = result.headline_ci()
+    lines.append(
+        f"  geometric mean 95% bootstrap CI: [{ci.lo:.2f}x, {ci.hi:.2f}x] "
+        f"over {ci.replicates} resamples of the query set"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Shared experiment machinery: workload construction and repeated runs.
+
+The §IV simulations and the §V dataset sweeps all reduce to the same
+operations — build a repository, run one sampling method for a frame
+budget, collect the results curve, repeat across seeds.  Centralizing
+this keeps the per-figure modules declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..baselines.random_plus import RandomPlusSampler
+from ..baselines.sequential import SequentialScanSampler
+from ..baselines.uniform import UniformRandomSampler
+from ..core.adaptive import AdaptiveExSample
+from ..core.chunking import even_count_chunks, make_chunks
+from ..core.policies import ChunkPolicy, ThompsonSampling, UniformPolicy
+from ..core.sampler import ExSample, SamplingHistory
+from ..detection.detector import OracleDetector
+from ..tracking.discriminator import OracleDiscriminator
+from ..video.repository import VideoRepository, single_clip_repository
+from ..video.synthetic import place_instances
+
+__all__ = ["make_simulation_repository", "run_history", "repeat_histories"]
+
+
+def make_simulation_repository(
+    total_frames: int,
+    num_instances: int,
+    mean_duration: float,
+    skew_fraction: float | None,
+    seed: int,
+    category: str = "object",
+) -> VideoRepository:
+    """A §IV-B style workload: N instances placed into a frame range with
+    the given skew and lognormal durations, as an interval-only repo."""
+    rng = np.random.default_rng(seed)
+    instances = place_instances(
+        num_instances,
+        total_frames,
+        rng,
+        mean_duration=mean_duration,
+        skew_fraction=skew_fraction,
+        category=category,
+        with_boxes=False,
+    )
+    return single_clip_repository(total_frames, instances, name="simulation")
+
+
+def run_history(
+    repository: VideoRepository,
+    method: str,
+    max_samples: int,
+    seed: int,
+    num_chunks: int | None = None,
+    chunk_frames: int | None = None,
+    result_limit: int | None = None,
+    policy: ChunkPolicy | None = None,
+    batch_size: int = 1,
+    use_random_plus: bool = True,
+    category: str | None = None,
+    static_weights: np.ndarray | None = None,
+    cross_chunk_adjustment: bool = False,
+    initial_chunks: int = 8,
+    split_after: int = 32,
+    min_chunk_frames: int = 256,
+) -> SamplingHistory:
+    """One run of one method; returns its results curve.
+
+    ``method`` is one of ``exsample``, ``random``, ``random_plus``,
+    ``sequential``, ``static`` (fixed chunk weights, for sanity-checking
+    the Eq. IV.1 allocation inside the same pipeline) or ``adaptive``
+    (the §VII self-refining chunking of
+    :class:`~repro.core.adaptive.AdaptiveExSample`).  Simulation runs
+    use the oracle detector/discriminator: §IV studies the sampling
+    question in isolation, exactly as the paper's simulations do.
+    """
+    rng = np.random.default_rng(seed)
+    detector = OracleDetector(repository, category=category)
+    discriminator = OracleDiscriminator()
+
+    if method in ("exsample", "static"):
+        if num_chunks is not None:
+            chunks = even_count_chunks(
+                repository.total_frames, num_chunks, rng, use_random_plus
+            )
+        else:
+            chunks = make_chunks(
+                repository, rng, chunk_frames=chunk_frames,
+                use_random_plus=use_random_plus,
+            )
+        if method == "static":
+            if static_weights is None:
+                raise ValueError("static method requires static_weights")
+            chosen: ChunkPolicy = UniformPolicy(tuple(float(w) for w in static_weights))
+        else:
+            chosen = policy if policy is not None else ThompsonSampling()
+        sampler = ExSample(
+            chunks, detector, discriminator,
+            policy=chosen, rng=rng, batch_size=batch_size,
+            cross_chunk_adjustment=cross_chunk_adjustment,
+        )
+    elif method == "adaptive":
+        sampler = AdaptiveExSample(
+            repository.total_frames, detector, discriminator,
+            initial_chunks=initial_chunks, split_after=split_after,
+            min_chunk_frames=min_chunk_frames, rng=rng,
+        )
+    elif method == "random":
+        sampler = UniformRandomSampler(
+            repository, detector, discriminator, rng, charge_decode=False
+        )
+    elif method == "random_plus":
+        sampler = RandomPlusSampler(
+            repository, detector, discriminator, rng, charge_decode=False
+        )
+    elif method == "sequential":
+        sampler = SequentialScanSampler(
+            repository, detector, discriminator, charge_decode=False
+        )
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    return sampler.run(result_limit=result_limit, max_samples=max_samples)
+
+
+def repeat_histories(
+    repository: VideoRepository,
+    method: str,
+    runs: int,
+    max_samples: int,
+    base_seed: int = 0,
+    **kwargs,
+) -> list[SamplingHistory]:
+    """Repeat :func:`run_history` across seeds (the 21-run medians of
+    Fig. 3 use this); the dataset stays fixed, the sampling varies."""
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    return [
+        run_history(
+            repository, method, max_samples=max_samples,
+            seed=base_seed + 1000 * k, **kwargs,
+        )
+        for k in range(runs)
+    ]

@@ -1,0 +1,22 @@
+"""SORT-like tracking substrate: IoU matching, track store, discriminators."""
+
+from .discriminator import (
+    Discriminator,
+    MatchOutcome,
+    OracleDiscriminator,
+    TrackingDiscriminator,
+)
+from .matching import MatchResult, greedy_match
+from .tracker import GroundTruthTrackExtender, Track, TrackStore
+
+__all__ = [
+    "Discriminator",
+    "MatchOutcome",
+    "OracleDiscriminator",
+    "TrackingDiscriminator",
+    "MatchResult",
+    "greedy_match",
+    "GroundTruthTrackExtender",
+    "Track",
+    "TrackStore",
+]

@@ -1,0 +1,228 @@
+"""Discriminators: deciding which detections are *new* distinct objects.
+
+Algorithm 1 consumes two detection subsets per processed frame:
+
+* ``d0`` — detections that matched **no** previous result (new objects);
+* ``d1`` — detections whose matched result had been seen **exactly once**
+  before this frame (those results graduate out of the N1 statistic).
+
+The update ``N1 += |d0| - |d1|`` keeps N1 equal to the number of distinct
+results seen exactly once, which is what the estimator of Eq. III.1 needs.
+
+Two implementations share the interface:
+
+* :class:`TrackingDiscriminator` — the paper's: IoU matching against
+  stored tracks, with the backward/forward track extension simulated from
+  ground truth (see :mod:`repro.tracking.tracker`).
+* :class:`OracleDiscriminator` — matches by true instance id; used to
+  isolate sampling behaviour from tracking behaviour and to run the
+  large-scale interval-only simulations of §IV cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..detection.detector import Detection
+from ..video.geometry import iou_matrix
+from ..video.instances import InstanceSet
+from .matching import greedy_match
+from .tracker import GroundTruthTrackExtender, Track, TrackStore
+
+__all__ = [
+    "Discriminator",
+    "MatchOutcome",
+    "TrackingDiscriminator",
+    "OracleDiscriminator",
+]
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """The (d0, d1) split for one processed frame, plus bookkeeping."""
+
+    new_detections: tuple[Detection, ...]  # d0
+    second_sightings: tuple[Detection, ...]  # d1
+
+    @property
+    def d0(self) -> int:
+        return len(self.new_detections)
+
+    @property
+    def d1(self) -> int:
+        return len(self.second_sightings)
+
+
+class Discriminator(Protocol):
+    """The discriminator interface of Algorithm 1."""
+
+    def get_matches(
+        self, frame_index: int, detections: Sequence[Detection]
+    ) -> MatchOutcome:  # pragma: no cover - protocol
+        ...
+
+    def add(self, frame_index: int, detections: Sequence[Detection]) -> None:  # pragma: no cover
+        ...
+
+    def observe(
+        self, frame_index: int, detections: Sequence[Detection]
+    ) -> MatchOutcome:  # pragma: no cover - protocol
+        ...
+
+    def result_count(self) -> int:  # pragma: no cover - protocol
+        ...
+
+
+class TrackingDiscriminator:
+    """IoU-tracking discriminator (the paper's §II-B fixed discriminator).
+
+    ``get_matches`` computes the association without mutating state and
+    caches it; the following ``add`` for the same frame applies it.  The
+    one-shot ``observe`` does both, which is what the samplers use.
+    """
+
+    def __init__(
+        self,
+        instances: InstanceSet,
+        iou_threshold: float = 0.5,
+        track_coverage: float = 1.0,
+        bucket_frames: int = 4096,
+    ):
+        if not 0.0 < iou_threshold <= 1.0:
+            raise ValueError("iou_threshold must lie in (0, 1]")
+        self._store = TrackStore(bucket_frames=bucket_frames)
+        self._extender = GroundTruthTrackExtender(instances, coverage=track_coverage)
+        self._iou_threshold = iou_threshold
+        self._pending: dict[int, tuple[tuple[Detection, ...], dict[int, Track]]] = {}
+
+    # ------------------------------------------------------------- matching
+
+    def get_matches(
+        self, frame_index: int, detections: Sequence[Detection]
+    ) -> MatchOutcome:
+        dets = tuple(detections)
+        candidates = self._store.covering(frame_index)
+        if not dets or not candidates:
+            assignment: dict[int, Track] = {}
+        else:
+            det_boxes = [d.box for d in dets]
+            track_boxes = [t.box_at(frame_index) for t in candidates]
+            result = greedy_match(
+                iou_matrix(det_boxes, track_boxes), threshold=self._iou_threshold
+            )
+            assignment = {
+                det_idx: candidates[track_idx]
+                for det_idx, track_idx in result.pairs.items()
+            }
+        self._pending[frame_index] = (dets, assignment)
+
+        d0 = tuple(d for i, d in enumerate(dets) if i not in assignment)
+        d1 = tuple(
+            d
+            for i, d in enumerate(dets)
+            if i in assignment and assignment[i].times_seen == 1
+        )
+        return MatchOutcome(new_detections=d0, second_sightings=d1)
+
+    def add(self, frame_index: int, detections: Sequence[Detection]) -> None:
+        dets = tuple(detections)
+        cached = self._pending.pop(frame_index, None)
+        if cached is None or cached[0] != dets:
+            self.get_matches(frame_index, dets)
+            cached = self._pending.pop(frame_index)
+        _, assignment = cached
+        for i, det in enumerate(dets):
+            track = assignment.get(i)
+            if track is not None:
+                track.times_seen += 1
+            else:
+                trajectory = self._extender.extend(det)
+                self._store.new_track(
+                    category=det.category,
+                    trajectory=trajectory,
+                    first_detection=det,
+                    true_instance_id=det.true_instance_id,
+                )
+
+    def observe(
+        self, frame_index: int, detections: Sequence[Detection]
+    ) -> MatchOutcome:
+        outcome = self.get_matches(frame_index, detections)
+        self.add(frame_index, detections)
+        return outcome
+
+    # ------------------------------------------------------------- results
+
+    def result_count(self) -> int:
+        return len(self._store)
+
+    @property
+    def results(self) -> list[Track]:
+        return self._store.tracks
+
+    def distinct_true_instances(self) -> set[int]:
+        """True instance ids among results — evaluation-only provenance."""
+        return {
+            t.true_instance_id
+            for t in self._store.tracks
+            if t.true_instance_id is not None
+        }
+
+
+class OracleDiscriminator:
+    """Perfect discriminator keyed on true instance ids.
+
+    Every false positive is a brand-new singleton result, matching how a
+    tracking discriminator treats a box nothing else ever overlaps.
+    """
+
+    def __init__(self) -> None:
+        self._seen_counts: dict[int, int] = {}
+        self._result_count = 0
+        self._false_positives = 0
+
+    def get_matches(
+        self, frame_index: int, detections: Sequence[Detection]
+    ) -> MatchOutcome:
+        d0 = []
+        d1 = []
+        seen_this_frame: set[int] = set()
+        for det in detections:
+            inst = det.true_instance_id
+            if inst is None:
+                d0.append(det)
+            elif inst not in self._seen_counts and inst not in seen_this_frame:
+                d0.append(det)
+                seen_this_frame.add(inst)
+            elif self._seen_counts.get(inst) == 1:
+                d1.append(det)
+        return MatchOutcome(tuple(d0), tuple(d1))
+
+    def add(self, frame_index: int, detections: Sequence[Detection]) -> None:
+        for det in detections:
+            inst = det.true_instance_id
+            if inst is None:
+                self._false_positives += 1
+                self._result_count += 1
+            else:
+                if inst not in self._seen_counts:
+                    self._result_count += 1
+                self._seen_counts[inst] = self._seen_counts.get(inst, 0) + 1
+
+    def observe(
+        self, frame_index: int, detections: Sequence[Detection]
+    ) -> MatchOutcome:
+        outcome = self.get_matches(frame_index, detections)
+        self.add(frame_index, detections)
+        return outcome
+
+    def result_count(self) -> int:
+        return self._result_count
+
+    def distinct_true_instances(self) -> set[int]:
+        return set(self._seen_counts)
+
+    @property
+    def false_positive_results(self) -> int:
+        return self._false_positives

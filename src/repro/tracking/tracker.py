@@ -1,0 +1,156 @@
+"""Track construction and storage for the distinct-object discriminator.
+
+When the paper's system finds a *new* detection, it runs a SORT-like
+tracker "backwards and forwards through video" to recover the object's
+position in every frame where it was visible (§II-B); future detections
+that land on those positions are recognized as duplicates.
+
+Here the forward/backward pass is simulated against ground truth: the
+detection is resolved to its true instance and the constructed track is
+that instance's trajectory, optionally *shrunk* around the detection frame
+by a coverage factor to model tracker failure (real trackers lose objects
+before their true extent ends).  False-positive detections produce
+single-frame tracks, exactly as a tracker with nothing to follow would.
+
+:class:`TrackStore` holds the accumulated tracks and answers the only
+query the discriminator needs — "which tracks cover frame f?" — in O(1)
+expected via coarse time bucketing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..detection.detector import Detection
+from ..video.geometry import Box, Trajectory
+from ..video.instances import InstanceSet
+
+__all__ = ["Track", "TrackStore", "GroundTruthTrackExtender"]
+
+
+@dataclass
+class Track:
+    """One distinct query result and its recovered spatio-temporal extent."""
+
+    track_id: int
+    category: str
+    trajectory: Trajectory
+    first_detection: Detection
+    times_seen: int = 1
+    true_instance_id: int | None = None  # provenance, for evaluation only
+
+    @property
+    def start_frame(self) -> int:
+        return self.trajectory.start_frame
+
+    @property
+    def end_frame(self) -> int:
+        return self.trajectory.end_frame
+
+    def covers(self, frame: int) -> bool:
+        return self.trajectory.covers(frame)
+
+    def box_at(self, frame: int) -> Box:
+        return self.trajectory.box_at(frame)
+
+
+class TrackStore:
+    """Time-bucketed index of tracks for fast frame-coverage queries.
+
+    A track spanning ``[s, e)`` registers in every bucket of width
+    ``bucket_frames`` that its span touches; a frame query inspects only
+    its own bucket.  With the default width, even million-frame datasets
+    keep per-query candidate lists tiny.
+    """
+
+    def __init__(self, bucket_frames: int = 4096):
+        if bucket_frames <= 0:
+            raise ValueError("bucket_frames must be positive")
+        self._bucket_frames = bucket_frames
+        self._buckets: dict[int, list[Track]] = {}
+        self._tracks: list[Track] = []
+        self._next_id = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._tracks)
+
+    @property
+    def tracks(self) -> list[Track]:
+        return list(self._tracks)
+
+    def new_track(
+        self,
+        category: str,
+        trajectory: Trajectory,
+        first_detection: Detection,
+        true_instance_id: int | None = None,
+    ) -> Track:
+        track = Track(
+            track_id=next(self._next_id),
+            category=category,
+            trajectory=trajectory,
+            first_detection=first_detection,
+            true_instance_id=true_instance_id,
+        )
+        self._tracks.append(track)
+        first = trajectory.start_frame // self._bucket_frames
+        last = (trajectory.end_frame - 1) // self._bucket_frames
+        for bucket in range(first, last + 1):
+            self._buckets.setdefault(bucket, []).append(track)
+        return track
+
+    def covering(self, frame: int) -> list[Track]:
+        """All stored tracks whose trajectory covers ``frame``."""
+        bucket = self._buckets.get(frame // self._bucket_frames)
+        if not bucket:
+            return []
+        return [t for t in bucket if t.covers(frame)]
+
+    def seen_exactly_once(self) -> int:
+        """The N1 statistic over the whole store (per-chunk N1 lives in the
+        sampler; this global view is used by diagnostics and tests)."""
+        return sum(1 for t in self._tracks if t.times_seen == 1)
+
+
+class GroundTruthTrackExtender:
+    """Simulates the backward/forward SORT pass against ground truth.
+
+    ``coverage`` in (0, 1] controls how much of the true extent the
+    simulated tracker recovers: 1.0 is a perfect tracker; 0.8 loses 20% of
+    the span (split evenly before/after, but never dropping the detection
+    frame itself).  Imperfect coverage makes later re-detections of the
+    same object near its appearance edges register as *new* objects — the
+    duplicate-result failure mode real systems have.
+    """
+
+    def __init__(self, instances: InstanceSet, coverage: float = 1.0):
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must lie in (0, 1]")
+        self._instances = instances
+        self._coverage = coverage
+
+    def extend(self, detection: Detection) -> Trajectory:
+        """Build the track trajectory for a newly discovered detection."""
+        inst_id = detection.true_instance_id
+        if inst_id is None or inst_id not in self._instances:
+            # Nothing to track: a false positive yields a single-frame track.
+            return Trajectory.stationary(detection.frame_index, 1, detection.box)
+        inst = self._instances[inst_id]
+        start, end = inst.start_frame, inst.end_frame
+        frame = detection.frame_index
+        if not (start <= frame < end):
+            # Jittered frame bookkeeping should not happen, but degrade
+            # gracefully to a single-frame track rather than crash a query.
+            return Trajectory.stationary(frame, 1, detection.box)
+        if self._coverage < 1.0:
+            keep_before = int((frame - start) * self._coverage)
+            keep_after = int((end - 1 - frame) * self._coverage)
+            start = frame - keep_before
+            end = frame + keep_after + 1
+        keyframes = [(start, inst.box_at(start))]
+        if end - 1 > start:
+            keyframes.append((end - 1, inst.box_at(end - 1)))
+        if start < frame < end - 1:
+            keyframes.insert(1, (frame, inst.box_at(frame)))
+        return Trajectory(keyframes)

@@ -1,0 +1,62 @@
+"""Synthetic video repository substrate.
+
+Stands in for the paper's video corpora: frame index space, clips,
+ground-truth object instances with box trajectories, and calibrated
+profiles of the six evaluation datasets.
+"""
+
+from .geometry import Box, Trajectory, iou, iou_matrix
+from .instances import InstanceSet, ObjectInstance
+from .repository import (
+    DecodeStats,
+    Frame,
+    VideoClip,
+    VideoRepository,
+    single_clip_repository,
+)
+from .synthetic import (
+    OccupancySchedule,
+    first_second_appearance,
+    lognormal_durations,
+    lognormal_probabilities,
+    place_instances,
+    skew_fraction_to_std,
+)
+from .datasets import (
+    DATASETS,
+    CategoryProfile,
+    DatasetProfile,
+    all_queries,
+    build_dataset,
+    dataset_names,
+    get_profile,
+    scaled_chunk_frames,
+)
+
+__all__ = [
+    "Box",
+    "Trajectory",
+    "iou",
+    "iou_matrix",
+    "InstanceSet",
+    "ObjectInstance",
+    "DecodeStats",
+    "Frame",
+    "VideoClip",
+    "VideoRepository",
+    "single_clip_repository",
+    "OccupancySchedule",
+    "first_second_appearance",
+    "lognormal_durations",
+    "lognormal_probabilities",
+    "place_instances",
+    "skew_fraction_to_std",
+    "DATASETS",
+    "CategoryProfile",
+    "DatasetProfile",
+    "all_queries",
+    "build_dataset",
+    "dataset_names",
+    "get_profile",
+    "scaled_chunk_frames",
+]

@@ -1,0 +1,201 @@
+"""GOP-aware decode cost: the keyframe trade-off of §V-A.
+
+Compressed video only supports random access at *keyframes* (I-frames);
+decoding an arbitrary frame means seeking to the previous keyframe and
+decoding forward through the intervening predicted frames.  The paper
+works around this by re-encoding its corpora "to insert keyframes every
+20 frames" (via the Hwang library from Scanner), trading storage for
+random-access decode speed.
+
+This module models that trade-off so experiments can quantify it:
+
+* :class:`GopLayout` — keyframe positions for a given GOP (group of
+  pictures) size, and the decode work for any access pattern: a random
+  read of frame f costs ``1 + (f - keyframe_before(f))`` frame decodes,
+  while a sequential read after frame f-1 costs 1;
+* :class:`CodecModel` — converts decode work into seconds and bytes:
+  storage grows as keyframes densify (I-frames are ~R× larger than
+  P-frames), decode latency shrinks;
+* :func:`sweep_gop_sizes` — the engineering curve behind the paper's
+  "every 20 frames" choice: expected random-access cost and relative
+  storage vs GOP size.
+
+The repository's :class:`~repro.video.repository.DecodeStats` counts
+frames and seeks; attach a :class:`GopLayout` via
+:meth:`DecodeCostModel.charge` to turn a frame-access trace into
+GOP-aware decode work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["GopLayout", "CodecModel", "DecodeCostModel", "sweep_gop_sizes"]
+
+
+@dataclass(frozen=True)
+class GopLayout:
+    """Keyframe placement: one I-frame every ``gop_size`` frames.
+
+    Frame 0 of every clip is always a keyframe; the layout works in
+    clip-local indices (pass global indices through
+    ``frame - clip.start_frame`` when clips matter).
+    """
+
+    gop_size: int
+
+    def __post_init__(self) -> None:
+        if self.gop_size <= 0:
+            raise ValueError("gop_size must be positive")
+
+    def keyframe_before(self, frame_index: int) -> int:
+        """The nearest keyframe at or before ``frame_index``."""
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        return (frame_index // self.gop_size) * self.gop_size
+
+    def is_keyframe(self, frame_index: int) -> bool:
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        return frame_index % self.gop_size == 0
+
+    def random_access_cost(self, frame_index: int) -> int:
+        """Frame decodes for a cold random read: keyframe + P-frames up
+        to and including the target."""
+        return frame_index - self.keyframe_before(frame_index) + 1
+
+    def expected_random_cost(self) -> float:
+        """Mean decodes per uniformly random access: (gop + 1) / 2."""
+        return (self.gop_size + 1) / 2.0
+
+    def keyframes_in(self, num_frames: int) -> int:
+        """Number of I-frames a ``num_frames``-long clip carries."""
+        if num_frames < 0:
+            raise ValueError("num_frames must be non-negative")
+        if num_frames == 0:
+            return 0
+        return (num_frames - 1) // self.gop_size + 1
+
+
+@dataclass(frozen=True)
+class CodecModel:
+    """Size and speed constants for one encode configuration.
+
+    ``iframe_bytes`` / ``pframe_bytes``: average encoded sizes (the
+    ~10:1 default ratio is typical of 1080p H.264 at the paper's
+    quality); ``decode_fps``: how many frames per second the decoder
+    sustains once it is reading (the 100 fps scan rate of §V-B is
+    decode-bound, so that is the default).
+    """
+
+    iframe_bytes: int = 150_000
+    pframe_bytes: int = 15_000
+    decode_fps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.iframe_bytes <= 0 or self.pframe_bytes <= 0:
+            raise ValueError("frame sizes must be positive")
+        if self.decode_fps <= 0:
+            raise ValueError("decode_fps must be positive")
+
+    def storage_bytes(self, num_frames: int, layout: GopLayout) -> int:
+        """Encoded size of a clip under ``layout``."""
+        if num_frames < 0:
+            raise ValueError("num_frames must be non-negative")
+        keyframes = layout.keyframes_in(num_frames)
+        return keyframes * self.iframe_bytes + (num_frames - keyframes) * self.pframe_bytes
+
+    def storage_overhead(self, layout: GopLayout, baseline_gop: int = 600) -> float:
+        """Relative storage vs a sparse-keyframe encode (default: one
+        I-frame per 600 frames ≈ 20 s at 30 fps, a typical camera GOP)."""
+        frames = 60_000  # large enough that edge effects vanish
+        dense = self.storage_bytes(frames, layout)
+        sparse = self.storage_bytes(frames, GopLayout(baseline_gop))
+        return dense / sparse
+
+    def decode_seconds(self, frame_decodes: int) -> float:
+        """Wall-clock seconds for ``frame_decodes`` frames of decode work."""
+        if frame_decodes < 0:
+            raise ValueError("frame_decodes must be non-negative")
+        return frame_decodes / self.decode_fps
+
+
+class DecodeCostModel:
+    """Charges a frame-access trace with GOP-aware decode work.
+
+    Sequential reads ride the decoder state (cost 1); any other access
+    restarts from the previous keyframe.  This refines the flat
+    per-frame charge of :class:`~repro.video.repository.DecodeStats`
+    and quantifies why random sampling is I/O-heavier per frame than a
+    sequential scan — and why the paper re-encodes to GOP 20.
+    """
+
+    def __init__(self, layout: GopLayout, codec: CodecModel | None = None):
+        self._layout = layout
+        self._codec = codec if codec is not None else CodecModel()
+        self._last_frame: int | None = None
+        self.frame_decodes = 0
+        self.accesses = 0
+
+    @property
+    def layout(self) -> GopLayout:
+        return self._layout
+
+    def charge(self, frame_index: int) -> int:
+        """Record one read; returns the decode work it cost."""
+        if frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        if self._last_frame is not None and frame_index == self._last_frame + 1:
+            cost = 1  # decoder state carries over
+        else:
+            cost = self._layout.random_access_cost(frame_index)
+        self._last_frame = frame_index
+        self.frame_decodes += cost
+        self.accesses += 1
+        return cost
+
+    def charge_trace(self, frames: Iterable[int]) -> int:
+        """Charge a whole access trace; returns total decode work."""
+        return sum(self.charge(f) for f in frames)
+
+    @property
+    def mean_cost(self) -> float:
+        """Average decode work per access so far."""
+        if self.accesses == 0:
+            return 0.0
+        return self.frame_decodes / self.accesses
+
+    def seconds(self) -> float:
+        return self._codec.decode_seconds(self.frame_decodes)
+
+    def reset(self) -> None:
+        self._last_frame = None
+        self.frame_decodes = 0
+        self.accesses = 0
+
+
+def sweep_gop_sizes(
+    gop_sizes: Sequence[int] = (1, 5, 10, 20, 60, 300, 600),
+    codec: CodecModel | None = None,
+) -> list[dict]:
+    """The re-encoding trade-off curve behind the paper's GOP-20 choice.
+
+    Returns one row per GOP size with the expected random-access decode
+    cost (frames), the modelled per-read latency, and the storage
+    relative to a sparse GOP-600 encode.
+    """
+    codec = codec if codec is not None else CodecModel()
+    rows = []
+    for gop in gop_sizes:
+        layout = GopLayout(gop)
+        expected = layout.expected_random_cost()
+        rows.append(
+            {
+                "gop_size": gop,
+                "expected_decodes_per_read": expected,
+                "read_latency_seconds": codec.decode_seconds(int(round(expected))),
+                "storage_overhead": codec.storage_overhead(layout),
+            }
+        )
+    return rows

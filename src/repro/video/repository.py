@@ -1,0 +1,205 @@
+"""The video repository substrate.
+
+The paper's system reads frames by random access from re-encoded video
+files (keyframes every 20 frames, via the Hwang/Scanner library).  Here a
+:class:`VideoRepository` models the same interface over synthetic data: a
+global frame-index space split into clips, a ground-truth
+:class:`~repro.video.instances.InstanceSet`, and decode-cost accounting.
+Pixels are never materialized — the simulated detector consults ground
+truth directly — but every read is *charged* so experiments can report
+realistic time costs (§V-B's 20 fps detect / 100 fps scan split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .instances import InstanceSet, ObjectInstance
+
+__all__ = [
+    "VideoClip",
+    "Frame",
+    "DecodeStats",
+    "VideoRepository",
+    "single_clip_repository",
+]
+
+
+@dataclass(frozen=True)
+class VideoClip:
+    """A contiguous recording (one dashcam drive, one BDD clip, ...)."""
+
+    clip_id: int
+    name: str
+    start_frame: int  # inclusive, in repository-global frame index space
+    num_frames: int
+    fps: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.num_frames <= 0:
+            raise ValueError("clip must contain at least one frame")
+        if self.start_frame < 0:
+            raise ValueError("start_frame must be non-negative")
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    @property
+    def end_frame(self) -> int:
+        return self.start_frame + self.num_frames
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.num_frames / self.fps
+
+    def contains(self, frame: int) -> bool:
+        return self.start_frame <= frame < self.end_frame
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded frame handle: global index plus the clip it came from.
+
+    Real systems would attach pixel data here; the simulation attaches
+    nothing, because the detector resolves content from ground truth.
+    """
+
+    index: int
+    clip: VideoClip
+
+    @property
+    def clip_local_index(self) -> int:
+        return self.index - self.clip.start_frame
+
+
+@dataclass
+class DecodeStats:
+    """Counters for decode work, the paper's secondary cost (§III-E)."""
+
+    frames_decoded: int = 0
+    random_seeks: int = 0
+    _last_frame: int | None = field(default=None, repr=False)
+
+    def record(self, frame_index: int) -> None:
+        self.frames_decoded += 1
+        if self._last_frame is None or frame_index != self._last_frame + 1:
+            self.random_seeks += 1
+        self._last_frame = frame_index
+
+    def reset(self) -> None:
+        self.frames_decoded = 0
+        self.random_seeks = 0
+        self._last_frame = None
+
+
+class VideoRepository:
+    """A searchable collection of clips with ground-truth instances.
+
+    This is the object queries run against.  It exposes:
+
+    * the global frame-index space (``total_frames``, ``read``),
+    * clip structure (used by chunking policies that align chunks to files,
+      as the paper does for BDD where each sub-minute clip is one chunk),
+    * the ground-truth :class:`InstanceSet` (consumed *only* by the
+      simulated detector and by evaluation metrics — the sampling algorithms
+      never touch it).
+    """
+
+    def __init__(
+        self,
+        clips: Sequence[VideoClip],
+        instances: InstanceSet | Iterable[ObjectInstance],
+        name: str = "synthetic",
+    ):
+        if not clips:
+            raise ValueError("repository needs at least one clip")
+        ordered = sorted(clips, key=lambda c: c.start_frame)
+        expected = 0
+        for clip in ordered:
+            if clip.start_frame != expected:
+                raise ValueError(
+                    f"clip {clip.name!r} starts at {clip.start_frame}, expected {expected}: "
+                    "clips must tile the frame space contiguously"
+                )
+            expected = clip.end_frame
+        self._clips = list(ordered)
+        self._clip_starts = np.array([c.start_frame for c in self._clips], dtype=np.int64)
+        self._total_frames = expected
+        self._instances = (
+            instances if isinstance(instances, InstanceSet) else InstanceSet(instances)
+        )
+        for inst in self._instances:
+            if inst.end_frame > self._total_frames:
+                raise ValueError(
+                    f"instance {inst.instance_id} extends past the last frame "
+                    f"({inst.end_frame} > {self._total_frames})"
+                )
+        self.name = name
+        self.decode_stats = DecodeStats()
+
+    # ---------------------------------------------------------------- frames
+
+    @property
+    def total_frames(self) -> int:
+        return self._total_frames
+
+    def read(self, frame_index: int) -> Frame:
+        """Decode one frame by global index, charging decode cost."""
+        clip = self.clip_for_frame(frame_index)
+        self.decode_stats.record(frame_index)
+        return Frame(index=frame_index, clip=clip)
+
+    # ----------------------------------------------------------------- clips
+
+    @property
+    def clips(self) -> list[VideoClip]:
+        return list(self._clips)
+
+    @property
+    def num_clips(self) -> int:
+        return len(self._clips)
+
+    def clip_for_frame(self, frame_index: int) -> VideoClip:
+        if not 0 <= frame_index < self._total_frames:
+            raise IndexError(
+                f"frame {frame_index} out of range [0, {self._total_frames})"
+            )
+        pos = int(np.searchsorted(self._clip_starts, frame_index, side="right")) - 1
+        return self._clips[pos]
+
+    # ----------------------------------------------------------- ground truth
+
+    @property
+    def instances(self) -> InstanceSet:
+        """Ground truth; used by the detector simulation and metrics only."""
+        return self._instances
+
+    def instances_of(self, category: str) -> InstanceSet:
+        return self._instances.of_category(category)
+
+    def categories(self) -> list[str]:
+        return self._instances.categories
+
+    # ------------------------------------------------------------- utilities
+
+    def duration_seconds(self) -> float:
+        return sum(c.duration_seconds for c in self._clips)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VideoRepository(name={self.name!r}, clips={self.num_clips}, "
+            f"frames={self._total_frames}, instances={len(self._instances)})"
+        )
+
+
+def single_clip_repository(
+    total_frames: int,
+    instances: Iterable[ObjectInstance],
+    name: str = "synthetic",
+    fps: float = 30.0,
+) -> VideoRepository:
+    """Convenience constructor: one clip spanning the whole frame space."""
+    clip = VideoClip(clip_id=0, name=f"{name}-0", start_frame=0, num_frames=total_frames, fps=fps)
+    return VideoRepository([clip], instances, name=name)

@@ -1,0 +1,180 @@
+"""Tests for the ablation experiment machinery (quick-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    AblationResult,
+    AblationSeries,
+    FlakyDetector,
+    format_ablation,
+    run_adaptive_ablation,
+    run_batch_ablation,
+    run_crosschunk_ablation,
+    run_noise_ablation,
+    run_policy_ablation,
+    run_prior_ablation,
+    run_random_plus_ablation,
+    run_scoring_ablation,
+)
+
+QUICK = AblationConfig(
+    total_frames=30_000, num_instances=60, runs=2, max_samples=600, num_chunks=16
+)
+
+
+def check_shape(result, expected_labels):
+    assert isinstance(result, AblationResult)
+    assert [s.label for s in result.series] == list(expected_labels)
+    for series in result.series:
+        assert len(series.band.median) == len(result.grid)
+        # trajectories are monotone non-decreasing results curves
+        assert np.all(np.diff(series.band.median) >= 0)
+        assert series.band.final_median() <= QUICK.num_instances
+    report = format_ablation(result)
+    for label in expected_labels:
+        assert label in report
+
+
+def test_policy_ablation_arms():
+    result = run_policy_ablation(QUICK)
+    check_shape(
+        result,
+        ["thompson", "bayes_ucb", "greedy", "eps_greedy", "uniform", "random"],
+    )
+
+
+def test_random_plus_ablation_arms():
+    result = run_random_plus_ablation(QUICK)
+    check_shape(
+        result, ["exsample+random+", "exsample+uniform", "random+", "random"]
+    )
+
+
+def test_batch_ablation_arms():
+    result = run_batch_ablation(QUICK, batch_sizes=(1, 4))
+    check_shape(result, ["B=1", "B=4", "random"])
+
+
+def test_prior_ablation_arms():
+    result = run_prior_ablation(QUICK, priors=((0.1, 1.0), (1.0, 1.0)))
+    check_shape(result, ["a0=0.1,b0=1", "a0=1,b0=1"])
+
+
+def test_adaptive_ablation_arms():
+    result = run_adaptive_ablation(QUICK)
+    check_shape(
+        result, ["adaptive", "fixed M=8", "fixed M=16", "fixed M=1024", "random"]
+    )
+
+
+def test_crosschunk_ablation_arms():
+    result = run_crosschunk_ablation(QUICK)
+    check_shape(result, ["algorithm-1", "cross-chunk", "random"])
+
+
+def test_scoring_ablation_arms():
+    result = run_scoring_ablation(QUICK)
+    check_shape(result, ["random+", "proximity", "oracle-score"])
+
+
+def test_noise_ablation_arms():
+    result = run_noise_ablation(QUICK, miss_rates=(0.0, 0.5))
+    check_shape(
+        result,
+        [
+            "exsample@miss=0",
+            "random@miss=0",
+            "exsample@miss=0.5",
+            "random@miss=0.5",
+        ],
+    )
+
+
+def test_flaky_detector_deterministic_and_bounded():
+    from repro.detection.detector import OracleDetector
+    from repro.experiments.runner import make_simulation_repository
+
+    repo = make_simulation_repository(5000, 40, 200.0, None, seed=1)
+    flaky = FlakyDetector(OracleDetector(repo), miss_rate=0.5, seed=1)
+    clean = OracleDetector(repo)
+    dropped = kept = 0
+    for frame in range(0, 5000, 50):
+        a = flaky.detect(frame)
+        b = flaky.detect(frame)
+        full = clean.detect(frame)
+        assert [d.true_instance_id for d in a] == [d.true_instance_id for d in b]
+        assert len(a) <= len(full)
+        kept += len(a)
+        dropped += len(full) - len(a)
+    assert dropped > 0 and kept > 0
+
+
+def test_flaky_detector_validation():
+    from repro.detection.detector import OracleDetector
+    from repro.experiments.runner import make_simulation_repository
+
+    repo = make_simulation_repository(100, 2, 10.0, None, seed=0)
+    with pytest.raises(ValueError):
+        FlakyDetector(OracleDetector(repo), miss_rate=1.0)
+
+
+def test_series_samples_to():
+    grid = np.array([1, 10, 100], dtype=np.int64)
+    from repro.analysis.metrics import TrajectoryBand
+
+    band = TrajectoryBand(
+        grid=grid,
+        median=np.array([0.0, 5.0, 9.0]),
+        lo=np.zeros(3),
+        hi=np.ones(3) * 10,
+    )
+    series = AblationSeries("x", band)
+    assert series.samples_to(5.0) == 10
+    assert series.samples_to(9.0) == 100
+    assert series.samples_to(50.0) is None
+
+
+def test_result_accessors():
+    result = run_batch_ablation(QUICK, batch_sizes=(1,))
+    finals = result.final_medians()
+    assert set(finals) == {"B=1", "random"}
+    assert result.by_label()["B=1"].label == "B=1"
+
+
+def test_config_presets():
+    quick = AblationConfig.quick()
+    full = AblationConfig.full()
+    assert quick.total_frames < AblationConfig().total_frames < full.total_frames
+    assert full.runs == 21
+
+
+def test_stride_ablation_shape_and_claims():
+    from repro.experiments.ablations import (
+        StrideOutcome,
+        format_stride_ablation,
+        run_stride_ablation,
+    )
+
+    config = AblationConfig(total_frames=20_000, num_instances=50)
+    outcomes = run_stride_ablation(config, strides=(1, 500), durations=(50.0,))
+    assert len(outcomes) == 2
+    by_stride = {o.stride: o for o in outcomes}
+    # a stride-1 pass visits everything: full recall, heavy redundancy
+    assert by_stride[1].frames_processed == 20_000
+    assert by_stride[1].recall_after_full_pass == 1.0
+    # a stride far above the duration misses objects
+    assert by_stride[500].misses_objects
+    report = format_stride_ablation(outcomes)
+    assert "stride" in report and "recall ceiling" in report
+
+
+def test_stride_outcome_serializes():
+    from repro.experiments.ablations import run_stride_ablation
+    from repro.experiments.persistence import to_jsonable
+
+    config = AblationConfig(total_frames=5_000, num_instances=20)
+    outcomes = run_stride_ablation(config, strides=(100,), durations=(50.0,))
+    data = to_jsonable(outcomes)
+    assert data[0]["stride"] == 100

@@ -1,0 +1,243 @@
+"""Tests for the §VII automated-chunking sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import AdaptiveChunk, AdaptiveExSample
+from repro.detection.detector import OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+
+def make_repo(total_frames=4000, num_instances=30, skew=None, seed=0):
+    rng = np.random.default_rng(seed)
+    instances = place_instances(
+        num_instances, total_frames, rng, mean_duration=60,
+        skew_fraction=skew, with_boxes=False,
+    )
+    return single_clip_repository(total_frames, instances)
+
+
+def make_sampler(repo, seed=0, **kwargs):
+    kwargs.setdefault("initial_chunks", 4)
+    kwargs.setdefault("split_after", 8)
+    kwargs.setdefault("min_chunk_frames", 50)
+    return AdaptiveExSample(
+        repo.total_frames,
+        OracleDetector(repo),
+        OracleDiscriminator(),
+        rng=np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------- AdaptiveChunk
+
+
+def test_chunk_rejects_empty_span():
+    with pytest.raises(ValueError):
+        AdaptiveChunk(10, 10)
+
+
+def test_chunk_draw_is_without_replacement():
+    chunk = AdaptiveChunk(0, 40)
+    rng = np.random.default_rng(0)
+    drawn = [chunk.draw(rng) for _ in range(40)]
+    assert sorted(drawn) == list(range(40))
+    assert chunk.exhausted
+    with pytest.raises(RuntimeError):
+        chunk.draw(rng)
+
+
+def test_chunk_split_partitions_samples_by_position():
+    chunk = AdaptiveChunk(0, 100)
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        chunk.draw(rng)
+    left, right = chunk.split()
+    assert left.end == right.start == 50
+    assert left.sampled | right.sampled == chunk.sampled
+    assert all(f < 50 for f in left.sampled)
+    assert all(f >= 50 for f in right.sampled)
+    assert left.n + right.n == chunk.n
+
+
+def test_chunk_split_partitions_singletons_exactly():
+    chunk = AdaptiveChunk(0, 100)
+    chunk.singletons = {7: 10, 8: 60, 9: 49, 10: 50}
+    left, right = chunk.split()
+    assert set(left.singletons) == {7, 9}
+    assert set(right.singletons) == {8, 10}
+    assert left.n1 + right.n1 == pytest.approx(chunk.n1)
+
+
+def test_chunk_split_conserves_anonymous_n1():
+    chunk = AdaptiveChunk(0, 100)
+    rng = np.random.default_rng(2)
+    for _ in range(10):
+        chunk.draw(rng)
+    chunk.anonymous_n1 = 3.0
+    left, right = chunk.split()
+    assert left.anonymous_n1 + right.anonymous_n1 == pytest.approx(3.0)
+    assert left.anonymous_n1 >= 0 and right.anonymous_n1 >= 0
+
+
+def test_chunk_split_single_frame_raises():
+    with pytest.raises(ValueError):
+        AdaptiveChunk(3, 4).split()
+
+
+# --------------------------------------------------------- AdaptiveExSample
+
+
+def test_constructor_validation():
+    repo = make_repo()
+    det = OracleDetector(repo)
+    disc = OracleDiscriminator()
+    with pytest.raises(ValueError):
+        AdaptiveExSample(0, det, disc)
+    with pytest.raises(ValueError):
+        AdaptiveExSample(100, det, disc, initial_chunks=0)
+    with pytest.raises(ValueError):
+        AdaptiveExSample(100, det, disc, split_after=0)
+    with pytest.raises(ValueError):
+        AdaptiveExSample(100, det, disc, split_min_n1=-1.0)
+    with pytest.raises(ValueError):
+        AdaptiveExSample(100, det, disc, min_chunk_frames=1)
+    with pytest.raises(ValueError):
+        AdaptiveExSample(100, det, disc, initial_chunks=8, max_chunks=4)
+    with pytest.raises(ValueError):
+        AdaptiveExSample(100, det, disc, alpha0=0.0)
+
+
+def test_run_finds_all_instances_eventually():
+    repo = make_repo()
+    sampler = make_sampler(repo)
+    sampler.run(max_samples=repo.total_frames)
+    assert sampler.results_found == 30
+
+
+def test_chunks_always_tile_the_frame_space():
+    repo = make_repo()
+    sampler = make_sampler(repo)
+    sampler.run(max_samples=600)
+    chunks = sampler.chunks
+    assert chunks[0].start == 0
+    assert chunks[-1].end == repo.total_frames
+    for a, b in zip(chunks, chunks[1:]):
+        assert a.end == b.start
+
+
+def test_no_frame_sampled_twice():
+    repo = make_repo(total_frames=800)
+    sampler = make_sampler(repo)
+    sampler.run(max_samples=800)
+    frames = sampler.history.frame_indices
+    assert len(frames) == len(set(frames.tolist()))
+
+
+def test_exhaustion_is_clean():
+    repo = make_repo(total_frames=300, num_instances=5)
+    sampler = make_sampler(repo)
+    sampler.run()  # no limits: drains the whole space
+    assert sampler.exhausted
+    assert sampler.frames_processed == 300
+    with pytest.raises(RuntimeError):
+        sampler.step()
+
+
+def test_splits_happen_where_results_are():
+    # all instances in the first 10% of a large space: splitting should
+    # concentrate there and leave the cold region coarse.
+    repo = make_repo(total_frames=20_000, num_instances=40, skew=None, seed=3)
+    rng = np.random.default_rng(3)
+    instances = place_instances(
+        40, 2000, rng, mean_duration=50, skew_fraction=None, with_boxes=False
+    )
+    repo = single_clip_repository(20_000, instances)
+    sampler = make_sampler(repo, seed=3, initial_chunks=4, split_after=8)
+    sampler.run(max_samples=1500)
+    assert sampler.splits_performed > 0
+    hot = [c for c in sampler.chunks if c.end <= 5000]
+    cold = [c for c in sampler.chunks if c.start >= 5000]
+    assert len(hot) > len(cold)
+
+
+def test_split_min_n1_blocks_cold_splits():
+    # an empty repository: no results anywhere, so nothing may split.
+    repo = single_clip_repository(5000, [])
+    sampler = make_sampler(repo, split_after=4)
+    sampler.run(max_samples=500)
+    assert sampler.splits_performed == 0
+    assert sampler.num_chunks == 4
+
+
+def test_max_chunks_caps_partition():
+    repo = make_repo(total_frames=8000, num_instances=200, seed=4)
+    sampler = make_sampler(repo, seed=4, split_after=4, max_chunks=6)
+    sampler.run(max_samples=2000)
+    assert sampler.num_chunks <= 6
+
+
+def test_n1_bookkeeping_matches_discriminator():
+    """Sum of per-chunk N1 == number of results seen exactly once."""
+    repo = make_repo(num_instances=25, seed=5)
+    sampler = make_sampler(repo, seed=5)
+    sampler.run(max_samples=800)
+    disc = sampler.discriminator
+    seen_once = sum(1 for c in disc._seen_counts.values() if c == 1)
+    total_n1 = sum(c.n1 for c in sampler.chunks)
+    assert total_n1 == pytest.approx(seen_once)
+
+
+def test_result_limit_stops_early():
+    repo = make_repo()
+    sampler = make_sampler(repo)
+    sampler.run(result_limit=10)
+    assert sampler.results_found >= 10
+    assert sampler.frames_processed < repo.total_frames
+
+
+def test_callback_sees_every_record():
+    repo = make_repo()
+    sampler = make_sampler(repo)
+    seen = []
+    sampler.run(max_samples=40, callback=seen.append)
+    assert len(seen) == 40
+    assert [r.sample_index for r in seen] == list(range(1, 41))
+
+
+def test_invalid_run_arguments():
+    sampler = make_sampler(make_repo())
+    with pytest.raises(ValueError):
+        sampler.run(result_limit=0)
+    with pytest.raises(ValueError):
+        sampler.run(max_samples=-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    initial=st.integers(min_value=1, max_value=12),
+    budget=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_sample_counts_consistent(initial, budget, seed):
+    """n per chunk == sampled set size; total == frames processed."""
+    repo = make_repo(total_frames=1000, num_instances=10, seed=seed % 7)
+    sampler = AdaptiveExSample(
+        repo.total_frames,
+        OracleDetector(repo),
+        OracleDiscriminator(),
+        initial_chunks=initial,
+        split_after=6,
+        min_chunk_frames=20,
+        rng=np.random.default_rng(seed),
+    )
+    sampler.run(max_samples=budget)
+    assert sum(c.n for c in sampler.chunks) == sampler.frames_processed
+    for chunk in sampler.chunks:
+        assert chunk.n == len(chunk.sampled)
+        assert all(chunk.start <= f < chunk.end for f in chunk.sampled)

@@ -1,0 +1,185 @@
+"""Tests for the baseline samplers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.blazeit import BlazeItSampler, ProxyModel, score_ordered_frames
+from repro.baselines.random_plus import RandomPlusSampler, random_plus_frame_order
+from repro.baselines.sequential import SequentialScanSampler, sequential_frame_order
+from repro.baselines.uniform import UniformRandomSampler, uniform_frame_order
+from repro.detection.detector import OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+
+def make_repo(total_frames=1000, num_instances=12, seed=0, skew=None):
+    rng = np.random.default_rng(seed)
+    instances = place_instances(
+        num_instances, total_frames, rng, mean_duration=50,
+        skew_fraction=skew, with_boxes=False,
+    )
+    return single_clip_repository(total_frames, instances)
+
+
+def make(sampler_cls, repo, **kwargs):
+    return sampler_cls(
+        repo, OracleDetector(repo), OracleDiscriminator(),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------- frame orders
+
+
+def test_uniform_frame_order_is_permutation():
+    frames = list(uniform_frame_order(500, np.random.default_rng(0)))
+    assert sorted(frames) == list(range(500))
+
+
+def test_random_plus_frame_order_is_permutation():
+    frames = list(random_plus_frame_order(300, np.random.default_rng(0)))
+    assert sorted(frames) == list(range(300))
+
+
+def test_sequential_frame_order_stride():
+    assert list(sequential_frame_order(10, stride=3)) == [0, 3, 6, 9]
+    assert list(sequential_frame_order(10, stride=3, start=1)) == [1, 4, 7]
+    with pytest.raises(ValueError):
+        sequential_frame_order(10, stride=0)
+    with pytest.raises(ValueError):
+        sequential_frame_order(10, start=10)
+
+
+# -------------------------------------------------------------- samplers
+
+
+@pytest.mark.parametrize(
+    "cls", [UniformRandomSampler, RandomPlusSampler, SequentialScanSampler]
+)
+def test_sampler_finds_all_results(cls):
+    repo = make_repo()
+    sampler = make(cls, repo)
+    sampler.run()
+    assert sampler.exhausted
+    assert sampler.results_found == 12
+    assert sampler.frames_processed == 1000
+
+
+def test_run_stops_at_result_limit():
+    repo = make_repo()
+    sampler = make(UniformRandomSampler, repo, rng=np.random.default_rng(1))
+    sampler.run(result_limit=5)
+    assert sampler.results_found >= 5
+    assert sampler.frames_processed < 1000
+
+
+def test_run_stops_at_max_samples():
+    repo = make_repo()
+    sampler = make(RandomPlusSampler, repo, rng=np.random.default_rng(2))
+    sampler.run(max_samples=77)
+    assert sampler.frames_processed == 77
+
+
+def test_step_after_exhaustion_raises():
+    repo = make_repo(total_frames=50, num_instances=2)
+    sampler = make(SequentialScanSampler, repo)
+    sampler.run()
+    with pytest.raises(RuntimeError):
+        sampler.step()
+
+
+def test_decode_charging_toggle():
+    repo = make_repo()
+    sampler = make(UniformRandomSampler, repo, charge_decode=True)
+    sampler.run(max_samples=10)
+    assert repo.decode_stats.frames_decoded == 10
+    repo2 = make_repo()
+    sampler2 = make(UniformRandomSampler, repo2, charge_decode=False)
+    sampler2.run(max_samples=10)
+    assert repo2.decode_stats.frames_decoded == 0
+
+
+def test_sequential_gets_stuck_in_empty_stretch():
+    """§II-B: all objects at the end => sequential is slow, random fast."""
+    rng = np.random.default_rng(3)
+    from repro.video.geometry import Box, Trajectory
+    from repro.video.instances import ObjectInstance
+
+    instances = [
+        ObjectInstance(k, "car", Trajectory.stationary(9000 + 50 * k, 40, Box(0, 0, 1, 1)))
+        for k in range(10
+        )
+    ]
+    repo = single_clip_repository(10_000, instances)
+    seq = make(SequentialScanSampler, repo)
+    seq.run(result_limit=3)
+    rnd = make(UniformRandomSampler, repo, rng=rng)
+    rnd.run(result_limit=3)
+    assert seq.frames_processed > rnd.frames_processed
+
+
+# ---------------------------------------------------------------- BlazeIt
+
+
+def test_proxy_scores_cover_all_frames():
+    repo = make_repo()
+    proxy = ProxyModel(repo.instances, repo.total_frames, noise=0.1, seed=0)
+    scores = proxy.scores()
+    assert scores.shape == (1000,)
+    assert proxy.scores() is scores  # cached
+
+
+def test_perfect_proxy_scores_positive_frames_higher():
+    repo = make_repo(seed=4)
+    proxy = ProxyModel(repo.instances, repo.total_frames, noise=0.0, seed=0)
+    assert proxy.auc_proxy_quality() > 0.99
+
+
+def test_noisy_proxy_degrades_auc():
+    repo = make_repo(seed=5)
+    clean = ProxyModel(repo.instances, repo.total_frames, noise=0.0, seed=0)
+    noisy = ProxyModel(repo.instances, repo.total_frames, noise=1.0, seed=0)
+    assert noisy.auc_proxy_quality() < clean.auc_proxy_quality()
+    assert noisy.auc_proxy_quality() > 0.5  # still informative
+
+
+def test_score_ordered_frames_descending():
+    scores = np.array([0.1, 0.9, 0.5, 0.7])
+    assert list(score_ordered_frames(scores)) == [1, 3, 2, 0]
+
+
+def test_score_ordered_min_gap_suppression():
+    scores = np.array([0.9, 0.8, 0.1, 0.85, 0.2])
+    frames = list(score_ordered_frames(scores, min_gap=1))
+    # frame 0 emitted; frame 1 suppressed (within 1); frame 3 next...
+    assert frames[0] == 0
+    assert 1 not in frames
+    for a in frames:
+        for b in frames:
+            if a != b:
+                assert abs(a - b) > 1
+
+
+def test_blazeit_charges_scan():
+    repo = make_repo(seed=6)
+    sampler = make(BlazeItSampler, repo, category=None, noise=0.0)
+    assert sampler.scan_frames_charged == 1000
+    sampler.run(result_limit=3)
+    assert sampler.results_found >= 3
+
+
+def test_blazeit_perfect_proxy_needs_few_detector_frames():
+    """With a perfect proxy, the first processed frames contain objects."""
+    repo = make_repo(num_instances=20, seed=7)
+    sampler = make(BlazeItSampler, repo, noise=0.0)
+    sampler.run(result_limit=5)
+    assert sampler.frames_processed <= 20
+
+
+def test_blazeit_validation():
+    repo = make_repo()
+    with pytest.raises(ValueError):
+        ProxyModel(repo.instances, 100, noise=-1)
+    with pytest.raises(ValueError):
+        list(score_ordered_frames(np.array([1.0]), min_gap=-1))

@@ -1,0 +1,107 @@
+"""Tests for the Gamma belief of Eq. III.4."""
+
+import numpy as np
+import pytest
+
+from repro.core.belief import DEFAULT_ALPHA0, DEFAULT_BETA0, GammaBelief
+from repro.core.estimator import ChunkStatistics
+
+
+def stats_with(n1_values, n_values):
+    stats = ChunkStatistics(len(n1_values))
+    for chunk, (n1, n) in enumerate(zip(n1_values, n_values)):
+        # reach the target (n1, n): first n1 frames each add one new result,
+        # remaining frames add nothing.
+        for i in range(n):
+            stats.record(chunk, d0=1 if i < n1 else 0, d1=0)
+    return stats
+
+
+def test_paper_prior_defaults():
+    belief = GammaBelief()
+    assert belief.alpha0 == DEFAULT_ALPHA0 == 0.1
+    assert belief.beta0 == DEFAULT_BETA0 == 1.0
+
+
+def test_parameters_match_eq_iii4():
+    belief = GammaBelief()
+    stats = stats_with([3, 0], [10, 5])
+    np.testing.assert_allclose(belief.alphas(stats), [3.1, 0.1])
+    np.testing.assert_allclose(belief.betas(stats), [11.0, 6.0])
+
+
+def test_mean_matches_regularized_estimate():
+    belief = GammaBelief()
+    stats = stats_with([4], [20])
+    assert belief.mean(stats)[0] == pytest.approx(4.1 / 21.0)
+
+
+def test_variance_matches_eq_iii3_construction():
+    """Belief variance alpha/beta^2 ~ N1/n^2, the Eq. III.3 bound."""
+    belief = GammaBelief()
+    stats = stats_with([9], [30])
+    assert belief.variance(stats)[0] == pytest.approx(9.1 / 31.0**2)
+
+
+def test_samples_shape_and_positivity():
+    belief = GammaBelief()
+    stats = stats_with([1, 0, 5], [3, 0, 9])
+    rng = np.random.default_rng(0)
+    draws = belief.sample(stats, rng, size=7)
+    assert draws.shape == (7, 3)
+    assert np.all(draws > 0)
+    with pytest.raises(ValueError):
+        belief.sample(stats, rng, size=0)
+
+
+def test_sample_distribution_moments():
+    belief = GammaBelief()
+    stats = stats_with([10], [50])
+    rng = np.random.default_rng(1)
+    draws = belief.sample(stats, rng, size=200_000)[:, 0]
+    assert draws.mean() == pytest.approx(10.1 / 51.0, rel=0.02)
+    assert draws.var() == pytest.approx(10.1 / 51.0**2, rel=0.05)
+
+
+def test_zero_state_still_samples():
+    """alpha0/beta0 keep the belief defined at N1 = n = 0 (query start)."""
+    belief = GammaBelief()
+    stats = ChunkStatistics(2)
+    rng = np.random.default_rng(2)
+    draws = belief.sample(stats, rng, size=100)
+    assert np.all(draws > 0)
+    assert draws.mean() == pytest.approx(0.1, rel=0.5)
+
+
+def test_quantiles_monotone_and_ordered():
+    belief = GammaBelief()
+    stats = stats_with([5, 1], [20, 20])
+    q25 = belief.quantile(stats, 0.25)
+    q75 = belief.quantile(stats, 0.75)
+    assert np.all(q25 < q75)
+    assert q75[0] > q75[1]  # more N1 at same n -> larger quantile
+    with pytest.raises(ValueError):
+        belief.quantile(stats, 0.0)
+    with pytest.raises(ValueError):
+        belief.quantile(stats, 1.0)
+
+
+def test_density_integrates_to_one():
+    belief = GammaBelief()
+    grid = np.linspace(1e-9, 2.0, 200_000)
+    pdf = belief.density(5, 20, grid)
+    assert np.trapezoid(pdf, grid) == pytest.approx(1.0, abs=1e-3)
+
+
+def test_prior_validation():
+    with pytest.raises(ValueError):
+        GammaBelief(alpha0=0.0)
+    with pytest.raises(ValueError):
+        GammaBelief(beta0=-1.0)
+
+
+def test_mean_consistent_with_point_estimate_at_large_n():
+    """For large n the belief mean converges to Eq. III.1's N1/n."""
+    belief = GammaBelief()
+    stats = stats_with([100], [1000])
+    assert belief.mean(stats)[0] == pytest.approx(100 / 1000, rel=0.02)

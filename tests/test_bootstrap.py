@@ -1,0 +1,132 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bootstrap import (
+    BootstrapInterval,
+    bootstrap_ci,
+    geometric_mean_ci,
+    savings_ratio_ci,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+# ------------------------------------------------------------------ interval
+
+
+def test_interval_validation_and_helpers():
+    ci = BootstrapInterval(estimate=2.0, lo=1.5, hi=2.5, confidence=0.95, replicates=100)
+    assert ci.width == pytest.approx(1.0)
+    assert ci.contains(2.0)
+    assert not ci.contains(3.0)
+    assert "95% CI" in str(ci)
+    with pytest.raises(ValueError):
+        BootstrapInterval(estimate=2.0, lo=3.0, hi=1.0, confidence=0.95, replicates=10)
+
+
+# -------------------------------------------------------------- bootstrap_ci
+
+
+def test_bootstrap_ci_brackets_the_estimate():
+    data = rng().normal(10.0, 2.0, size=100)
+    ci = bootstrap_ci(data, statistic=np.mean, replicates=500, rng=rng())
+    assert ci.lo <= ci.estimate <= ci.hi
+    assert ci.contains(float(np.mean(data)))
+    # a 100-point sample of sd 2: the mean's CI is well under +-1
+    assert ci.width < 2.0
+
+
+def test_bootstrap_ci_degenerate_sample():
+    ci = bootstrap_ci([5.0] * 20, replicates=200, rng=rng())
+    assert ci.estimate == ci.lo == ci.hi == 5.0
+
+
+def test_bootstrap_ci_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([], rng=rng())
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], confidence=0.0, rng=rng())
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], replicates=0, rng=rng())
+
+
+def test_bootstrap_ci_narrows_with_sample_size():
+    g = rng()
+    small = bootstrap_ci(g.normal(0, 1, 20), statistic=np.mean, replicates=500, rng=rng())
+    large = bootstrap_ci(g.normal(0, 1, 2000), statistic=np.mean, replicates=500, rng=rng())
+    assert large.width < small.width
+
+
+def test_bootstrap_ci_reproducible_with_seeded_rng():
+    data = [1.0, 2.0, 5.0, 9.0, 3.0]
+    a = bootstrap_ci(data, replicates=300, rng=np.random.default_rng(7))
+    b = bootstrap_ci(data, replicates=300, rng=np.random.default_rng(7))
+    assert (a.lo, a.hi) == (b.lo, b.hi)
+
+
+# ---------------------------------------------------------- savings_ratio_ci
+
+
+def test_savings_ratio_ci_estimate_matches_ratio_of_medians():
+    base = [100.0, 110.0, 90.0, 105.0, 95.0]
+    ours = [50.0, 45.0, 55.0, 52.0, 48.0]
+    ci = savings_ratio_ci(base, ours, replicates=500, rng=rng())
+    assert ci.estimate == pytest.approx(np.median(base) / np.median(ours))
+    assert ci.contains(2.0)
+    assert ci.lo > 1.0  # the win is significant on this data
+
+
+def test_savings_ratio_ci_validation():
+    with pytest.raises(ValueError):
+        savings_ratio_ci([], [1.0], rng=rng())
+    with pytest.raises(ValueError):
+        savings_ratio_ci([1.0], [0.0], rng=rng())
+
+
+def test_savings_ratio_ci_covers_unit_when_arms_identical():
+    runs = [80.0, 120.0, 100.0, 90.0, 110.0, 95.0]
+    ci = savings_ratio_ci(runs, runs, replicates=500, rng=rng())
+    assert ci.contains(1.0)
+
+
+# --------------------------------------------------------- geometric_mean_ci
+
+
+def test_geometric_mean_ci_headline_style():
+    # ratios like Fig. 5's bars: mostly > 1, a few < 1
+    ratios = [2.1, 1.4, 3.0, 0.9, 1.9, 2.5, 1.1, 4.0, 1.6, 0.75]
+    ci = geometric_mean_ci(ratios, replicates=800, rng=rng())
+    from repro.analysis.metrics import geometric_mean
+
+    assert ci.estimate == pytest.approx(geometric_mean(ratios))
+    assert ci.lo <= ci.estimate <= ci.hi
+
+
+def test_geometric_mean_ci_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean_ci([1.0, -2.0], rng=rng())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        min_size=3,
+        max_size=40,
+    ),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_interval_always_brackets_estimate(data, seed):
+    g = np.random.default_rng(seed)
+    ci = geometric_mean_ci(data, replicates=100, rng=g)
+    assert ci.lo <= ci.hi
+    # percentile bootstrap of a smooth statistic brackets the point
+    # estimate up to resampling noise at 100 replicates.
+    assert ci.lo <= ci.estimate * 1.05
+    assert ci.hi >= ci.estimate * 0.95

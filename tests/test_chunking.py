@@ -1,0 +1,228 @@
+"""Tests for chunk partitioning and sampling orders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import (
+    Chunk,
+    RandomPlusOrder,
+    UniformOrder,
+    chunks_from_clips,
+    even_count_chunks,
+    fixed_size_chunks,
+    make_chunks,
+)
+from repro.video.instances import InstanceSet
+from repro.video.repository import VideoClip, VideoRepository
+
+
+def drain(order):
+    out = []
+    while True:
+        frame = order.draw()
+        if frame is None:
+            return out
+        out.append(frame)
+
+
+# ------------------------------------------------------------ UniformOrder
+
+
+@given(
+    start=st.integers(min_value=0, max_value=100),
+    size=st.integers(min_value=1, max_value=400),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_uniform_order_is_permutation(start, size, seed):
+    order = UniformOrder(start, start + size, np.random.default_rng(seed))
+    frames = drain(order)
+    assert sorted(frames) == list(range(start, start + size))
+    assert order.draw() is None
+
+
+def test_uniform_order_remaining_and_validation():
+    order = UniformOrder(0, 10, np.random.default_rng(0))
+    assert order.remaining == 10
+    order.draw()
+    assert order.remaining == 9
+    with pytest.raises(ValueError):
+        UniformOrder(5, 5, np.random.default_rng(0))
+
+
+def test_uniform_order_randomized():
+    a = drain(UniformOrder(0, 100, np.random.default_rng(1)))
+    b = drain(UniformOrder(0, 100, np.random.default_rng(2)))
+    assert a != b
+
+
+# --------------------------------------------------------- RandomPlusOrder
+
+
+@given(
+    start=st.integers(min_value=0, max_value=50),
+    size=st.integers(min_value=1, max_value=300),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_plus_is_permutation(start, size, seed):
+    order = RandomPlusOrder(start, start + size, np.random.default_rng(seed))
+    frames = drain(order)
+    assert sorted(frames) == list(range(start, start + size))
+    assert order.draw() is None
+
+
+def test_random_plus_stratification_property():
+    """§III-F: after 2^k samples, every 1/2^k stratum has been visited.
+
+    Concretely, the first 8 samples of a 1024-frame range must land in 8
+    distinct eighths — pure uniform sampling would collide much earlier.
+    """
+    for seed in range(20):
+        order = RandomPlusOrder(0, 1024, np.random.default_rng(seed))
+        first8 = [order.draw() for _ in range(8)]
+        octants = {f // 128 for f in first8}
+        assert len(octants) == 8, f"seed {seed}: collisions {sorted(first8)}"
+
+
+def test_random_plus_spreads_better_than_uniform():
+    """Count distinct 'hours' hit by the first 30 of 1000 'hours' of video."""
+    hits_plus = []
+    hits_uniform = []
+    for seed in range(10):
+        size, block = 4000, 4  # 1000 blocks
+        plus = RandomPlusOrder(0, size, np.random.default_rng(seed))
+        uni = UniformOrder(0, size, np.random.default_rng(seed))
+        p = {plus.draw() // block for _ in range(30)}
+        u = {uni.draw() // block for _ in range(30)}
+        hits_plus.append(len(p))
+        hits_uniform.append(len(u))
+    assert np.mean(hits_plus) == 30  # perfect spread
+    assert np.mean(hits_uniform) < 30
+
+
+def test_random_plus_validation():
+    with pytest.raises(ValueError):
+        RandomPlusOrder(3, 3, np.random.default_rng(0))
+
+
+# ------------------------------------------------------------------ chunks
+
+
+def test_fixed_size_chunks_tile_frame_space():
+    rng = np.random.default_rng(0)
+    chunks = fixed_size_chunks(1050, 100, rng)
+    assert len(chunks) == 11
+    assert chunks[0].start_frame == 0
+    assert chunks[-1].end_frame == 1050
+    assert chunks[-1].num_frames == 50  # trailing partial chunk
+    for a, b in zip(chunks, chunks[1:]):
+        assert a.end_frame == b.start_frame
+
+
+def test_even_count_chunks():
+    rng = np.random.default_rng(0)
+    chunks = even_count_chunks(1000, 7, rng)
+    assert len(chunks) == 7
+    assert chunks[0].start_frame == 0
+    assert chunks[-1].end_frame == 1000
+    sizes = [c.num_frames for c in chunks]
+    assert max(sizes) - min(sizes) <= 1
+    with pytest.raises(ValueError):
+        even_count_chunks(10, 11, rng)
+    with pytest.raises(ValueError):
+        even_count_chunks(10, 0, rng)
+
+
+def test_chunks_from_clips():
+    clips = [VideoClip(0, "a", 0, 60), VideoClip(1, "b", 60, 40)]
+    repo = VideoRepository(clips, InstanceSet([]))
+    chunks = chunks_from_clips(repo, np.random.default_rng(0))
+    assert len(chunks) == 2
+    assert (chunks[0].start_frame, chunks[0].end_frame) == (0, 60)
+    assert (chunks[1].start_frame, chunks[1].end_frame) == (60, 100)
+
+
+def test_make_chunks_dispatch():
+    clips = [VideoClip(0, "a", 0, 100)]
+    repo = VideoRepository(clips, InstanceSet([]))
+    rng = np.random.default_rng(0)
+    per_clip = make_chunks(repo, rng)
+    assert len(per_clip) == 1
+    fixed = make_chunks(repo, rng, chunk_frames=30)
+    assert len(fixed) == 4
+
+
+def test_chunk_sampling_without_replacement():
+    rng = np.random.default_rng(0)
+    [chunk] = fixed_size_chunks(20, 20, rng)
+    seen = set()
+    for _ in range(20):
+        frame = chunk.sample()
+        assert chunk.start_frame <= frame < chunk.end_frame
+        assert frame not in seen
+        seen.add(frame)
+    assert chunk.exhausted
+    with pytest.raises(RuntimeError):
+        chunk.sample()
+
+
+def test_chunk_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        Chunk(0, 10, 10, UniformOrder(0, 1, rng))
+    with pytest.raises(ValueError):
+        fixed_size_chunks(0, 10, rng)
+    with pytest.raises(ValueError):
+        fixed_size_chunks(10, 0, rng)
+
+
+# ------------------------------------------------------- clip-aligned chunks
+
+
+def test_clip_aligned_chunks_respect_boundaries():
+    from repro.core.chunking import clip_aligned_chunks
+    from repro.video.repository import VideoClip, VideoRepository
+
+    clips = [
+        VideoClip(0, "a", 0, 250),
+        VideoClip(1, "b", 250, 90),
+        VideoClip(2, "c", 340, 100),
+    ]
+    repo = VideoRepository(clips, [])
+    rng = np.random.default_rng(0)
+    chunks = clip_aligned_chunks(repo, 100, rng)
+    # clip a -> 100+100+50, clip b -> 90, clip c -> 100
+    sizes = [c.num_frames for c in chunks]
+    assert sizes == [100, 100, 50, 90, 100]
+    # no chunk spans a clip boundary
+    for chunk in chunks:
+        clip = repo.clip_for_frame(chunk.start_frame)
+        assert chunk.end_frame <= clip.end_frame
+    # chunks tile the space
+    assert chunks[0].start_frame == 0
+    assert chunks[-1].end_frame == repo.total_frames
+    for a, b in zip(chunks, chunks[1:]):
+        assert a.end_frame == b.start_frame
+
+
+def test_clip_aligned_chunks_validation():
+    from repro.core.chunking import clip_aligned_chunks
+    from repro.video.repository import single_clip_repository
+
+    repo = single_clip_repository(100, [])
+    with pytest.raises(ValueError):
+        clip_aligned_chunks(repo, 0, np.random.default_rng(0))
+
+
+def test_make_chunks_uses_clip_alignment():
+    from repro.core.chunking import make_chunks
+    from repro.video.repository import VideoClip, VideoRepository
+
+    clips = [VideoClip(0, "a", 0, 150), VideoClip(1, "b", 150, 150)]
+    repo = VideoRepository(clips, [])
+    chunks = make_chunks(repo, np.random.default_rng(0), chunk_frames=100)
+    # 100+50 per clip: the boundary at frame 150 is respected
+    assert [c.num_frames for c in chunks] == [100, 50, 100, 50]

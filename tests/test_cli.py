@@ -1,0 +1,71 @@
+"""Tests for the user-facing CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_lists_all_profiles(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("dashcam", "bdd1k", "bdd_mot", "amsterdam", "archie", "night_street"):
+        assert name in out
+
+
+def test_query_with_limit(capsys):
+    code = main(
+        ["query", "dashcam", "bicycle", "--limit", "5", "--scale", "0.05", "--seed", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "exsample" in out
+    assert "satisfied" in out
+
+
+def test_query_with_recall(capsys):
+    code = main(
+        ["query", "night_street", "person", "--recall", "0.2", "--scale", "0.02"]
+    )
+    assert code == 0
+    assert "exsample" in capsys.readouterr().out
+
+
+def test_query_compare_runs_all_methods(capsys):
+    code = main(
+        ["query", "dashcam", "bicycle", "--limit", "3", "--scale", "0.05", "--compare"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    for method in ("exsample", "random", "random_plus", "sequential", "blazeit"):
+        assert method in out
+
+
+def test_query_unknown_category_fails_cleanly(capsys):
+    code = main(["query", "dashcam", "zeppelin", "--limit", "5"])
+    assert code == 2
+    assert "zeppelin" in capsys.readouterr().err
+
+
+def test_query_requires_exactly_one_stopping_rule(capsys):
+    code = main(["query", "dashcam", "bicycle"])
+    assert code == 2
+    assert "exactly one" in capsys.readouterr().err
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError):
+        main(["query", "atlantis", "bicycle", "--limit", "5"])
+
+
+def test_parser_rejects_bad_method():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["query", "dashcam", "bicycle", "--method", "psychic"])
+
+
+def test_parser_rejects_limit_and_recall_together():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(
+            ["query", "dashcam", "bicycle", "--limit", "5", "--recall", "0.5"]
+        )

@@ -1,0 +1,159 @@
+"""Tests for the GOP-aware decode cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.codec import CodecModel, DecodeCostModel, GopLayout, sweep_gop_sizes
+
+
+# ------------------------------------------------------------------ GopLayout
+
+
+def test_layout_validation():
+    with pytest.raises(ValueError):
+        GopLayout(0)
+    with pytest.raises(ValueError):
+        GopLayout(20).keyframe_before(-1)
+    with pytest.raises(ValueError):
+        GopLayout(20).is_keyframe(-1)
+
+
+def test_keyframe_positions():
+    layout = GopLayout(20)
+    assert layout.keyframe_before(0) == 0
+    assert layout.keyframe_before(19) == 0
+    assert layout.keyframe_before(20) == 20
+    assert layout.keyframe_before(39) == 20
+    assert layout.is_keyframe(0)
+    assert layout.is_keyframe(40)
+    assert not layout.is_keyframe(41)
+
+
+def test_random_access_cost():
+    layout = GopLayout(20)
+    assert layout.random_access_cost(0) == 1  # a keyframe decodes alone
+    assert layout.random_access_cost(19) == 20  # worst case: whole GOP
+    assert layout.random_access_cost(20) == 1
+    assert layout.expected_random_cost() == pytest.approx(10.5)
+
+
+def test_keyframes_in():
+    layout = GopLayout(20)
+    assert layout.keyframes_in(0) == 0
+    assert layout.keyframes_in(1) == 1
+    assert layout.keyframes_in(20) == 1
+    assert layout.keyframes_in(21) == 2
+    assert layout.keyframes_in(100) == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    gop=st.integers(min_value=1, max_value=600),
+    frame=st.integers(min_value=0, max_value=100_000),
+)
+def test_property_access_cost_bounds(gop, frame):
+    layout = GopLayout(gop)
+    cost = layout.random_access_cost(frame)
+    assert 1 <= cost <= gop
+    # the keyframe itself always costs exactly 1
+    assert layout.random_access_cost(layout.keyframe_before(frame)) == 1
+
+
+# ------------------------------------------------------------------ CodecModel
+
+
+def test_codec_validation():
+    with pytest.raises(ValueError):
+        CodecModel(iframe_bytes=0)
+    with pytest.raises(ValueError):
+        CodecModel(decode_fps=0)
+    with pytest.raises(ValueError):
+        CodecModel().storage_bytes(-1, GopLayout(20))
+    with pytest.raises(ValueError):
+        CodecModel().decode_seconds(-1)
+
+
+def test_storage_grows_with_keyframe_density():
+    codec = CodecModel()
+    dense = codec.storage_bytes(1000, GopLayout(10))
+    paper = codec.storage_bytes(1000, GopLayout(20))
+    sparse = codec.storage_bytes(1000, GopLayout(200))
+    assert dense > paper > sparse
+
+
+def test_storage_overhead_relative_to_sparse():
+    codec = CodecModel()
+    assert codec.storage_overhead(GopLayout(600)) == pytest.approx(1.0)
+    # GOP 20 with a 10:1 I/P ratio costs well under 2x storage — the
+    # trade the paper accepted for fast random access.
+    overhead = codec.storage_overhead(GopLayout(20))
+    assert 1.0 < overhead < 2.0
+
+
+# -------------------------------------------------------------- DecodeCostModel
+
+
+def test_sequential_reads_cost_one():
+    model = DecodeCostModel(GopLayout(20))
+    first = model.charge(5)  # cold read mid-GOP
+    assert first == 6
+    assert model.charge(6) == 1  # rides the decoder state
+    assert model.charge(7) == 1
+    assert model.accesses == 3
+    assert model.frame_decodes == 8
+
+
+def test_random_reads_restart_from_keyframe():
+    model = DecodeCostModel(GopLayout(20))
+    model.charge(5)
+    assert model.charge(39) == 20  # jump: keyframe 20 + 19 P-frames
+    assert model.charge(38) == 19  # backwards jump also restarts
+
+
+def test_charge_trace_and_mean():
+    model = DecodeCostModel(GopLayout(10))
+    total = model.charge_trace([0, 1, 2, 25])
+    assert total == 1 + 1 + 1 + 6
+    assert model.mean_cost == pytest.approx(total / 4)
+    model.reset()
+    assert model.accesses == 0 and model.frame_decodes == 0
+    assert model.mean_cost == 0.0
+
+
+def test_random_sampling_costlier_than_scan_per_frame():
+    """The structural fact behind the scan/detect fps split (§V-B)."""
+    rng = np.random.default_rng(0)
+    layout = GopLayout(20)
+    sequential = DecodeCostModel(layout)
+    sequential.charge_trace(range(2000))
+    random_access = DecodeCostModel(layout)
+    random_access.charge_trace(rng.integers(0, 100_000, size=2000).tolist())
+    assert random_access.mean_cost > 5 * sequential.mean_cost
+
+
+def test_gop20_makes_random_access_cheap():
+    """The paper's re-encode: GOP 20 vs a camera-native GOP 600."""
+    rng = np.random.default_rng(1)
+    frames = rng.integers(0, 1_000_000, size=3000).tolist()
+    paper = DecodeCostModel(GopLayout(20))
+    paper.charge_trace(frames)
+    native = DecodeCostModel(GopLayout(600))
+    native.charge_trace(frames)
+    assert native.mean_cost > 20 * paper.mean_cost
+
+
+# ---------------------------------------------------------------- GOP sweep
+
+
+def test_sweep_shapes_and_monotonicity():
+    rows = sweep_gop_sizes((1, 20, 600))
+    assert [r["gop_size"] for r in rows] == [1, 20, 600]
+    costs = [r["expected_decodes_per_read"] for r in rows]
+    overheads = [r["storage_overhead"] for r in rows]
+    # decode cost rises with GOP size; storage falls.
+    assert costs == sorted(costs)
+    assert overheads == sorted(overheads, reverse=True)
+    # all-keyframe encode: every read costs exactly one decode.
+    assert costs[0] == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""Tests for the footnote-1 cross-chunk N1 adjustment."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import even_count_chunks
+from repro.core.estimator import ChunkStatistics
+from repro.core.sampler import ExSample
+from repro.detection.detector import OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import ObjectInstance
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+
+def spanning_instance(instance_id, start, duration):
+    traj = Trajectory.stationary(start, duration, Box(0, 0, 20, 20))
+    return ObjectInstance(instance_id=instance_id, category="object", trajectory=traj)
+
+
+def make_sampler(repo, num_chunks=2, seed=0, cross=True):
+    rng = np.random.default_rng(seed)
+    chunks = even_count_chunks(repo.total_frames, num_chunks, rng)
+    return ExSample(
+        chunks,
+        OracleDetector(repo),
+        OracleDiscriminator(),
+        rng=rng,
+        cross_chunk_adjustment=cross,
+    )
+
+
+# ------------------------------------------------------ ChunkStatistics.retire
+
+
+def test_retire_decrements_without_sampling():
+    stats = ChunkStatistics(3)
+    stats.record(0, d0=2, d1=0)
+    stats.retire(0)
+    assert stats.n1[0] == 1.0
+    assert stats.n[0] == 1  # no sample charged
+
+
+def test_retire_floors_at_zero():
+    stats = ChunkStatistics(2)
+    stats.retire(1)
+    assert stats.n1[1] == 0.0
+
+
+def test_retire_validates_chunk():
+    stats = ChunkStatistics(2)
+    with pytest.raises(IndexError):
+        stats.retire(5)
+
+
+# ----------------------------------------------------- adjustment end to end
+
+
+def test_second_sighting_retires_origin_chunk():
+    """An instance spanning the boundary of two chunks: the d1 decrement
+    must land on the chunk that first saw it, not the one that re-saw it."""
+    total = 200
+    # one instance visible in frames [80, 120): straddles the 2-chunk split
+    repo = single_clip_repository(total, [spanning_instance(0, 80, 40)])
+    sampler = make_sampler(repo, num_chunks=2, cross=True)
+
+    # force deterministic processing: sample chunk 0's hit frame first,
+    # then chunk 1's hit frame, via the internal pipeline directly.
+    from repro.core.sampler import process_frame_detailed
+
+    out_first = process_frame_detailed(90, sampler._detector, sampler._discriminator)
+    assert out_first.d0 == 1
+    sampler._record_cross_chunk(0, out_first)
+    assert sampler._stats.n1[0] == 1.0
+
+    out_second = process_frame_detailed(110, sampler._detector, sampler._discriminator)
+    assert out_second.d1 == 1
+    sampler._record_cross_chunk(1, out_second)
+    # the retirement hit chunk 0 (origin), not chunk 1 (sampled)
+    assert sampler._stats.n1[0] == 0.0
+    assert sampler._stats.n1[1] == 0.0
+    assert sampler._stats.n[1] == 1
+
+
+def test_adjusted_run_preserves_global_n1_invariant():
+    """Across the whole partition, sum(N1) still equals the number of
+    results seen exactly once — the adjustment only moves credit."""
+    rng = np.random.default_rng(7)
+    instances = place_instances(
+        30, 3000, rng, mean_duration=150, skew_fraction=None, with_boxes=False
+    )
+    repo = single_clip_repository(3000, instances)
+    sampler = make_sampler(repo, num_chunks=8, seed=7, cross=True)
+    sampler.run(max_samples=400)
+    disc = sampler.discriminator
+    seen_once = sum(1 for c in disc._seen_counts.values() if c == 1)
+    assert sampler.stats.n1.sum() == pytest.approx(seen_once)
+
+
+def test_unadjusted_run_can_break_locality_but_not_totals():
+    """Algorithm 1 as printed also keeps the global total (d1 always
+    follows a d0 *somewhere*), only the per-chunk attribution differs."""
+    rng = np.random.default_rng(9)
+    instances = place_instances(
+        30, 3000, rng, mean_duration=150, skew_fraction=None, with_boxes=False
+    )
+    repo = single_clip_repository(3000, instances)
+    plain = make_sampler(repo, num_chunks=8, seed=9, cross=False)
+    plain.run(max_samples=400)
+    # floors at zero per chunk may absorb misattributed decrements, so
+    # the plain variant's total can only be >= the true singleton count.
+    disc = plain.discriminator
+    seen_once = sum(1 for c in disc._seen_counts.values() if c == 1)
+    assert plain.stats.n1.sum() >= seen_once - 1e-9
+
+
+def test_adjustment_defaults_off():
+    repo = single_clip_repository(100, [spanning_instance(0, 10, 20)])
+    sampler = make_sampler(repo, cross=False)
+    assert sampler._cross_chunk is False

@@ -1,0 +1,155 @@
+"""Tests for the calibrated dataset profiles."""
+
+import numpy as np
+import pytest
+
+from repro.video.datasets import (
+    DATASETS,
+    all_queries,
+    build_dataset,
+    dataset_names,
+    get_profile,
+    scaled_chunk_frames,
+)
+
+
+def test_all_six_datasets_present():
+    assert dataset_names() == [
+        "amsterdam",
+        "archie",
+        "bdd1k",
+        "bdd_mot",
+        "dashcam",
+        "night_street",
+    ]
+
+
+def test_forty_three_queries():
+    """Table I has 43 (dataset, category) rows."""
+    assert len(all_queries()) == 43
+
+
+def test_frame_counts_match_scan_time_calibration():
+    """Frame counts must equal paper scan time x 100 fps within 1%."""
+    expected_scan_seconds = {
+        "bdd1k": 54 * 60,
+        "bdd_mot": 53 * 60,
+        "amsterdam": 9 * 3600 + 50 * 60,
+        "archie": 9 * 3600 + 49 * 60,
+        "dashcam": 2 * 3600 + 54 * 60,
+        "night_street": 8 * 3600,
+    }
+    for name, seconds in expected_scan_seconds.items():
+        profile = get_profile(name)
+        assert profile.total_frames == pytest.approx(seconds * 100, rel=0.01), name
+
+
+def test_chunk_counts_match_paper():
+    """§V-A: ~30 dashcam chunks, 1000/1600 BDD chunks, ~60 static-camera."""
+    assert get_profile("dashcam").num_chunks == 30
+    assert get_profile("bdd1k").num_chunks == 1000
+    assert get_profile("bdd_mot").num_chunks == 1600
+    assert get_profile("amsterdam").num_chunks == 60
+    assert get_profile("archie").num_chunks == 60
+    assert get_profile("night_street").num_chunks == 60
+
+
+def test_fig6_instance_counts_match_paper():
+    published = {
+        ("dashcam", "bicycle"): 249,
+        ("bdd1k", "motor"): 509,
+        ("night_street", "person"): 2078,
+        ("archie", "car"): 33546,
+        ("amsterdam", "boat"): 588,
+    }
+    for (dataset, category), count in published.items():
+        assert get_profile(dataset).category(category).num_instances == count
+
+
+def test_profile_category_lookup():
+    profile = get_profile("dashcam")
+    assert profile.category("bicycle").num_instances == 249
+    with pytest.raises(KeyError):
+        profile.category("submarine")
+    with pytest.raises(KeyError):
+        get_profile("nope")
+
+
+def test_build_dataset_structure():
+    repo = build_dataset("dashcam", categories=["bicycle"], seed=0, scale=0.05)
+    assert repo.num_clips == 8  # span-chunked: clip count preserved
+    assert repo.total_frames == pytest.approx(1_044_000 * 0.05, rel=0.01)
+    assert repo.categories() == ["bicycle"]
+    assert len(repo.instances_of("bicycle")) == round(249 * 0.05)
+
+
+def test_build_dataset_clip_chunked_scaling():
+    """BDD profiles scale clip count, preserving clip length."""
+    repo = build_dataset("bdd1k", categories=["motor"], seed=0, scale=0.05)
+    assert repo.num_clips == 50
+    assert repo.clips[0].num_frames == 324
+
+
+def test_build_dataset_instances_respect_clip_boundaries():
+    repo = build_dataset("bdd_mot", categories=["car"], seed=1, scale=0.02)
+    for inst in repo.instances:
+        clip = repo.clip_for_frame(inst.start_frame)
+        assert inst.end_frame <= clip.end_frame, (
+            f"instance {inst.instance_id} crosses clip boundary"
+        )
+
+
+def test_build_dataset_reproducible_and_seed_sensitive():
+    a = build_dataset("archie", categories=["bus"], seed=5, scale=0.02)
+    b = build_dataset("archie", categories=["bus"], seed=5, scale=0.02)
+    c = build_dataset("archie", categories=["bus"], seed=6, scale=0.02)
+    starts_a = [i.start_frame for i in a.instances]
+    starts_b = [i.start_frame for i in b.instances]
+    starts_c = [i.start_frame for i in c.instances]
+    assert starts_a == starts_b
+    assert starts_a != starts_c
+
+
+def test_build_dataset_category_independent_of_others():
+    """Building one category must not depend on which others are built."""
+    solo = build_dataset("amsterdam", categories=["boat"], seed=2, scale=0.02)
+    both = build_dataset("amsterdam", categories=["boat", "car"], seed=2, scale=0.02)
+    solo_starts = sorted(i.start_frame for i in solo.instances_of("boat"))
+    both_starts = sorted(i.start_frame for i in both.instances_of("boat"))
+    assert solo_starts == both_starts
+
+
+def test_build_dataset_validation():
+    with pytest.raises(KeyError):
+        build_dataset("dashcam", categories=["submarine"])
+    with pytest.raises(ValueError):
+        build_dataset("dashcam", scale=0.0)
+    with pytest.raises(ValueError):
+        build_dataset("dashcam", scale=1.5)
+
+
+def test_scaled_chunk_frames():
+    assert scaled_chunk_frames("bdd1k", 0.1) is None
+    full = scaled_chunk_frames("dashcam", 1.0)
+    assert full == 34800
+    assert scaled_chunk_frames("dashcam", 0.1) == 3480
+
+
+def test_durations_do_not_scale():
+    """Scaling shrinks frames/instances but object durations stay."""
+    profile = get_profile("amsterdam").category("boat")
+    repo = build_dataset("amsterdam", categories=["boat"], seed=0, scale=0.05)
+    durations = repo.instances.durations()
+    assert durations.mean() == pytest.approx(profile.mean_duration, rel=0.5)
+
+
+def test_mean_durations_roughly_calibrated():
+    """Generated mean duration tracks the profile's target."""
+    rel_errors = []
+    for name in ("dashcam", "night_street"):
+        profile = get_profile(name)
+        for cat in profile.categories:
+            repo = build_dataset(name, categories=[cat.category], seed=3, scale=0.1)
+            observed = repo.instances.durations().mean()
+            rel_errors.append(abs(observed - cat.mean_duration) / cat.mean_duration)
+    assert np.mean(rel_errors) < 0.35

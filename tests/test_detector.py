@@ -1,0 +1,141 @@
+"""Tests for the simulated black-box detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detector import OracleDetector, SimulatedDetector
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.repository import single_clip_repository
+
+
+def make_repo(num_instances=10, total_frames=1000, category="car", seed=0):
+    rng = np.random.default_rng(seed)
+    instances = []
+    for k in range(num_instances):
+        start = int(rng.integers(0, total_frames - 100))
+        duration = int(rng.integers(20, 100))
+        box = Box.from_center(
+            float(rng.uniform(200, 1700)), float(rng.uniform(200, 900)), 120, 120
+        )
+        traj = Trajectory.stationary(start, duration, box)
+        instances.append(ObjectInstance(k, category, traj))
+    return single_clip_repository(total_frames, instances)
+
+
+def test_oracle_detector_returns_exact_ground_truth():
+    repo = make_repo()
+    detector = OracleDetector(repo)
+    for frame in (0, 100, 500, 999):
+        dets = detector.detect(frame)
+        truth = repo.instances.visible_in(frame)
+        assert {d.true_instance_id for d in dets} == {i.instance_id for i in truth}
+        for d in dets:
+            assert d.score == 1.0
+            assert d.box == repo.instances[d.true_instance_id].box_at(frame)
+    assert detector.stats.frames_processed == 4
+
+
+def test_oracle_detector_category_filter():
+    rng = np.random.default_rng(1)
+    instances = [
+        ObjectInstance(0, "car", Trajectory.stationary(0, 100, Box(0, 0, 10, 10))),
+        ObjectInstance(1, "boat", Trajectory.stationary(0, 100, Box(20, 20, 30, 30))),
+    ]
+    repo = single_clip_repository(200, instances)
+    detector = OracleDetector(repo, category="boat")
+    dets = detector.detect(50)
+    assert len(dets) == 1
+    assert dets[0].category == "boat"
+
+
+def test_simulated_detector_deterministic():
+    repo = make_repo(seed=2)
+    a = SimulatedDetector(repo, miss_rate=0.2, seed=7)
+    b = SimulatedDetector(repo, miss_rate=0.2, seed=7)
+    for frame in (10, 250, 700):
+        da = a.detect(frame)
+        db = b.detect(frame)
+        assert [(d.true_instance_id, d.box) for d in da] == [
+            (d.true_instance_id, d.box) for d in db
+        ]
+
+
+def test_simulated_detector_seed_changes_output():
+    repo = make_repo(num_instances=40, seed=3)
+    frames = range(0, 1000, 25)
+    a = SimulatedDetector(repo, miss_rate=0.4, false_positive_rate=0.0, seed=1)
+    b = SimulatedDetector(repo, miss_rate=0.4, false_positive_rate=0.0, seed=2)
+    found_a = [d.true_instance_id for f in frames for d in a.detect(f)]
+    found_b = [d.true_instance_id for f in frames for d in b.detect(f)]
+    assert found_a != found_b
+
+
+def test_simulated_detector_miss_rate_reduces_detections():
+    repo = make_repo(num_instances=60, total_frames=2000, seed=4)
+    frames = list(range(0, 2000, 10))
+    exact = OracleDetector(repo)
+    noisy = SimulatedDetector(repo, miss_rate=0.5, false_positive_rate=0.0, seed=0)
+    total_exact = sum(len(exact.detect(f)) for f in frames)
+    total_noisy = sum(len(noisy.detect(f)) for f in frames)
+    assert total_noisy < total_exact * 0.85
+    assert total_noisy > 0
+
+
+def test_simulated_detector_zero_noise_equals_oracle_support():
+    repo = make_repo(seed=5)
+    clean = SimulatedDetector(
+        repo, miss_rate=0.0, false_positive_rate=0.0, jitter=0.0, seed=0
+    )
+    oracle = OracleDetector(repo)
+    for frame in (5, 400, 900):
+        ids_clean = {d.true_instance_id for d in clean.detect(frame)}
+        ids_oracle = {d.true_instance_id for d in oracle.detect(frame)}
+        assert ids_clean == ids_oracle
+
+
+def test_simulated_detector_false_positives():
+    repo = make_repo(num_instances=1, total_frames=5000, seed=6)
+    detector = SimulatedDetector(
+        repo, miss_rate=0.0, false_positive_rate=0.5, seed=0
+    )
+    fps = sum(
+        1
+        for f in range(0, 5000, 5)
+        for d in detector.detect(f)
+        if d.is_false_positive
+    )
+    # expect roughly 0.5 per frame over 1000 frames
+    assert 300 < fps < 800
+
+
+def test_simulated_detector_jitter_keeps_high_iou():
+    repo = make_repo(seed=7)
+    detector = SimulatedDetector(
+        repo, miss_rate=0.0, false_positive_rate=0.0, jitter=0.03, seed=0
+    )
+    for frame in range(0, 1000, 50):
+        for det in detector.detect(frame):
+            truth = repo.instances[det.true_instance_id].box_at(frame)
+            assert det.box.iou(truth) > 0.5
+
+
+def test_simulated_detector_validation():
+    repo = make_repo()
+    with pytest.raises(ValueError):
+        SimulatedDetector(repo, miss_rate=1.0)
+    with pytest.raises(ValueError):
+        SimulatedDetector(repo, false_positive_rate=-0.1)
+    with pytest.raises(ValueError):
+        SimulatedDetector(repo, jitter=-1)
+
+
+def test_detector_stats_counters():
+    repo = make_repo()
+    detector = SimulatedDetector(repo, seed=0)
+    detector.detect(0)
+    detector.detect(1)
+    assert detector.stats.frames_processed == 2
+    detector.stats.reset()
+    assert detector.stats.frames_processed == 0
+    assert detector.stats.detections_emitted == 0

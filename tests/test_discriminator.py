@@ -1,0 +1,192 @@
+"""Tests for the d0/d1 discriminators of Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detector import Detection, OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator, TrackingDiscriminator
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.repository import single_clip_repository
+
+
+def make_instance(instance_id, start, duration, x=100.0):
+    traj = Trajectory.stationary(
+        start, duration, Box.from_center(x, 500.0, 80, 80)
+    )
+    return ObjectInstance(instance_id, "car", traj)
+
+
+def det_for(inst, frame):
+    return Detection(
+        frame_index=frame,
+        box=inst.box_at(frame),
+        category=inst.category,
+        score=1.0,
+        true_instance_id=inst.instance_id,
+    )
+
+
+# --------------------------------------------------- TrackingDiscriminator
+
+
+def test_tracking_first_sighting_is_new():
+    inst = make_instance(0, 100, 50)
+    disc = TrackingDiscriminator(InstanceSet([inst]))
+    outcome = disc.observe(120, [det_for(inst, 120)])
+    assert outcome.d0 == 1
+    assert outcome.d1 == 0
+    assert disc.result_count() == 1
+
+
+def test_tracking_second_sighting_is_d1_then_nothing():
+    inst = make_instance(0, 100, 50)
+    disc = TrackingDiscriminator(InstanceSet([inst]))
+    disc.observe(120, [det_for(inst, 120)])
+    second = disc.observe(130, [det_for(inst, 130)])
+    assert second.d0 == 0
+    assert second.d1 == 1  # matched a track seen exactly once before
+    third = disc.observe(140, [det_for(inst, 140)])
+    assert third.d0 == 0
+    assert third.d1 == 0  # track now seen twice: no longer counts
+    assert disc.result_count() == 1
+
+
+def test_tracking_distinct_objects_both_counted():
+    a = make_instance(0, 100, 50, x=100)
+    b = make_instance(1, 100, 50, x=900)  # far apart: no IoU confusion
+    disc = TrackingDiscriminator(InstanceSet([a, b]))
+    outcome = disc.observe(120, [det_for(a, 120), det_for(b, 120)])
+    assert outcome.d0 == 2
+    assert disc.result_count() == 2
+    assert disc.distinct_true_instances() == {0, 1}
+
+
+def test_tracking_two_phase_equals_observe():
+    inst = make_instance(0, 0, 100)
+    disc = TrackingDiscriminator(InstanceSet([inst]))
+    dets = [det_for(inst, 10)]
+    outcome = disc.get_matches(10, dets)
+    assert outcome.d0 == 1
+    disc.add(10, dets)
+    assert disc.result_count() == 1
+    # second frame via the two-phase API
+    dets2 = [det_for(inst, 20)]
+    outcome2 = disc.get_matches(20, dets2)
+    assert outcome2.d1 == 1
+    disc.add(20, dets2)
+    assert disc.result_count() == 1
+
+
+def test_tracking_add_without_get_matches_recomputes():
+    inst = make_instance(0, 0, 100)
+    disc = TrackingDiscriminator(InstanceSet([inst]))
+    disc.add(10, [det_for(inst, 10)])
+    assert disc.result_count() == 1
+
+
+def test_tracking_partial_coverage_can_double_count():
+    """With an imperfect tracker, the edges of a long appearance are not
+    covered and a later detection there registers a duplicate result —
+    the realistic failure mode the paper's design tolerates."""
+    inst = make_instance(0, 0, 1001)
+    disc = TrackingDiscriminator(InstanceSet([inst]), track_coverage=0.2)
+    disc.observe(500, [det_for(inst, 500)])  # track covers ~[400, 600]
+    disc.observe(950, [det_for(inst, 950)])  # outside recovered span
+    assert disc.result_count() == 2
+
+
+def test_tracking_false_positive_becomes_result():
+    disc = TrackingDiscriminator(InstanceSet([]))
+    fp = Detection(5, Box(0, 0, 30, 30), "car", 0.4, true_instance_id=None)
+    outcome = disc.observe(5, [fp])
+    assert outcome.d0 == 1
+    assert disc.result_count() == 1
+    assert disc.distinct_true_instances() == set()
+
+
+def test_tracking_results_expose_tracks():
+    inst = make_instance(3, 0, 60)
+    disc = TrackingDiscriminator(InstanceSet([inst]))
+    disc.observe(30, [det_for(inst, 30)])
+    tracks = disc.results
+    assert len(tracks) == 1
+    assert tracks[0].true_instance_id == 3
+    assert tracks[0].covers(0) and tracks[0].covers(59)
+
+
+def test_tracking_validation():
+    with pytest.raises(ValueError):
+        TrackingDiscriminator(InstanceSet([]), iou_threshold=0.0)
+
+
+# ----------------------------------------------------- OracleDiscriminator
+
+
+def test_oracle_counts_and_matches():
+    inst = make_instance(0, 0, 100)
+    disc = OracleDiscriminator()
+    first = disc.observe(10, [det_for(inst, 10)])
+    assert (first.d0, first.d1) == (1, 0)
+    second = disc.observe(20, [det_for(inst, 20)])
+    assert (second.d0, second.d1) == (0, 1)
+    third = disc.observe(30, [det_for(inst, 30)])
+    assert (third.d0, third.d1) == (0, 0)
+    assert disc.result_count() == 1
+    assert disc.distinct_true_instances() == {0}
+
+
+def test_oracle_same_frame_duplicate_detections():
+    inst = make_instance(0, 0, 100)
+    disc = OracleDiscriminator()
+    outcome = disc.observe(10, [det_for(inst, 10), det_for(inst, 10)])
+    assert outcome.d0 == 1  # one new object, not two
+    assert disc.result_count() == 1
+
+
+def test_oracle_false_positives_are_new_results():
+    disc = OracleDiscriminator()
+    fp = Detection(5, Box(0, 0, 3, 3), "car", 0.2, true_instance_id=None)
+    disc.observe(5, [fp])
+    disc.observe(6, [fp])
+    assert disc.result_count() == 2  # each FP is its own singleton
+    assert disc.false_positive_results == 2
+
+
+def test_oracle_and_tracking_agree_on_clean_pipeline():
+    """On noise-free detections of well-separated objects, both
+    discriminators must count identically."""
+    rng = np.random.default_rng(0)
+    instances = [
+        make_instance(k, int(rng.integers(0, 900)), 50, x=110.0 + 180 * (k % 10))
+        for k in range(15)
+    ]
+    repo = single_clip_repository(1000, instances)
+    detector = OracleDetector(repo)
+    tracking = TrackingDiscriminator(repo.instances)
+    oracle = OracleDiscriminator()
+    frames = rng.integers(0, 1000, size=300)
+    for frame in frames:
+        dets = detector.detect(int(frame))
+        a = tracking.observe(int(frame), dets)
+        b = oracle.observe(int(frame), dets)
+        assert (a.d0, a.d1) == (b.d0, b.d1)
+    assert tracking.result_count() == oracle.result_count()
+
+
+def test_n1_bookkeeping_matches_store():
+    """N1 derived from d0/d1 must equal tracks seen exactly once."""
+    rng = np.random.default_rng(1)
+    instances = [
+        make_instance(k, int(rng.integers(0, 500)), 80, x=110.0 + 170 * (k % 10))
+        for k in range(10)
+    ]
+    repo = single_clip_repository(600, instances)
+    detector = OracleDetector(repo)
+    disc = TrackingDiscriminator(repo.instances)
+    n1 = 0
+    for frame in rng.integers(0, 600, size=200):
+        dets = detector.detect(int(frame))
+        outcome = disc.observe(int(frame), dets)
+        n1 += outcome.d0 - outcome.d1
+    assert n1 == disc._store.seen_exactly_once()

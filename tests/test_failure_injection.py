@@ -1,0 +1,184 @@
+"""Failure injection: the pipeline under hostile detector/discriminator
+conditions.
+
+The paper treats the detector as a black box; a robust implementation
+must therefore survive that box being *bad* — heavy miss rates, false
+positive storms, lost tracks — without crashing, corrupting statistics,
+or violating the Algorithm-1 invariants.  Degraded *quality* is expected
+and asserted only loosely; degraded *integrity* is not tolerated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import even_count_chunks
+from repro.core.estimator import ChunkStatistics
+from repro.core.sampler import ExSample
+from repro.detection.detector import Detection, OracleDetector, SimulatedDetector
+from repro.tracking.discriminator import OracleDiscriminator, TrackingDiscriminator
+from repro.video.geometry import Box
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+
+def make_repo(total_frames=6000, num_instances=25, seed=0, with_boxes=True):
+    rng = np.random.default_rng(seed)
+    instances = place_instances(
+        num_instances, total_frames, rng, mean_duration=120,
+        skew_fraction=0.2, with_boxes=with_boxes,
+    )
+    return single_clip_repository(total_frames, instances)
+
+
+def run_exsample(repo, detector, discriminator, seed=0, max_samples=600):
+    rng = np.random.default_rng(seed)
+    chunks = even_count_chunks(repo.total_frames, 8, rng)
+    sampler = ExSample(chunks, detector, discriminator, rng=rng)
+    sampler.run(max_samples=max_samples)
+    return sampler
+
+
+# ------------------------------------------------------------ noisy detector
+
+
+def test_severe_miss_rate_still_terminates_and_stays_consistent():
+    repo = make_repo()
+    detector = SimulatedDetector(repo, miss_rate=0.8, seed=1)
+    sampler = run_exsample(repo, detector, OracleDiscriminator())
+    assert sampler.frames_processed == 600
+    assert np.all(sampler.stats.n1 >= 0)
+    assert np.all(np.diff(sampler.history.results) >= 0)
+    # 80% misses still finds *something* on a 25-instance workload
+    assert sampler.results_found > 0
+
+
+def test_false_positive_storm_inflates_results_not_invariants():
+    repo = make_repo()
+    detector = SimulatedDetector(
+        repo, miss_rate=0.0, false_positive_rate=2.0, seed=2
+    )
+    sampler = run_exsample(repo, detector, OracleDiscriminator())
+    # every FP is a spurious distinct result under the oracle rules...
+    assert sampler.results_found > 25
+    # ...but provenance separates them from true instances
+    true_found = len(sampler.discriminator.distinct_true_instances())
+    assert true_found <= 25
+    assert np.all(sampler.stats.n1 >= 0)
+
+
+def test_detector_determinism_under_noise():
+    """Revisiting a frame must yield identical detections (a deployed
+    CNN is deterministic), or the discriminator's caching breaks."""
+    repo = make_repo()
+    detector = SimulatedDetector(repo, miss_rate=0.4, jitter=0.1, seed=3)
+    frame = repo.total_frames // 2
+    first = detector.detect(frame)
+    second = detector.detect(frame)
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert a.box.to_array().tolist() == b.box.to_array().tolist()
+        assert a.true_instance_id == b.true_instance_id
+
+
+# -------------------------------------------------- degraded discriminator
+
+
+def test_partial_track_coverage_double_counts_but_never_crashes():
+    """A discriminator whose tracks cover only part of each instance's
+    true extent re-counts objects (track fragmentation) — results exceed
+    ground truth, monotonicity and N1 floors still hold."""
+    repo = make_repo(with_boxes=True)
+    detector = OracleDetector(repo)
+    disc = TrackingDiscriminator(repo.instances, track_coverage=0.3)
+    sampler = run_exsample(repo, detector, disc)
+    assert sampler.frames_processed == 600
+    assert np.all(sampler.stats.n1 >= 0)
+    assert np.all(np.diff(sampler.history.results) >= 0)
+
+
+def test_zero_iou_threshold_rejected():
+    repo = make_repo()
+    with pytest.raises(ValueError):
+        TrackingDiscriminator(repo.instances, iou_threshold=0.0)
+
+
+class AdversarialDiscriminator:
+    """Reports d1 events that never had a d0 — a buggy client.
+
+    The estimator's defensive floor (N1 >= 0) must absorb this without
+    going negative or crashing the sampler.
+    """
+
+    def __init__(self):
+        self._count = 0
+
+    def observe(self, frame_index, detections):
+        from repro.tracking.discriminator import MatchOutcome
+
+        self._count += 1
+        fake = tuple(detections)
+        return MatchOutcome(new_detections=(), second_sightings=fake)
+
+    def get_matches(self, frame_index, detections):
+        return self.observe(frame_index, detections)
+
+    def add(self, frame_index, detections):
+        pass
+
+    def result_count(self):
+        return 0
+
+    def distinct_true_instances(self):
+        return set()
+
+
+def test_adversarial_d1_only_discriminator_is_absorbed():
+    repo = make_repo()
+    sampler = run_exsample(
+        repo, OracleDetector(repo), AdversarialDiscriminator(), max_samples=200
+    )
+    assert sampler.frames_processed == 200
+    assert np.all(sampler.stats.n1 >= 0)
+    assert sampler.stats.total_samples == 200
+
+
+# ----------------------------------------------------------- empty datasets
+
+
+def test_empty_repository_runs_to_exhaustion():
+    repo = single_clip_repository(500, [])
+    sampler = run_exsample(
+        repo, OracleDetector(repo), OracleDiscriminator(), max_samples=500
+    )
+    assert sampler.results_found == 0
+    assert sampler.exhausted
+    assert np.all(sampler.stats.point_estimate() == 0.0)
+
+
+def test_category_with_no_instances_is_safe():
+    repo = make_repo()
+    detector = OracleDetector(repo, category="unicorn")
+    sampler = run_exsample(repo, detector, OracleDiscriminator(), max_samples=100)
+    assert sampler.results_found == 0
+
+
+# --------------------------------------------------------- statistics abuse
+
+
+def test_estimator_rejects_negative_counts():
+    stats = ChunkStatistics(2)
+    with pytest.raises(ValueError):
+        stats.record(0, d0=-1, d1=0)
+    with pytest.raises(ValueError):
+        stats.record(0, d0=0, d1=-2)
+    with pytest.raises(IndexError):
+        stats.record(9, d0=0, d1=0)
+
+
+def test_d1_flood_floors_n1_at_zero():
+    stats = ChunkStatistics(1)
+    stats.record(0, d0=1, d1=0)
+    for _ in range(10):
+        stats.record(0, d0=0, d1=3)
+    assert stats.n1[0] == 0.0
+    assert stats.n[0] == 11

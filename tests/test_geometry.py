@@ -1,0 +1,218 @@
+"""Unit and property tests for box geometry and trajectories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.geometry import Box, Trajectory, iou, iou_matrix
+
+# ---------------------------------------------------------------------- Box
+
+
+def test_box_basic_properties():
+    box = Box(10, 20, 30, 60)
+    assert box.width == 20
+    assert box.height == 40
+    assert box.area == 800
+    assert box.center == (20, 40)
+
+
+def test_box_rejects_inverted_corners():
+    with pytest.raises(ValueError):
+        Box(10, 0, 0, 10)
+    with pytest.raises(ValueError):
+        Box(0, 10, 10, 0)
+
+
+def test_zero_area_box_allowed():
+    box = Box(5, 5, 5, 5)
+    assert box.area == 0
+    assert box.iou(Box(0, 0, 10, 10)) == 0.0
+
+
+def test_intersection_disjoint_is_zero():
+    assert Box(0, 0, 1, 1).intersection(Box(2, 2, 3, 3)) == 0.0
+
+
+def test_intersection_partial_overlap():
+    a = Box(0, 0, 2, 2)
+    b = Box(1, 1, 3, 3)
+    assert a.intersection(b) == pytest.approx(1.0)
+    assert a.union(b) == pytest.approx(7.0)
+    assert a.iou(b) == pytest.approx(1.0 / 7.0)
+
+
+def test_iou_identical_boxes():
+    box = Box(0, 0, 4, 4)
+    assert box.iou(box) == pytest.approx(1.0)
+    assert iou(box, box) == pytest.approx(1.0)
+
+
+def test_translate_and_scale():
+    box = Box(0, 0, 10, 10)
+    moved = box.translate(5, -3)
+    assert (moved.x1, moved.y1, moved.x2, moved.y2) == (5, -3, 15, 7)
+    doubled = box.scale(2.0)
+    assert doubled.area == pytest.approx(400.0)
+    assert doubled.center == box.center
+    with pytest.raises(ValueError):
+        box.scale(-1.0)
+
+
+def test_clip_to_image():
+    box = Box(-10, -10, 50, 50)
+    clipped = box.clip(40, 30)
+    assert (clipped.x1, clipped.y1, clipped.x2, clipped.y2) == (0, 0, 40, 30)
+
+
+def test_from_center_and_arrays():
+    box = Box.from_center(10, 10, 4, 6)
+    assert (box.x1, box.y1, box.x2, box.y2) == (8, 7, 12, 13)
+    arr = box.to_array()
+    assert Box.from_array(arr) == box
+    with pytest.raises(ValueError):
+        Box.from_array([1, 2, 3])
+    with pytest.raises(ValueError):
+        Box.from_center(0, 0, -1, 1)
+
+
+def test_contains_point():
+    box = Box(0, 0, 10, 10)
+    assert box.contains_point(5, 5)
+    assert box.contains_point(0, 10)  # boundary included
+    assert not box.contains_point(11, 5)
+
+
+finite_coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+
+
+@st.composite
+def boxes(draw):
+    x1 = draw(finite_coords)
+    y1 = draw(finite_coords)
+    w = draw(st.floats(min_value=0, max_value=500))
+    h = draw(st.floats(min_value=0, max_value=500))
+    return Box(x1, y1, x1 + w, y1 + h)
+
+
+@given(boxes(), boxes())
+def test_iou_symmetric_and_bounded(a, b):
+    ab = a.iou(b)
+    assert ab == pytest.approx(b.iou(a))
+    assert 0.0 <= ab <= 1.0 + 1e-12
+
+
+@given(boxes())
+def test_iou_self_is_one_for_positive_area(box):
+    if box.area > 0:
+        assert box.iou(box) == pytest.approx(1.0)
+
+
+@given(boxes(), boxes())
+def test_intersection_bounded_by_min_area(a, b):
+    inter = a.intersection(b)
+    assert inter <= min(a.area, b.area) + 1e-9
+    assert inter >= 0.0
+
+
+# -------------------------------------------------------------- iou_matrix
+
+
+def test_iou_matrix_matches_scalar():
+    rng = np.random.default_rng(0)
+    boxes_a = [
+        Box.from_center(rng.uniform(0, 100), rng.uniform(0, 100), 20, 20)
+        for _ in range(5)
+    ]
+    boxes_b = [
+        Box.from_center(rng.uniform(0, 100), rng.uniform(0, 100), 30, 10)
+        for _ in range(7)
+    ]
+    matrix = iou_matrix(boxes_a, boxes_b)
+    assert matrix.shape == (5, 7)
+    for i, a in enumerate(boxes_a):
+        for j, b in enumerate(boxes_b):
+            assert matrix[i, j] == pytest.approx(a.iou(b))
+
+
+def test_iou_matrix_empty_inputs():
+    assert iou_matrix([], []).shape == (0, 0)
+    assert iou_matrix([Box(0, 0, 1, 1)], []).shape == (1, 0)
+    assert iou_matrix([], [Box(0, 0, 1, 1)]).shape == (0, 1)
+
+
+def test_iou_matrix_accepts_ndarray():
+    arr = np.array([[0, 0, 2, 2], [1, 1, 3, 3]], dtype=float)
+    matrix = iou_matrix(arr, arr)
+    assert matrix[0, 0] == pytest.approx(1.0)
+    assert matrix[0, 1] == pytest.approx(1.0 / 7.0)
+    with pytest.raises(ValueError):
+        iou_matrix(np.zeros((2, 3)), arr)
+
+
+# -------------------------------------------------------------- Trajectory
+
+
+def test_trajectory_interpolation():
+    traj = Trajectory.linear(100, 11, Box(0, 0, 10, 10), Box(20, 0, 30, 10))
+    assert traj.start_frame == 100
+    assert traj.end_frame == 111
+    assert traj.duration == 11
+    mid = traj.box_at(105)
+    assert mid.x1 == pytest.approx(10.0)
+    assert traj.box_at(100) == Box(0, 0, 10, 10)
+    assert traj.box_at(110) == Box(20, 0, 30, 10)
+
+
+def test_trajectory_out_of_range():
+    traj = Trajectory.stationary(5, 3, Box(0, 0, 1, 1))
+    assert traj.covers(5) and traj.covers(7)
+    assert not traj.covers(8)
+    with pytest.raises(ValueError):
+        traj.box_at(8)
+    with pytest.raises(ValueError):
+        traj.box_at(4)
+
+
+def test_trajectory_single_frame():
+    traj = Trajectory.linear(0, 1, Box(0, 0, 1, 1), Box(5, 5, 6, 6))
+    assert traj.duration == 1
+    assert traj.box_at(0) == Box(0, 0, 1, 1)
+
+
+def test_trajectory_validation():
+    with pytest.raises(ValueError):
+        Trajectory([])
+    with pytest.raises(ValueError):
+        Trajectory([(0, Box(0, 0, 1, 1)), (0, Box(1, 1, 2, 2))])
+    with pytest.raises(ValueError):
+        Trajectory.linear(0, 0, Box(0, 0, 1, 1), Box(0, 0, 1, 1))
+
+
+def test_trajectory_multi_keyframe():
+    traj = Trajectory(
+        [
+            (0, Box(0, 0, 2, 2)),
+            (10, Box(10, 0, 12, 2)),
+            (20, Box(10, 10, 12, 12)),
+        ]
+    )
+    assert traj.box_at(5).x1 == pytest.approx(5.0)
+    assert traj.box_at(15).y1 == pytest.approx(5.0)
+
+
+@given(
+    start=st.integers(min_value=0, max_value=1000),
+    duration=st.integers(min_value=1, max_value=500),
+    offset=st.integers(min_value=0, max_value=499),
+)
+def test_trajectory_boxes_inside_hull(start, duration, offset):
+    """Interpolated coordinates stay within the keyframe coordinate hull."""
+    if offset >= duration:
+        offset = duration - 1
+    a, b = Box(0, 0, 10, 10), Box(100, 50, 110, 60)
+    traj = Trajectory.linear(start, duration, a, b)
+    box = traj.box_at(start + offset)
+    assert min(a.x1, b.x1) - 1e-9 <= box.x1 <= max(a.x1, b.x1) + 1e-9
+    assert min(a.y2, b.y2) - 1e-9 <= box.y2 <= max(a.y2, b.y2) + 1e-9

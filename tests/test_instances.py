@@ -1,0 +1,118 @@
+"""Tests for object instances and the instance index."""
+
+import numpy as np
+import pytest
+
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+
+
+def make_instance(instance_id, start, duration, category="car"):
+    traj = Trajectory.stationary(start, duration, Box(0, 0, 10, 10))
+    return ObjectInstance(instance_id=instance_id, category=category, trajectory=traj)
+
+
+def test_instance_basic_properties():
+    inst = make_instance(1, 100, 50)
+    assert inst.start_frame == 100
+    assert inst.end_frame == 150
+    assert inst.duration == 50
+    assert inst.visible_at(100)
+    assert inst.visible_at(149)
+    assert not inst.visible_at(150)
+    assert inst.box_at(120) == Box(0, 0, 10, 10)
+
+
+def test_instance_probability():
+    inst = make_instance(1, 0, 25)
+    assert inst.probability(100) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        inst.probability(0)
+
+
+def test_instance_set_lookup_and_indexing():
+    instances = [
+        make_instance(0, 0, 10),
+        make_instance(1, 5, 10, category="person"),
+        make_instance(2, 100, 5),
+    ]
+    iset = InstanceSet(instances)
+    assert len(iset) == 3
+    assert iset[1].category == "person"
+    assert 2 in iset
+    assert 99 not in iset
+    assert iset.ids() == [0, 1, 2]
+
+
+def test_instance_set_rejects_duplicate_ids():
+    with pytest.raises(ValueError):
+        InstanceSet([make_instance(1, 0, 5), make_instance(1, 10, 5)])
+
+
+def test_visible_in():
+    iset = InstanceSet(
+        [
+            make_instance(0, 0, 10),
+            make_instance(1, 5, 10, category="person"),
+            make_instance(2, 100, 5),
+        ]
+    )
+    assert [i.instance_id for i in iset.visible_in(7)] == [0, 1]
+    assert [i.instance_id for i in iset.visible_in(7, category="person")] == [1]
+    assert iset.visible_in(50) == []
+    assert [i.instance_id for i in iset.visible_in(100)] == [2]
+
+
+def test_visible_in_brute_force_agreement():
+    rng = np.random.default_rng(3)
+    instances = [
+        make_instance(k, int(rng.integers(0, 500)), int(rng.integers(1, 80)))
+        for k in range(60)
+    ]
+    iset = InstanceSet(instances)
+    for frame in rng.integers(0, 600, size=50):
+        expected = sorted(
+            i.instance_id
+            for i in instances
+            if i.start_frame <= frame < i.end_frame
+        )
+        got = sorted(i.instance_id for i in iset.visible_in(int(frame)))
+        assert got == expected
+
+
+def test_categories_and_filtering():
+    iset = InstanceSet(
+        [
+            make_instance(0, 0, 10, "car"),
+            make_instance(1, 0, 10, "person"),
+            make_instance(2, 0, 10, "car"),
+        ]
+    )
+    assert iset.categories == ["car", "person"]
+    cars = iset.of_category("car")
+    assert len(cars) == 2
+    assert all(i.category == "car" for i in cars)
+
+
+def test_durations_and_probabilities_vectors():
+    iset = InstanceSet([make_instance(0, 0, 10), make_instance(1, 0, 40)])
+    assert iset.durations().tolist() == [10, 40]
+    np.testing.assert_allclose(iset.probabilities(100), [0.1, 0.4])
+    with pytest.raises(ValueError):
+        iset.probabilities(0)
+
+
+def test_count_in_range_uses_midpoints():
+    iset = InstanceSet([make_instance(0, 0, 10), make_instance(1, 90, 20)])
+    # midpoints at 5 and 100
+    assert iset.count_in_range(0, 50) == 1
+    assert iset.count_in_range(50, 150) == 1
+    assert iset.count_in_range(0, 150) == 2
+    assert iset.count_in_range(6, 50) == 0
+
+
+def test_empty_instance_set():
+    iset = InstanceSet([])
+    assert len(iset) == 0
+    assert iset.visible_in(0) == []
+    assert iset.categories == []

@@ -1,0 +1,132 @@
+"""Integration tests: the paper's qualitative claims, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import median_samples_to_target, savings_ratio
+from repro.core.query import DistinctObjectQuery, QueryEngine
+from repro.detection.detector import SimulatedDetector
+from repro.experiments.runner import make_simulation_repository, repeat_histories
+from repro.tracking.discriminator import TrackingDiscriminator
+from repro.video.datasets import build_dataset, get_profile, scaled_chunk_frames
+
+
+def test_exsample_beats_random_under_skew():
+    """§IV-B: with instance skew, ExSample needs materially fewer frames."""
+    repo = make_simulation_repository(
+        120_000, 300, mean_duration=200.0, skew_fraction=1 / 32, seed=0
+    )
+    ex = repeat_histories(repo, "exsample", 5, max_samples=4000,
+                          base_seed=1, num_chunks=64)
+    rnd = repeat_histories(repo, "random", 5, max_samples=4000, base_seed=2)
+    ratio = savings_ratio(rnd, ex, target=150)
+    assert ratio is not None and ratio > 1.5
+
+
+def test_exsample_matches_random_without_skew():
+    """§IV-B: no skew -> ExSample performs like random (never much worse)."""
+    repo = make_simulation_repository(
+        120_000, 300, mean_duration=200.0, skew_fraction=None, seed=3
+    )
+    ex = repeat_histories(repo, "exsample", 5, max_samples=3000,
+                          base_seed=4, num_chunks=64)
+    rnd = repeat_histories(repo, "random", 5, max_samples=3000, base_seed=5)
+    ratio = savings_ratio(rnd, ex, target=150)
+    assert ratio is not None and 0.7 < ratio < 1.5
+
+
+def test_one_chunk_equals_random():
+    """§IV-C: a single chunk reduces ExSample to random sampling."""
+    repo = make_simulation_repository(
+        60_000, 200, mean_duration=150.0, skew_fraction=1 / 32, seed=6
+    )
+    ex = repeat_histories(repo, "exsample", 5, max_samples=2000,
+                          base_seed=7, num_chunks=1)
+    rnd = repeat_histories(repo, "random", 5, max_samples=2000, base_seed=8)
+    ratio = savings_ratio(rnd, ex, target=100)
+    assert ratio is not None and 0.6 < ratio < 1.6
+
+
+def test_chunking_beats_single_chunk_under_skew():
+    repo = make_simulation_repository(
+        60_000, 200, mean_duration=150.0, skew_fraction=1 / 32, seed=9
+    )
+    many = repeat_histories(repo, "exsample", 5, max_samples=2000,
+                            base_seed=10, num_chunks=64)
+    one = repeat_histories(repo, "exsample", 5, max_samples=2000,
+                           base_seed=11, num_chunks=1)
+    m = median_samples_to_target(many, 100)
+    o = median_samples_to_target(one, 100)
+    assert m is not None and o is not None and m < o
+
+
+def test_full_noisy_pipeline_reaches_high_recall():
+    """SimulatedDetector + TrackingDiscriminator over a boxed dataset:
+    the system still finds most objects, with bounded duplicate results."""
+    repo = build_dataset(
+        "night_street", categories=["person"], seed=0, scale=0.02, with_boxes=True
+    )
+    category_instances = repo.instances_of("person")
+    detector = SimulatedDetector(
+        repo, category="person", miss_rate=0.1,
+        false_positive_rate=0.0, jitter=0.02, seed=1,
+    )
+    discriminator = TrackingDiscriminator(category_instances, track_coverage=0.9)
+    engine = QueryEngine(
+        repo, "person",
+        chunk_frames=scaled_chunk_frames("night_street", 0.02),
+        detector_factory=lambda: detector,
+        discriminator_factory=lambda: discriminator,
+        seed=2,
+    )
+    result = engine.execute(
+        DistinctObjectQuery("person", recall_target=0.8, max_samples=30_000)
+    )
+    assert result.satisfied
+    assert result.recall >= 0.8
+    # duplicate results (same true instance found twice) stay bounded
+    dupes = result.results_returned - result.distinct_instances_found
+    assert dupes <= result.results_returned * 0.35
+
+
+def test_table1_headline_on_sampled_queries():
+    """ExSample reaches 90% recall before the proxy could finish scanning,
+    spot-checked on one query per dataset."""
+    from repro.experiments.evaluation import EvalConfig, evaluate_query
+
+    config = EvalConfig(scale=0.04, runs=2, seed=1)
+    picks = [
+        ("dashcam", "traffic light"),
+        ("bdd1k", "person"),
+        ("amsterdam", "boat"),
+        ("night_street", "car"),
+    ]
+    for dataset, category in picks:
+        ev = evaluate_query(dataset, category, config)
+        t90 = ev.full_scale_seconds(0.9, config.throughput)
+        scan = config.throughput.scan_seconds(get_profile(dataset).total_frames)
+        assert t90 is not None and t90 < scan, (dataset, category, t90, scan)
+
+
+def test_batched_exsample_still_beats_random_under_skew():
+    """§III-F batching must not destroy the adaptivity gain."""
+    repo = make_simulation_repository(
+        120_000, 300, mean_duration=200.0, skew_fraction=1 / 32, seed=12
+    )
+    ex = repeat_histories(repo, "exsample", 5, max_samples=4000,
+                          base_seed=13, num_chunks=64, batch_size=32)
+    rnd = repeat_histories(repo, "random", 5, max_samples=4000, base_seed=14)
+    ratio = savings_ratio(rnd, ex, target=150)
+    assert ratio is not None and ratio > 1.3
+
+
+def test_random_plus_at_least_as_good_as_random_early():
+    """§III-F: random+ spreads early samples; on long-duration objects it
+    avoids early near-duplicate frames and cannot be much worse."""
+    repo = make_simulation_repository(
+        60_000, 150, mean_duration=400.0, skew_fraction=None, seed=15
+    )
+    plus = repeat_histories(repo, "random_plus", 5, max_samples=1500, base_seed=16)
+    rnd = repeat_histories(repo, "random", 5, max_samples=1500, base_seed=17)
+    ratio = savings_ratio(rnd, plus, target=75)
+    assert ratio is not None and ratio > 0.8

@@ -1,0 +1,173 @@
+"""Cross-module invariants: properties that tie the system together.
+
+Per-module tests check local contracts; these check the promises one
+component makes to another — reproducibility of whole query executions,
+equivalences between samplers in degenerate configurations, and the
+consistency of histories with discriminator state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import even_count_chunks
+from repro.core.policies import (
+    BayesUCB,
+    EpsilonGreedy,
+    GreedyMean,
+    ThompsonSampling,
+    UniformPolicy,
+)
+from repro.core.query import DistinctObjectQuery, QueryEngine
+from repro.core.sampler import ExSample
+from repro.detection.detector import OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.datasets import build_dataset
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+ALL_POLICIES = [
+    ThompsonSampling(),
+    BayesUCB(),
+    GreedyMean(),
+    EpsilonGreedy(epsilon=0.2),
+    UniformPolicy(),
+]
+
+
+def make_repo(total_frames=3000, num_instances=20, seed=0):
+    rng = np.random.default_rng(seed)
+    instances = place_instances(
+        num_instances, total_frames, rng, mean_duration=80,
+        skew_fraction=0.2, with_boxes=False,
+    )
+    return single_clip_repository(total_frames, instances)
+
+
+def make_sampler(repo, num_chunks=6, seed=0, policy=None, batch_size=1):
+    rng = np.random.default_rng(seed)
+    chunks = even_count_chunks(repo.total_frames, num_chunks, rng)
+    return ExSample(
+        chunks, OracleDetector(repo), OracleDiscriminator(),
+        policy=policy, rng=rng, batch_size=batch_size,
+    )
+
+
+# ----------------------------------------------------------- reproducibility
+
+
+@pytest.mark.parametrize("method", ["exsample", "random", "random_plus", "blazeit"])
+def test_query_execution_is_seed_reproducible(method):
+    repo = build_dataset("dashcam", categories=["bicycle"], scale=0.02, seed=5)
+    engine = QueryEngine(repo, category="bicycle", chunk_frames=500, seed=5)
+    query = DistinctObjectQuery("bicycle", limit=3, max_samples=4000)
+    a = engine.execute(query, method=method, seed=42)
+    b = engine.execute(query, method=method, seed=42)
+    assert a.frames_processed == b.frames_processed
+    assert a.results_returned == b.results_returned
+    assert np.array_equal(a.history.frame_indices, b.history.frame_indices)
+
+
+def test_different_seeds_give_different_trajectories():
+    repo = make_repo()
+    a = make_sampler(repo, seed=1)
+    b = make_sampler(repo, seed=2)
+    a.run(max_samples=100)
+    b.run(max_samples=100)
+    assert not np.array_equal(a.history.frame_indices, b.history.frame_indices)
+
+
+# ----------------------------------------------------- sampler/history ties
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_history_consistent_with_discriminator(policy):
+    repo = make_repo()
+    sampler = make_sampler(repo, policy=policy)
+    sampler.run(max_samples=250)
+    history = sampler.history
+    assert history.results[-1] == sampler.discriminator.result_count()
+    assert np.all(np.diff(history.results) >= 0)
+    # every sampled frame lies in range and is unique (without replacement)
+    frames = history.frame_indices
+    assert frames.min() >= 0 and frames.max() < repo.total_frames
+    assert len(set(frames.tolist())) == len(frames)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_every_policy_drains_the_whole_space(policy):
+    repo = make_repo(total_frames=400, num_instances=6)
+    sampler = make_sampler(repo, num_chunks=4, policy=policy)
+    sampler.run()
+    assert sampler.exhausted
+    assert sampler.frames_processed == 400
+    assert sorted(sampler.history.frame_indices.tolist()) == list(range(400))
+    # all instances necessarily found after a full drain
+    assert sampler.results_found == 6
+
+
+def test_stats_samples_match_frames_processed():
+    repo = make_repo()
+    sampler = make_sampler(repo)
+    sampler.run(max_samples=150)
+    assert sampler.stats.total_samples == sampler.frames_processed == 150
+
+
+# ------------------------------------------------------------------ batching
+
+
+@settings(max_examples=10, deadline=None)
+@given(batch=st.integers(min_value=1, max_value=32), seed=st.integers(0, 100))
+def test_property_batched_runs_keep_invariants(batch, seed):
+    repo = make_repo(seed=seed % 5)
+    sampler = make_sampler(repo, seed=seed, batch_size=batch)
+    sampler.run(max_samples=120)
+    # the budget check happens per iteration, so overshoot < one batch
+    assert 120 <= sampler.frames_processed < 120 + batch
+    frames = sampler.history.frame_indices
+    assert len(set(frames.tolist())) == len(frames)
+    assert np.all(sampler.stats.n1 >= 0)
+
+
+def test_single_chunk_exsample_equals_its_order():
+    """With M = 1 every policy must pick chunk 0: ExSample degenerates to
+    its within-chunk order, exactly as §IV-C describes."""
+    repo = make_repo(total_frames=500)
+    sampler = make_sampler(repo, num_chunks=1)
+    sampler.run(max_samples=500)
+    assert sampler.exhausted
+    assert set(sampler.history.frame_indices.tolist()) == set(range(500))
+
+
+# ------------------------------------------------------------- query engine
+
+
+def test_recall_target_satisfaction_implies_recall():
+    repo = build_dataset("night_street", categories=["person"], scale=0.02, seed=3)
+    engine = QueryEngine(repo, category="person", chunk_frames=1000, seed=3)
+    query = DistinctObjectQuery("person", recall_target=0.4)
+    result = engine.execute(query)
+    assert result.satisfied
+    assert result.recall >= 0.4 - 1e-9
+
+
+def test_limit_query_never_returns_more_than_needed_plus_frame():
+    """The run stops at the first step where the limit is met, so the
+    overshoot is bounded by one frame's worth of detections."""
+    repo = build_dataset("dashcam", categories=["truck"], scale=0.02, seed=9)
+    engine = QueryEngine(repo, category="truck", chunk_frames=500, seed=9)
+    result = engine.execute(DistinctObjectQuery("truck", limit=5))
+    step_yields = np.diff(np.concatenate([[0], result.history.results]))
+    assert result.results_returned - 5 <= max(step_yields.max(), 0)
+
+
+def test_scan_charge_only_for_proxy():
+    repo = build_dataset("dashcam", categories=["truck"], scale=0.02, seed=9)
+    engine = QueryEngine(repo, category="truck", chunk_frames=500, seed=9)
+    query = DistinctObjectQuery("truck", limit=2, max_samples=2000)
+    for method in ("exsample", "random", "random_plus", "sequential"):
+        assert engine.execute(query, method=method).scan_frames_charged == 0
+    blazeit = engine.execute(query, method="blazeit")
+    assert blazeit.scan_frames_charged == repo.total_frames
+    assert blazeit.scan_seconds > 0

@@ -1,0 +1,136 @@
+"""Tests for shared-detector multi-query execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import even_count_chunks
+from repro.core.multiquery import MultiQueryExSample
+from repro.detection.detector import OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import ObjectInstance
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+
+def two_category_repo(total_frames=20_000, per_category=25, seed=0):
+    rng = np.random.default_rng(seed)
+    buses = place_instances(
+        per_category, total_frames, rng, mean_duration=120,
+        skew_fraction=0.1, category="bus", with_boxes=False,
+    )
+    trucks = place_instances(
+        per_category, total_frames, rng, mean_duration=120,
+        skew_fraction=0.1, category="truck", with_boxes=False,
+        start_id=per_category,
+    )
+    return single_clip_repository(total_frames, list(buses) + list(trucks))
+
+
+def make_engine(repo, limits, seed=0, num_chunks=16):
+    rng = np.random.default_rng(seed)
+    chunks = even_count_chunks(repo.total_frames, num_chunks, rng)
+    return MultiQueryExSample(
+        chunks,
+        OracleDetector(repo),  # category=None: all detections
+        limits,
+        discriminator_factory=lambda _category: OracleDiscriminator(),
+        rng=rng,
+        repository=repo,
+    )
+
+
+def test_validation():
+    repo = two_category_repo()
+    rng = np.random.default_rng(0)
+    chunks = even_count_chunks(repo.total_frames, 4, rng)
+    det = OracleDetector(repo)
+    factory = lambda _c: OracleDiscriminator()
+    with pytest.raises(ValueError):
+        MultiQueryExSample([], det, {"bus": 5}, factory)
+    with pytest.raises(ValueError):
+        MultiQueryExSample(chunks, det, {}, factory)
+    with pytest.raises(ValueError):
+        MultiQueryExSample(chunks, det, {"bus": 0}, factory)
+
+
+def test_satisfies_all_limits():
+    repo = two_category_repo()
+    engine = make_engine(repo, {"bus": 10, "truck": 10})
+    engine.run(max_samples=repo.total_frames)
+    assert engine.all_satisfied
+    for state in engine.queries.values():
+        assert state.results_found >= 10
+
+
+def test_each_query_counts_only_its_category():
+    repo = two_category_repo(per_category=15)
+    engine = make_engine(repo, {"bus": 15, "truck": 15})
+    engine.run(max_samples=repo.total_frames)
+    for category, state in engine.queries.items():
+        found = state.discriminator.distinct_true_instances()
+        truths = {i.instance_id for i in repo.instances_of(category)}
+        assert found <= truths
+
+
+def test_shared_frames_cheaper_than_serial():
+    """The point of sharing: total frames for both queries together is
+    less than the sum of running them one after the other."""
+    repo = two_category_repo(per_category=30, seed=3)
+    together = make_engine(repo, {"bus": 20, "truck": 20}, seed=3)
+    together.run(max_samples=repo.total_frames)
+    assert together.all_satisfied
+
+    serial_total = 0
+    for category in ("bus", "truck"):
+        single = make_engine(repo, {category: 20}, seed=3)
+        single.run(max_samples=repo.total_frames)
+        assert single.all_satisfied
+        serial_total += single.frames_processed
+    assert together.frames_processed < serial_total
+
+
+def test_satisfied_query_drops_out():
+    """After the small query finishes, its stats stop updating."""
+    repo = two_category_repo(per_category=25, seed=5)
+    engine = make_engine(repo, {"bus": 2, "truck": 25}, seed=5)
+    engine.run(max_samples=repo.total_frames)
+    bus = engine.queries["bus"]
+    truck = engine.queries["truck"]
+    assert bus.satisfied
+    # bus's history froze when it was satisfied; truck kept going
+    assert len(truck.history) > len(bus.history)
+
+
+def test_histories_share_frame_indices_while_both_active():
+    repo = two_category_repo(per_category=25, seed=7)
+    engine = make_engine(repo, {"bus": 25, "truck": 25}, seed=7)
+    for _ in range(50):
+        engine.step()
+    bus_frames = engine.queries["bus"].history.frame_indices
+    truck_frames = engine.queries["truck"].history.frame_indices
+    assert np.array_equal(bus_frames[:50], truck_frames[:50])
+    assert engine.frames_processed == 50
+
+
+def test_step_after_all_satisfied_raises():
+    repo = two_category_repo(per_category=5, seed=9)
+    engine = make_engine(repo, {"bus": 1}, seed=9)
+    engine.run(max_samples=repo.total_frames)
+    assert engine.all_satisfied
+    with pytest.raises(RuntimeError):
+        engine.step()
+
+
+def test_run_respects_budget():
+    repo = two_category_repo()
+    engine = make_engine(repo, {"bus": 25, "truck": 25})
+    engine.run(max_samples=30)
+    assert engine.frames_processed == 30
+
+
+def test_decode_cost_charged_once_per_frame():
+    repo = two_category_repo()
+    engine = make_engine(repo, {"bus": 25, "truck": 25})
+    engine.run(max_samples=40)
+    assert repo.decode_stats.frames_decoded == 40

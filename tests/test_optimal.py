@@ -1,0 +1,155 @@
+"""Tests for the Eq. IV.1 optimal static chunk weights."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import optimize
+
+from repro.analysis.optimal import (
+    chunk_conditional_probabilities,
+    expected_results,
+    expected_results_curve,
+    optimal_weights,
+    uniform_weights,
+)
+from repro.video.instances import InstanceSet
+from repro.video.synthetic import place_instances
+
+
+def random_p_matrix(num_instances, num_chunks, seed, density=0.3):
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_instances, num_chunks)) < density
+    p = rng.uniform(0, 0.05, size=(num_instances, num_chunks)) * mask
+    # ensure every instance is visible somewhere
+    p[np.arange(num_instances), rng.integers(0, num_chunks, num_instances)] += 0.01
+    return p
+
+
+def test_chunk_conditional_probabilities():
+    rng = np.random.default_rng(0)
+    instances = place_instances(20, 1000, rng, mean_duration=100, with_boxes=False)
+    edges = np.array([0, 250, 500, 750, 1000])
+    p = chunk_conditional_probabilities(InstanceSet(instances), edges)
+    assert p.shape == (20, 4)
+    assert np.all(p >= 0) and np.all(p <= 1)
+    for row, inst in enumerate(InstanceSet(instances)):
+        total_overlap = p[row] @ np.diff(edges)
+        assert total_overlap == pytest.approx(inst.duration, abs=1e-6)
+
+
+def test_chunk_conditional_probabilities_validation():
+    iset = InstanceSet([])
+    with pytest.raises(ValueError):
+        chunk_conditional_probabilities(iset, np.array([0]))
+    with pytest.raises(ValueError):
+        chunk_conditional_probabilities(iset, np.array([0, 10, 5]))
+
+
+def test_uniform_weights_proportional_to_size():
+    w = uniform_weights(np.array([0, 100, 300]))
+    np.testing.assert_allclose(w, [1 / 3, 2 / 3])
+
+
+def test_expected_results_monotone_in_n():
+    p = random_p_matrix(40, 5, seed=1)
+    w = np.full(5, 0.2)
+    values = [expected_results(p, w, n) for n in (0, 10, 100, 1000)]
+    assert values[0] == 0.0
+    assert all(a < b for a, b in zip(values, values[1:]))
+    assert values[-1] <= 40.0
+
+
+def test_expected_results_numerical_stability_large_n():
+    p = np.full((3, 2), 1e-7)
+    val = expected_results(p, np.array([0.5, 0.5]), 10_000_000)
+    assert 0 < val <= 3
+    with pytest.raises(ValueError):
+        expected_results(p, np.array([0.5, 0.5]), -1)
+
+
+def test_optimal_weights_simplex():
+    p = random_p_matrix(50, 8, seed=2)
+    w = optimal_weights(p, 500)
+    assert w.shape == (8,)
+    assert np.all(w >= 0)
+    assert w.sum() == pytest.approx(1.0)
+
+
+def test_optimal_at_least_uniform():
+    """The optimum can never be worse than equal weights."""
+    for seed in range(5):
+        p = random_p_matrix(60, 6, seed=seed)
+        w = optimal_weights(p, 300)
+        uniform = np.full(6, 1 / 6)
+        assert expected_results(p, w, 300) >= expected_results(p, uniform, 300) - 1e-6
+
+
+def test_optimal_concentrates_on_only_productive_chunk():
+    """All instances in chunk 0 => all weight goes there."""
+    p = np.zeros((20, 4))
+    p[:, 0] = 0.01
+    w = optimal_weights(p, 1000)
+    assert w[0] > 0.97
+
+
+def test_optimal_uniform_for_symmetric_data():
+    p = np.full((30, 5), 0.02)
+    w = optimal_weights(p, 200)
+    np.testing.assert_allclose(w, np.full(5, 0.2), atol=0.02)
+
+
+def test_single_chunk_trivial():
+    p = np.full((5, 1), 0.1)
+    np.testing.assert_allclose(optimal_weights(p, 10), [1.0])
+
+
+def test_optimal_matches_slsqp_cross_check():
+    """Exponentiated gradient must agree with scipy SLSQP on small cases."""
+    for seed in (3, 4):
+        p = random_p_matrix(25, 4, seed=seed)
+        n = 200
+        ours = optimal_weights(p, n)
+
+        def negative_objective(w):
+            return -expected_results(p, np.abs(w), n)
+
+        constraint = {"type": "eq", "fun": lambda w: w.sum() - 1.0}
+        bounds = [(0.0, 1.0)] * 4
+        ref = optimize.minimize(
+            negative_objective, np.full(4, 0.25),
+            method="SLSQP", bounds=bounds, constraints=[constraint],
+        )
+        ours_value = expected_results(p, ours, n)
+        ref_value = -ref.fun
+        assert ours_value >= ref_value - max(1e-3, 1e-3 * ref_value)
+
+
+def test_optimal_weights_validation():
+    with pytest.raises(ValueError):
+        optimal_weights(np.zeros(3), 10)
+    with pytest.raises(ValueError):
+        optimal_weights(np.zeros((2, 2)), 0)
+
+
+def test_expected_results_curve():
+    p = random_p_matrix(40, 3, seed=5)
+    ns = np.array([1, 10, 100])
+    curve = expected_results_curve(p, np.full(3, 1 / 3), ns)
+    assert curve.shape == (3,)
+    assert np.all(np.diff(curve) > 0)
+
+
+def test_skew_raises_optimal_over_uniform():
+    """With heavy skew the optimal allocation clearly beats uniform."""
+    rng = np.random.default_rng(6)
+    instances = place_instances(
+        200, 100_000, rng, mean_duration=100, skew_fraction=1 / 32, with_boxes=False
+    )
+    edges = np.linspace(0, 100_000, 33).round().astype(np.int64)
+    p = chunk_conditional_probabilities(InstanceSet(instances), edges)
+    # pre-saturation budget: with too many samples both find everything
+    n = 500
+    w = optimal_weights(p, n)
+    gain = expected_results(p, w, n) / expected_results(p, uniform_weights(edges), n)
+    assert gain > 1.5

@@ -1,0 +1,140 @@
+"""Tests for experiment-result persistence (JSON / CSV)."""
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.persistence import load_json, save_csv, save_json, to_jsonable
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    values: np.ndarray
+    label: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    inner: Inner
+    count: int
+    table: dict
+
+
+# ------------------------------------------------------------------ jsonable
+
+
+def test_scalars_pass_through():
+    assert to_jsonable(None) is None
+    assert to_jsonable(True) is True
+    assert to_jsonable(3) == 3
+    assert to_jsonable("x") == "x"
+    assert to_jsonable(2.5) == 2.5
+
+
+def test_non_finite_floats_become_none():
+    assert to_jsonable(math.nan) is None
+    assert to_jsonable(math.inf) is None
+    assert to_jsonable(np.float64("nan")) is None
+
+
+def test_numpy_types_convert():
+    assert to_jsonable(np.int64(7)) == 7
+    assert isinstance(to_jsonable(np.int64(7)), int)
+    assert to_jsonable(np.float32(0.5)) == pytest.approx(0.5)
+    assert to_jsonable(np.bool_(True)) is True
+    assert to_jsonable(np.arange(3)) == [0, 1, 2]
+    assert to_jsonable(np.array([1.0, np.nan])) == [1.0, None]
+
+
+def test_nested_dataclasses_and_containers():
+    outer = Outer(
+        inner=Inner(values=np.array([1.0, 2.0]), label="a"),
+        count=2,
+        table={"k": (1, 2), 3: [4, 5]},  # non-string keys become strings
+    )
+    data = to_jsonable(outer)
+    assert data == {
+        "inner": {"values": [1.0, 2.0], "label": "a"},
+        "count": 2,
+        "table": {"k": [1, 2], "3": [4, 5]},
+    }
+    json.dumps(data)  # genuinely serializable
+
+
+def test_unconvertible_type_raises():
+    with pytest.raises(TypeError):
+        to_jsonable(object())
+
+
+# --------------------------------------------------------------- save / load
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    outer = Outer(
+        inner=Inner(values=np.array([3.0]), label="b"), count=1, table={}
+    )
+    path = save_json(outer, tmp_path / "artifacts" / "x.json", name="fig9")
+    assert path.exists()
+    meta, data = load_json(path)
+    assert meta["name"] == "fig9"
+    assert "version" in meta
+    assert data["inner"]["values"] == [3.0]
+
+
+def test_save_defaults_name_to_type(tmp_path):
+    path = save_json({"a": 1}, tmp_path / "y.json")
+    meta, _data = load_json(path)
+    assert meta["name"] == "dict"
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "z.json"
+    path.write_text('{"hello": "world"}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_json(path)
+
+
+def test_real_experiment_result_serializes(tmp_path):
+    from repro.experiments.ablations import AblationConfig, run_batch_ablation
+
+    result = run_batch_ablation(
+        AblationConfig(total_frames=20_000, num_instances=40, runs=2, max_samples=300),
+        batch_sizes=(1,),
+    )
+    path = save_json(result, tmp_path / "batch.json", name="ablation-batch")
+    meta, data = load_json(path)
+    assert meta["name"] == "ablation-batch"
+    assert data["series"][0]["label"] == "B=1"
+    assert len(data["grid"]) == len(data["series"][0]["band"]["median"])
+
+
+# ----------------------------------------------------------------------- csv
+
+
+def test_save_csv_roundtrip(tmp_path):
+    path = save_csv(
+        ["a", "b"],
+        [[1, np.float64(2.5)], ["x", None]],
+        tmp_path / "t.csv",
+    )
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert lines[2] == "x,"
+
+
+def test_save_csv_validates_width(tmp_path):
+    with pytest.raises(ValueError):
+        save_csv(["a", "b"], [[1]], tmp_path / "bad.csv")
+
+
+def test_cli_json_flag(tmp_path):
+    from repro.experiments.__main__ import main
+
+    code = main(["fig2", "--quick", "--json", str(tmp_path)])
+    assert code == 0
+    meta, data = load_json(tmp_path / "fig2.json")
+    assert meta["name"] == "fig2"

@@ -1,0 +1,147 @@
+"""Tests for the chunk-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ChunkStatistics
+from repro.core.policies import (
+    BayesUCB,
+    EpsilonGreedy,
+    GreedyMean,
+    ThompsonSampling,
+    UniformPolicy,
+)
+
+ALL_POLICIES = [
+    ThompsonSampling(),
+    BayesUCB(),
+    GreedyMean(),
+    EpsilonGreedy(),
+    UniformPolicy(),
+]
+
+
+def stats_with(n1_values, n_values):
+    stats = ChunkStatistics(len(n1_values))
+    for chunk, (n1, n) in enumerate(zip(n1_values, n_values)):
+        for i in range(n):
+            stats.record(chunk, d0=1 if i < n1 else 0, d1=0)
+    return stats
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_choices_are_valid_chunks(policy):
+    stats = stats_with([2, 0, 1], [5, 5, 5])
+    rng = np.random.default_rng(0)
+    available = np.array([True, True, True])
+    picks = policy.choose(stats, rng, available, batch_size=20)
+    assert picks.shape == (20,)
+    assert np.all((picks >= 0) & (picks < 3))
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_mask_is_respected(policy):
+    stats = stats_with([5, 0, 0], [5, 5, 5])  # chunk 0 looks best but is gone
+    rng = np.random.default_rng(1)
+    available = np.array([False, True, True])
+    picks = policy.choose(stats, rng, available, batch_size=50)
+    assert np.all(picks != 0)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_no_available_chunks_raises(policy):
+    stats = ChunkStatistics(2)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        policy.choose(stats, rng, np.array([False, False]))
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_batch_size_validation(policy):
+    stats = ChunkStatistics(2)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        policy.choose(stats, rng, np.array([True, True]), batch_size=0)
+
+
+def test_thompson_breaks_ties_randomly_at_start():
+    """Line 4 of Algorithm 1: with no data, all chunks are equally likely."""
+    stats = ChunkStatistics(4)
+    rng = np.random.default_rng(2)
+    picks = ThompsonSampling().choose(
+        stats, rng, np.ones(4, dtype=bool), batch_size=4000
+    )
+    counts = np.bincount(picks, minlength=4)
+    assert counts.min() > 800  # ~1000 each
+
+
+def test_thompson_prefers_productive_chunk():
+    stats = stats_with([8, 0], [10, 10])
+    rng = np.random.default_rng(3)
+    picks = ThompsonSampling().choose(
+        stats, rng, np.ones(2, dtype=bool), batch_size=2000
+    )
+    assert np.mean(picks == 0) > 0.9
+
+
+def test_thompson_still_explores_zero_chunks():
+    """alpha0 keeps unproductive chunks alive (Eq. III.4 discussion)."""
+    stats = stats_with([3, 0], [50, 50])
+    rng = np.random.default_rng(4)
+    picks = ThompsonSampling().choose(
+        stats, rng, np.ones(2, dtype=bool), batch_size=5000
+    )
+    assert np.mean(picks == 1) > 0.001  # rare but nonzero
+
+
+def test_greedy_always_picks_best_mean():
+    stats = stats_with([5, 2], [10, 10])
+    rng = np.random.default_rng(5)
+    picks = GreedyMean().choose(stats, rng, np.ones(2, dtype=bool), batch_size=100)
+    assert np.all(picks == 0)
+
+
+def test_bayes_ucb_prefers_uncertain_then_converges():
+    # chunk 0: good record over many samples; chunk 1: unsampled.
+    stats = stats_with([10, 0], [100, 0])
+    rng = np.random.default_rng(6)
+    picks = BayesUCB().choose(stats, rng, np.ones(2, dtype=bool), batch_size=1)
+    # the unsampled chunk's upper quantile dominates early
+    assert picks[0] == 1
+
+
+def test_epsilon_greedy_explores():
+    stats = stats_with([10, 0], [10, 10])
+    rng = np.random.default_rng(7)
+    picks = EpsilonGreedy(epsilon=0.5).choose(
+        stats, rng, np.ones(2, dtype=bool), batch_size=2000
+    )
+    frac_explore = np.mean(picks == 1)
+    assert 0.15 < frac_explore < 0.4  # epsilon/2 of picks land on chunk 1
+    with pytest.raises(ValueError):
+        EpsilonGreedy(epsilon=1.5)
+
+
+def test_uniform_policy_ignores_statistics():
+    stats = stats_with([50, 0], [50, 50])
+    rng = np.random.default_rng(8)
+    picks = UniformPolicy().choose(stats, rng, np.ones(2, dtype=bool), batch_size=4000)
+    assert abs(np.mean(picks == 0) - 0.5) < 0.05
+
+
+def test_uniform_policy_with_weights():
+    stats = ChunkStatistics(3)
+    rng = np.random.default_rng(9)
+    policy = UniformPolicy(weights=(0.0, 1.0, 3.0))
+    picks = policy.choose(stats, rng, np.ones(3, dtype=bool), batch_size=4000)
+    assert np.mean(picks == 0) == 0.0
+    assert abs(np.mean(picks == 2) - 0.75) < 0.05
+
+
+def test_uniform_policy_weight_validation():
+    stats = ChunkStatistics(2)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        UniformPolicy(weights=(1.0,)).choose(stats, rng, np.ones(2, dtype=bool))
+    with pytest.raises(ValueError):
+        UniformPolicy(weights=(0.0, 0.0)).choose(stats, rng, np.ones(2, dtype=bool))

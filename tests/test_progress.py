@@ -1,0 +1,214 @@
+"""Tests for query-progress estimation (Chao1, rates, forecasts)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import even_count_chunks
+from repro.core.progress import (
+    ProgressSnapshot,
+    ProgressTracker,
+    chao1_estimate,
+    discovery_rate,
+)
+from repro.core.sampler import ExSample
+from repro.detection.detector import OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+
+# ------------------------------------------------------------------- chao1
+
+
+def test_chao1_classic_form():
+    # S=50, F1=10, F2=5 -> 50 + 100/10 = 60
+    assert chao1_estimate(50, 10, 5) == pytest.approx(60.0)
+
+
+def test_chao1_bias_corrected_when_f2_zero():
+    # F2=0: S + F1(F1-1)/2 stays finite
+    assert chao1_estimate(10, 4, 0) == pytest.approx(10 + 6.0)
+    assert chao1_estimate(10, 0, 0) == pytest.approx(10.0)
+    assert chao1_estimate(10, 1, 0) == pytest.approx(10.0)
+
+
+def test_chao1_validation():
+    with pytest.raises(ValueError):
+        chao1_estimate(-1, 0, 0)
+    with pytest.raises(ValueError):
+        chao1_estimate(3, 2, 2)  # F1+F2 > S
+
+
+def test_chao1_at_least_distinct():
+    assert chao1_estimate(7, 0, 0) >= 7
+    assert chao1_estimate(7, 3, 2) >= 7
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    f1=st.integers(min_value=0, max_value=50),
+    f2=st.integers(min_value=0, max_value=50),
+    extra=st.integers(min_value=0, max_value=100),
+)
+def test_property_chao1_monotone_in_f1(f1, f2, extra):
+    distinct = f1 + f2 + extra
+    base = chao1_estimate(distinct, f1, f2)
+    assert base >= distinct
+    if f1 + 1 + f2 <= distinct:
+        assert chao1_estimate(distinct, f1 + 1, f2) >= base
+
+
+# ----------------------------------------------------------- discovery rate
+
+
+def test_discovery_rate_basics():
+    assert discovery_rate(5, 100) == pytest.approx(0.05)
+    assert discovery_rate(0, 100) == 0.0
+    assert discovery_rate(0, 0) == 1.0
+    with pytest.raises(ValueError):
+        discovery_rate(-1, 10)
+
+
+# ---------------------------------------------------------- ProgressTracker
+
+
+def test_tracker_update_mirrors_algorithm1():
+    tracker = ProgressTracker()
+    tracker.update(d0=3, d1=0)  # 3 new singletons
+    tracker.update(d0=0, d1=2)  # two of them seen again
+    snap = tracker.snapshot()
+    assert snap.samples == 2
+    assert snap.distinct_found == 3
+    assert snap.seen_once == 1
+    assert snap.seen_twice == 2
+
+
+def test_tracker_d2_refinement():
+    tracker = ProgressTracker()
+    tracker.update(d0=1, d1=0)
+    tracker.update(d0=0, d1=1)  # now seen twice
+    tracker.update(d0=0, d1=0, d2=1)  # third sighting: leaves F2
+    snap = tracker.snapshot()
+    assert snap.seen_once == 0
+    assert snap.seen_twice == 0
+
+
+def test_tracker_rejects_negative():
+    with pytest.raises(ValueError):
+        ProgressTracker().update(d0=-1, d1=0)
+
+
+def test_tracker_from_discriminator_exact():
+    disc = OracleDiscriminator()
+
+    class Det:
+        def __init__(self, tid):
+            self.true_instance_id = tid
+
+    disc.add(0, [Det(1), Det(2)])
+    disc.add(1, [Det(1)])
+    tracker = ProgressTracker.from_discriminator(disc, samples=2)
+    snap = tracker.snapshot()
+    assert snap.distinct_found == 2
+    assert snap.seen_once == 1  # instance 2
+    assert snap.seen_twice == 1  # instance 1
+
+
+def test_tracker_from_discriminator_requires_counts():
+    class Opaque:
+        def result_count(self):
+            return 0
+
+    with pytest.raises(TypeError):
+        ProgressTracker.from_discriminator(Opaque(), samples=0)
+
+
+# --------------------------------------------------------- snapshot forecast
+
+
+def snap(samples, distinct, f1, f2):
+    total = chao1_estimate(distinct, f1, f2)
+    return ProgressSnapshot(
+        samples=samples,
+        distinct_found=distinct,
+        seen_once=f1,
+        seen_twice=f2,
+        estimated_total=total,
+        estimated_remaining=total - distinct,
+        rate=discovery_rate(f1, samples),
+    )
+
+
+def test_forecast_zero_when_target_met():
+    s = snap(100, 50, 10, 5)
+    assert s.samples_to_reach(50) == 0.0
+    assert s.samples_to_reach(30) == 0.0
+
+
+def test_forecast_none_beyond_estimated_total():
+    s = snap(100, 50, 10, 5)  # estimated total 60
+    assert s.samples_to_reach(100) is None
+
+
+def test_forecast_monotone_in_target():
+    s = snap(100, 50, 10, 5)
+    t55 = s.samples_to_reach(55)
+    t58 = s.samples_to_reach(58)
+    assert t55 is not None and t58 is not None
+    assert 0 < t55 < t58
+
+
+def test_forecast_none_at_zero_rate():
+    s = snap(100, 50, 0, 25)
+    assert s.rate == 0.0
+    assert s.samples_to_reach(51) is None
+
+
+def test_estimated_recall_bounds():
+    s = snap(100, 50, 10, 5)
+    assert 0.0 < s.estimated_recall <= 1.0
+    done = snap(100, 60, 0, 0)
+    assert done.estimated_recall == 1.0
+
+
+# --------------------------------------------------------------- integration
+
+
+def test_tracker_tracks_real_run_within_factor():
+    """On a uniform workload, Chao1's richness estimate lands within a
+    small factor of the truth once sampling has matured."""
+    rng = np.random.default_rng(11)
+    true_n = 80
+    instances = place_instances(
+        true_n, 20_000, rng, mean_duration=200, skew_fraction=None,
+        with_boxes=False,
+    )
+    repo = single_clip_repository(20_000, instances)
+    chunks = even_count_chunks(repo.total_frames, 16, rng)
+    tracker = ProgressTracker()
+    sampler = ExSample(chunks, OracleDetector(repo), OracleDiscriminator(), rng=rng)
+    sampler.run(max_samples=1200, callback=tracker.on_record)
+    estimate = tracker.snapshot().estimated_total
+    assert 0.6 * true_n <= estimate <= 1.7 * true_n
+
+
+def test_forecast_is_usable_midrun():
+    rng = np.random.default_rng(13)
+    instances = place_instances(
+        60, 10_000, rng, mean_duration=150, skew_fraction=None, with_boxes=False
+    )
+    repo = single_clip_repository(10_000, instances)
+    chunks = even_count_chunks(repo.total_frames, 8, rng)
+    tracker = ProgressTracker()
+    sampler = ExSample(chunks, OracleDetector(repo), OracleDiscriminator(), rng=rng)
+    sampler.run(max_samples=300, callback=tracker.on_record)
+    s = tracker.snapshot()
+    target = s.distinct_found + 5
+    if s.estimated_remaining >= 5 and s.rate > 0:
+        forecast = s.samples_to_reach(target)
+        assert forecast is not None and forecast > 0
+        assert math.isfinite(forecast)

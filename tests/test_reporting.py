@@ -1,0 +1,61 @@
+"""Tests for text reporting utilities."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_ratio,
+    format_table,
+    section,
+    sparkline,
+)
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "----" in lines[1]
+    assert len(lines) == 4
+    # numeric column right-aligned: both rows end at the same column
+    assert len(lines[2]) == len(lines[3])
+
+
+def test_format_table_title_and_none():
+    text = format_table(["x"], [[None]], title="T")
+    assert text.splitlines()[0] == "T"
+    assert "-" in text.splitlines()[-1]
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only one"]])
+
+
+def test_format_table_number_formats():
+    text = format_table(["v"], [[1234.5], [12.345], [0.00123], [0]])
+    assert "1234" in text or "1235" in text
+    assert "12.35" in text or "12.34" in text
+    assert "0.00123" in text
+
+
+def test_format_ratio():
+    assert format_ratio(None) == "-"
+    assert format_ratio(3.86) == "3.9x"
+    assert format_ratio(0.79) == "0.79x"
+    assert format_ratio(84.0) == "84x"
+
+
+def test_sparkline():
+    line = sparkline([0, 1, 2, 3, 4])
+    assert len(line) == 5
+    assert line[0] == " " and line[-1] == "█"
+    assert sparkline([]) == ""
+    assert sparkline([0, 0]) == "  "
+    assert len(sparkline(range(100), width=40)) == 40
+
+
+def test_section():
+    text = section("Title")
+    lines = text.splitlines()
+    assert lines[1] == "====="[:5] * 1 or "Title" in text
+    assert "Title" in text

@@ -1,0 +1,115 @@
+"""Tests for the video repository substrate."""
+
+import pytest
+
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.repository import (
+    DecodeStats,
+    VideoClip,
+    VideoRepository,
+    single_clip_repository,
+)
+
+
+def make_instance(instance_id, start, duration):
+    traj = Trajectory.stationary(start, duration, Box(0, 0, 5, 5))
+    return ObjectInstance(instance_id=instance_id, category="car", trajectory=traj)
+
+
+def make_repo():
+    clips = [
+        VideoClip(0, "a", 0, 100, fps=10),
+        VideoClip(1, "b", 100, 50, fps=10),
+        VideoClip(2, "c", 150, 150, fps=10),
+    ]
+    instances = [make_instance(0, 10, 20), make_instance(1, 120, 10)]
+    return VideoRepository(clips, InstanceSet(instances), name="test")
+
+
+def test_clip_validation():
+    with pytest.raises(ValueError):
+        VideoClip(0, "x", 0, 0)
+    with pytest.raises(ValueError):
+        VideoClip(0, "x", -1, 10)
+    with pytest.raises(ValueError):
+        VideoClip(0, "x", 0, 10, fps=0)
+    clip = VideoClip(0, "x", 100, 50, fps=25)
+    assert clip.end_frame == 150
+    assert clip.duration_seconds == pytest.approx(2.0)
+    assert clip.contains(100) and clip.contains(149) and not clip.contains(150)
+
+
+def test_repository_requires_contiguous_clips():
+    clips = [VideoClip(0, "a", 0, 100), VideoClip(1, "b", 150, 50)]
+    with pytest.raises(ValueError, match="contiguous"):
+        VideoRepository(clips, InstanceSet([]))
+
+
+def test_repository_requires_clips():
+    with pytest.raises(ValueError):
+        VideoRepository([], InstanceSet([]))
+
+
+def test_repository_rejects_out_of_range_instances():
+    clips = [VideoClip(0, "a", 0, 100)]
+    with pytest.raises(ValueError, match="extends past"):
+        VideoRepository(clips, InstanceSet([make_instance(0, 90, 20)]))
+
+
+def test_clip_for_frame():
+    repo = make_repo()
+    assert repo.clip_for_frame(0).name == "a"
+    assert repo.clip_for_frame(99).name == "a"
+    assert repo.clip_for_frame(100).name == "b"
+    assert repo.clip_for_frame(299).name == "c"
+    with pytest.raises(IndexError):
+        repo.clip_for_frame(300)
+    with pytest.raises(IndexError):
+        repo.clip_for_frame(-1)
+
+
+def test_read_charges_decode_stats():
+    repo = make_repo()
+    frame = repo.read(120)
+    assert frame.index == 120
+    assert frame.clip.name == "b"
+    assert frame.clip_local_index == 20
+    assert repo.decode_stats.frames_decoded == 1
+    assert repo.decode_stats.random_seeks == 1
+    repo.read(121)  # sequential: no extra seek
+    assert repo.decode_stats.frames_decoded == 2
+    assert repo.decode_stats.random_seeks == 1
+    repo.read(50)  # jump back: new seek
+    assert repo.decode_stats.random_seeks == 2
+
+
+def test_decode_stats_reset():
+    stats = DecodeStats()
+    stats.record(10)
+    stats.record(11)
+    stats.reset()
+    assert stats.frames_decoded == 0
+    assert stats.random_seeks == 0
+
+
+def test_total_frames_and_duration():
+    repo = make_repo()
+    assert repo.total_frames == 300
+    assert repo.num_clips == 3
+    assert repo.duration_seconds() == pytest.approx(30.0)
+
+
+def test_instances_accessors():
+    repo = make_repo()
+    assert len(repo.instances) == 2
+    assert repo.categories() == ["car"]
+    assert len(repo.instances_of("car")) == 2
+    assert len(repo.instances_of("boat")) == 0
+
+
+def test_single_clip_repository():
+    repo = single_clip_repository(500, [make_instance(0, 0, 10)], name="solo")
+    assert repo.total_frames == 500
+    assert repo.num_clips == 1
+    assert repo.clips[0].fps == 30.0

@@ -1,0 +1,177 @@
+"""Tests for §VII scan-free predictive scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import (
+    ConstantScorer,
+    OccupancyScorer,
+    ProximityScorer,
+    ScoredOrder,
+    scored_even_count_chunks,
+)
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+
+
+def interval_instance(instance_id, start, end, category="object"):
+    traj = Trajectory.stationary(start, end - start, Box(0, 0, 10, 10))
+    return ObjectInstance(instance_id=instance_id, category=category, trajectory=traj)
+
+
+# ------------------------------------------------------------ ProximityScorer
+
+
+def test_proximity_validation():
+    with pytest.raises(ValueError):
+        ProximityScorer(attract_bandwidth=0)
+    with pytest.raises(ValueError):
+        ProximityScorer(repel_bandwidth=-1)
+    with pytest.raises(ValueError):
+        ProximityScorer(repel_weight=-0.5)
+    with pytest.raises(ValueError):
+        ProximityScorer(max_memory=0)
+    with pytest.raises(ValueError):
+        ProximityScorer().record(10, d0=-1)
+
+
+def test_proximity_blank_scorer_is_flat():
+    scorer = ProximityScorer()
+    assert scorer.score(0) == scorer.score(10_000) == 0.0
+
+
+def test_proximity_hit_attracts_at_range():
+    scorer = ProximityScorer(
+        attract_bandwidth=5000, repel_bandwidth=100, repel_weight=1.5
+    )
+    scorer.record(10_000, d0=2)
+    # mid-range frames (outside the repel zone, inside the attract zone)
+    # outscore far-away frames...
+    assert scorer.score(11_000) > scorer.score(40_000)
+    # ...and outscore the hit's immediate neighbourhood (duplicate zone).
+    assert scorer.score(11_000) > scorer.score(10_010)
+
+
+def test_proximity_miss_repels_locally():
+    scorer = ProximityScorer(miss_weight=0.5)
+    scorer.record(5_000, d0=0)
+    assert scorer.score(5_010) < scorer.score(30_000)
+
+
+def test_proximity_memory_is_bounded():
+    scorer = ProximityScorer(max_memory=10)
+    for k in range(100):
+        scorer.record(k, d0=1)
+    assert len(scorer.hits) == 10
+    assert scorer.hits == list(range(90, 100))
+
+
+# ------------------------------------------------------------ OccupancyScorer
+
+
+def test_occupancy_counts_visible_unseen():
+    instances = InstanceSet(
+        [interval_instance(0, 10, 60), interval_instance(1, 40, 90)]
+    )
+    scorer = OccupancyScorer(instances)
+    assert scorer.score(50) == 2.0
+    assert scorer.score(20) == 1.0
+    assert scorer.score(95) == 0.0
+
+
+def test_occupancy_mark_found_discounts():
+    instances = InstanceSet(
+        [interval_instance(0, 10, 60), interval_instance(1, 40, 90)]
+    )
+    scorer = OccupancyScorer(instances)
+    scorer.mark_found(0)
+    assert scorer.score(50) == 1.0
+    scorer.mark_found(1)
+    assert scorer.score(50) == 0.0
+
+
+# ---------------------------------------------------------------- ScoredOrder
+
+
+def test_scored_order_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        ScoredOrder(5, 5, rng, ConstantScorer())
+    with pytest.raises(ValueError):
+        ScoredOrder(0, 10, rng, ConstantScorer(), candidates=0)
+
+
+def test_scored_order_is_complete_without_replacement():
+    rng = np.random.default_rng(1)
+    order = ScoredOrder(0, 64, rng, ConstantScorer(), candidates=4)
+    drawn = []
+    while (frame := order.draw()) is not None:
+        drawn.append(frame)
+    assert sorted(drawn) == list(range(64))
+    assert order.remaining == 0
+
+
+class _PreferHigh:
+    """Deterministic scorer: larger frame index = better."""
+
+    def score(self, frame_index: int) -> float:
+        return float(frame_index)
+
+
+def test_scored_order_biases_toward_high_scores():
+    rng = np.random.default_rng(2)
+    order = ScoredOrder(0, 1000, rng, _PreferHigh(), candidates=16)
+    early = [order.draw() for _ in range(20)]
+    # best-of-16 from U(0, 1000) has expectation ~941; far above uniform.
+    assert float(np.mean(early)) > 750
+
+
+def test_scored_order_with_one_candidate_is_uniform():
+    rng = np.random.default_rng(3)
+    order = ScoredOrder(0, 2000, rng, _PreferHigh(), candidates=1)
+    early = [order.draw() for _ in range(300)]
+    # k = 1 never consults the scorer's preference: mean stays central.
+    assert 800 < float(np.mean(early)) < 1200
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=120),
+    candidates=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_property_scored_order_completeness(size, candidates, seed):
+    rng = np.random.default_rng(seed)
+    order = ScoredOrder(10, 10 + size, rng, _PreferHigh(), candidates=candidates)
+    drawn = []
+    while (frame := order.draw()) is not None:
+        drawn.append(frame)
+    assert sorted(drawn) == list(range(10, 10 + size))
+
+
+# ------------------------------------------------------ scored chunk builder
+
+
+def test_scored_chunks_tile_and_share_scorer():
+    rng = np.random.default_rng(4)
+    scorer = _PreferHigh()
+    chunks = scored_even_count_chunks(1000, 4, rng, scorer, candidates=8)
+    assert len(chunks) == 4
+    assert chunks[0].start_frame == 0
+    assert chunks[-1].end_frame == 1000
+    for a, b in zip(chunks, chunks[1:]):
+        assert a.end_frame == b.start_frame
+    # each chunk's draws stay within its own span
+    for chunk in chunks:
+        frame = chunk.sample()
+        assert chunk.start_frame <= frame < chunk.end_frame
+
+
+def test_scored_chunks_validation():
+    rng = np.random.default_rng(5)
+    with pytest.raises(ValueError):
+        scored_even_count_chunks(0, 1, rng, ConstantScorer())
+    with pytest.raises(ValueError):
+        scored_even_count_chunks(10, 11, rng, ConstantScorer())

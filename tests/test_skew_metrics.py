@@ -1,0 +1,163 @@
+"""Tests for the skew metric S and the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    band_over_runs,
+    geometric_mean,
+    log_spaced_grid,
+    median_samples_to_target,
+    results_at,
+    samples_to_target,
+    savings_ratio,
+)
+from repro.analysis.skew import (
+    SkewSummary,
+    chunk_instance_counts,
+    half_coverage_set,
+    skew_metric,
+)
+from repro.core.sampler import SamplingHistory
+from repro.video.instances import InstanceSet
+from repro.video.synthetic import place_instances
+
+# -------------------------------------------------------------------- skew
+
+
+def test_chunk_instance_counts_by_midpoint():
+    rng = np.random.default_rng(0)
+    instances = place_instances(100, 1000, rng, mean_duration=20, with_boxes=False)
+    edges = np.array([0, 500, 1000])
+    counts = chunk_instance_counts(InstanceSet(instances), edges)
+    assert counts.sum() == 100  # every instance counted exactly once
+    with pytest.raises(ValueError):
+        chunk_instance_counts(InstanceSet(instances), np.array([0]))
+
+
+def test_half_coverage_set_greedy_minimality():
+    counts = np.array([10, 1, 1, 1, 1, 1, 1, 4])
+    cover = half_coverage_set(counts)
+    # 10 alone covers half of 20
+    assert cover.tolist() == [0]
+    counts2 = np.array([5, 5, 5, 5])
+    assert len(half_coverage_set(counts2)) == 2
+
+
+def test_half_coverage_empty():
+    assert half_coverage_set(np.array([0, 0])).tolist() == []
+
+
+def test_skew_metric_uniform_is_one():
+    assert skew_metric(np.full(60, 5)) == pytest.approx(1.0)
+
+
+def test_skew_metric_concentration():
+    counts = np.zeros(64, dtype=int)
+    counts[0] = 100  # everything in one chunk out of 64
+    assert skew_metric(counts) == pytest.approx(32.0)
+
+
+def test_skew_metric_matches_fig6_magnitudes():
+    """A 1/32-skewed placement over 60 chunks lands in Fig. 6's S range."""
+    rng = np.random.default_rng(1)
+    instances = place_instances(
+        2000, 600_000, rng, mean_duration=50, skew_fraction=1 / 8, with_boxes=False
+    )
+    edges = np.linspace(0, 600_000, 61).round().astype(np.int64)
+    counts = chunk_instance_counts(InstanceSet(instances), edges)
+    s = skew_metric(counts)
+    assert 5 < s < 16
+
+
+def test_skew_metric_validation():
+    with pytest.raises(ValueError):
+        skew_metric(np.array([]))
+    assert skew_metric(np.array([0, 0])) == 1.0
+
+
+def test_skew_summary_compute():
+    rng = np.random.default_rng(2)
+    instances = place_instances(50, 1000, rng, mean_duration=10, with_boxes=False)
+    edges = np.array([0, 250, 500, 750, 1000])
+    summary = SkewSummary.compute("ds", "cat", InstanceSet(instances), edges)
+    assert summary.total_instances == 50
+    assert len(summary.counts) == 4
+    assert summary.skew >= 1.0 or summary.skew > 0
+
+
+# ----------------------------------------------------------------- metrics
+
+
+def make_history(results):
+    history = SamplingHistory()
+    for k, r in enumerate(results):
+        history.append(k, 0, r)
+    return history
+
+
+def test_results_at_step_interpolation():
+    history = make_history([0, 1, 1, 3, 3])
+    assert results_at(history, 0) == 0
+    assert results_at(history, 2) == 1
+    assert results_at(history, 4) == 3
+    assert results_at(history, 100) == 3  # past the run: final value
+    with pytest.raises(ValueError):
+        results_at(history, -1)
+
+
+def test_samples_to_target():
+    history = make_history([0, 1, 1, 3])
+    assert samples_to_target(history, 1) == 2
+    assert samples_to_target(history, 3) == 4
+    assert samples_to_target(history, 4) is None
+
+
+def test_log_spaced_grid():
+    grid = log_spaced_grid(1000, points=10)
+    assert grid[0] == 1
+    assert grid[-1] == 1000
+    assert np.all(np.diff(grid) > 0)
+    with pytest.raises(ValueError):
+        log_spaced_grid(0)
+
+
+def test_band_over_runs():
+    runs = [make_history([0, 2, 4]), make_history([1, 3, 5]), make_history([0, 1, 6])]
+    grid = np.array([1, 2, 3])
+    band = band_over_runs(runs, grid)
+    np.testing.assert_allclose(band.median, [0, 2, 5])
+    assert np.all(band.lo <= band.median)
+    assert np.all(band.median <= band.hi)
+    assert band.final_median() == 5
+    with pytest.raises(ValueError):
+        band_over_runs([], grid)
+    with pytest.raises(ValueError):
+        band_over_runs(runs, grid, percentiles=(80.0, 20.0))
+
+
+def test_median_samples_to_target_censoring():
+    runs = [make_history([1, 2, 3]), make_history([0, 0, 0]), make_history([1, 3, 3])]
+    # target 3 reached by runs 0 (n=3) and 2 (n=2); run 1 never
+    assert median_samples_to_target(runs, 3) == 3.0
+    # target reached by fewer than half the runs -> None
+    runs2 = [make_history([0, 0]), make_history([0, 0]), make_history([0, 5])]
+    assert median_samples_to_target(runs2, 5) is None
+    with pytest.raises(ValueError):
+        median_samples_to_target([], 1)
+
+
+def test_savings_ratio():
+    fast = [make_history([0, 1, 2, 2, 2])]
+    slow = [make_history([0, 0, 0, 1, 2])]
+    assert savings_ratio(slow, fast, 2) == pytest.approx(5 / 3)
+    assert savings_ratio(slow, fast, 99) is None
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([1.9]) == pytest.approx(1.9)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -2.0])

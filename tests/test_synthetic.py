@@ -1,0 +1,203 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.synthetic import (
+    OccupancySchedule,
+    first_second_appearance,
+    lognormal_durations,
+    lognormal_probabilities,
+    place_instances,
+    skew_fraction_to_std,
+)
+
+
+def test_lognormal_probabilities_mean_calibration():
+    rng = np.random.default_rng(0)
+    p = lognormal_probabilities(20000, rng, mean_p=3e-3)
+    assert p.mean() == pytest.approx(3e-3, rel=0.15)
+    assert np.all(p > 0)
+    assert np.all(p <= 0.5)
+
+
+def test_lognormal_probabilities_skew_matches_paper_magnitudes():
+    """§III-D reports min≈3e-6, max≈0.15 over 1000 draws."""
+    rng = np.random.default_rng(1)
+    p = lognormal_probabilities(1000, rng)
+    assert p.min() < 1e-4
+    assert p.max() > 0.02
+    assert p.std() > p.mean()  # heavy skew
+
+
+def test_lognormal_probabilities_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        lognormal_probabilities(0, rng)
+    with pytest.raises(ValueError):
+        lognormal_probabilities(10, rng, mean_p=1.5)
+
+
+def test_lognormal_durations_mean_and_floor():
+    rng = np.random.default_rng(2)
+    d = lognormal_durations(20000, 700.0, rng)
+    assert d.mean() == pytest.approx(700.0, rel=0.1)
+    assert d.min() >= 1
+    assert d.dtype == np.int64
+    with pytest.raises(ValueError):
+        lognormal_durations(5, -1.0, rng)
+
+
+def test_lognormal_durations_paper_range():
+    """§IV-B: mean 700 gives shortest ≈50 and longest ≈5000."""
+    rng = np.random.default_rng(3)
+    d = lognormal_durations(2000, 700.0, rng)
+    assert 20 <= d.min() <= 200
+    assert 2500 <= d.max() <= 20000
+
+
+def test_skew_fraction_to_std():
+    assert skew_fraction_to_std(1000, None) is None
+    std = skew_fraction_to_std(16_000_000, 1 / 32)
+    # 95% of mass within ±z(0.975) std = the central 1/32
+    assert 2 * 1.96 * std == pytest.approx(16_000_000 / 32, rel=1e-4)
+    with pytest.raises(ValueError):
+        skew_fraction_to_std(1000, 0.0)
+    with pytest.raises(ValueError):
+        skew_fraction_to_std(1000, 1.5)
+
+
+def test_place_instances_bounds_and_count():
+    rng = np.random.default_rng(4)
+    instances = place_instances(200, 10_000, rng, mean_duration=50)
+    assert len(instances) == 200
+    for inst in instances:
+        assert 0 <= inst.start_frame < inst.end_frame <= 10_000
+        assert inst.duration >= 1
+
+
+def test_place_instances_skew_concentrates_midpoints():
+    rng = np.random.default_rng(5)
+    skewed = place_instances(500, 100_000, rng, mean_duration=10, skew_fraction=1 / 32)
+    mids = np.array([(i.start_frame + i.end_frame) / 2 for i in skewed])
+    central = np.abs(mids - 50_000) < 100_000 / 64
+    assert central.mean() > 0.85  # ~95% expected inside central 1/32
+    rng2 = np.random.default_rng(5)
+    uniform = place_instances(500, 100_000, rng2, mean_duration=10, skew_fraction=None)
+    mids_u = np.array([(i.start_frame + i.end_frame) / 2 for i in uniform])
+    assert (np.abs(mids_u - 50_000) < 100_000 / 64).mean() < 0.2
+
+
+def test_place_instances_respects_boundaries():
+    rng = np.random.default_rng(6)
+    boundaries = [0, 100, 200, 300]
+    instances = place_instances(
+        100, 300, rng, mean_duration=80, boundaries=boundaries
+    )
+    for inst in instances:
+        mid = (inst.start_frame + inst.end_frame) // 2
+        segment = next(
+            k for k in range(3) if boundaries[k] <= mid < boundaries[k + 1]
+        )
+        assert inst.start_frame >= boundaries[segment]
+        assert inst.end_frame <= boundaries[segment + 1]
+
+
+def test_place_instances_boundary_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        place_instances(5, 100, rng, boundaries=[10, 100])
+    with pytest.raises(ValueError):
+        place_instances(0, 100, rng)
+
+
+def test_place_instances_ids_and_category():
+    rng = np.random.default_rng(7)
+    instances = place_instances(5, 1000, rng, category="boat", start_id=42)
+    assert [i.instance_id for i in instances] == [42, 43, 44, 45, 46]
+    assert all(i.category == "boat" for i in instances)
+
+
+def test_place_instances_without_boxes_is_interval_only():
+    rng = np.random.default_rng(8)
+    instances = place_instances(5, 1000, rng, with_boxes=False)
+    for inst in instances:
+        assert inst.box_at(inst.start_frame).area == pytest.approx(1.0)
+
+
+# ------------------------------------------------------- OccupancySchedule
+
+
+def test_occupancy_schedule_matches_brute_force():
+    rng = np.random.default_rng(9)
+    instances = place_instances(150, 5000, rng, mean_duration=60, with_boxes=False)
+    schedule = OccupancySchedule(instances)
+    for frame in rng.integers(0, 5000, size=100):
+        expected = sorted(
+            i.instance_id
+            for i in instances
+            if i.start_frame <= frame < i.end_frame
+        )
+        assert sorted(schedule.visible_ids(int(frame))) == expected
+
+
+@given(bucket=st.integers(min_value=1, max_value=512), seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_occupancy_schedule_bucket_size_invariance(bucket, seed):
+    rng = np.random.default_rng(seed)
+    instances = place_instances(30, 1000, rng, mean_duration=40, with_boxes=False)
+    reference = OccupancySchedule(instances, bucket_frames=1000)
+    probe = OccupancySchedule(instances, bucket_frames=bucket)
+    for frame in (0, 17, 499, 999):
+        assert sorted(probe.visible_ids(frame)) == sorted(reference.visible_ids(frame))
+
+
+def test_occupancy_schedule_empty():
+    schedule = OccupancySchedule([])
+    assert len(schedule) == 0
+    assert schedule.visible(123) == []
+    assert schedule.count_visible(0) == 0
+
+
+def test_occupancy_schedule_rejects_bad_bucket():
+    with pytest.raises(ValueError):
+        OccupancySchedule([], bucket_frames=0)
+
+
+# -------------------------------------------------- first_second_appearance
+
+
+def test_first_second_appearance_ordering_and_types():
+    rng = np.random.default_rng(10)
+    p = np.full(100, 0.1)
+    t1, t2 = first_second_appearance(p, rng)
+    assert np.all(t1 >= 1)
+    assert np.all(t2 > t1)
+
+
+def test_first_second_appearance_geometric_mean():
+    rng = np.random.default_rng(11)
+    p = np.full(50_000, 0.02)
+    t1, _ = first_second_appearance(p, rng)
+    assert t1.mean() == pytest.approx(1 / 0.02, rel=0.05)
+
+
+def test_first_second_appearance_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        first_second_appearance(np.array([0.0, 0.5]), rng)
+    with pytest.raises(ValueError):
+        first_second_appearance(np.array([1.5]), rng)
+
+
+def test_first_second_appearance_reconstructs_n1_distribution():
+    """N1(n) from (t1, t2) must match its closed-form expectation."""
+    rng = np.random.default_rng(12)
+    p = np.full(2000, 0.01)
+    n = 100
+    t1, t2 = first_second_appearance(p, rng)
+    n1 = int(np.sum((t1 <= n) & (t2 > n)))
+    expected = 2000 * n * 0.01 * (1 - 0.01) ** (n - 1)
+    assert n1 == pytest.approx(expected, rel=0.2)

@@ -1,0 +1,140 @@
+"""Tests validating the §III theorems against Monte Carlo ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import (
+    bias_bounds,
+    exact_bias,
+    exact_variance_n1,
+    expected_n1,
+    expected_r,
+    poisson_parameter,
+    variance_bound,
+)
+from repro.video.synthetic import first_second_appearance
+
+
+@st.composite
+def prob_vectors(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    return np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-6, max_value=0.5),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+
+
+def test_expected_r_closed_form():
+    p = np.array([0.5, 0.1])
+    # after 1 sample: 0.5*0.5 + 0.1*0.9
+    assert expected_r(p, 1) == pytest.approx(0.5 * 0.5 + 0.1 * 0.9)
+    assert expected_r(p, 0) == pytest.approx(0.6)
+
+
+def test_expected_r_conditional_on_seen():
+    p = np.array([0.5, 0.1, 0.2])
+    seen = np.array([True, False, False])
+    assert expected_r(p, 10, seen) == pytest.approx(0.3)
+    with pytest.raises(ValueError):
+        expected_r(p, 1, np.array([True]))
+
+
+def test_expected_n1_closed_form():
+    p = np.array([0.2])
+    # exactly one hit in 3 samples: 3 * 0.2 * 0.8^2
+    assert expected_n1(p, 3) == pytest.approx(3 * 0.2 * 0.64)
+    assert expected_n1(p, 0) == 0.0
+
+
+def test_exact_bias_is_positive_and_telescopes():
+    """E[N1/n - R(n+1)] = sum p * pi(n) >= 0 (left side of Eq. III.2)."""
+    rng = np.random.default_rng(0)
+    p = rng.uniform(0.001, 0.1, size=50)
+    for n in (1, 10, 100):
+        bias = exact_bias(p, n)
+        assert bias >= 0
+        direct = expected_n1(p, n) / n - expected_r(p, n)
+        assert bias == pytest.approx(direct, rel=1e-9)
+
+
+@given(prob_vectors(), st.integers(min_value=1, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_bias_bounds_hold(p, n):
+    """Eq. III.2: 0 <= E[R_hat - R]/E[R_hat] <= max p (and moment bound)."""
+    e_n1 = expected_n1(p, n)
+    if e_n1 <= 1e-12:
+        return  # relative bias undefined when the estimate is ~0
+    rel_bias = exact_bias(p, n) / (e_n1 / n)
+    max_p_bound, moment_bound = bias_bounds(p, n)
+    assert -1e-9 <= rel_bias <= max_p_bound + 1e-9
+    assert rel_bias <= moment_bound + 1e-9
+
+
+@given(prob_vectors(), st.integers(min_value=1, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_variance_bound_holds(p, n):
+    """Eq. III.3: Var[N1/n] <= E[N1]/n^2, and the exact variance obeys it."""
+    exact = exact_variance_n1(p, n) / (n * n)
+    bound = variance_bound(p, n)
+    assert exact <= bound + 1e-12
+
+
+def test_monte_carlo_agreement():
+    """Closed forms must match simulation from first/second appearances."""
+    rng = np.random.default_rng(1)
+    p = rng.uniform(0.005, 0.05, size=200)
+    n = 60
+    runs = 4000
+    n1_samples = np.empty(runs)
+    r_samples = np.empty(runs)
+    for k in range(runs):
+        t1, t2 = first_second_appearance(p, rng)
+        n1_samples[k] = np.sum((t1 <= n) & (t2 > n))
+        r_samples[k] = p[t1 > n].sum()
+    assert n1_samples.mean() == pytest.approx(expected_n1(p, n), rel=0.05)
+    assert r_samples.mean() == pytest.approx(expected_r(p, n), rel=0.05)
+    assert n1_samples.var() == pytest.approx(exact_variance_n1(p, n), rel=0.15)
+
+
+def test_poisson_parameter_and_distribution():
+    """§III-B: N1(n) is approximately Poisson(lambda) for small p."""
+    from scipy import stats as scipy_stats
+
+    rng = np.random.default_rng(2)
+    # the theorem needs each q_i = n p (1-p)^{n-1} small: use tiny p
+    p = np.full(2000, 5e-4)
+    n = 100
+    lam = poisson_parameter(p, n)
+    runs = 5000
+    samples = np.empty(runs, dtype=int)
+    for k in range(runs):
+        t1, t2 = first_second_appearance(p, rng)
+        samples[k] = np.sum((t1 <= n) & (t2 > n))
+    assert samples.mean() == pytest.approx(lam, rel=0.05)
+    assert samples.var() == pytest.approx(lam, rel=0.1)  # Poisson: mean=var
+    # coarse shape agreement on central mass
+    grid = np.arange(int(lam * 0.5), int(lam * 1.5))
+    empirical = np.array([(samples == v).mean() for v in grid])
+    theoretical = scipy_stats.poisson.pmf(grid, lam)
+    assert np.abs(empirical - theoretical).max() < 0.02
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        expected_r(np.array([0.0]), 1)
+    with pytest.raises(ValueError):
+        expected_r(np.array([1.5]), 1)
+    with pytest.raises(ValueError):
+        expected_r(np.array([0.1]), -1)
+    with pytest.raises(ValueError):
+        exact_bias(np.array([0.1]), 0)
+    with pytest.raises(ValueError):
+        variance_bound(np.array([0.1]), 0)
+    with pytest.raises(ValueError):
+        expected_n1(np.array([]), 1)

@@ -1,0 +1,130 @@
+"""Tests for track storage and ground-truth track extension."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detector import Detection
+from repro.tracking.tracker import GroundTruthTrackExtender, TrackStore
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+
+
+def make_instance(instance_id, start, duration):
+    traj = Trajectory.linear(
+        start, duration, Box(0, 0, 50, 50), Box(100, 0, 150, 50)
+    )
+    return ObjectInstance(instance_id, "car", traj)
+
+
+def make_detection(frame, instance_id=None, box=None):
+    return Detection(
+        frame_index=frame,
+        box=box if box is not None else Box(0, 0, 50, 50),
+        category="car",
+        score=0.9,
+        true_instance_id=instance_id,
+    )
+
+
+# -------------------------------------------------------------- TrackStore
+
+
+def test_track_store_covering():
+    store = TrackStore(bucket_frames=100)
+    t1 = store.new_track("car", Trajectory.stationary(50, 200, Box(0, 0, 1, 1)), make_detection(60))
+    t2 = store.new_track("car", Trajectory.stationary(500, 10, Box(0, 0, 1, 1)), make_detection(505))
+    assert [t.track_id for t in store.covering(100)] == [t1.track_id]
+    assert [t.track_id for t in store.covering(505)] == [t2.track_id]
+    assert store.covering(400) == []
+    assert len(store) == 2
+
+
+def test_track_store_covering_matches_brute_force():
+    rng = np.random.default_rng(0)
+    store = TrackStore(bucket_frames=64)
+    spans = []
+    for k in range(50):
+        start = int(rng.integers(0, 5000))
+        duration = int(rng.integers(1, 400))
+        store.new_track(
+            "car",
+            Trajectory.stationary(start, duration, Box(0, 0, 1, 1)),
+            make_detection(start),
+        )
+        spans.append((start, start + duration))
+    for frame in rng.integers(0, 5500, size=200):
+        expected = {k for k, (s, e) in enumerate(spans) if s <= frame < e}
+        got = {t.track_id for t in store.covering(int(frame))}
+        assert got == expected
+
+
+def test_track_store_seen_exactly_once():
+    store = TrackStore()
+    a = store.new_track("car", Trajectory.stationary(0, 10, Box(0, 0, 1, 1)), make_detection(0))
+    store.new_track("car", Trajectory.stationary(20, 10, Box(0, 0, 1, 1)), make_detection(20))
+    assert store.seen_exactly_once() == 2
+    a.times_seen += 1
+    assert store.seen_exactly_once() == 1
+
+
+def test_track_store_validation():
+    with pytest.raises(ValueError):
+        TrackStore(bucket_frames=0)
+
+
+# ------------------------------------------- GroundTruthTrackExtender
+
+
+def test_extender_full_coverage_recovers_extent():
+    inst = make_instance(7, 100, 60)
+    extender = GroundTruthTrackExtender(InstanceSet([inst]), coverage=1.0)
+    det = make_detection(130, instance_id=7, box=inst.box_at(130))
+    traj = extender.extend(det)
+    assert traj.start_frame == 100
+    assert traj.end_frame == 160
+    # recovered positions match ground truth
+    assert traj.box_at(100).iou(inst.box_at(100)) > 0.99
+    assert traj.box_at(159).iou(inst.box_at(159)) > 0.99
+
+
+def test_extender_partial_coverage_shrinks_around_detection():
+    inst = make_instance(7, 100, 101)
+    extender = GroundTruthTrackExtender(InstanceSet([inst]), coverage=0.5)
+    det = make_detection(150, instance_id=7, box=inst.box_at(150))
+    traj = extender.extend(det)
+    assert traj.covers(150)
+    assert traj.start_frame == 150 - 25
+    assert traj.end_frame == 150 + 25 + 1
+    assert traj.duration < inst.duration
+
+
+def test_extender_false_positive_single_frame():
+    extender = GroundTruthTrackExtender(InstanceSet([]), coverage=1.0)
+    det = make_detection(42, instance_id=None, box=Box(5, 5, 10, 10))
+    traj = extender.extend(det)
+    assert traj.start_frame == 42
+    assert traj.duration == 1
+    assert traj.box_at(42) == Box(5, 5, 10, 10)
+
+
+def test_extender_unknown_instance_degrades_gracefully():
+    extender = GroundTruthTrackExtender(InstanceSet([make_instance(1, 0, 10)]))
+    det = make_detection(3, instance_id=999)
+    traj = extender.extend(det)
+    assert traj.duration == 1
+
+
+def test_extender_detection_frame_outside_extent():
+    inst = make_instance(1, 100, 10)
+    extender = GroundTruthTrackExtender(InstanceSet([inst]))
+    det = make_detection(500, instance_id=1)
+    traj = extender.extend(det)
+    assert traj.duration == 1
+    assert traj.start_frame == 500
+
+
+def test_extender_validation():
+    with pytest.raises(ValueError):
+        GroundTruthTrackExtender(InstanceSet([]), coverage=0.0)
+    with pytest.raises(ValueError):
+        GroundTruthTrackExtender(InstanceSet([]), coverage=1.5)
