@@ -7,7 +7,15 @@ update) is negligible next to a detector invocation (~50 ms at the
 paper's 20 fps).  This bench measures the full non-detector iteration
 cost at three chunk counts and asserts it stays below 5 ms even at
 M = 8192 — two orders of magnitude under the detector's share.
+
+A second bench guards the serving refactor: ``run()`` is now a thin
+wrapper over the incremental ``steps()`` generator, and the generator
+machinery must not tax the non-serving callers — the wrapped loop is
+held to <5% overhead against the pre-refactor inline loop on a
+Fig.-2-scale skewed workload.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -17,6 +25,7 @@ from repro.core.sampler import ExSample
 from repro.detection.detector import OracleDetector
 from repro.tracking.discriminator import OracleDiscriminator
 from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
 
 DETECTOR_SECONDS = 1.0 / 20.0  # one detector call at the paper's 20 fps
 
@@ -44,4 +53,82 @@ def test_bench_step_overhead(benchmark, num_chunks):
     assert per_step < 0.1 * DETECTOR_SECONDS, (
         f"per-step overhead {per_step * 1e3:.2f} ms at M={num_chunks} is not "
         f"negligible vs a {DETECTOR_SECONDS * 1e3:.0f} ms detector call"
+    )
+
+
+# ---------------------------------------------------- steps() refactor cost
+
+FIG2_INSTANCES = 1000  # the §III-D simulation scale Fig. 2 is drawn at
+FIG2_FRAMES = 120_000
+FIG2_SAMPLES = 1000
+FIG2_CHUNKS = 32
+ROUNDS = 21  # first round is warm-up and discarded
+
+
+def make_fig2_sampler(seed: int = 0) -> ExSample:
+    # the Fig. 2 workload: ~1000 heavily skewed lognormal-duration
+    # instances, sampled adaptively; oracle substrate so the measured
+    # cost is the loop itself, not detector simulation noise.
+    rng = np.random.default_rng(seed)
+    instances = place_instances(
+        FIG2_INSTANCES, FIG2_FRAMES, rng, mean_duration=60.0,
+        skew_fraction=0.25, with_boxes=False,
+    )
+    repo = single_clip_repository(FIG2_FRAMES, instances)
+    loop_rng = np.random.default_rng(seed + 1)
+    chunks = even_count_chunks(repo.total_frames, FIG2_CHUNKS, loop_rng)
+    return ExSample(chunks, OracleDetector(repo), OracleDiscriminator(), rng=loop_rng)
+
+
+def _legacy_run(sampler: ExSample, max_samples: int) -> None:
+    """The pre-refactor run() loop, inlined: direct step() calls with the
+    stopping clauses checked in the loop header, no generator."""
+    while not sampler.exhausted:
+        if sampler.frames_processed >= max_samples:
+            break
+        sampler.step()
+
+
+def _wrapped_run(sampler: ExSample, max_samples: int) -> None:
+    sampler.run(max_samples=max_samples)
+
+
+def test_bench_steps_refactor_overhead(benchmark):
+    """The iterator-based run() must stay within 5% of the inline loop."""
+    import gc
+    import statistics
+
+    times: dict[str, list[float]] = {"legacy": [], "wrapped": []}
+    # interleave the variants (same seed, same workload per round) and
+    # compare the median time of each arm: individual rounds on a busy
+    # machine spike by 10%+, but with 20 interleaved samples per arm both
+    # medians sit on the same quiet baseline.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for round_index in range(ROUNDS):
+            for name, runner in (("legacy", _legacy_run), ("wrapped", _wrapped_run)):
+                sampler = make_fig2_sampler(seed=round_index)
+                start = time.perf_counter()
+                runner(sampler, FIG2_SAMPLES)
+                elapsed = time.perf_counter() - start
+                assert sampler.frames_processed == FIG2_SAMPLES
+                if round_index > 0:  # round 0 is warm-up
+                    times[name].append(elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    legacy = statistics.median(times["legacy"])
+    wrapped = statistics.median(times["wrapped"])
+    benchmark.pedantic(
+        lambda: _wrapped_run(make_fig2_sampler(), FIG2_SAMPLES),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["overhead_ratio"] = wrapped / legacy
+    assert wrapped < legacy * 1.05, (
+        f"steps() refactor costs {(wrapped / legacy - 1) * 100:.1f}% over the "
+        f"pre-refactor loop on the Fig. 2 workload "
+        f"(median {wrapped * 1e3:.1f} ms vs {legacy * 1e3:.1f} ms "
+        f"for {FIG2_SAMPLES} samples)"
     )

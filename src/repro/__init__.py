@@ -15,6 +15,9 @@ The package is organized as the paper's system is:
 * :mod:`repro.analysis` — the formal bounds of §III, optimal chunk
   weights (Eq. IV.1), skew metrics and evaluation metrics.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.serving` — the query serving subsystem: resumable
+  sessions, the shared detection cache, and the frames-per-tick budget
+  scheduler.
 """
 
 from .core import (
@@ -33,7 +36,14 @@ from .core import (
     ScoredOrder,
     ThompsonSampling,
 )
-from .detection import OracleDetector, SimulatedDetector, ThroughputModel
+from .detection import (
+    CachingDetector,
+    DetectionCache,
+    OracleDetector,
+    SimulatedDetector,
+    ThroughputModel,
+)
+from .serving import QueryService
 from .tracking import OracleDiscriminator, TrackingDiscriminator
 from .video import VideoRepository, build_dataset, dataset_names
 
@@ -54,7 +64,10 @@ __all__ = [
     "SamplingHistory",
     "ScoredOrder",
     "ThompsonSampling",
+    "CachingDetector",
+    "DetectionCache",
     "OracleDetector",
+    "QueryService",
     "SimulatedDetector",
     "ThroughputModel",
     "OracleDiscriminator",

@@ -7,16 +7,44 @@ This is the "downstream user" surface, distinct from the experiment CLI
     python -m repro query dashcam bicycle --limit 20
     python -m repro query amsterdam boat --recall 0.5 --compare
     python -m repro query bdd1k motor --limit 25 --method random --scale 0.1
+    python -m repro query dashcam bicycle --limit 20 --json
+
+The serving subsystem (:mod:`repro.serving`) is driven through two more
+subcommands.  ``submit`` appends a query to a state directory without
+doing any work; ``serve`` loads the directory (sessions + shared
+detection cache), runs the budget scheduler, and persists everything
+back — or executes a scripted session transcript:
+
+    python -m repro submit dashcam bicycle --limit 10 --state-dir ./state
+    python -m repro submit dashcam bus --limit 10 --state-dir ./state
+    python -m repro serve --state-dir ./state
+    python -m repro serve --script session.txt --scale 0.05 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
-from .core.query import METHODS, DistinctObjectQuery, QueryEngine
+from .core.query import METHODS, DistinctObjectQuery, QueryEngine, QueryResult
+from .detection.cache import DetectionCache, SqliteBackend
 from .detection.costmodel import format_duration
+from .experiments.persistence import to_jsonable
 from .experiments.reporting import format_table
+from .serving import (
+    PriorityScheduler,
+    QueryService,
+    RoundRobinScheduler,
+    SessionSnapshot,
+    SessionSpec,
+    SessionState,
+    ThompsonSumScheduler,
+    derive_session_seed,
+)
+from .serving import script as serving_script
+from .serving import state as serving_state
 from .video.datasets import (
     build_dataset,
     dataset_names,
@@ -25,6 +53,8 @@ from .video.datasets import (
 )
 
 __all__ = ["main"]
+
+SCHEDULERS = ("round-robin", "priority", "thompson")
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -48,6 +78,26 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+# ------------------------------------------------------------------- query
+
+def _result_payload(result: QueryResult) -> dict:
+    """Machine-readable results/cost summary shared by ``query --json``
+    and the serving CLI path."""
+    return {
+        "method": result.method,
+        "results_returned": result.results_returned,
+        "recall": result.recall,
+        "frames_processed": result.frames_processed,
+        "scan_frames_charged": result.scan_frames_charged,
+        "detector_seconds": result.detector_seconds,
+        "scan_seconds": result.scan_seconds,
+        "total_seconds": result.total_seconds,
+        "satisfied": result.satisfied,
+        "distinct_instances_found": result.distinct_instances_found,
+        "ground_truth_instances": result.ground_truth_instances,
+    }
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -79,6 +129,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
         max_samples=args.max_samples,
     )
     methods = list(METHODS) if args.compare else [args.method]
+    results = [engine.execute(query, method=method) for method in methods]
+
+    if args.json:
+        payload = {
+            "dataset": repo.name,
+            "category": args.category,
+            "scale": args.scale,
+            "seed": args.seed,
+            "limit": args.limit,
+            "recall_target": args.recall,
+            "max_samples": args.max_samples,
+            "total_frames": repo.total_frames,
+            "ground_truth_instances": len(repo.instances_of(args.category)),
+            "results": [_result_payload(r) for r in results],
+        }
+        print(json.dumps(to_jsonable(payload), indent=2))
+        return 0
 
     print(
         f"{repo.name}: {repo.total_frames:,} frames (scale {args.scale:g}), "
@@ -86,11 +153,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"{args.category!r} instances in ground truth"
     )
     rows = []
-    for method in methods:
-        result = engine.execute(query, method=method)
+    for result in results:
         rows.append(
             [
-                method,
+                result.method,
                 result.results_returned,
                 f"{result.recall:.2f}",
                 result.frames_processed,
@@ -107,6 +173,203 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     return 0
 
+
+# ----------------------------------------------------------------- serving
+
+def _make_scheduler(name: str):
+    if name == "round-robin":
+        return RoundRobinScheduler()
+    if name == "priority":
+        return PriorityScheduler()
+    if name == "thompson":
+        return ThompsonSumScheduler()
+    raise ValueError(f"unknown scheduler {name!r}; options: {SCHEDULERS}")
+
+
+def _build_service(
+    datasets: list[str],
+    scale: float,
+    seed: int,
+    frames_per_tick: int,
+    scheduler: str,
+    cache: DetectionCache | None,
+) -> QueryService:
+    repos = {
+        name: build_dataset(name, categories=None, scale=scale, seed=seed)
+        for name in datasets
+    }
+    chunk_frames = {name: scaled_chunk_frames(name, scale) for name in datasets}
+    return QueryService(
+        repos,
+        cache=cache,
+        scheduler=_make_scheduler(scheduler),
+        frames_per_tick=frames_per_tick,
+        chunk_frames=chunk_frames,
+        seed=seed,
+    )
+
+
+def _serve_summary_payload(service: QueryService) -> dict:
+    return {
+        "ticks": service.ticks,
+        "detector_calls": service.detector_calls,
+        "cache": {
+            "size": len(service.cache),
+            "hits": service.cache.stats.hits,
+            "misses": service.cache.stats.misses,
+        },
+        "sessions": [service.results(st.session_id) for st in service.statuses()],
+    }
+
+
+def _print_serve_summary(service: QueryService) -> None:
+    print(serving_script.status_table(service))
+    print(
+        f"{service.detector_calls} detector calls total; cache: "
+        f"{len(service.cache)} frames, {service.cache.stats.hits} hits"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    profile = get_profile(args.dataset)
+    if args.category not in profile.category_names():
+        print(
+            f"error: {args.dataset!r} has no category {args.category!r}; "
+            f"options: {profile.category_names()}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        SessionSpec(  # validate limit/max-samples/priority before queuing
+            dataset=args.dataset,
+            category=args.category,
+            limit=args.limit,
+            max_samples=args.max_samples,
+            priority=args.priority,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    state_dir = pathlib.Path(args.state_dir)
+    config = serving_state.load_or_init_config(state_dir, scale=args.scale, seed=args.seed)
+    session_id = serving_state.next_session_id(state_dir)
+    session_seed = args.session_seed
+    if session_seed is None:
+        session_seed = derive_session_seed(int(config.get("seed", 0)), int(session_id[1:]))
+    snapshot = SessionSnapshot(
+        session_id=session_id,
+        dataset=args.dataset,
+        category=args.category,
+        limit=args.limit,
+        max_samples=args.max_samples,
+        seed=session_seed,
+        priority=args.priority,
+        warm_start=not args.no_warm_start,
+        state=SessionState.ACTIVE.value,
+        steps_taken=0,
+        warm_start_frames=None,  # warm start runs when a server loads it
+    )
+    path = serving_state.write_snapshot(state_dir, snapshot)
+    if args.json:
+        print(json.dumps(to_jsonable(snapshot.to_dict()), indent=2))
+    else:
+        print(
+            f"{snapshot.session_id}: queued {args.dataset}/{args.category} "
+            f"(limit={args.limit}) -> {path}"
+        )
+    return 0
+
+
+def _script_datasets(text: str) -> list[str]:
+    """Dataset names a serve script will touch (pre-scan of submit lines)."""
+    names = []
+    for line in text.splitlines():
+        tokens = line.split()
+        if len(tokens) >= 2 and tokens[0] == "submit" and tokens[1] not in names:
+            names.append(tokens[1])
+    return names
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.script is None and args.state_dir is None:
+        print("error: pass --script and/or --state-dir", file=sys.stderr)
+        return 2
+    if args.ticks is not None:
+        if args.script is not None:
+            print(
+                "error: --ticks cannot be combined with --script "
+                "(use a `tick N` line in the script)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.ticks <= 0:
+            print("error: --ticks must be positive", file=sys.stderr)
+            return 2
+    if args.frames_per_tick <= 0:
+        print("error: --frames-per-tick must be positive", file=sys.stderr)
+        return 2
+
+    cache = None
+    scale, seed = args.scale, args.seed
+    snapshots: list[SessionSnapshot] = []
+    if args.state_dir is not None:
+        state_dir = pathlib.Path(args.state_dir)
+        config = serving_state.load_or_init_config(state_dir, scale=scale, seed=seed)
+        scale, seed = float(config["scale"]), int(config["seed"])
+        cache = DetectionCache(SqliteBackend(state_dir / serving_state.CACHE_FILENAME))
+        snapshots = serving_state.load_snapshots(state_dir)
+
+    script_text = None
+    if args.script is not None:
+        script_text = pathlib.Path(args.script).read_text(encoding="utf-8")
+
+    # sealed (terminal) sessions never touch a repository, so only build
+    # the datasets live sessions and script submissions will actually use
+    datasets = [
+        snap.dataset
+        for snap in snapshots
+        if not SessionState(snap.state).terminal
+    ]
+    if script_text is not None:
+        datasets += _script_datasets(script_text)
+    datasets = list(dict.fromkeys(datasets))  # dedupe, keep order
+    if not snapshots and not datasets:
+        print("error: nothing to serve (no sessions, empty script)", file=sys.stderr)
+        return 2
+
+    service = _build_service(
+        datasets, scale, seed, args.frames_per_tick, args.scheduler, cache
+    )
+    for snap in snapshots:
+        service.restore(snap)
+
+    if script_text is not None:
+        try:
+            log = serving_script.run_script(service, script_text)
+        except serving_script.ScriptError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not args.json:
+            for line in log:
+                print(line)
+    elif args.ticks is not None:
+        for _ in range(args.ticks):
+            service.tick()
+    else:
+        service.run_until_idle()
+
+    if args.state_dir is not None:
+        serving_state.save_sessions(service, pathlib.Path(args.state_dir))
+
+    if args.json:
+        print(json.dumps(to_jsonable(_serve_summary_payload(service)), indent=2))
+    else:
+        _print_serve_summary(service)
+    service.cache.close()  # commits any buffered on-disk writes
+    return 0
+
+
+# ------------------------------------------------------------------ parser
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -136,7 +399,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset scale in (0, 1]; 1.0 is the paper-size corpus",
     )
     query.add_argument("--max-samples", type=int, default=None, help="frame budget cap")
-    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds dataset synthesis and sampling; same seed => identical run",
+    )
+    query.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable results/cost summary instead of the table",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="queue a query in a serving state directory (no work done)"
+    )
+    submit.add_argument("dataset", help="profile name (see `datasets`)")
+    submit.add_argument("category", help="object category to search for")
+    submit.add_argument("--state-dir", required=True, help="serving state directory")
+    submit.add_argument("--limit", type=int, default=None, help="distinct-result limit")
+    submit.add_argument("--max-samples", type=int, default=None, help="frame budget cap")
+    submit.add_argument("--priority", type=float, default=1.0, help="scheduling weight")
+    submit.add_argument(
+        "--session-seed", type=int, default=None,
+        help="per-session sampling seed (default: derived per submission)",
+    )
+    submit.add_argument(
+        "--no-warm-start", action="store_true",
+        help="skip replaying cached frames into the new session",
+    )
+    submit.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale; recorded in the state dir on first use",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=0,
+        help="dataset synthesis seed; recorded in the state dir on first use",
+    )
+    submit.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="run the query service over a state directory or a script"
+    )
+    serve.add_argument("--state-dir", default=None, help="serving state directory")
+    serve.add_argument(
+        "--script", default=None,
+        help="scripted session transcript (see repro.serving.script)",
+    )
+    serve.add_argument(
+        "--ticks", type=int, default=None,
+        help="scheduling rounds to run (default: until idle); state-dir mode only",
+    )
+    serve.add_argument(
+        "--frames-per-tick", type=int, default=16,
+        help="global detector budget per scheduling round",
+    )
+    serve.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="round-robin",
+        help="budget allocation policy across sessions",
+    )
+    serve.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale (overridden by an existing state-dir config)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="dataset/service seed (overridden by an existing state-dir config)",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="print a machine-readable summary"
+    )
     return parser
 
 
@@ -144,4 +473,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
         return _cmd_datasets(args)
-    return _cmd_query(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    return _cmd_serve(args)

@@ -29,7 +29,7 @@ of queries (perfect overlap) and floored at ~1x (disjoint hot regions);
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -170,12 +170,29 @@ class MultiQueryExSample:
             query.history.append(frame, outcome.d0, query.discriminator.result_count())
         return frame
 
-    def run(self, max_samples: int | None = None) -> dict[str, QueryState]:
-        """Run until every limit is met, the budget ends, or exhaustion."""
+    def steps(self, max_samples: int | None = None) -> Iterator[int]:
+        """Incremental form of :meth:`run`: yields each sampled frame index.
+
+        Stopping clauses are re-evaluated between frames, so the shared
+        loop can be suspended after any frame and interleaved with other
+        engines (the serving layer's scheduling seam).  Exhausting the
+        generator leaves the engine in exactly the state :meth:`run` would.
+        """
         if max_samples is not None and max_samples <= 0:
             raise ValueError("max_samples must be positive")
-        while not self.exhausted and not self.all_satisfied:
-            if max_samples is not None and self._frames_processed >= max_samples:
-                break
-            self.step()
+
+        def generate() -> Iterator[int]:
+            while not self.exhausted and not self.all_satisfied:
+                if max_samples is not None and self._frames_processed >= max_samples:
+                    return
+                yield self.step()
+
+        # validation above fires at call time; only the loop is deferred
+        return generate()
+
+    def run(self, max_samples: int | None = None) -> dict[str, QueryState]:
+        """Run until every limit is met, the budget ends, or exhaustion.
+        Thin wrapper over :meth:`steps`."""
+        for _ in self.steps(max_samples=max_samples):
+            pass
         return self.queries

@@ -20,7 +20,7 @@ here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -217,6 +217,16 @@ class ExSample:
         """True once every chunk's frame order is fully consumed."""
         return not self._available.any()
 
+    @property
+    def chunk_availability(self) -> np.ndarray:
+        """Per-chunk mask of chunks that still have frames to sample.
+
+        Exposed for schedulers that score a whole sampler (e.g. the
+        serving layer's Thompson-sum budget allocation) and must ignore
+        drained chunks exactly as the policies do.
+        """
+        return self._available.copy()
+
     # ------------------------------------------------------------- execution
 
     def step(self) -> list[StepRecord]:
@@ -286,6 +296,36 @@ class ExSample:
                 origin = self._first_chunk.get(det.true_instance_id, chunk_idx)
             self._stats.retire(origin)
 
+    def steps(
+        self,
+        result_limit: int | None = None,
+        max_samples: int | None = None,
+    ) -> Iterator[StepRecord]:
+        """Incremental form of :meth:`run`: a generator of step records.
+
+        The stopping clauses are evaluated between iterations, so the
+        generator can be advanced one frame at a time, suspended after any
+        yield, and interleaved with other samplers — the resumable engine
+        the serving layer (:mod:`repro.serving`) schedules sessions on.
+        Exhausting the generator leaves the sampler in exactly the state
+        :meth:`run` would.
+        """
+        if result_limit is not None and result_limit <= 0:
+            raise ValueError("result_limit must be positive")
+        if max_samples is not None and max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+
+        def generate() -> Iterator[StepRecord]:
+            while not self.exhausted:
+                if result_limit is not None and self.results_found >= result_limit:
+                    return
+                if max_samples is not None and self.frames_processed >= max_samples:
+                    return
+                yield from self.step()
+
+        # validation above fires at call time; only the loop is deferred
+        return generate()
+
     def run(
         self,
         result_limit: int | None = None,
@@ -297,19 +337,10 @@ class ExSample:
         ``result_limit`` mirrors the query's LIMIT; ``max_samples`` is the
         experimental budget used by the evaluation sweeps.  At least one
         of the two should normally be given; with neither, the run ends
-        only when the whole repository has been sampled.
+        only when the whole repository has been sampled.  Thin wrapper
+        over :meth:`steps`.
         """
-        if result_limit is not None and result_limit <= 0:
-            raise ValueError("result_limit must be positive")
-        if max_samples is not None and max_samples <= 0:
-            raise ValueError("max_samples must be positive")
-
-        while not self.exhausted:
-            if result_limit is not None and self.results_found >= result_limit:
-                break
-            if max_samples is not None and self.frames_processed >= max_samples:
-                break
-            for record in self.step():
-                if callback is not None:
-                    callback(record)
+        for record in self.steps(result_limit=result_limit, max_samples=max_samples):
+            if callback is not None:
+                callback(record)
         return self._history

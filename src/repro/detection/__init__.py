@@ -1,5 +1,15 @@
-"""Black-box detector substrate and cost accounting."""
+"""Black-box detector substrate, shared detection cache, cost accounting."""
 
+from .cache import (
+    CacheBackend,
+    CacheStats,
+    CachingDetector,
+    CategoryFilterDetector,
+    DetectionCache,
+    InMemoryBackend,
+    JsonlBackend,
+    SqliteBackend,
+)
 from .costmodel import ThroughputModel, format_duration, parse_duration
 from .detector import (
     Detection,
@@ -10,6 +20,14 @@ from .detector import (
 )
 
 __all__ = [
+    "CacheBackend",
+    "CacheStats",
+    "CachingDetector",
+    "CategoryFilterDetector",
+    "DetectionCache",
+    "InMemoryBackend",
+    "JsonlBackend",
+    "SqliteBackend",
     "ThroughputModel",
     "format_duration",
     "parse_duration",

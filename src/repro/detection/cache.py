@@ -1,0 +1,383 @@
+"""The shared detection cache: one detector call serves every query, forever.
+
+The paper's whole premise is that detector invocations are the scarce
+resource (§I); :mod:`repro.core.multiquery` already shares one call across
+queries running *concurrently*.  This module extends the sharing across
+query *lifetimes*: every detector output is stored under
+``(dataset, frame_index)``, so a query submitted tomorrow pays nothing for
+any frame ever detected — it can re-read the boxes, feed them through its
+own discriminator, and even warm-start its per-chunk ``(N1, n)`` beliefs
+(see :func:`repro.serving.session.replay_cached_frames`) without touching
+the GPU.
+
+Three pieces:
+
+* :class:`DetectionCache` — the facade: hit/miss accounting plus the
+  encoding of :class:`~repro.detection.detector.Detection` values into
+  plain JSON-able rows, over a pluggable storage backend;
+* backends — :class:`InMemoryBackend` (per-process),
+  :class:`SqliteBackend` and :class:`JsonlBackend` (on disk, surviving
+  process restarts — the substrate of ``python -m repro serve``'s state
+  directory);
+* :class:`CachingDetector` — a :class:`~repro.detection.detector.Detector`
+  that consults the cache before the wrapped detector, and
+  :class:`CategoryFilterDetector`, the per-query view of a shared
+  all-category detector.
+
+Detections are cached *unfiltered* (``category=None`` detectors), because
+a frame's boxes for every category cost the same one invocation — caching
+a filtered subset would poison later queries for other categories.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sqlite3
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence
+
+from ..video.geometry import Box
+from .detector import Detection, Detector, DetectorStats
+
+__all__ = [
+    "CacheStats",
+    "CacheBackend",
+    "InMemoryBackend",
+    "SqliteBackend",
+    "JsonlBackend",
+    "DetectionCache",
+    "CachingDetector",
+    "CategoryFilterDetector",
+]
+
+
+@dataclass
+class CacheStats:
+    """Lookup accounting; ``hits`` are detector invocations avoided."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+
+
+# ---------------------------------------------------------------- encoding
+
+def _encode(detections: Sequence[Detection]) -> list[dict]:
+    return [
+        {
+            "frame": det.frame_index,
+            "box": [det.box.x1, det.box.y1, det.box.x2, det.box.y2],
+            "category": det.category,
+            "score": det.score,
+            "instance": det.true_instance_id,
+        }
+        for det in detections
+    ]
+
+
+def _decode(rows: Iterable[dict]) -> tuple[Detection, ...]:
+    return tuple(
+        Detection(
+            frame_index=int(row["frame"]),
+            box=Box(*(float(v) for v in row["box"])),
+            category=str(row["category"]),
+            score=float(row["score"]),
+            true_instance_id=(
+                None if row["instance"] is None else int(row["instance"])
+            ),
+        )
+        for row in rows
+    )
+
+
+# ---------------------------------------------------------------- backends
+
+class CacheBackend(Protocol):
+    """Storage for JSON-able detection rows keyed by (dataset, frame)."""
+
+    def get(self, dataset: str, frame_index: int) -> list[dict] | None:  # pragma: no cover
+        ...
+
+    def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:  # pragma: no cover
+        ...
+
+    def frames(self, dataset: str) -> list[int]:  # pragma: no cover
+        ...
+
+    def __len__(self) -> int:  # pragma: no cover
+        ...
+
+    def flush(self) -> None:  # pragma: no cover
+        ...
+
+    def close(self) -> None:  # pragma: no cover
+        ...
+
+
+class InMemoryBackend:
+    """Plain dict storage; the default for single-process services."""
+
+    def __init__(self) -> None:
+        self._rows: dict[tuple[str, int], list[dict]] = {}
+
+    def get(self, dataset: str, frame_index: int) -> list[dict] | None:
+        return self._rows.get((dataset, frame_index))
+
+    def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
+        self._rows[(dataset, frame_index)] = rows
+
+    def frames(self, dataset: str) -> list[int]:
+        return sorted(f for (d, f) in self._rows if d == dataset)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class SqliteBackend:
+    """One-table sqlite storage; survives restarts, supports point lookups
+    without loading the whole cache (the right backend for long-lived
+    state directories).
+
+    Writes are batched: ``put`` does not commit — the transaction lands
+    on ``flush()`` (which the service calls once per tick) or ``close()``.
+    One fsync per scheduling quantum instead of one per detector call,
+    matching the durability the state layer promises (losing at most the
+    tick in flight).
+    """
+
+    def __init__(self, path: str | pathlib.Path):
+        self._path = pathlib.Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self._path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS detections ("
+            "dataset TEXT NOT NULL, frame INTEGER NOT NULL, payload TEXT NOT NULL, "
+            "PRIMARY KEY (dataset, frame))"
+        )
+        self._conn.commit()
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def get(self, dataset: str, frame_index: int) -> list[dict] | None:
+        row = self._conn.execute(
+            "SELECT payload FROM detections WHERE dataset = ? AND frame = ?",
+            (dataset, frame_index),
+        ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO detections (dataset, frame, payload) VALUES (?, ?, ?)",
+            (dataset, frame_index, json.dumps(rows)),
+        )
+
+    def frames(self, dataset: str) -> list[int]:
+        rows = self._conn.execute(
+            "SELECT frame FROM detections WHERE dataset = ? ORDER BY frame",
+            (dataset,),
+        ).fetchall()
+        return [int(r[0]) for r in rows]
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM detections").fetchone()[0])
+
+    def flush(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()
+
+
+class JsonlBackend:
+    """Append-only jsonl storage: one line per cached frame.
+
+    Loads fully into memory on open, appends on every put — simple,
+    greppable, and adequate below millions of cached frames.  Re-put keys
+    append a superseding line; the latest line wins on load.
+    """
+
+    def __init__(self, path: str | pathlib.Path):
+        self._path = pathlib.Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._rows: dict[tuple[str, int], list[dict]] = {}
+        if self._path.exists():
+            with open(self._path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    self._rows[(record["dataset"], int(record["frame"]))] = record["rows"]
+        self._handle = open(self._path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    def get(self, dataset: str, frame_index: int) -> list[dict] | None:
+        return self._rows.get((dataset, frame_index))
+
+    def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
+        self._rows[(dataset, frame_index)] = rows
+        record = {"dataset": dataset, "frame": frame_index, "rows": rows}
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def frames(self, dataset: str) -> list[int]:
+        return sorted(f for (d, f) in self._rows if d == dataset)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+# ------------------------------------------------------------------ facade
+
+class DetectionCache:
+    """Detector outputs keyed by ``(dataset, frame_index)``.
+
+    The cache stores complete per-frame detection lists (an empty list is
+    a valid, cacheable outcome — "the detector saw nothing" is exactly as
+    expensive to recompute as a full frame).
+    """
+
+    def __init__(self, backend: CacheBackend | None = None):
+        self._backend = backend if backend is not None else InMemoryBackend()
+        self.stats = CacheStats()
+
+    @property
+    def backend(self) -> CacheBackend:
+        return self._backend
+
+    def get(self, dataset: str, frame_index: int) -> tuple[Detection, ...] | None:
+        """Cached detections for a frame, or ``None`` on a miss."""
+        rows = self._backend.get(dataset, frame_index)
+        if rows is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return _decode(rows)
+
+    def put(
+        self, dataset: str, frame_index: int, detections: Sequence[Detection]
+    ) -> None:
+        self._backend.put(dataset, frame_index, _encode(detections))
+        self.stats.inserts += 1
+
+    def contains(self, dataset: str, frame_index: int) -> bool:
+        """Membership test without touching the hit/miss accounting."""
+        return self._backend.get(dataset, frame_index) is not None
+
+    def frames(self, dataset: str) -> list[int]:
+        """Sorted frame indices cached for ``dataset`` — the replay order
+        for warm-starting new sessions (sorted so it is independent of
+        insertion interleaving across sessions)."""
+        return self._backend.frames(dataset)
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    def flush(self) -> None:
+        """Make buffered writes durable (the service calls this per tick)."""
+        self._backend.flush()
+
+    def close(self) -> None:
+        self._backend.close()
+
+
+# --------------------------------------------------------------- detectors
+
+class CachingDetector:
+    """A detector that consults a :class:`DetectionCache` before the GPU.
+
+    Conforms to the :class:`~repro.detection.detector.Detector` protocol:
+    ``stats`` counts frames *served* (hit or miss), while the wrapped
+    detector's own stats keep counting real invocations —
+    :attr:`detector_calls` is the number the paper's cost model charges.
+    """
+
+    def __init__(self, detector: Detector, cache: DetectionCache, dataset: str):
+        self._detector = detector
+        self._cache = cache
+        self._dataset = dataset
+        self.stats = DetectorStats()
+
+    @property
+    def cache(self) -> DetectionCache:
+        return self._cache
+
+    @property
+    def dataset(self) -> str:
+        return self._dataset
+
+    @property
+    def detector_calls(self) -> int:
+        """Real (cache-missing) invocations of the wrapped detector."""
+        return self._detector.stats.frames_processed
+
+    def detect(self, frame_index: int) -> list[Detection]:
+        self.stats.frames_processed += 1
+        cached = self._cache.get(self._dataset, frame_index)
+        if cached is None:
+            detections = self._detector.detect(frame_index)
+            self._cache.put(self._dataset, frame_index, detections)
+        else:
+            detections = list(cached)
+        self.stats.detections_emitted += len(detections)
+        return list(detections)
+
+
+class CategoryFilterDetector:
+    """A per-query view of a shared all-category detector.
+
+    The shared serving detector runs with ``category=None`` (every box in
+    the frame for one invocation); each session sees only its own
+    category's boxes, exactly as
+    :class:`~repro.core.multiquery.MultiQueryExSample` filters detections
+    per query.  ``stats`` counts the frames *this* view requested.
+    """
+
+    def __init__(self, detector: Detector, category: str):
+        self._detector = detector
+        self._category = category
+        self.stats = DetectorStats()
+
+    @property
+    def category(self) -> str:
+        return self._category
+
+    def detect(self, frame_index: int) -> list[Detection]:
+        self.stats.frames_processed += 1
+        detections = [
+            d for d in self._detector.detect(frame_index) if d.category == self._category
+        ]
+        self.stats.detections_emitted += len(detections)
+        return detections

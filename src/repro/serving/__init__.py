@@ -1,0 +1,56 @@
+"""The query serving subsystem: long-lived, resumable distinct-object search.
+
+The paper's algorithms answer one query at a time; the serving layer turns
+them into a *service*: many distinct-object queries over shared video
+repositories, admitted at any time, pausable and resumable at any frame,
+all sharing one detection cache so no frame is ever detected twice
+(see :mod:`repro.detection.cache`).
+
+* :mod:`repro.serving.session` — one query's resumable lifetime: an
+  incremental :class:`~repro.core.sampler.ExSample` engine plus
+  warm-start from cached frames and replay-based snapshot/restore;
+* :mod:`repro.serving.scheduler` — allocating a global frames-per-tick
+  detector budget across active sessions (round-robin, priority,
+  Thompson-sum);
+* :mod:`repro.serving.service` — the :class:`QueryService` facade with
+  the full lifecycle (submit / pause / resume / cancel / status /
+  results) and the tick loop;
+* :mod:`repro.serving.state` — state-directory persistence for
+  multi-process lifetimes (``python -m repro submit`` then ``serve``);
+* :mod:`repro.serving.script` — the scripted-session interpreter behind
+  ``python -m repro serve --script``.
+"""
+
+from .scheduler import (
+    PriorityScheduler,
+    RoundRobinScheduler,
+    SchedulerPolicy,
+    ThompsonSumScheduler,
+    proportional_allocation,
+)
+from .service import QueryService
+from .session import (
+    QuerySession,
+    SessionSnapshot,
+    SessionSpec,
+    SessionState,
+    SessionStatus,
+    derive_session_seed,
+    replay_cached_frames,
+)
+
+__all__ = [
+    "PriorityScheduler",
+    "RoundRobinScheduler",
+    "SchedulerPolicy",
+    "ThompsonSumScheduler",
+    "proportional_allocation",
+    "QueryService",
+    "QuerySession",
+    "SessionSnapshot",
+    "SessionSpec",
+    "SessionState",
+    "SessionStatus",
+    "derive_session_seed",
+    "replay_cached_frames",
+]

@@ -1,0 +1,168 @@
+"""Allocating the global detector budget across active sessions.
+
+The service's unit of work is a *tick*: a fixed number of detector frames
+(the frames-per-tick budget — in a deployment, what one GPU sustains per
+scheduling quantum).  A :class:`SchedulerPolicy` divides that budget among
+the active sessions:
+
+* :class:`RoundRobinScheduler` — equal shares with a rotating remainder:
+  strict fairness, the baseline;
+* :class:`PriorityScheduler` — shares proportional to each session's
+  submitted priority: weighted fairness for paying tiers;
+* :class:`ThompsonSumScheduler` — shares proportional to one Thompson
+  sample of each session's best-chunk expected yield.  This generalizes
+  :class:`~repro.core.multiquery.MultiQueryExSample`'s arg-max of summed
+  draws from "which chunk should the single shared frame go to" to "how
+  should many frames split across sessions": sessions whose beliefs
+  promise more new results per frame bid higher, and the posterior noise
+  keeps cold sessions explorable exactly as Thompson sampling keeps cold
+  chunks explorable (§III-C).
+
+All policies are deterministic given the service RNG and return integer
+allocations summing to the budget (when any session is eligible).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .session import QuerySession
+
+__all__ = [
+    "SchedulerPolicy",
+    "RoundRobinScheduler",
+    "PriorityScheduler",
+    "ThompsonSumScheduler",
+    "proportional_allocation",
+]
+
+
+class SchedulerPolicy(Protocol):
+    """Maps (active sessions, budget) to per-session frame allocations."""
+
+    def allocate(
+        self,
+        sessions: Sequence[QuerySession],
+        budget: int,
+        rng: np.random.Generator,
+    ) -> dict[str, int]:  # pragma: no cover - protocol
+        ...
+
+
+def _validate(sessions: Sequence[QuerySession], budget: int) -> None:
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    seen = {s.session_id for s in sessions}
+    if len(seen) != len(sessions):
+        raise ValueError("duplicate session ids in allocation request")
+
+
+def proportional_allocation(
+    ids: Sequence[str], weights: Sequence[float], budget: int
+) -> dict[str, int]:
+    """Integer shares of ``budget`` proportional to ``weights``.
+
+    Largest-remainder rounding, with ties broken by list position so the
+    result is deterministic.  Non-positive weight vectors fall back to an
+    even split — a session set with nothing to say still gets served.
+    """
+    if not ids:
+        return {}
+    if len(ids) != len(weights):
+        raise ValueError("ids and weights must align")
+    w = np.maximum(np.asarray(weights, dtype=np.float64), 0.0)
+    total = w.sum()
+    if total <= 0.0 or not np.isfinite(total):
+        w = np.ones(len(ids))
+        total = float(len(ids))
+    shares = budget * w / total
+    base = np.floor(shares).astype(np.int64)
+    remainder = budget - int(base.sum())
+    if remainder > 0:
+        # stable sort: equal fractional parts resolve in list order
+        order = np.argsort(-(shares - base), kind="stable")
+        base[order[:remainder]] += 1
+    return {sid: int(n) for sid, n in zip(ids, base)}
+
+
+class RoundRobinScheduler:
+    """Equal shares, with the leftover frames rotating across ticks.
+
+    With ``budget = q * len(sessions) + r`` every session gets ``q``
+    frames and the ``r`` extras go to the ``r`` sessions after a rotating
+    offset, so no session is systematically favored by submission order.
+    """
+
+    def __init__(self) -> None:
+        self._offset = 0
+
+    def allocate(
+        self,
+        sessions: Sequence[QuerySession],
+        budget: int,
+        rng: np.random.Generator,
+    ) -> dict[str, int]:
+        _validate(sessions, budget)
+        if not sessions:
+            return {}
+        count = len(sessions)
+        share, extra = divmod(budget, count)
+        alloc = {s.session_id: share for s in sessions}
+        for k in range(extra):
+            alloc[sessions[(self._offset + k) % count].session_id] += 1
+        self._offset = (self._offset + 1) % count
+        return alloc
+
+
+class PriorityScheduler:
+    """Shares proportional to each session's submitted priority."""
+
+    def allocate(
+        self,
+        sessions: Sequence[QuerySession],
+        budget: int,
+        rng: np.random.Generator,
+    ) -> dict[str, int]:
+        _validate(sessions, budget)
+        if not sessions:
+            return {}
+        return proportional_allocation(
+            [s.session_id for s in sessions],
+            [s.priority for s in sessions],
+            budget,
+        )
+
+
+class ThompsonSumScheduler:
+    """Yield-weighted shares: each session bids one Thompson draw of its
+    best chunk's expected new-results-per-frame, and the budget splits in
+    proportion — frames flow to the sessions most likely to convert them
+    into results, re-balancing every tick as posteriors sharpen.
+
+    ``priority_weighted=True`` multiplies each bid by the session's
+    priority, composing both policies.
+    """
+
+    def __init__(self, priority_weighted: bool = False):
+        self._priority_weighted = priority_weighted
+
+    def allocate(
+        self,
+        sessions: Sequence[QuerySession],
+        budget: int,
+        rng: np.random.Generator,
+    ) -> dict[str, int]:
+        _validate(sessions, budget)
+        if not sessions:
+            return {}
+        bids = []
+        for session in sessions:
+            bid = session.thompson_draw(rng)
+            if self._priority_weighted:
+                bid *= session.priority
+            bids.append(bid)
+        return proportional_allocation(
+            [s.session_id for s in sessions], bids, budget
+        )

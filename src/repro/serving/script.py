@@ -1,0 +1,139 @@
+"""The scripted-session interpreter behind ``python -m repro serve --script``.
+
+A serve script is a plain-text session transcript — one lifecycle command
+per line — executed against a live :class:`QueryService`.  It exists to
+make interleaving *demonstrable and reproducible*: the same script, seed,
+and scale always produce the same schedule, so overlapping-query behavior
+can be captured in a file, replayed, and diffed.
+
+    # two overlapping queries sharing one detector
+    submit dashcam bicycle --limit 5
+    tick 3
+    submit dashcam bus --limit 5 --priority 2
+    pause s1
+    tick 5
+    resume s1
+    run
+    status
+
+Commands: ``submit DATASET CATEGORY [--limit N] [--max-samples N]
+[--priority P] [--seed S] [--no-warm-start]``, ``tick [N]``,
+``pause/resume/cancel SID``, ``run [MAX_TICKS]``, ``status``.  Blank
+lines and ``#`` comments are ignored.  Each command appends one event
+line to the returned log.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from ..experiments.reporting import format_table
+from .service import QueryService
+
+__all__ = ["run_script", "status_table", "ScriptError"]
+
+
+class ScriptError(ValueError):
+    """A malformed script line, reported with its line number."""
+
+
+def _parse_submit(args: list[str]) -> tuple[list[str], dict]:
+    positional: list[str] = []
+    options: dict = {"warm_start": True}
+    i = 0
+    while i < len(args):
+        token = args[i]
+        if token == "--limit":
+            options["limit"] = int(args[i + 1]); i += 2
+        elif token == "--max-samples":
+            options["max_samples"] = int(args[i + 1]); i += 2
+        elif token == "--priority":
+            options["priority"] = float(args[i + 1]); i += 2
+        elif token == "--seed":
+            options["seed"] = int(args[i + 1]); i += 2
+        elif token == "--no-warm-start":
+            options["warm_start"] = False; i += 1
+        elif token.startswith("-"):
+            raise ValueError(f"unknown submit option {token!r}")
+        else:
+            positional.append(token); i += 1
+    if len(positional) != 2:
+        raise ValueError("submit needs exactly: DATASET CATEGORY")
+    return positional, options
+
+
+def status_table(service: QueryService) -> str:
+    """The per-session progress table, shared by the ``status`` command
+    and the serve CLI's end-of-run summary."""
+    rows = [
+        [
+            st.session_id,
+            st.dataset,
+            st.category,
+            st.state,
+            st.limit if st.limit is not None else "-",
+            st.results_found,
+            st.frames_processed,
+            st.warm_frames_replayed,
+        ]
+        for st in service.statuses()
+    ]
+    return format_table(
+        ["session", "dataset", "category", "state", "limit", "results", "frames", "warm"],
+        rows,
+    )
+
+
+def run_script(service: QueryService, text: str) -> list[str]:
+    """Execute a serve script against ``service``; returns the event log."""
+    log: list[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            tokens = shlex.split(line)
+            command, args = tokens[0], tokens[1:]
+            if command == "submit":
+                (dataset, category), options = _parse_submit(args)
+                sid = service.submit(dataset, category, **options)
+                status = service.status(sid)
+                log.append(
+                    f"{sid}: submitted {dataset}/{category} "
+                    f"limit={status.limit} state={status.state} "
+                    f"warm={status.warm_frames_replayed} results={status.results_found}"
+                )
+            elif command == "tick":
+                count = int(args[0]) if args else 1
+                if count < 1:
+                    raise ValueError("tick count must be at least 1")
+                processed: dict[str, int] = {}
+                for _ in range(count):
+                    processed = service.tick()
+                total = sum(processed.values()) if processed else 0
+                log.append(
+                    f"tick x{count}: {total} frames in last tick, "
+                    f"{service.detector_calls} detector calls total"
+                )
+            elif command in ("pause", "resume", "cancel"):
+                if len(args) != 1:
+                    raise ValueError(f"{command} needs exactly one session id")
+                getattr(service, command)(args[0])
+                past = {"pause": "paused", "resume": "resumed", "cancel": "cancelled"}
+                log.append(
+                    f"{args[0]}: {past[command]} -> {service.status(args[0]).state}"
+                )
+            elif command == "run":
+                max_ticks = int(args[0]) if args else None
+                ticks = service.run_until_idle(max_ticks=max_ticks)
+                log.append(
+                    f"run: {ticks} ticks, {service.detector_calls} detector calls total"
+                )
+            elif command == "status":
+                log.append(status_table(service))
+            else:
+                raise ValueError(f"unknown command {command!r}")
+        except (ValueError, KeyError) as exc:
+            message = exc.args[0] if exc.args else exc
+            raise ScriptError(f"line {lineno}: {message}") from exc
+    return log

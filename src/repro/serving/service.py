@@ -1,0 +1,367 @@
+"""The :class:`QueryService` facade: the serving subsystem's front door.
+
+One service owns, per dataset, a shared all-category detector behind a
+:class:`~repro.detection.cache.CachingDetector`, and a population of
+:class:`~repro.serving.session.QuerySession` objects multiplexed over it
+by a :class:`~repro.serving.scheduler.SchedulerPolicy`:
+
+    service = QueryService({repo.name: repo})
+    sid = service.submit(repo.name, "bicycle", limit=20)
+    service.tick()          # one budgeted scheduling round
+    service.pause(sid)      # ... later ...
+    service.resume(sid)
+    service.run_until_idle()
+    service.status(sid).results_found
+
+Two invariants carry the whole design:
+
+* a session's sampling decisions depend only on its own seed and step
+  count — never on tick boundaries, budget splits, or which other
+  sessions ran — so pausing, re-ordering, or restarting the service
+  never changes any query's answer;
+* every detector output lands in the shared cache before any session
+  sees it, so the marginal cost of a frame is paid at most once per
+  dataset across the service's whole lifetime (and, with an on-disk
+  backend, across process restarts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.chunking import make_chunks
+from ..core.sampler import ExSample
+from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
+from ..detection.detector import Detector, OracleDetector
+from ..tracking.discriminator import Discriminator, OracleDiscriminator
+from ..video.repository import VideoRepository
+from .scheduler import RoundRobinScheduler, SchedulerPolicy
+from .session import (
+    QuerySession,
+    SessionSnapshot,
+    SessionSpec,
+    SessionState,
+    SessionStatus,
+    derive_session_seed,
+    replay_cached_frames,
+)
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Long-lived, budget-scheduled distinct-object query serving.
+
+    Parameters
+    ----------
+    repositories:
+        One :class:`VideoRepository` or a mapping of dataset name to
+        repository; sessions address datasets by name.
+    cache:
+        The shared :class:`DetectionCache`; defaults to in-memory.  Pass
+        one with an on-disk backend to share detections across processes.
+    scheduler:
+        Budget-splitting policy; defaults to round-robin.
+    frames_per_tick:
+        Global detector budget per :meth:`tick` — the scheduling quantum.
+    chunk_frames:
+        Chunk size passed to :func:`~repro.core.chunking.make_chunks`,
+        either one value for all datasets or a per-dataset mapping
+        (``None`` = one chunk per clip).
+    detector_factory / discriminator_factory:
+        Build the per-dataset shared detector (must emit **all**
+        categories — it is cached unfiltered) and the per-session
+        discriminator.  Defaults are the oracle pair, mirroring
+        :class:`~repro.core.query.QueryEngine`'s defaults.
+    seed:
+        Seeds the scheduler RNG and the per-session default seeds.
+        Session decisions use only per-session RNGs (see module
+        docstring), so scheduler draws never perturb query results.
+    """
+
+    def __init__(
+        self,
+        repositories: VideoRepository | Mapping[str, VideoRepository],
+        cache: DetectionCache | None = None,
+        scheduler: SchedulerPolicy | None = None,
+        frames_per_tick: int = 16,
+        chunk_frames: int | None | Mapping[str, int | None] = None,
+        detector_factory: Callable[[VideoRepository], Detector] | None = None,
+        discriminator_factory: Callable[[VideoRepository, str], Discriminator] | None = None,
+        use_random_plus: bool = True,
+        seed: int = 0,
+    ):
+        if isinstance(repositories, VideoRepository):
+            repositories = {repositories.name: repositories}
+        # an empty mapping is legal: a service restoring only sealed
+        # (terminal) sessions never touches a repository
+        if frames_per_tick <= 0:
+            raise ValueError("frames_per_tick must be positive")
+        self._repos = dict(repositories)
+        self._cache = cache if cache is not None else DetectionCache()
+        self._scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self._frames_per_tick = frames_per_tick
+        self._chunk_frames = chunk_frames
+        self._detector_factory = (
+            detector_factory
+            if detector_factory is not None
+            else lambda repo: OracleDetector(repo)
+        )
+        self._discriminator_factory = (
+            discriminator_factory
+            if discriminator_factory is not None
+            else lambda repo, category: OracleDiscriminator()
+        )
+        self._use_random_plus = use_random_plus
+        self._seed = seed
+        self._rng = np.random.default_rng((seed, 0x5C4ED))
+        self._detectors: dict[str, CachingDetector] = {}
+        self._sessions: dict[str, QuerySession] = {}
+        self._next_id = 1
+        self._ticks = 0
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def cache(self) -> DetectionCache:
+        return self._cache
+
+    @property
+    def frames_per_tick(self) -> int:
+        return self._frames_per_tick
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    @property
+    def detector_calls(self) -> int:
+        """Real detector invocations across all datasets — the number the
+        paper's cost model charges, and the one the cache exists to
+        minimize."""
+        return sum(d.detector_calls for d in self._detectors.values())
+
+    @property
+    def sessions(self) -> dict[str, QuerySession]:
+        return dict(self._sessions)
+
+    def active_sessions(self) -> list[QuerySession]:
+        """Sessions eligible for budget, in submission order."""
+        return [s for s in self._sessions.values() if s.state is SessionState.ACTIVE]
+
+    # ------------------------------------------------------------- lifecycle
+
+    def submit(
+        self,
+        dataset: str,
+        category: str,
+        limit: int | None = None,
+        max_samples: int | None = None,
+        priority: float = 1.0,
+        seed: int | None = None,
+        warm_start: bool = True,
+    ) -> str:
+        """Admit a query; returns its session id.
+
+        With ``warm_start`` (the default) every frame already in the
+        cache is replayed through the new session's discriminator first —
+        a query over well-trodden data may complete without a single
+        detector call.
+        """
+        repo = self._repository(dataset)
+        if category not in repo.categories():
+            raise ValueError(
+                f"category {category!r} not present in dataset {dataset!r}; "
+                f"available: {repo.categories()}"
+            )
+        if seed is None:
+            seed = derive_session_seed(self._seed, self._next_id)
+        spec = SessionSpec(
+            dataset=dataset,
+            category=category,
+            limit=limit,
+            max_samples=max_samples,
+            seed=seed,
+            priority=priority,
+            warm_start=warm_start,
+        )
+        session_id = f"s{self._next_id}"
+        self._next_id += 1
+        warm_frames = self._cache.frames(dataset) if warm_start else []
+        session = self._build_session(session_id, spec, warm_frames)
+        self._sessions[session_id] = session
+        return session_id
+
+    def pause(self, session_id: str) -> None:
+        self._session(session_id).pause()
+
+    def resume(self, session_id: str) -> None:
+        self._session(session_id).resume()
+
+    def cancel(self, session_id: str) -> None:
+        self._session(session_id).cancel()
+
+    def status(self, session_id: str) -> SessionStatus:
+        return self._session(session_id).status()
+
+    def statuses(self) -> list[SessionStatus]:
+        return [s.status() for s in self._sessions.values()]
+
+    def results(self, session_id: str) -> dict:
+        """Machine-readable results payload for one session."""
+        session = self._session(session_id)
+        status = session.status()
+        payload = status.to_dict()
+        payload["result_frames"] = session.result_frames()
+        return payload
+
+    # ------------------------------------------------------------- execution
+
+    def tick(self) -> dict[str, int]:
+        """One scheduling round: split the frames-per-tick budget across
+        active sessions and advance each by its share.  Returns frames
+        actually processed per session (empty when the service is idle)."""
+        active = self.active_sessions()
+        if not active:
+            return {}
+        self._ticks += 1
+        allocation = self._scheduler.allocate(active, self._frames_per_tick, self._rng)
+        processed: dict[str, int] = {}
+        for session in active:  # submission order, independent of policy
+            share = allocation.get(session.session_id, 0)
+            processed[session.session_id] = session.step_frames(share)
+        self._cache.flush()  # one durability point per scheduling quantum
+        return processed
+
+    def run_until_idle(self, max_ticks: int | None = None) -> int:
+        """Tick until no session is active (or ``max_ticks``); returns the
+        number of ticks executed."""
+        if max_ticks is not None and max_ticks <= 0:
+            raise ValueError("max_ticks must be positive")
+        executed = 0
+        while self.active_sessions():
+            if max_ticks is not None and executed >= max_ticks:
+                break
+            self.tick()
+            executed += 1
+        return executed
+
+    # --------------------------------------------------------- serialization
+
+    def snapshot(self, session_id: str) -> SessionSnapshot:
+        return self._session(session_id).snapshot()
+
+    def snapshot_all(self) -> list[SessionSnapshot]:
+        return [s.snapshot() for s in self._sessions.values()]
+
+    def restore(self, snapshot: SessionSnapshot) -> str:
+        """Rebuild a session from its snapshot by deterministic replay.
+
+        Warm-start frames are re-absorbed from the cache (or, for a
+        not-yet-started submission, taken fresh from the current cache),
+        then the recorded number of engine steps is re-run — all cache
+        hits when the snapshot's frames are still cached, so the restore
+        costs no detector calls.  Terminal sessions skip the replay
+        entirely and restore *sealed*: they can never be scheduled again,
+        and the snapshot already answers every status/results poll.
+        """
+        if snapshot.session_id in self._sessions:
+            raise ValueError(f"session {snapshot.session_id!r} already exists")
+        spec = snapshot.spec
+        if SessionState(snapshot.state).terminal:
+            # sealed: no engine, so no repository is needed at all
+            session = QuerySession.from_sealed_snapshot(snapshot)
+            self._sessions[snapshot.session_id] = session
+            self._reserve_id(snapshot.session_id)
+            return snapshot.session_id
+        self._repository(spec.dataset)  # validate before building anything
+        warm_frames = snapshot.warm_start_frames
+        if warm_frames is None:
+            warm_frames = self._cache.frames(spec.dataset) if spec.warm_start else []
+        session = self._build_session(
+            snapshot.session_id,
+            spec,
+            warm_frames,
+            replay_steps=snapshot.steps_taken,
+            state=SessionState(snapshot.state),
+        )
+        self._sessions[snapshot.session_id] = session
+        self._reserve_id(snapshot.session_id)
+        return snapshot.session_id
+
+    def _reserve_id(self, session_id: str) -> None:
+        """Keep fresh ids clear of restored ones (s7 -> next is s8)."""
+        suffix = session_id[1:]
+        if session_id.startswith("s") and suffix.isdigit():
+            self._next_id = max(self._next_id, int(suffix) + 1)
+
+    # ------------------------------------------------------------- internals
+
+    def _repository(self, dataset: str) -> VideoRepository:
+        repo = self._repos.get(dataset)
+        if repo is None:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; available: {sorted(self._repos)}"
+            )
+        return repo
+
+    def _session(self, session_id: str) -> QuerySession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown session {session_id!r}")
+        return session
+
+    def _shared_detector(self, dataset: str) -> CachingDetector:
+        detector = self._detectors.get(dataset)
+        if detector is None:
+            detector = CachingDetector(
+                self._detector_factory(self._repository(dataset)),
+                self._cache,
+                dataset,
+            )
+            self._detectors[dataset] = detector
+        return detector
+
+    def _chunk_frames_for(self, dataset: str) -> int | None:
+        if isinstance(self._chunk_frames, Mapping):
+            return self._chunk_frames.get(dataset)
+        return self._chunk_frames
+
+    def _build_session(
+        self,
+        session_id: str,
+        spec: SessionSpec,
+        warm_frames,
+        replay_steps: int = 0,
+        state: SessionState = SessionState.ACTIVE,
+    ) -> QuerySession:
+        repo = self._repository(spec.dataset)
+        rng = np.random.default_rng(spec.seed)
+        chunks = make_chunks(
+            repo,
+            rng,
+            chunk_frames=self._chunk_frames_for(spec.dataset),
+            use_random_plus=self._use_random_plus,
+        )
+        engine = ExSample(
+            chunks,
+            CategoryFilterDetector(self._shared_detector(spec.dataset), spec.category),
+            self._discriminator_factory(repo, spec.category),
+            rng=rng,
+            repository=repo,
+        )
+        replayed, result_frames = replay_cached_frames(
+            engine, self._cache, spec.dataset, category=spec.category, frames=warm_frames
+        )
+        for _ in range(replay_steps):
+            engine.step()
+        return QuerySession(
+            session_id,
+            spec,
+            engine,
+            warm_start_frames=replayed,
+            warm_result_frames=result_frames,
+            state=state,
+        )

@@ -1,0 +1,450 @@
+"""One query's resumable lifetime inside the serving layer.
+
+A :class:`QuerySession` wraps an incremental
+:class:`~repro.core.sampler.ExSample` engine (``batch_size=1``, so the
+session can be suspended after *any* frame) around three serving-specific
+ideas:
+
+* **shared detection** — the session's detector is a per-category view of
+  the dataset's shared :class:`~repro.detection.cache.CachingDetector`,
+  so every frame it samples is cached for all present and future queries;
+* **warm start** — at admission, :func:`replay_cached_frames` feeds every
+  already-cached frame through the session's own discriminator and
+  records the (d0, d1) outcomes into its per-chunk ``(N1, n)`` beliefs:
+  the session starts with the *posterior* an uninterrupted query would
+  have had over those frames, and any results they contain, at zero
+  detector cost;
+* **replay-based snapshots** — a session is serialized as its spec, its
+  warm-start frame list, and the number of engine steps taken
+  (:class:`SessionSnapshot`, plain JSON).  Because every decision the
+  engine makes is a deterministic function of the session seed and its
+  own step count — never of how sessions were interleaved — restoring
+  re-runs those steps against the cache (all hits, zero detector cost)
+  and lands in the exact pre-pause state.  No RNG internals, stratum
+  sets, or tracker state ever need to be pickled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.belief import GammaBelief
+from ..core.sampler import ExSample
+from ..detection.cache import DetectionCache
+
+__all__ = [
+    "SessionState",
+    "SessionSpec",
+    "SessionSnapshot",
+    "SessionStatus",
+    "QuerySession",
+    "derive_session_seed",
+    "replay_cached_frames",
+]
+
+
+def derive_session_seed(base_seed: int, session_number: int) -> int:
+    """The default per-submission sampling seed: a distinct stream per
+    session off one base (service or state-dir) seed.
+
+    Both submit paths — :meth:`QueryService.submit` and the CLI's
+    state-dir ``submit`` — must use this same derivation so a session id
+    means the same sampling sequence no matter which path queued it, and
+    so two identical submissions never become identical samplers.
+    """
+    return (base_seed * 1_000_003 + session_number) & 0x7FFFFFFF
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a serving session."""
+
+    ACTIVE = "active"  # eligible for detector budget
+    PAUSED = "paused"  # suspended by the user; resumable
+    COMPLETED = "completed"  # its result limit is satisfied
+    EXHAUSTED = "exhausted"  # ran out of frames or sample budget first
+    CANCELLED = "cancelled"  # terminated by the user
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            SessionState.COMPLETED,
+            SessionState.EXHAUSTED,
+            SessionState.CANCELLED,
+        )
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """What was asked for: the validated, immutable query submission.
+
+    ``limit`` mirrors the query LIMIT (§II-B); ``max_samples`` caps the
+    session's own detector-charged frames.  With neither, the session
+    runs until its chunks are exhausted.  ``seed`` fully determines the
+    session's sampling decisions (see the module docstring).
+    """
+
+    dataset: str
+    category: str
+    limit: int | None = None
+    max_samples: int | None = None
+    seed: int = 0
+    priority: float = 1.0
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit <= 0:
+            raise ValueError("limit must be positive")
+        if self.max_samples is not None and self.max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        if self.priority <= 0:
+            raise ValueError("priority must be positive")
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A session serialized through the cache/state layer (plain JSON).
+
+    ``warm_start_frames`` is the exact frame list replayed at admission
+    (``None`` means the warm start has not happened yet — a submission
+    written to a state directory before any service loaded it);
+    ``steps_taken`` is the number of engine steps to re-run on restore.
+    """
+
+    session_id: str
+    dataset: str
+    category: str
+    limit: int | None
+    max_samples: int | None
+    seed: int
+    priority: float
+    warm_start: bool
+    state: str
+    steps_taken: int
+    warm_start_frames: tuple[int, ...] | None
+    # result fields let terminal sessions restore *sealed* — status and
+    # results served straight from the snapshot, no engine replay
+    results_found: int = 0
+    result_frames: tuple[int, ...] = ()
+
+    @property
+    def spec(self) -> SessionSpec:
+        return SessionSpec(
+            dataset=self.dataset,
+            category=self.category,
+            limit=self.limit,
+            max_samples=self.max_samples,
+            seed=self.seed,
+            priority=self.priority,
+            warm_start=self.warm_start,
+        )
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        if self.warm_start_frames is not None:
+            data["warm_start_frames"] = list(self.warm_start_frames)
+        data["result_frames"] = list(self.result_frames)
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "SessionSnapshot":
+        frames = data.get("warm_start_frames")
+        return SessionSnapshot(
+            session_id=str(data["session_id"]),
+            dataset=str(data["dataset"]),
+            category=str(data["category"]),
+            limit=None if data.get("limit") is None else int(data["limit"]),
+            max_samples=(
+                None if data.get("max_samples") is None else int(data["max_samples"])
+            ),
+            seed=int(data.get("seed", 0)),
+            priority=float(data.get("priority", 1.0)),
+            warm_start=bool(data.get("warm_start", True)),
+            state=str(data.get("state", SessionState.ACTIVE.value)),
+            steps_taken=int(data.get("steps_taken", 0)),
+            warm_start_frames=(
+                None if frames is None else tuple(int(f) for f in frames)
+            ),
+            results_found=int(data.get("results_found", 0)),
+            result_frames=tuple(int(f) for f in data.get("result_frames", ())),
+        )
+
+
+@dataclass(frozen=True)
+class SessionStatus:
+    """One status-poll row: progress and cost accounting for a session."""
+
+    session_id: str
+    dataset: str
+    category: str
+    state: str
+    limit: int | None
+    max_samples: int | None
+    priority: float
+    seed: int
+    results_found: int
+    frames_processed: int  # detector-charged samples by this session
+    warm_frames_replayed: int  # zero-cost frames absorbed at admission
+    satisfied: bool
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def replay_cached_frames(
+    sampler: ExSample,
+    cache: DetectionCache,
+    dataset: str,
+    category: str | None = None,
+    frames: Sequence[int] | None = None,
+) -> tuple[list[int], list[int]]:
+    """Warm-start ``sampler`` from cached detections, at zero detector cost.
+
+    Feeds each cached frame (``frames``, defaulting to every frame cached
+    for ``dataset``, in sorted order) through the sampler's own
+    discriminator and records the (d0, d1) outcome into the chunk the
+    frame belongs to — exactly the state update Algorithm 1 would have
+    made had the sampler processed the frame itself, minus the detector
+    invocation.  Frames outside the sampler's chunk spans or absent from
+    the cache are skipped.  The replay touches neither the sampler's
+    history (which counts detector-charged samples) nor its
+    without-replacement orders: a later re-draw of a replayed frame is a
+    cache hit and the discriminator treats it consistently as a re-visit.
+
+    Returns ``(replayed_frames, result_frames)`` — all frames absorbed,
+    and the subset that yielded at least one new result.
+    """
+    if frames is None:
+        frames = cache.frames(dataset)
+    chunks = sampler.chunks
+    starts = np.array([c.start_frame for c in chunks], dtype=np.int64)
+    ends = np.array([c.end_frame for c in chunks], dtype=np.int64)
+    order = np.argsort(starts, kind="stable")
+    starts, ends = starts[order], ends[order]
+
+    replayed: list[int] = []
+    result_frames: list[int] = []
+    for frame in frames:
+        pos = int(np.searchsorted(starts, frame, side="right")) - 1
+        if pos < 0 or frame >= ends[pos]:
+            continue  # outside every chunk span
+        detections = cache.get(dataset, frame)
+        if detections is None:
+            continue
+        if category is not None:
+            detections = tuple(d for d in detections if d.category == category)
+        outcome = sampler.discriminator.observe(frame, detections)
+        sampler.stats.record(int(order[pos]), outcome.d0, outcome.d1)
+        replayed.append(int(frame))
+        if outcome.d0 > 0:
+            result_frames.append(int(frame))
+    return replayed, result_frames
+
+
+class QuerySession:
+    """A resumable query: spec + incremental engine + lifecycle state.
+
+    Built by :class:`~repro.serving.service.QueryService`; not normally
+    constructed directly.  ``step_frames`` is the only way the session
+    advances, which is what makes the step count a complete serialization
+    of its progress.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        spec: SessionSpec,
+        engine: ExSample,
+        warm_start_frames: Sequence[int] = (),
+        warm_result_frames: Sequence[int] = (),
+        state: SessionState = SessionState.ACTIVE,
+    ):
+        self._session_id = session_id
+        self._spec = spec
+        self._engine = engine
+        self._warm_frames = tuple(int(f) for f in warm_start_frames)
+        self._warm_result_frames = tuple(int(f) for f in warm_result_frames)
+        self._state = state
+        self._belief = GammaBelief()
+        self._sealed: SessionSnapshot | None = None
+        if self._state is SessionState.ACTIVE:
+            self._refresh_state()
+
+    @classmethod
+    def from_sealed_snapshot(cls, snapshot: SessionSnapshot) -> "QuerySession":
+        """Restore a *terminal* session without replaying anything.
+
+        A completed/exhausted/cancelled session can never be scheduled
+        again, so rebuilding its engine would burn replay work only to
+        answer status polls — the snapshot already carries everything a
+        poll needs."""
+        state = SessionState(snapshot.state)
+        if not state.terminal:
+            raise ValueError(
+                f"cannot seal a {state.value} session; only terminal states"
+            )
+        session = cls.__new__(cls)
+        session._session_id = snapshot.session_id
+        session._spec = snapshot.spec
+        session._engine = None
+        session._warm_frames = snapshot.warm_start_frames or ()
+        session._warm_result_frames = ()
+        session._state = state
+        session._belief = GammaBelief()
+        session._sealed = snapshot
+        return session
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def session_id(self) -> str:
+        return self._session_id
+
+    @property
+    def spec(self) -> SessionSpec:
+        return self._spec
+
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    @property
+    def priority(self) -> float:
+        return self._spec.priority
+
+    @property
+    def engine(self) -> ExSample | None:
+        """The live sampling engine, or ``None`` for a sealed restore."""
+        return self._engine
+
+    @property
+    def results_found(self) -> int:
+        if self._sealed is not None:
+            return self._sealed.results_found
+        return self._engine.results_found
+
+    @property
+    def frames_processed(self) -> int:
+        """Detector-charged frames sampled by this session (excludes the
+        zero-cost warm-start replay)."""
+        if self._sealed is not None:
+            return self._sealed.steps_taken
+        return self._engine.frames_processed
+
+    @property
+    def warm_frames_replayed(self) -> int:
+        return len(self._warm_frames)
+
+    @property
+    def satisfied(self) -> bool:
+        return self._spec.limit is not None and self.results_found >= self._spec.limit
+
+    def result_frames(self) -> list[int]:
+        """Frames a user would open: every frame that yielded a new result,
+        warm-start and sampled alike."""
+        if self._sealed is not None:
+            return list(self._sealed.result_frames)
+        sampled = [int(f) for f in self._engine.history.new_result_frames]
+        return sorted(set(self._warm_result_frames) | set(sampled))
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _refresh_state(self) -> None:
+        if self._state is not SessionState.ACTIVE:
+            return
+        if self.satisfied:
+            self._state = SessionState.COMPLETED
+        elif self._engine.exhausted:
+            self._state = SessionState.EXHAUSTED
+        elif (
+            self._spec.max_samples is not None
+            and self.frames_processed >= self._spec.max_samples
+        ):
+            self._state = SessionState.EXHAUSTED
+
+    def pause(self) -> None:
+        if self._state.terminal:
+            raise ValueError(f"cannot pause {self._state.value} session {self._session_id}")
+        self._state = SessionState.PAUSED
+
+    def resume(self) -> None:
+        if self._state.terminal:
+            raise ValueError(
+                f"cannot resume {self._state.value} session {self._session_id}"
+            )
+        self._state = SessionState.ACTIVE
+        self._refresh_state()
+
+    def cancel(self) -> None:
+        if not self._state.terminal:
+            self._state = SessionState.CANCELLED
+
+    # ------------------------------------------------------------- execution
+
+    def step_frames(self, budget: int) -> int:
+        """Advance up to ``budget`` frames; returns frames actually
+        processed.  Stops early on satisfaction, exhaustion, or the
+        session's own ``max_samples`` cap."""
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        processed = 0
+        while processed < budget:
+            self._refresh_state()
+            if self._state is not SessionState.ACTIVE:
+                break
+            processed += len(self._engine.step())
+        self._refresh_state()
+        return processed
+
+    def thompson_draw(self, rng: np.random.Generator) -> float:
+        """One Thompson sample of this session's best-chunk yield — its
+        bid in the :class:`~repro.serving.scheduler.ThompsonSumScheduler`
+        budget auction (generalizing ``MultiQueryExSample``'s arg-max of
+        summed draws)."""
+        if self._engine is None or self._engine.exhausted:
+            return 0.0
+        draws = self._belief.sample(self._engine.stats, rng, size=1)[0]
+        draws = np.where(self._engine.chunk_availability, draws, -np.inf)
+        return float(draws.max())
+
+    # --------------------------------------------------------- serialization
+
+    def status(self) -> SessionStatus:
+        return SessionStatus(
+            session_id=self._session_id,
+            dataset=self._spec.dataset,
+            category=self._spec.category,
+            state=self._state.value,
+            limit=self._spec.limit,
+            max_samples=self._spec.max_samples,
+            priority=self._spec.priority,
+            seed=self._spec.seed,
+            results_found=self.results_found,
+            frames_processed=self.frames_processed,
+            warm_frames_replayed=self.warm_frames_replayed,
+            satisfied=self.satisfied,
+        )
+
+    def snapshot(self) -> SessionSnapshot:
+        """Serialize progress as (spec, warm-start frames, step count),
+        plus the result fields that let a terminal session restore sealed."""
+        if self._sealed is not None:
+            return self._sealed
+        return SessionSnapshot(
+            session_id=self._session_id,
+            dataset=self._spec.dataset,
+            category=self._spec.category,
+            limit=self._spec.limit,
+            max_samples=self._spec.max_samples,
+            seed=self._spec.seed,
+            priority=self._spec.priority,
+            warm_start=self._spec.warm_start,
+            state=self._state.value,
+            steps_taken=self.frames_processed,
+            warm_start_frames=self._warm_frames,
+            results_found=self.results_found,
+            result_frames=tuple(self.result_frames()),
+        )

@@ -1,0 +1,103 @@
+"""State-directory persistence: a service that outlives its process.
+
+A state directory is the on-disk form of a :class:`QueryService`:
+
+    state/
+      service.json        # dataset build config (scale, seed, ...)
+      cache.sqlite        # the shared detection cache (SqliteBackend)
+      sessions/s1.json    # one SessionSnapshot per session
+      sessions/s2.json
+
+``python -m repro submit`` appends a pending snapshot without doing any
+work; ``python -m repro serve --state-dir`` loads everything, runs the
+scheduler, and writes the snapshots back.  Because snapshots are replayed
+against the cache (see :mod:`repro.serving.session`), stopping the
+process at any tick loses nothing but the tick in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from .service import QueryService
+from .session import SessionSnapshot
+
+__all__ = [
+    "CACHE_FILENAME",
+    "CONFIG_FILENAME",
+    "load_or_init_config",
+    "load_snapshots",
+    "next_session_id",
+    "save_sessions",
+    "write_snapshot",
+]
+
+CONFIG_FILENAME = "service.json"
+CACHE_FILENAME = "cache.sqlite"
+_SESSIONS_DIR = "sessions"
+_SID_PATTERN = re.compile(r"^s(\d+)$")
+
+
+def _sessions_dir(directory: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(directory) / _SESSIONS_DIR
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def load_or_init_config(directory: str | pathlib.Path, **defaults) -> dict:
+    """Read the directory's service config, creating it from ``defaults``
+    on first use.  The stored config wins thereafter, so every process
+    touching the directory builds identical repositories."""
+    path = pathlib.Path(directory) / CONFIG_FILENAME
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(defaults, indent=2) + "\n", encoding="utf-8")
+    return dict(defaults)
+
+
+def next_session_id(directory: str | pathlib.Path) -> str:
+    """The next free ``sN`` id given the snapshots already on disk."""
+    highest = 0
+    for path in _sessions_dir(directory).glob("*.json"):
+        match = _SID_PATTERN.match(path.stem)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return f"s{highest + 1}"
+
+
+def write_snapshot(
+    directory: str | pathlib.Path, snapshot: SessionSnapshot
+) -> pathlib.Path:
+    path = _sessions_dir(directory) / f"{snapshot.session_id}.json"
+    path.write_text(json.dumps(snapshot.to_dict(), indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_snapshots(directory: str | pathlib.Path) -> list[SessionSnapshot]:
+    """All stored snapshots, in session-id order."""
+    snapshots = []
+    for path in sorted(
+        _sessions_dir(directory).glob("*.json"),
+        key=lambda p: (
+            int(_SID_PATTERN.match(p.stem).group(1))
+            if _SID_PATTERN.match(p.stem)
+            else 1 << 30,
+            p.stem,
+        ),
+    ):
+        snapshots.append(
+            SessionSnapshot.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        )
+    return snapshots
+
+
+def save_sessions(
+    service: QueryService, directory: str | pathlib.Path
+) -> list[pathlib.Path]:
+    """Write every live session's snapshot back to the directory."""
+    return [
+        write_snapshot(directory, snapshot) for snapshot in service.snapshot_all()
+    ]

@@ -1,5 +1,7 @@
 """Tests for the user-facing CLI (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -69,3 +71,148 @@ def test_parser_rejects_limit_and_recall_together():
         parser.parse_args(
             ["query", "dashcam", "bicycle", "--limit", "5", "--recall", "0.5"]
         )
+
+
+# ------------------------------------------------------------ query --json
+
+QUERY_ARGS = ["query", "dashcam", "bicycle", "--limit", "5", "--scale", "0.03"]
+
+
+def test_query_json_output(capsys):
+    assert main(QUERY_ARGS + ["--seed", "3", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["dataset"] == "dashcam"
+    assert payload["seed"] == 3
+    (result,) = payload["results"]
+    assert result["method"] == "exsample"
+    assert result["satisfied"] is True
+    assert result["results_returned"] >= 5
+    assert result["detector_seconds"] > 0
+
+
+def test_query_seed_makes_runs_reproducible(capsys):
+    """--seed pins the whole pipeline: same seed, identical JSON output."""
+    main(QUERY_ARGS + ["--seed", "11", "--json"])
+    first = capsys.readouterr().out
+    main(QUERY_ARGS + ["--seed", "11", "--json"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+# ---------------------------------------------------------- submit / serve
+
+def test_submit_then_serve_state_dir(tmp_path, capsys):
+    state = str(tmp_path / "state")
+    submit_common = ["--state-dir", state, "--scale", "0.03"]
+    assert main(["submit", "dashcam", "bicycle", "--limit", "3"] + submit_common) == 0
+    assert main(["submit", "dashcam", "bus", "--limit", "3"] + submit_common) == 0
+    out = capsys.readouterr().out
+    assert "s1" in out and "s2" in out
+    assert (tmp_path / "state" / "sessions" / "s1.json").exists()
+    assert (tmp_path / "state" / "service.json").exists()
+
+    assert main(["serve", "--state-dir", state, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["detector_calls"] > 0
+    states = {s["session_id"]: s["state"] for s in payload["sessions"]}
+    assert states == {"s1": "completed", "s2": "completed"}
+    for session in payload["sessions"]:
+        assert session["results_found"] >= 3
+        assert session["result_frames"]
+
+
+def test_serve_state_dir_resumes_across_invocations(tmp_path, capsys):
+    state = str(tmp_path / "state")
+    main(["submit", "dashcam", "bicycle", "--limit", "5", "--state-dir", state,
+          "--scale", "0.03"])
+    capsys.readouterr()
+
+    assert main(["serve", "--state-dir", state, "--ticks", "2", "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["sessions"][0]["state"] == "active"
+    partial_frames = first["sessions"][0]["frames_processed"]
+    assert partial_frames > 0
+
+    assert main(["serve", "--state-dir", state, "--json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["sessions"][0]["state"] == "completed"
+    assert second["sessions"][0]["frames_processed"] > partial_frames
+    # the resumed process replayed the first ticks from the shared cache
+    assert second["cache"]["hits"] >= partial_frames
+
+
+def test_serve_script_mode(tmp_path, capsys):
+    script = tmp_path / "session.txt"
+    script.write_text(
+        "# demo\n"
+        "submit dashcam bicycle --limit 3 --seed 1\n"
+        "tick 2\n"
+        "submit dashcam bus --limit 3 --seed 2\n"
+        "pause s1\n"
+        "resume s1\n"
+        "run\n"
+        "status\n",
+        encoding="utf-8",
+    )
+    code = main(["serve", "--script", str(script), "--scale", "0.03",
+                 "--frames-per-tick", "32", "--scheduler", "thompson"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "s1: submitted dashcam/bicycle" in out
+    assert "s1: paused -> paused" in out
+    assert "completed" in out
+
+
+def test_serve_script_error_reports_line(tmp_path, capsys):
+    script = tmp_path / "bad.txt"
+    script.write_text("submit dashcam bicycle --limit 3\nfrobnicate s1\n")
+    assert main(["serve", "--script", str(script), "--scale", "0.03"]) == 2
+    assert "line 2" in capsys.readouterr().err
+
+
+def test_serve_requires_script_or_state_dir(capsys):
+    assert main(["serve"]) == 2
+    assert "state-dir" in capsys.readouterr().err
+
+
+def test_submit_unknown_category_fails_cleanly(tmp_path, capsys):
+    code = main(["submit", "dashcam", "zeppelin", "--limit", "3",
+                 "--state-dir", str(tmp_path / "s")])
+    assert code == 2
+    assert "zeppelin" in capsys.readouterr().err
+
+
+def test_submit_rejects_non_positive_limit(tmp_path, capsys):
+    code = main(["submit", "dashcam", "bicycle", "--limit", "0",
+                 "--state-dir", str(tmp_path / "s")])
+    assert code == 2
+    assert "limit" in capsys.readouterr().err
+    assert not (tmp_path / "s").exists()  # nothing was queued
+
+
+def test_serve_script_rejects_non_positive_tick(tmp_path, capsys):
+    script = tmp_path / "bad.txt"
+    script.write_text("submit dashcam bicycle --limit 2\ntick 0\n")
+    assert main(["serve", "--script", str(script), "--scale", "0.03"]) == 2
+    assert "line 2" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_ticks_combinations(tmp_path, capsys):
+    script = tmp_path / "s.txt"
+    script.write_text("submit dashcam bicycle --limit 2\n")
+    assert main(["serve", "--script", str(script), "--ticks", "3"]) == 2
+    assert "--ticks" in capsys.readouterr().err
+    assert main(["serve", "--state-dir", str(tmp_path / "d"), "--ticks", "0"]) == 2
+    assert "positive" in capsys.readouterr().err
+
+
+def test_submit_default_seeds_are_distinct_per_submission(tmp_path, capsys):
+    """Two identical submits must not become identical samplers."""
+    state = str(tmp_path / "state")
+    main(["submit", "dashcam", "bicycle", "--limit", "3", "--state-dir", state,
+          "--scale", "0.03", "--json"])
+    first = json.loads(capsys.readouterr().out)
+    main(["submit", "dashcam", "bicycle", "--limit", "3", "--state-dir", state,
+          "--json"])
+    second = json.loads(capsys.readouterr().out)
+    assert first["seed"] != second["seed"]

@@ -1,0 +1,250 @@
+"""Tests for the shared detection cache and its backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import even_count_chunks
+from repro.core.sampler import ExSample
+from repro.detection.cache import (
+    CachingDetector,
+    CategoryFilterDetector,
+    DetectionCache,
+    InMemoryBackend,
+    JsonlBackend,
+    SqliteBackend,
+)
+from repro.detection.detector import Detection, OracleDetector, SimulatedDetector
+from repro.serving.session import replay_cached_frames
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.geometry import Box
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+
+def make_repo(total_frames=4000, num_instances=30, seed=0, category="bus"):
+    rng = np.random.default_rng(seed)
+    instances = place_instances(
+        num_instances, total_frames, rng, mean_duration=80,
+        skew_fraction=0.2, category=category, with_boxes=False,
+    )
+    return single_clip_repository(total_frames, instances)
+
+
+def sample_detections(frame=7):
+    return [
+        Detection(frame, Box(10.0, 20.0, 110.0, 90.0), "bus", 0.91, true_instance_id=3),
+        Detection(frame, Box(0.0, 0.0, 40.0, 40.0), "truck", 0.33, true_instance_id=None),
+    ]
+
+
+def all_backends(tmp_path):
+    return [
+        InMemoryBackend(),
+        SqliteBackend(tmp_path / "cache.sqlite"),
+        JsonlBackend(tmp_path / "cache.jsonl"),
+    ]
+
+
+# ----------------------------------------------------------- hit/miss stats
+
+def test_miss_then_hit_accounting():
+    cache = DetectionCache()
+    assert cache.get("d", 7) is None
+    assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+    cache.put("d", 7, sample_detections())
+    assert cache.stats.inserts == 1
+    assert cache.get("d", 7) is not None
+    assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_contains_does_not_touch_stats():
+    cache = DetectionCache()
+    cache.put("d", 7, sample_detections())
+    assert cache.contains("d", 7)
+    assert not cache.contains("d", 8)
+    assert cache.stats.lookups == 0
+
+
+def test_empty_detection_list_is_cacheable():
+    # "the detector saw nothing" must be a hit, not a recompute
+    cache = DetectionCache()
+    cache.put("d", 3, [])
+    assert cache.get("d", 3) == ()
+    assert cache.stats.hits == 1
+
+
+def test_datasets_are_namespaced():
+    cache = DetectionCache()
+    cache.put("a", 5, sample_detections())
+    assert cache.get("b", 5) is None
+    assert cache.frames("a") == [5]
+    assert cache.frames("b") == []
+
+
+# ------------------------------------------------------------- round trips
+
+def test_round_trip_identity_all_backends(tmp_path):
+    original = sample_detections()
+    for backend in all_backends(tmp_path):
+        cache = DetectionCache(backend)
+        cache.put("d", 7, original)
+        restored = cache.get("d", 7)
+        assert restored == tuple(original)  # frozen dataclasses: deep equality
+        cache.close()
+
+
+def test_on_disk_backends_survive_reopen(tmp_path):
+    for name, factory in [
+        ("cache.sqlite", SqliteBackend),
+        ("cache.jsonl", JsonlBackend),
+    ]:
+        path = tmp_path / name
+        cache = DetectionCache(factory(path))
+        cache.put("d", 3, sample_detections(3))
+        cache.put("d", 11, [])
+        cache.put("other", 3, sample_detections(3))
+        cache.close()
+
+        reopened = DetectionCache(factory(path))
+        assert len(reopened) == 3
+        assert reopened.frames("d") == [3, 11]
+        assert reopened.get("d", 3) == tuple(sample_detections(3))
+        assert reopened.get("d", 11) == ()
+        reopened.close()
+
+
+def test_reput_supersedes(tmp_path):
+    for backend in all_backends(tmp_path):
+        cache = DetectionCache(backend)
+        cache.put("d", 7, sample_detections())
+        cache.put("d", 7, [])
+        assert cache.get("d", 7) == ()
+        cache.close()
+
+
+def test_jsonl_reput_latest_wins_across_reopen(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    cache = DetectionCache(JsonlBackend(path))
+    cache.put("d", 7, sample_detections())
+    cache.put("d", 7, [])
+    cache.close()
+    reopened = DetectionCache(JsonlBackend(path))
+    assert reopened.get("d", 7) == ()
+    assert len(reopened) == 1
+    reopened.close()
+
+
+def test_frames_sorted_regardless_of_insertion_order(tmp_path):
+    for backend in all_backends(tmp_path):
+        cache = DetectionCache(backend)
+        for frame in (42, 7, 99, 13):
+            cache.put("d", frame, [])
+        assert cache.frames("d") == [7, 13, 42, 99]
+        cache.close()
+
+
+# -------------------------------------------------------- caching detector
+
+def test_caching_detector_second_call_is_free():
+    repo = make_repo()
+    inner = OracleDetector(repo)
+    caching = CachingDetector(inner, DetectionCache(), repo.name)
+    first = caching.detect(100)
+    calls_after_first = caching.detector_calls
+    second = caching.detect(100)
+    assert caching.detector_calls == calls_after_first == 1
+    assert caching.stats.frames_processed == 2
+    assert first == second
+
+
+def test_caching_detector_matches_uncached_noisy_detector():
+    # the cache must be invisible: same boxes as calling the detector raw
+    repo = make_repo()
+    raw = SimulatedDetector(repo, seed=5)
+    cached = CachingDetector(SimulatedDetector(repo, seed=5), DetectionCache(), repo.name)
+    for frame in (0, 50, 999, 50, 0):
+        assert cached.detect(frame) == raw.detect(frame)
+
+
+def test_category_filter_detector():
+    repo = make_repo()
+    shared = OracleDetector(repo)  # emits all categories
+    view = CategoryFilterDetector(shared, "bus")
+    other = CategoryFilterDetector(shared, "truck")
+    frame = repo.instances[0].start_frame  # at least one bus visible here
+    bus_dets = view.detect(frame)
+    assert bus_dets and all(d.category == "bus" for d in bus_dets)
+    assert other.detect(frame) == []
+    assert view.stats.frames_processed == 1
+
+
+# ------------------------------------------------------ warm-start replay
+
+def _fresh_sampler(repo, seed=11, num_chunks=8):
+    rng = np.random.default_rng(seed)
+    chunks = even_count_chunks(repo.total_frames, num_chunks, rng)
+    return ExSample(chunks, OracleDetector(repo), OracleDiscriminator(), rng=rng)
+
+
+@pytest.mark.parametrize("backend_name", ["memory", "sqlite", "jsonl"])
+def test_warm_start_matches_redetecting_same_frames(tmp_path, backend_name):
+    """Replaying cached frames must leave beliefs identical to running the
+    detector on those frames — detection at zero cost, not approximation."""
+    repo = make_repo()
+    backend = {
+        "memory": InMemoryBackend,
+        "sqlite": lambda: SqliteBackend(tmp_path / "c.sqlite"),
+        "jsonl": lambda: JsonlBackend(tmp_path / "c.jsonl"),
+    }[backend_name]()
+    cache = DetectionCache(backend)
+
+    # populate the cache through a first session's detector
+    detector = CachingDetector(OracleDetector(repo), cache, repo.name)
+    frames = [3, 250, 777, 1500, 2400, 3999]
+    for frame in frames:
+        detector.detect(frame)
+
+    # warm-started sampler: replay from the cache
+    warm = _fresh_sampler(repo)
+    replayed, _ = replay_cached_frames(warm, cache, repo.name, category="bus")
+    assert replayed == sorted(frames)
+
+    # reference sampler: run the real detector on the same frames and apply
+    # the same Algorithm-1 state update by hand
+    reference = _fresh_sampler(repo)
+    raw = OracleDetector(repo)
+    chunk_of = {
+        frame: next(
+            c.chunk_id for c in reference.chunks
+            if c.start_frame <= frame < c.end_frame
+        )
+        for frame in frames
+    }
+    for frame in sorted(frames):
+        detections = [d for d in raw.detect(frame) if d.category == "bus"]
+        outcome = reference.discriminator.observe(frame, detections)
+        reference.stats.record(chunk_of[frame], outcome.d0, outcome.d1)
+
+    np.testing.assert_array_equal(warm.stats.n1, reference.stats.n1)
+    np.testing.assert_array_equal(warm.stats.n, reference.stats.n)
+    assert warm.results_found == reference.results_found
+    assert (
+        warm.discriminator.distinct_true_instances()
+        == reference.discriminator.distinct_true_instances()
+    )
+    # the replay charged no detector-visible samples
+    assert warm.frames_processed == 0
+    cache.close()
+
+
+def test_warm_start_skips_unknown_and_out_of_range_frames():
+    repo = make_repo(total_frames=1000)
+    cache = DetectionCache()
+    cache.put(repo.name, 100, [])
+    sampler = _fresh_sampler(repo, num_chunks=4)
+    replayed, result_frames = replay_cached_frames(
+        sampler, cache, repo.name, category="bus", frames=[100, 500, 5000]
+    )
+    assert replayed == [100]  # 500 not cached, 5000 outside every chunk
+    assert result_frames == []

@@ -134,3 +134,38 @@ def test_decode_cost_charged_once_per_frame():
     engine = make_engine(repo, {"bus": 25, "truck": 25})
     engine.run(max_samples=40)
     assert repo.decode_stats.frames_decoded == 40
+
+
+def test_steps_generator_matches_run():
+    repo = two_category_repo()
+    ran = make_engine(repo, {"bus": 10, "truck": 10}, seed=5)
+    ran.run(max_samples=200)
+
+    stepped = make_engine(repo, {"bus": 10, "truck": 10}, seed=5)
+    frames = list(stepped.steps(max_samples=200))
+    assert stepped.frames_processed == ran.frames_processed
+    assert len(frames) == stepped.frames_processed
+    for category in ("bus", "truck"):
+        assert (
+            stepped.queries[category].results_found
+            == ran.queries[category].results_found
+        )
+
+
+def test_steps_generator_is_suspendable():
+    repo = two_category_repo()
+    engine = make_engine(repo, {"bus": 25, "truck": 25}, seed=5)
+    gen = engine.steps(max_samples=60)
+    for _ in range(15):
+        next(gen)
+    gen.close()
+    assert engine.frames_processed == 15
+    list(engine.steps(max_samples=60))
+    assert engine.frames_processed == 60
+
+
+def test_steps_validates_budget():
+    repo = two_category_repo()
+    engine = make_engine(repo, {"bus": 5})
+    with pytest.raises(ValueError):
+        next(engine.steps(max_samples=0))

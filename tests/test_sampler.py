@@ -209,3 +209,41 @@ def test_new_result_frames_exposes_hit_frames():
     # least one per "jump" in the results curve
     jumps = int((np.diff(np.concatenate([[0], history.results])) > 0).sum())
     assert len(hits) == jumps
+
+
+def test_steps_generator_matches_run():
+    """run() is a thin wrapper over steps(): same frames, same state."""
+    ran = make_sampler(make_repo(), seed=21)
+    ran.run(result_limit=8, max_samples=400)
+
+    stepped = make_sampler(make_repo(), seed=21)
+    records = list(stepped.steps(result_limit=8, max_samples=400))
+    assert [r.frame_index for r in records] == ran.history.frame_indices.tolist()
+    assert stepped.results_found == ran.results_found
+    assert np.array_equal(stepped.stats.n1, ran.stats.n1)
+    assert np.array_equal(stepped.stats.n, ran.stats.n)
+
+
+def test_steps_generator_is_suspendable():
+    """The generator can be advanced one frame at a time and abandoned
+    mid-run without corrupting sampler state."""
+    sampler = make_sampler(make_repo(), seed=3)
+    gen = sampler.steps(max_samples=100)
+    first = next(gen)
+    assert first.sample_index == 1
+    for _ in range(9):
+        next(gen)
+    gen.close()  # suspend for good
+    assert sampler.frames_processed == 10
+    # a fresh generator picks up where the old one stopped
+    remaining = list(sampler.steps(max_samples=100))
+    assert sampler.frames_processed == 100
+    assert len(remaining) == 90
+
+
+def test_steps_validates_arguments():
+    sampler = make_sampler(make_repo())
+    with pytest.raises(ValueError):
+        next(sampler.steps(result_limit=0))
+    with pytest.raises(ValueError):
+        next(sampler.steps(max_samples=-1))
