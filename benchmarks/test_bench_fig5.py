@@ -7,7 +7,6 @@ exploration cost is proportionally larger), so the assertions bound the
 same statistics more loosely while preserving the ordering claims.
 """
 
-import numpy as np
 
 from repro.experiments.evaluation import EvalConfig
 from repro.experiments.fig5 import format_fig5, run_fig5

@@ -9,7 +9,6 @@ running the same queries back-to-back with no shared cache — while every
 query still meets its own limit.
 """
 
-import numpy as np
 
 from repro.detection.cache import DetectionCache
 from repro.experiments.reporting import format_table, section

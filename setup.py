@@ -1,2 +1,9 @@
+"""Legacy-installer shim; all metadata lives in pyproject.toml.
+
+The package is a src/ layout: `pip install -e .` discovers `repro`
+under src/ via [tool.setuptools.packages.find] there.
+"""
+
 from setuptools import setup
+
 setup()

@@ -25,7 +25,7 @@ which is the right comparison for the structural argument the paper makes
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 

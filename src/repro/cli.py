@@ -19,6 +19,18 @@ back — or executes a scripted session transcript:
     python -m repro submit dashcam bus --limit 10 --state-dir ./state
     python -m repro serve --state-dir ./state
     python -m repro serve --script session.txt --scale 0.05 --json
+
+Execution-layer flags (see :mod:`repro.detection.execution`): both
+``query`` and ``serve`` take ``--batch-size`` (frames the sampling
+policy chooses per iteration, issued to the detector as one batched
+call) and ``--workers`` / ``--detector-latency`` (service batches over
+a worker pool, overlapping simulated per-call detector overhead).
+Workers never change a query's answer; batch size changes only which
+frames the policy picks, deterministically per seed:
+
+    python -m repro query dashcam bicycle --limit 20 \
+        --batch-size 8 --workers 8 --detector-latency 0.002
+    python -m repro serve --state-dir ./state --batch-size 8 --workers 8
 """
 
 from __future__ import annotations
@@ -112,6 +124,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if (args.limit is None) == (args.recall is None):
         print("error: pass exactly one of --limit / --recall", file=sys.stderr)
         return 2
+    error = _validate_execution_args(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     repo = build_dataset(
         args.dataset, categories=[args.category], scale=args.scale, seed=args.seed
@@ -120,6 +136,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         repo,
         category=args.category,
         chunk_frames=scaled_chunk_frames(args.dataset, args.scale),
+        batch_size=args.batch_size,
+        workers=args.workers,
+        detector_latency=args.detector_latency,
         seed=args.seed,
     )
     query = DistinctObjectQuery(
@@ -176,6 +195,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 # ----------------------------------------------------------------- serving
 
+def _validate_execution_args(args: argparse.Namespace) -> str | None:
+    """Shared validation of the execution-layer flags; None when valid."""
+    if args.batch_size <= 0:
+        return "--batch-size must be positive"
+    if args.workers < 1:
+        return "--workers must be at least 1"
+    if args.detector_latency < 0.0:
+        return "--detector-latency must be non-negative"
+    return None
+
+
 def _make_scheduler(name: str):
     if name == "round-robin":
         return RoundRobinScheduler()
@@ -193,6 +223,9 @@ def _build_service(
     frames_per_tick: int,
     scheduler: str,
     cache: DetectionCache | None,
+    batch_size: int = 1,
+    workers: int = 1,
+    detector_latency: float = 0.0,
 ) -> QueryService:
     repos = {
         name: build_dataset(name, categories=None, scale=scale, seed=seed)
@@ -205,6 +238,9 @@ def _build_service(
         scheduler=_make_scheduler(scheduler),
         frames_per_tick=frames_per_tick,
         chunk_frames=chunk_frames,
+        batch_size=batch_size,
+        workers=workers,
+        detector_latency=detector_latency,
         seed=seed,
     )
 
@@ -246,6 +282,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             limit=args.limit,
             max_samples=args.max_samples,
             priority=args.priority,
+            batch_size=args.batch_size,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -268,6 +305,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         state=SessionState.ACTIVE.value,
         steps_taken=0,
         warm_start_frames=None,  # warm start runs when a server loads it
+        batch_size=args.batch_size,
     )
     path = serving_state.write_snapshot(state_dir, snapshot)
     if args.json:
@@ -308,6 +346,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.frames_per_tick <= 0:
         print("error: --frames-per-tick must be positive", file=sys.stderr)
         return 2
+    error = _validate_execution_args(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     cache = None
     scale, seed = args.scale, args.seed
@@ -338,7 +380,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
     service = _build_service(
-        datasets, scale, seed, args.frames_per_tick, args.scheduler, cache
+        datasets,
+        scale,
+        seed,
+        args.frames_per_tick,
+        args.scheduler,
+        cache,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        detector_latency=args.detector_latency,
     )
     for snap in snapshots:
         service.restore(snap)
@@ -365,7 +415,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(json.dumps(to_jsonable(_serve_summary_payload(service)), indent=2))
     else:
         _print_serve_summary(service)
-    service.cache.close()  # commits any buffered on-disk writes
+    service.close()  # worker pools + buffered on-disk cache writes
     return 0
 
 
@@ -400,6 +450,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--max-samples", type=int, default=None, help="frame budget cap")
     query.add_argument(
+        "--batch-size", type=int, default=1,
+        help="frames chosen per sampling iteration (§III-F batched sampling)",
+    )
+    query.add_argument(
+        "--workers", type=int, default=1,
+        help="detector worker pool size; batches are serviced concurrently",
+    )
+    query.add_argument(
+        "--detector-latency", type=float, default=0.0,
+        help="simulated per-detector-call overhead in seconds (what --workers hides)",
+    )
+    query.add_argument(
         "--seed", type=int, default=0,
         help="seeds dataset synthesis and sampling; same seed => identical run",
     )
@@ -417,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--limit", type=int, default=None, help="distinct-result limit")
     submit.add_argument("--max-samples", type=int, default=None, help="frame budget cap")
     submit.add_argument("--priority", type=float, default=1.0, help="scheduling weight")
+    submit.add_argument(
+        "--batch-size", type=int, default=1,
+        help="frames this session's engine chooses per iteration",
+    )
     submit.add_argument(
         "--session-seed", type=int, default=None,
         help="per-session sampling seed (default: derived per submission)",
@@ -450,6 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--frames-per-tick", type=int, default=16,
         help="global detector budget per scheduling round",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=1,
+        help="default engine batch for script-submitted sessions",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="detector worker pool; coalesced per-tick batches run concurrently",
+    )
+    serve.add_argument(
+        "--detector-latency", type=float, default=0.0,
+        help="simulated per-detector-call overhead in seconds",
     )
     serve.add_argument(
         "--scheduler", choices=SCHEDULERS, default="round-robin",

@@ -31,7 +31,6 @@ Why this preserves the §III machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

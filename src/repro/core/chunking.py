@@ -14,9 +14,8 @@ materialized up front.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence
+from typing import Protocol
 
 import numpy as np
 

@@ -19,7 +19,6 @@ bookkeeping for all chunks, shared by every policy in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -34,6 +34,7 @@ from typing import Callable, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..detection.detector import Detector
+from ..detection.execution import batch_detect
 from ..tracking.discriminator import Discriminator
 from ..video.repository import VideoRepository
 from .belief import DEFAULT_ALPHA0, DEFAULT_BETA0, GammaBelief
@@ -77,6 +78,12 @@ class MultiQueryExSample:
         Mapping of category -> result limit, one entry per query.
     discriminator_factory:
         Builds a fresh discriminator per category.
+    batch_size:
+        Frames per iteration (§III-F batched sampling applied to the
+        shared loop): each iteration takes ``batch_size`` arg-maxes of
+        the summed Thompson draws, issues the whole batch to the
+        detector as one call, and applies the per-query updates in batch
+        order (they commute).  ``1`` reproduces the serial loop exactly.
     """
 
     def __init__(
@@ -89,11 +96,14 @@ class MultiQueryExSample:
         beta0: float = DEFAULT_BETA0,
         rng: np.random.Generator | None = None,
         repository: VideoRepository | None = None,
+        batch_size: int = 1,
     ):
         if not chunks:
             raise ValueError("need at least one chunk")
         if not limits:
             raise ValueError("need at least one query")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         for category, limit in limits.items():
             if limit <= 0:
                 raise ValueError(f"limit for {category!r} must be positive")
@@ -102,6 +112,7 @@ class MultiQueryExSample:
         self._belief = GammaBelief(alpha0, beta0)
         self._rng = rng if rng is not None else np.random.default_rng()
         self._repository = repository
+        self._batch_size = batch_size
         self._queries = {
             category: QueryState(
                 category=category,
@@ -139,44 +150,77 @@ class MultiQueryExSample:
     # ------------------------------------------------------------- execution
 
     def step(self) -> int:
-        """Process one frame for every still-active query; returns the
-        sampled frame index."""
+        """Process one iteration — one frame per still-active query, or a
+        whole §III-F batch when ``batch_size > 1`` — and return the last
+        sampled frame index (*the* frame index when ``batch_size == 1``)."""
+        return self.step_batch()[-1]
+
+    def step_batch(self, batch_size: int | None = None) -> list[int]:
+        """One shared-loop iteration, returning every sampled frame index.
+
+        Stage 1 takes ``batch_size`` arg-maxes (defaulting to the
+        engine's own) of the summed per-query Thompson draws (the active
+        set is frozen for the iteration); stage 2 issues the whole batch
+        to the shared detector as one
+        :func:`~repro.detection.execution.batch_detect` call; stage 3
+        applies each query's (d0, d1) updates frame-by-frame in batch
+        order — commutative per §III-F, so the answer matches sequential
+        processing of the same frames.
+        """
+        if batch_size is None:
+            batch_size = self._batch_size
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         if self.exhausted:
             raise RuntimeError("all chunks are exhausted")
         active = [q for q in self._queries.values() if not q.satisfied]
         if not active:
             raise RuntimeError("all queries are satisfied")
 
-        # combined Thompson score: sum of per-query draws per chunk.
-        combined = np.zeros(len(self._chunks))
+        # combined Thompson score: sum of per-query draws per chunk, one
+        # independent draw-set per batch slot.
+        combined = np.zeros((batch_size, len(self._chunks)))
         for query in active:
-            combined += self._belief.sample(query.stats, self._rng, size=1)[0]
-        combined[~self._available] = -np.inf
-        chunk_idx = int(np.argmax(combined))
-        chunk = self._chunks[chunk_idx]
-        frame = chunk.sample()
-        if chunk.exhausted:
-            self._available[chunk_idx] = False
+            combined += self._belief.sample(query.stats, self._rng, size=batch_size)
+        pending: list[tuple[int, int]] = []  # (chunk, frame)
+        for row in combined:
+            if not self._available.any():
+                break  # the batch drained every chunk
+            scores = np.where(self._available, row, -np.inf)
+            chunk_idx = int(np.argmax(scores))
+            chunk = self._chunks[chunk_idx]
+            frame = chunk.sample()
+            if chunk.exhausted:
+                self._available[chunk_idx] = False
+            pending.append((chunk_idx, frame))
 
+        frames = [frame for _, frame in pending]
         if self._repository is not None:
-            self._repository.read(frame)
-        detections = self._detector.detect(frame)
-        self._frames_processed += 1
+            for frame in frames:
+                self._repository.read(frame)
+        detections_per_frame = batch_detect(self._detector, frames)
+        self._frames_processed += len(frames)
 
-        for query in active:
-            relevant = [d for d in detections if d.category == query.category]
-            outcome = query.discriminator.observe(frame, relevant)
-            query.stats.record(chunk_idx, outcome.d0, outcome.d1)
-            query.history.append(frame, outcome.d0, query.discriminator.result_count())
-        return frame
+        for (chunk_idx, frame), detections in zip(pending, detections_per_frame):
+            for query in active:
+                relevant = [d for d in detections if d.category == query.category]
+                outcome = query.discriminator.observe(frame, relevant)
+                query.stats.record(chunk_idx, outcome.d0, outcome.d1)
+                query.history.append(
+                    frame, outcome.d0, query.discriminator.result_count()
+                )
+        return frames
 
     def steps(self, max_samples: int | None = None) -> Iterator[int]:
         """Incremental form of :meth:`run`: yields each sampled frame index.
 
-        Stopping clauses are re-evaluated between frames, so the shared
-        loop can be suspended after any frame and interleaved with other
-        engines (the serving layer's scheduling seam).  Exhausting the
-        generator leaves the engine in exactly the state :meth:`run` would.
+        Stopping clauses are re-evaluated between iterations, so the
+        shared loop can be suspended after any iteration and interleaved
+        with other engines (the serving layer's scheduling seam).
+        Exhausting the generator leaves the engine in exactly the state
+        :meth:`run` would.  When ``max_samples`` binds mid-batch, the
+        final iteration runs a smaller batch so the budget is honored
+        exactly.
         """
         if max_samples is not None and max_samples <= 0:
             raise ValueError("max_samples must be positive")
@@ -185,7 +229,10 @@ class MultiQueryExSample:
             while not self.exhausted and not self.all_satisfied:
                 if max_samples is not None and self._frames_processed >= max_samples:
                     return
-                yield self.step()
+                size = self._batch_size
+                if max_samples is not None:
+                    size = min(size, max_samples - self._frames_processed)
+                yield from self.step_batch(batch_size=size)
 
         # validation above fires at call time; only the loop is deferred
         return generate()

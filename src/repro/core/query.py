@@ -19,7 +19,7 @@ Quickstart::
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -30,6 +30,7 @@ from ..baselines.sequential import SequentialScanSampler
 from ..baselines.uniform import UniformRandomSampler
 from ..detection.costmodel import ThroughputModel
 from ..detection.detector import Detector, OracleDetector, SimulatedDetector
+from ..detection.execution import wrap_parallel
 from ..tracking.discriminator import (
     Discriminator,
     OracleDiscriminator,
@@ -120,6 +121,8 @@ class QueryEngine:
         throughput: ThroughputModel | None = None,
         use_random_plus: bool = True,
         batch_size: int = 1,
+        workers: int = 1,
+        detector_latency: float = 0.0,
         oracle: bool = True,
         detector_factory: Callable[[], Detector] | None = None,
         discriminator_factory: Callable[[], Discriminator] | None = None,
@@ -137,8 +140,14 @@ class QueryEngine:
         self._chunk_frames = chunk_frames
         self._policy = policy
         self._throughput = throughput if throughput is not None else ThroughputModel()
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if detector_latency < 0.0:
+            raise ValueError("detector_latency must be non-negative")
         self._use_random_plus = use_random_plus
         self._batch_size = batch_size
+        self._workers = workers
+        self._detector_latency = detector_latency
         self._oracle = oracle
         self._detector_factory = detector_factory
         self._discriminator_factory = discriminator_factory
@@ -150,12 +159,15 @@ class QueryEngine:
 
     def _make_detector(self) -> Detector:
         if self._detector_factory is not None:
-            return self._detector_factory()
-        if self._oracle:
-            return OracleDetector(self._repository, category=self._category)
-        return SimulatedDetector(
-            self._repository, category=self._category, seed=self._seed
-        )
+            detector = self._detector_factory()
+        elif self._oracle:
+            detector = OracleDetector(self._repository, category=self._category)
+        else:
+            detector = SimulatedDetector(
+                self._repository, category=self._category, seed=self._seed
+            )
+        # execution-layer wrapper: score-equivalent, only faster/slower
+        return wrap_parallel(detector, self._workers, self._detector_latency)
 
     def _make_discriminator(self) -> Discriminator:
         if self._discriminator_factory is not None:
@@ -164,8 +176,9 @@ class QueryEngine:
             return OracleDiscriminator()
         return TrackingDiscriminator(self._repository.instances_of(self._category))
 
-    def _make_sampler(self, method: str, rng: np.random.Generator):
-        detector = self._make_detector()
+    def _make_sampler(self, method: str, rng: np.random.Generator, detector=None):
+        if detector is None:
+            detector = self._make_detector()
         discriminator = self._make_discriminator()
         if method == "exsample":
             chunks = make_chunks(
@@ -216,15 +229,21 @@ class QueryEngine:
                 f"query asks for {query.category!r}"
             )
         rng = np.random.default_rng(self._seed if seed is None else seed)
-        sampler = self._make_sampler(method, rng)
+        detector = self._make_detector()
+        sampler = self._make_sampler(method, rng, detector)
         ground_truth = len(self._repository.instances_of(self._category))
 
-        if query.limit is not None:
-            sampler.run(result_limit=query.limit, max_samples=query.max_samples)
-            satisfied = sampler.results_found >= query.limit
-        else:
-            target = max(1, math.ceil(query.recall_target * ground_truth))
-            satisfied = self._run_to_recall(sampler, target, query.max_samples)
+        try:
+            if query.limit is not None:
+                sampler.run(result_limit=query.limit, max_samples=query.max_samples)
+                satisfied = sampler.results_found >= query.limit
+            else:
+                target = max(1, math.ceil(query.recall_target * ground_truth))
+                satisfied = self._run_to_recall(sampler, target, query.max_samples)
+        finally:
+            closer = getattr(detector, "close", None)
+            if closer is not None:  # release any worker pool promptly
+                closer()
 
         distinct = len(sampler.discriminator.distinct_true_instances())
         scan_frames = getattr(sampler, "scan_frames_charged", 0)
@@ -247,11 +266,17 @@ class QueryEngine:
     @staticmethod
     def _run_to_recall(sampler, target_instances: int, max_samples: int | None) -> bool:
         """Step until the discriminator has found ``target_instances``
-        distinct ground-truth instances (evaluation stopping rule)."""
+        distinct ground-truth instances (evaluation stopping rule).
+        Mirrors :meth:`ExSample.steps`: when ``max_samples`` binds
+        mid-batch, the final batch shrinks so the budget is exact."""
         while not sampler.exhausted:
             if len(sampler.discriminator.distinct_true_instances()) >= target_instances:
                 return True
             if max_samples is not None and sampler.frames_processed >= max_samples:
                 return False
-            sampler.step()
+            if max_samples is not None and isinstance(sampler, ExSample):
+                size = min(sampler.batch_size, max_samples - sampler.frames_processed)
+                sampler.commit(sampler.plan(batch_size=size))
+            else:  # baselines step one frame at a time
+                sampler.step()
         return len(sampler.discriminator.distinct_true_instances()) >= target_instances

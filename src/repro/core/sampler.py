@@ -15,16 +15,24 @@ The batched variant (§III-F) draws ``B`` Thompson samples per chunk, takes
 updates together — the GPU-batching optimization, reproduced faithfully so
 its effect on result quality can be measured even though there is no GPU
 here.
+
+The iteration is split into two public halves — :meth:`ExSample.plan`
+(stage 1: pure choice, no detections needed) and :meth:`ExSample.commit`
+(stages 2+3, issuing the whole batch to the detector as one
+:func:`~repro.detection.execution.batch_detect` call) — so execution
+layers can batch, parallelize, and coalesce detector work across
+concurrent queries without perturbing any sampling decision.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..detection.detector import Detector
+from ..detection.detector import Detection, Detector
+from ..detection.execution import batch_detect
 from ..tracking.discriminator import Discriminator
 from ..video.repository import VideoRepository
 from .chunking import Chunk
@@ -205,6 +213,10 @@ class ExSample:
         return self._history
 
     @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
     def results_found(self) -> int:
         return self._discriminator.result_count()
 
@@ -230,14 +242,33 @@ class ExSample:
     # ------------------------------------------------------------- execution
 
     def step(self) -> list[StepRecord]:
-        """Run one iteration (one frame, or one batch when batch_size > 1)."""
+        """Run one iteration (one frame, or one batch when batch_size > 1).
+
+        Equivalent to ``commit(plan())`` — the two-phase form the serving
+        layer uses to coalesce detector work across sessions.
+        """
+        return self.commit(self.plan())
+
+    def plan(self, batch_size: int | None = None) -> list[tuple[int, int]]:
+        """Stage 1 of Algorithm 1 for one iteration: choose the batch.
+
+        Returns the ``(chunk_index, frame_index)`` pairs to process —
+        ``batch_size`` of them (defaulting to the sampler's own), fewer
+        only when the chunks drain.  The choice consumes the sampler's
+        RNG and the chunks' without-replacement orders but needs no
+        detections, which is what lets a scheduler gather many sessions'
+        plans into one batched detector call before any of them commits.
+        """
         if self.exhausted:
             raise RuntimeError("all chunks are exhausted")
+        if batch_size is None:
+            batch_size = self._batch_size
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
 
         picks = self._policy.choose(
-            self._stats, self._rng, self._available, batch_size=self._batch_size
+            self._stats, self._rng, self._available, batch_size=batch_size
         )
-        records: list[StepRecord] = []
         pending: list[tuple[int, int]] = []  # (chunk, frame)
         for pick in picks:
             chunk_idx = int(pick)
@@ -255,13 +286,40 @@ class ExSample:
             if chunk.exhausted:
                 self._available[chunk_idx] = False
             pending.append((chunk_idx, frame))
+        return pending
 
-        # Stage 2+3: process the batch; per §III-F the updates commute, so
-        # applying them in batch order is equivalent to any other order.
-        for chunk_idx, frame in pending:
-            outcome = process_frame_detailed(
-                frame, self._detector, self._discriminator, self._repository
+    def commit(
+        self,
+        pending: Sequence[tuple[int, int]],
+        detections: Mapping[int, Sequence[Detection]] | None = None,
+    ) -> list[StepRecord]:
+        """Stages 2+3 of Algorithm 1 for a planned batch.
+
+        With ``detections=None`` the batch goes to the sampler's own
+        detector as **one** batched call (:func:`batch_detect` — a
+        sequential fallback for plain detectors, a parallel fan-out for
+        :class:`~repro.detection.execution.ParallelDetector`).  A caller
+        that already ran the detector (the serving layer's coalesced
+        tick) passes ``detections`` mapping each planned frame to its
+        detection list instead.  Either way the frames are matched and
+        recorded in plan order, so the result is identical to the
+        frame-at-a-time loop; per §III-F the state updates commute.
+        """
+        pending = list(pending)
+        frames = [frame for _, frame in pending]
+        if self._repository is not None:
+            for frame in frames:
+                self._repository.read(frame)  # charge the random decodes
+        if detections is None:
+            per_frame: Sequence[Sequence[Detection]] = batch_detect(
+                self._detector, frames
             )
+        else:
+            per_frame = [detections[frame] for frame in frames]
+
+        records: list[StepRecord] = []
+        for (chunk_idx, frame), frame_detections in zip(pending, per_frame):
+            outcome = self._discriminator.observe(frame, list(frame_detections))
             d0, d1 = outcome.d0, outcome.d1
             if self._cross_chunk:
                 self._record_cross_chunk(chunk_idx, outcome)
@@ -308,7 +366,10 @@ class ExSample:
         yield, and interleaved with other samplers — the resumable engine
         the serving layer (:mod:`repro.serving`) schedules sessions on.
         Exhausting the generator leaves the sampler in exactly the state
-        :meth:`run` would.
+        :meth:`run` would.  When ``max_samples`` binds mid-batch, the
+        final iteration plans a smaller batch so the budget is honored
+        exactly (``result_limit``, like the serial loop, is still only
+        checked between iterations).
         """
         if result_limit is not None and result_limit <= 0:
             raise ValueError("result_limit must be positive")
@@ -321,7 +382,10 @@ class ExSample:
                     return
                 if max_samples is not None and self.frames_processed >= max_samples:
                     return
-                yield from self.step()
+                size = self._batch_size
+                if max_samples is not None:
+                    size = min(size, max_samples - self.frames_processed)
+                yield from self.commit(self.plan(batch_size=size))
 
         # validation above fires at call time; only the loop is deferred
         return generate()

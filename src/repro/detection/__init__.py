@@ -18,6 +18,7 @@ from .detector import (
     OracleDetector,
     SimulatedDetector,
 )
+from .execution import ParallelDetector, batch_detect, wrap_parallel
 
 __all__ = [
     "CacheBackend",
@@ -36,4 +37,7 @@ __all__ = [
     "DetectorStats",
     "OracleDetector",
     "SimulatedDetector",
+    "ParallelDetector",
+    "batch_detect",
+    "wrap_parallel",
 ]

@@ -39,6 +39,7 @@ from typing import Iterable, Protocol, Sequence
 
 from ..video.geometry import Box
 from .detector import Detection, Detector, DetectorStats
+from .execution import batch_detect
 
 __all__ = [
     "CacheStats",
@@ -107,12 +108,27 @@ def _decode(rows: Iterable[dict]) -> tuple[Detection, ...]:
 # ---------------------------------------------------------------- backends
 
 class CacheBackend(Protocol):
-    """Storage for JSON-able detection rows keyed by (dataset, frame)."""
+    """Storage for JSON-able detection rows keyed by (dataset, frame).
+
+    ``get_many``/``put_many`` are the batch forms (one storage
+    round-trip per batch); backends that lack them still work — the
+    :class:`DetectionCache` facade falls back to per-frame calls.
+    """
 
     def get(self, dataset: str, frame_index: int) -> list[dict] | None:  # pragma: no cover
         ...
 
     def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:  # pragma: no cover
+        ...
+
+    def get_many(
+        self, dataset: str, frame_indices: Sequence[int]
+    ) -> list[list[dict] | None]:  # pragma: no cover
+        ...
+
+    def put_many(
+        self, dataset: str, items: Sequence[tuple[int, list[dict]]]
+    ) -> None:  # pragma: no cover
         ...
 
     def frames(self, dataset: str) -> list[int]:  # pragma: no cover
@@ -139,6 +155,15 @@ class InMemoryBackend:
 
     def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
         self._rows[(dataset, frame_index)] = rows
+
+    def get_many(
+        self, dataset: str, frame_indices: Sequence[int]
+    ) -> list[list[dict] | None]:
+        return [self._rows.get((dataset, int(f))) for f in frame_indices]
+
+    def put_many(self, dataset: str, items: Sequence[tuple[int, list[dict]]]) -> None:
+        for frame_index, rows in items:
+            self._rows[(dataset, int(frame_index))] = rows
 
     def frames(self, dataset: str) -> list[int]:
         return sorted(f for (d, f) in self._rows if d == dataset)
@@ -191,6 +216,31 @@ class SqliteBackend:
         self._conn.execute(
             "INSERT OR REPLACE INTO detections (dataset, frame, payload) VALUES (?, ?, ?)",
             (dataset, frame_index, json.dumps(rows)),
+        )
+
+    def get_many(
+        self, dataset: str, frame_indices: Sequence[int]
+    ) -> list[list[dict] | None]:
+        frames = [int(f) for f in frame_indices]
+        if not frames:
+            return []
+        found: dict[int, list[dict]] = {}
+        unique = list(dict.fromkeys(frames))
+        for lo in range(0, len(unique), 500):  # stay under SQLite's host-parameter cap
+            group = unique[lo : lo + 500]
+            placeholders = ",".join("?" * len(group))
+            rows = self._conn.execute(
+                f"SELECT frame, payload FROM detections "
+                f"WHERE dataset = ? AND frame IN ({placeholders})",
+                (dataset, *group),
+            ).fetchall()
+            found.update((int(frame), json.loads(payload)) for frame, payload in rows)
+        return [found.get(f) for f in frames]
+
+    def put_many(self, dataset: str, items: Sequence[tuple[int, list[dict]]]) -> None:
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO detections (dataset, frame, payload) VALUES (?, ?, ?)",
+            [(dataset, int(frame), json.dumps(rows)) for frame, rows in items],
         )
 
     def frames(self, dataset: str) -> list[int]:
@@ -246,6 +296,22 @@ class JsonlBackend:
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
 
+    def get_many(
+        self, dataset: str, frame_indices: Sequence[int]
+    ) -> list[list[dict] | None]:
+        return [self._rows.get((dataset, int(f))) for f in frame_indices]
+
+    def put_many(self, dataset: str, items: Sequence[tuple[int, list[dict]]]) -> None:
+        lines = []
+        for frame_index, rows in items:
+            self._rows[(dataset, int(frame_index))] = rows
+            lines.append(
+                json.dumps({"dataset": dataset, "frame": int(frame_index), "rows": rows})
+            )
+        if lines:  # one write + flush for the whole batch
+            self._handle.write("\n".join(lines) + "\n")
+            self._handle.flush()
+
     def frames(self, dataset: str) -> list[int]:
         return sorted(f for (d, f) in self._rows if d == dataset)
 
@@ -292,6 +358,41 @@ class DetectionCache:
         self._backend.put(dataset, frame_index, _encode(detections))
         self.stats.inserts += 1
 
+    def get_many(
+        self, dataset: str, frame_indices: Sequence[int]
+    ) -> list[tuple[Detection, ...] | None]:
+        """Batch :meth:`get`: one backend round-trip, one entry per input
+        frame (``None`` on a miss), hit/miss accounting per frame."""
+        getter = getattr(self._backend, "get_many", None)
+        if getter is not None:
+            rows_per_frame = getter(dataset, list(frame_indices))
+        else:  # backend predates the batch protocol
+            rows_per_frame = [self._backend.get(dataset, int(f)) for f in frame_indices]
+        out: list[tuple[Detection, ...] | None] = []
+        for rows in rows_per_frame:
+            if rows is None:
+                self.stats.misses += 1
+                out.append(None)
+            else:
+                self.stats.hits += 1
+                out.append(_decode(rows))
+        return out
+
+    def put_many(
+        self,
+        dataset: str,
+        items: Sequence[tuple[int, Sequence[Detection]]],
+    ) -> None:
+        """Batch :meth:`put`: one backend round-trip for the whole batch."""
+        putter = getattr(self._backend, "put_many", None)
+        encoded = [(int(frame), _encode(dets)) for frame, dets in items]
+        if putter is not None:
+            putter(dataset, encoded)
+        else:
+            for frame, rows in encoded:
+                self._backend.put(dataset, frame, rows)
+        self.stats.inserts += len(encoded)
+
     def contains(self, dataset: str, frame_index: int) -> bool:
         """Membership test without touching the hit/miss accounting."""
         return self._backend.get(dataset, frame_index) is not None
@@ -331,6 +432,10 @@ class CachingDetector:
         self.stats = DetectorStats()
 
     @property
+    def wrapped(self) -> Detector:
+        return self._detector
+
+    @property
     def cache(self) -> DetectionCache:
         return self._cache
 
@@ -353,6 +458,32 @@ class CachingDetector:
             detections = list(cached)
         self.stats.detections_emitted += len(detections)
         return list(detections)
+
+    def detect_many(self, frame_indices: Sequence[int]) -> list[list[Detection]]:
+        """Batch :meth:`detect` with partial-hit splitting.
+
+        One cache round-trip answers the hits; the misses (deduplicated,
+        in first-seen order) go to the wrapped detector as **one** batch
+        call and land in the cache as one batch write.  Results align
+        with the input frames, identical to per-frame :meth:`detect`.
+        """
+        frames = [int(f) for f in frame_indices]
+        self.stats.frames_processed += len(frames)
+        cached = self._cache.get_many(self._dataset, frames)
+        missing = list(
+            dict.fromkeys(f for f, hit in zip(frames, cached) if hit is None)
+        )
+        fresh: dict[int, list[Detection]] = {}
+        if missing:
+            detected = batch_detect(self._detector, missing)
+            self._cache.put_many(self._dataset, list(zip(missing, detected)))
+            fresh = dict(zip(missing, detected))
+        out = [
+            list(hit) if hit is not None else list(fresh[f])
+            for f, hit in zip(frames, cached)
+        ]
+        self.stats.detections_emitted += sum(len(d) for d in out)
+        return out
 
 
 class CategoryFilterDetector:
@@ -381,3 +512,13 @@ class CategoryFilterDetector:
         ]
         self.stats.detections_emitted += len(detections)
         return detections
+
+    def detect_many(self, frame_indices: Sequence[int]) -> list[list[Detection]]:
+        frames = [int(f) for f in frame_indices]
+        self.stats.frames_processed += len(frames)
+        out = [
+            [d for d in detections if d.category == self._category]
+            for detections in batch_detect(self._detector, frames)
+        ]
+        self.stats.detections_emitted += sum(len(d) for d in out)
+        return out

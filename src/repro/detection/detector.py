@@ -22,13 +22,12 @@ sampling behaviour from detection behaviour in controlled experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 import numpy as np
 
 from ..video.geometry import Box
-from ..video.instances import InstanceSet, ObjectInstance
 from ..video.repository import VideoRepository
 from ..video.synthetic import FRAME_HEIGHT, FRAME_WIDTH, OccupancySchedule
 
@@ -75,11 +74,26 @@ class DetectorStats:
 
 
 class Detector(Protocol):
-    """Anything that maps a frame index to a list of detections."""
+    """Anything that maps a frame index to a list of detections.
+
+    ``detect_many`` is the batch form: one call for a whole batch of
+    frames, returning one detection list per frame **in input order**.
+    It exists so execution layers can amortize per-call overhead (the
+    way real GPU detectors batch inference); it must be *score
+    equivalent* to calling :meth:`detect` per frame — same boxes, same
+    order.  Detectors that lack the method still work everywhere: use
+    :func:`repro.detection.execution.batch_detect`, which falls back to
+    a sequential per-frame loop.
+    """
 
     stats: DetectorStats
 
     def detect(self, frame_index: int) -> list[Detection]:  # pragma: no cover
+        ...
+
+    def detect_many(
+        self, frame_indices: Sequence[int]
+    ) -> list[list[Detection]]:  # pragma: no cover
         ...
 
 
@@ -116,6 +130,9 @@ class OracleDetector:
             )
         self.stats.detections_emitted += len(out)
         return out
+
+    def detect_many(self, frame_indices: Sequence[int]) -> list[list[Detection]]:
+        return [self.detect(int(f)) for f in frame_indices]
 
 
 class SimulatedDetector:
@@ -178,6 +195,11 @@ class SimulatedDetector:
         out.extend(self._false_positives(frame_index))
         self.stats.detections_emitted += len(out)
         return out
+
+    def detect_many(self, frame_indices: Sequence[int]) -> list[list[Detection]]:
+        # noise is deterministic per (seed, frame, instance), so the batch
+        # form is the per-frame form regardless of batching or order
+        return [self.detect(int(f)) for f in frame_indices]
 
     # ------------------------------------------------------------- internals
 

@@ -22,7 +22,6 @@ from ..detection.costmodel import ThroughputModel
 from ..video.datasets import (
     all_queries,
     build_dataset,
-    get_profile,
     scaled_chunk_frames,
 )
 from .runner import run_history

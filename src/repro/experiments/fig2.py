@@ -22,7 +22,7 @@ should cover only ~80% of the time, as the paper observed on BDD-MOT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import stats as _scipy_stats

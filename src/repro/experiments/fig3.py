@@ -16,7 +16,7 @@ reproduces the paper's exact scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.skew import SkewSummary
-from ..video.datasets import build_dataset, get_profile, scaled_chunk_frames
+from ..video.datasets import build_dataset, scaled_chunk_frames
 from .evaluation import EvalConfig, evaluate_query
 from .paper_reference import FIG6_ANNOTATIONS
 from .reporting import format_table, section, sparkline

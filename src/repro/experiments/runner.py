@@ -8,7 +8,6 @@ this keeps the per-figure modules declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 import numpy as np
 
 from ..baselines.random_plus import RandomPlusSampler

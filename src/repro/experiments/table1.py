@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..detection.costmodel import format_duration, parse_duration
+from ..detection.costmodel import format_duration
 from ..video.datasets import get_profile
-from .evaluation import EvalConfig, QueryEvaluation, evaluate_all
-from .paper_reference import PROXY_SCAN_TIMES, TABLE_ONE
+from .evaluation import EvalConfig, evaluate_all
+from .paper_reference import TABLE_ONE
 from .reporting import format_table, section
 
 __all__ = ["Table1Row", "Table1Result", "run_table1", "format_table1"]

@@ -34,7 +34,8 @@ import numpy as np
 from ..core.chunking import make_chunks
 from ..core.sampler import ExSample
 from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
-from ..detection.detector import Detector, OracleDetector
+from ..detection.detector import Detection, Detector, OracleDetector
+from ..detection.execution import wrap_parallel
 from ..tracking.discriminator import Discriminator, OracleDiscriminator
 from ..video.repository import VideoRepository
 from .scheduler import RoundRobinScheduler, SchedulerPolicy
@@ -65,7 +66,11 @@ class QueryService:
     scheduler:
         Budget-splitting policy; defaults to round-robin.
     frames_per_tick:
-        Global detector budget per :meth:`tick` — the scheduling quantum.
+        Global detector budget per :meth:`tick` — the scheduling
+        quantum.  With batched engines a single tick may overshoot (a
+        session always commits whole batches); the excess is charged
+        against future allocations, so the long-run rate is exact (see
+        :meth:`tick`).
     chunk_frames:
         Chunk size passed to :func:`~repro.core.chunking.make_chunks`,
         either one value for all datasets or a per-dataset mapping
@@ -75,6 +80,17 @@ class QueryService:
         categories — it is cached unfiltered) and the per-session
         discriminator.  Defaults are the oracle pair, mirroring
         :class:`~repro.core.query.QueryEngine`'s defaults.
+    batch_size:
+        Default §III-F engine batch for new submissions: frames each
+        session's policy chooses per engine iteration (1 = the serial
+        Algorithm 1).  Rides each session's spec, so restores replay
+        with the batch structure the session actually ran with.
+    workers / detector_latency:
+        Execution-layer knobs: with ``workers > 1`` (or a simulated
+        ``detector_latency``) each per-dataset shared detector is
+        wrapped in a :class:`~repro.detection.execution.ParallelDetector`
+        so the coalesced per-tick batches are serviced concurrently.
+        Score-equivalent to sequential execution by construction.
     seed:
         Seeds the scheduler RNG and the per-session default seeds.
         Session decisions use only per-session RNGs (see module
@@ -91,6 +107,9 @@ class QueryService:
         detector_factory: Callable[[VideoRepository], Detector] | None = None,
         discriminator_factory: Callable[[VideoRepository, str], Discriminator] | None = None,
         use_random_plus: bool = True,
+        batch_size: int = 1,
+        workers: int = 1,
+        detector_latency: float = 0.0,
         seed: int = 0,
     ):
         if isinstance(repositories, VideoRepository):
@@ -99,6 +118,12 @@ class QueryService:
         # (terminal) sessions never touches a repository
         if frames_per_tick <= 0:
             raise ValueError("frames_per_tick must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if detector_latency < 0.0:
+            raise ValueError("detector_latency must be non-negative")
         self._repos = dict(repositories)
         self._cache = cache if cache is not None else DetectionCache()
         self._scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
@@ -115,12 +140,19 @@ class QueryService:
             else lambda repo, category: OracleDiscriminator()
         )
         self._use_random_plus = use_random_plus
+        self._batch_size = batch_size
+        self._workers = workers
+        self._detector_latency = detector_latency
         self._seed = seed
         self._rng = np.random.default_rng((seed, 0x5C4ED))
         self._detectors: dict[str, CachingDetector] = {}
         self._sessions: dict[str, QuerySession] = {}
         self._next_id = 1
         self._ticks = 0
+        # frames a session processed beyond its past allocations (batched
+        # engines commit whole batches); charged against future shares so
+        # long-run throughput stays at frames_per_tick
+        self._deficits: dict[str, int] = {}
 
     # ------------------------------------------------------------ properties
 
@@ -162,13 +194,15 @@ class QueryService:
         priority: float = 1.0,
         seed: int | None = None,
         warm_start: bool = True,
+        batch_size: int | None = None,
     ) -> str:
         """Admit a query; returns its session id.
 
         With ``warm_start`` (the default) every frame already in the
         cache is replayed through the new session's discriminator first —
         a query over well-trodden data may complete without a single
-        detector call.
+        detector call.  ``batch_size`` overrides the service default for
+        this session's engine batch.
         """
         repo = self._repository(dataset)
         if category not in repo.categories():
@@ -186,6 +220,7 @@ class QueryService:
             seed=seed,
             priority=priority,
             warm_start=warm_start,
+            batch_size=self._batch_size if batch_size is None else batch_size,
         )
         session_id = f"s{self._next_id}"
         self._next_id += 1
@@ -221,18 +256,103 @@ class QueryService:
 
     def tick(self) -> dict[str, int]:
         """One scheduling round: split the frames-per-tick budget across
-        active sessions and advance each by its share.  Returns frames
-        actually processed per session (empty when the service is idle)."""
+        active sessions and advance each by its share, **coalescing**
+        detector work across sessions.  Returns frames actually processed
+        per session (empty when the service is idle).
+
+        The tick runs in *rounds*.  Each round, every session with budget
+        left plans one engine iteration (its next §III-F batch of frames
+        — stage 1 only, no detections needed); the planned frames are
+        merged per dataset with duplicates collapsed, issued to the
+        shared caching detector as **one batched call** (partial cache
+        hits split off, misses fanned out by the
+        :class:`~repro.detection.execution.ParallelDetector` when workers
+        are configured), and handed back for each session to commit in
+        submission order.  Because a session's plan depends only on its
+        own seed and step count — never on other sessions — coalescing
+        is invisible to every query's answer: each session processes
+        exactly the frames, in exactly the order, that serving it alone
+        would have.
+
+        Budget semantics with batched engines: a session always commits
+        *whole* engine batches (splitting one would change its sampling
+        decisions and break snapshot replay), so a tick may overshoot a
+        session's share by up to ``batch_size - 1`` frames.  The
+        overshoot is carried as a deficit against the session's future
+        allocations, so sustained throughput converges to
+        ``frames_per_tick`` — the quantum is a target per tick and an
+        exact long-run rate.
+
+        Failure containment: if the shared detector raises mid-tick, the
+        sessions that had already planned keep their planned batch and
+        re-offer it on the next tick (:meth:`QuerySession.plan_step`),
+        so a transient detector error loses at most the tick in flight —
+        the same durability the state layer promises.
+        """
         active = self.active_sessions()
         if not active:
             return {}
         self._ticks += 1
         allocation = self._scheduler.allocate(active, self._frames_per_tick, self._rng)
-        processed: dict[str, int] = {}
-        for session in active:  # submission order, independent of policy
-            share = allocation.get(session.session_id, 0)
-            processed[session.session_id] = session.step_frames(share)
-        self._cache.flush()  # one durability point per scheduling quantum
+        processed: dict[str, int] = {s.session_id: 0 for s in active}
+        # forget debt only for sessions that are gone for good; paused
+        # sessions keep theirs and pay it on resume
+        self._deficits = {
+            sid: debt for sid, debt in self._deficits.items()
+            if sid in self._sessions and not self._sessions[sid].state.terminal
+        }
+        remaining = {
+            s.session_id: allocation.get(s.session_id, 0)
+            - self._deficits.get(s.session_id, 0)
+            for s in active
+        }
+        completed = False
+        try:
+            while True:
+                # stage 1, all sessions: plan one engine iteration each
+                plans: list[tuple[QuerySession, list[tuple[int, int]]]] = []
+                for session in active:  # submission order, independent of policy
+                    if remaining[session.session_id] <= 0:
+                        continue
+                    pending = session.plan_step()
+                    if pending:
+                        plans.append((session, pending))
+                    else:  # no longer schedulable (satisfied/exhausted/capped)
+                        remaining[session.session_id] = 0
+                if not plans:
+                    break
+                # stage 2, once per dataset: one batched detector call over
+                # the union of planned frames, duplicates coalesced
+                frames_by_dataset: dict[str, dict[int, None]] = {}
+                for session, pending in plans:
+                    ordered = frames_by_dataset.setdefault(session.spec.dataset, {})
+                    for _, frame in pending:
+                        ordered[frame] = None
+                detections: dict[str, dict[int, list[Detection]]] = {}
+                for dataset, ordered in frames_by_dataset.items():
+                    frames = list(ordered)
+                    per_frame = self._shared_detector(dataset).detect_many(frames)
+                    detections[dataset] = dict(zip(frames, per_frame))
+                # stage 3, all sessions: commit in submission order
+                for session, pending in plans:
+                    count = session.commit_step(
+                        pending, detections[session.spec.dataset]
+                    )
+                    processed[session.session_id] += count
+                    remaining[session.session_id] -= count
+            completed = True
+        finally:
+            # settle the books even if the detector raised mid-tick: every
+            # committed frame is charged, old debt survives, and the tick's
+            # share is only credited when the quantum actually completed
+            for session in active:
+                session_id = session.session_id
+                debt = self._deficits.pop(session_id, 0)
+                credit = allocation.get(session_id, 0) if completed else 0
+                new_debt = debt + processed[session_id] - credit
+                if new_debt > 0:
+                    self._deficits[session_id] = new_debt
+            self._cache.flush()  # one durability point per scheduling quantum
         return processed
 
     def run_until_idle(self, max_ticks: int | None = None) -> int:
@@ -247,6 +367,15 @@ class QueryService:
             self.tick()
             executed += 1
         return executed
+
+    def close(self) -> None:
+        """Release execution resources: detector worker pools and the
+        cache handle (committing any buffered on-disk writes)."""
+        for detector in self._detectors.values():
+            closer = getattr(detector.wrapped, "close", None)
+            if closer is not None:
+                closer()
+        self._cache.close()
 
     # --------------------------------------------------------- serialization
 
@@ -316,11 +445,14 @@ class QueryService:
     def _shared_detector(self, dataset: str) -> CachingDetector:
         detector = self._detectors.get(dataset)
         if detector is None:
-            detector = CachingDetector(
+            # parallel execution sits *inside* the cache so hits never
+            # pay the (simulated) per-call detector overhead
+            inner = wrap_parallel(
                 self._detector_factory(self._repository(dataset)),
-                self._cache,
-                dataset,
+                self._workers,
+                self._detector_latency,
             )
+            detector = CachingDetector(inner, self._cache, dataset)
             self._detectors[dataset] = detector
         return detector
 
@@ -350,13 +482,19 @@ class QueryService:
             CategoryFilterDetector(self._shared_detector(spec.dataset), spec.category),
             self._discriminator_factory(repo, spec.category),
             rng=rng,
+            batch_size=spec.batch_size,
             repository=repo,
         )
         replayed, result_frames = replay_cached_frames(
             engine, self._cache, spec.dataset, category=spec.category, frames=warm_frames
         )
-        for _ in range(replay_steps):
-            engine.step()
+        # replay by frame count, not step count, planning each batch with
+        # the same max_samples clamp the live session used — both sides
+        # compute batch sizes from (spec, frames_processed) alone, so the
+        # replayed sampling stream is identical
+        while engine.frames_processed < replay_steps:
+            size = spec.next_batch_size(engine.frames_processed)
+            engine.commit(engine.plan(batch_size=size))
         return QuerySession(
             session_id,
             spec,

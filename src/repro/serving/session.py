@@ -1,9 +1,10 @@
 """One query's resumable lifetime inside the serving layer.
 
 A :class:`QuerySession` wraps an incremental
-:class:`~repro.core.sampler.ExSample` engine (``batch_size=1``, so the
-session can be suspended after *any* frame) around three serving-specific
-ideas:
+:class:`~repro.core.sampler.ExSample` engine (``batch_size=1`` by
+default, so the session can be suspended after any frame; larger
+batches trade suspension granularity for per-call amortization, §III-F)
+around three serving-specific ideas:
 
 * **shared detection** — the session's detector is a per-category view of
   the dataset's shared :class:`~repro.detection.cache.CachingDetector`,
@@ -85,6 +86,9 @@ class SessionSpec:
     session's own detector-charged frames.  With neither, the session
     runs until its chunks are exhausted.  ``seed`` fully determines the
     session's sampling decisions (see the module docstring).
+    ``batch_size`` is the engine's §III-F batch — frames chosen per
+    engine iteration; it rides the spec (and thus every snapshot)
+    because the replayed engine must re-take the same batched draws.
     """
 
     dataset: str
@@ -94,6 +98,7 @@ class SessionSpec:
     seed: int = 0
     priority: float = 1.0
     warm_start: bool = True
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit <= 0:
@@ -102,6 +107,17 @@ class SessionSpec:
             raise ValueError("max_samples must be positive")
         if self.priority <= 0:
             raise ValueError("priority must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+    def next_batch_size(self, frames_processed: int) -> int:
+        """The engine batch to plan after ``frames_processed`` frames:
+        the spec's batch, clamped so ``max_samples`` is honored exactly.
+        A pure function of the spec and the session's own step count, so
+        live execution and snapshot replay compute identical batches."""
+        if self.max_samples is None:
+            return self.batch_size
+        return max(1, min(self.batch_size, self.max_samples - frames_processed))
 
 
 @dataclass(frozen=True)
@@ -111,7 +127,10 @@ class SessionSnapshot:
     ``warm_start_frames`` is the exact frame list replayed at admission
     (``None`` means the warm start has not happened yet — a submission
     written to a state directory before any service loaded it);
-    ``steps_taken`` is the number of engine steps to re-run on restore.
+    ``steps_taken`` is the number of detector-charged *frames* the
+    session has processed — restore replays engine iterations (each
+    ``batch_size`` frames, final batch clamped by ``max_samples``)
+    until the frame count is reached.
     """
 
     session_id: str
@@ -129,6 +148,7 @@ class SessionSnapshot:
     # results served straight from the snapshot, no engine replay
     results_found: int = 0
     result_frames: tuple[int, ...] = ()
+    batch_size: int = 1
 
     @property
     def spec(self) -> SessionSpec:
@@ -140,6 +160,7 @@ class SessionSnapshot:
             seed=self.seed,
             priority=self.priority,
             warm_start=self.warm_start,
+            batch_size=self.batch_size,
         )
 
     def to_dict(self) -> dict:
@@ -170,6 +191,7 @@ class SessionSnapshot:
             ),
             results_found=int(data.get("results_found", 0)),
             result_frames=tuple(int(f) for f in data.get("result_frames", ())),
+            batch_size=int(data.get("batch_size", 1)),
         )
 
 
@@ -270,6 +292,9 @@ class QuerySession:
         self._state = state
         self._belief = GammaBelief()
         self._sealed: SessionSnapshot | None = None
+        # a planned-but-uncommitted batch (a detector failure mid-tick):
+        # re-offered by the next plan_step so no planned frame is lost
+        self._pending: list[tuple[int, int]] = []
         if self._state is SessionState.ACTIVE:
             self._refresh_state()
 
@@ -295,6 +320,7 @@ class QuerySession:
         session._state = state
         session._belief = GammaBelief()
         session._sealed = snapshot
+        session._pending = []
         return session
 
     # ------------------------------------------------------------ properties
@@ -357,6 +383,11 @@ class QuerySession:
             return
         if self.satisfied:
             self._state = SessionState.COMPLETED
+        elif self._pending:
+            # a planned batch is still owed its commit (its tick's
+            # detector call failed); the session must stay schedulable
+            # even if planning it drained the chunks
+            return
         elif self._engine.exhausted:
             self._state = SessionState.EXHAUSTED
         elif (
@@ -385,19 +416,83 @@ class QuerySession:
     # ------------------------------------------------------------- execution
 
     def step_frames(self, budget: int) -> int:
-        """Advance up to ``budget`` frames; returns frames actually
-        processed.  Stops early on satisfaction, exhaustion, or the
-        session's own ``max_samples`` cap."""
+        """Advance until at least ``budget`` frames are processed (or the
+        session stops); returns frames actually processed.  Stops early
+        on satisfaction, exhaustion, or the session's own ``max_samples``
+        cap (honored exactly: the final batch is clamped via
+        :meth:`SessionSpec.next_batch_size`).
+
+        With ``batch_size > 1`` the return value may exceed ``budget`` by
+        up to ``batch_size - 1``: a session only ever commits *whole*
+        engine batches (splitting one would change its sampling stream
+        and break snapshot replay).  Callers enforcing a hard budget must
+        account for the overshoot themselves — as
+        :meth:`QueryService.tick` does by charging it against the
+        session's future allocations."""
         if budget < 0:
             raise ValueError("budget must be non-negative")
         processed = 0
         while processed < budget:
-            self._refresh_state()
-            if self._state is not SessionState.ACTIVE:
+            pending = self.plan_step()
+            if not pending:
                 break
-            processed += len(self._engine.step())
+            records = self._engine.commit(pending)
+            self._pending = []
+            self._refresh_state()
+            processed += len(records)
         self._refresh_state()
         return processed
+
+    # Two-phase stepping: the coalescing seam.  ``plan_step`` is stage 1
+    # of one engine iteration (pure choice, no detections), so a
+    # scheduler can gather many sessions' plans, run ONE batched detector
+    # call over the union of frames, and hand each session its share via
+    # ``commit_step``.  plan → commit equals the engine's own
+    # plan/commit exactly: the session's decisions never depend on who
+    # else is being served.
+
+    def plan_step(self) -> list[tuple[int, int]]:
+        """Stage 1 of one engine iteration: the ``(chunk, frame)`` batch
+        this session wants next, or ``[]`` when it is not schedulable
+        (paused, satisfied, exhausted, or over its sample cap).
+
+        A batch planned earlier but never committed (its tick's detector
+        call failed) is re-offered as-is, so a transient detector error
+        costs nothing but the tick in flight — the sampling stream stays
+        a pure function of the session's seed and committed step count.
+        """
+        self._refresh_state()
+        if self._state is not SessionState.ACTIVE:
+            return []
+        if self._pending:
+            return list(self._pending)
+        if self._engine.exhausted:
+            return []
+        size = self._spec.next_batch_size(self._engine.frames_processed)
+        self._pending = self._engine.plan(batch_size=size)
+        return list(self._pending)
+
+    def commit_step(self, pending, detections_by_frame) -> int:
+        """Stage 2+3 of a planned iteration, with detections supplied by
+        the coalesced batch call.  ``detections_by_frame`` maps frame
+        index to the frame's **unfiltered** detection list (the shared
+        detector emits every category); the session filters to its own
+        category exactly as its
+        :class:`~repro.detection.cache.CategoryFilterDetector` would.
+        Returns the number of frames processed."""
+        if not pending:
+            return 0
+        category = self._spec.category
+        filtered = {
+            frame: [
+                d for d in detections_by_frame[frame] if d.category == category
+            ]
+            for _, frame in pending
+        }
+        records = self._engine.commit(pending, detections=filtered)
+        self._pending = []
+        self._refresh_state()
+        return len(records)
 
     def thompson_draw(self, rng: np.random.Generator) -> float:
         """One Thompson sample of this session's best-chunk yield — its
@@ -447,4 +542,5 @@ class QuerySession:
             warm_start_frames=self._warm_frames,
             results_found=self.results_found,
             result_frames=tuple(self.result_frames()),
+            batch_size=self._spec.batch_size,
         )

@@ -11,7 +11,6 @@ assignment.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

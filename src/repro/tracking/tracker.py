@@ -20,7 +20,7 @@ expected via coarse time bucketing.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..detection.detector import Detection
 from ..video.geometry import Box, Trajectory

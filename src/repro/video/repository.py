@@ -13,7 +13,7 @@ realistic time costs (§V-B's 20 fps detect / 100 fps scan split).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

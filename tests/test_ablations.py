@@ -152,7 +152,6 @@ def test_config_presets():
 
 def test_stride_ablation_shape_and_claims():
     from repro.experiments.ablations import (
-        StrideOutcome,
         format_stride_ablation,
         run_stride_ablation,
     )

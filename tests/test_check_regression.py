@@ -1,0 +1,139 @@
+"""Tests for the benchmark-regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+)
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = load_module()
+
+
+def write_run(path, means):
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+BASE = {"bench_a": 10.0, "bench_b": 5.0, "bench_c": 1.0}
+
+
+def run_gate(tmp_path, current_means, **kwargs):
+    baseline = write_run(tmp_path / "baseline.json", BASE)
+    current = write_run(tmp_path / "current.json", current_means)
+    argv = [str(current), "--baseline", str(baseline), "--key", "bench_a",
+            "--key", "bench_b"]
+    for flag, value in kwargs.items():
+        argv += [f"--{flag.replace('_', '-')}", str(value)]
+    return checker.main(argv)
+
+
+def test_identical_run_passes(tmp_path):
+    assert run_gate(tmp_path, dict(BASE)) == 0
+
+
+def test_uniformly_slower_machine_passes(tmp_path):
+    slower = {name: mean * 3.0 for name, mean in BASE.items()}
+    assert run_gate(tmp_path, slower) == 0
+
+
+def test_single_benchmark_regression_fails(tmp_path):
+    regressed = dict(BASE, bench_a=BASE["bench_a"] * 1.4)
+    assert run_gate(tmp_path, regressed) == 1
+
+
+def test_regression_under_threshold_passes(tmp_path):
+    regressed = dict(BASE, bench_b=BASE["bench_b"] * 1.15)
+    assert run_gate(tmp_path, regressed) == 0
+
+
+def test_non_key_benchmark_regression_is_ignored(tmp_path):
+    regressed = dict(BASE, bench_c=BASE["bench_c"] * 3.0)
+    # bench_c regressed badly, but only a/b are gated; a/b ratios *shrink*
+    assert run_gate(tmp_path, regressed) == 0
+
+
+def test_tiny_benchmarks_are_below_the_noise_floor(tmp_path):
+    means = dict(BASE, bench_b=0.001)
+    baseline = write_run(tmp_path / "baseline.json", means)
+    current = write_run(
+        tmp_path / "current.json", dict(means, bench_b=0.002)
+    )
+    assert checker.main(
+        [str(current), "--baseline", str(baseline), "--key", "bench_b"]
+    ) == 0  # doubled, but under --min-share
+
+
+def test_missing_key_benchmark_errors(tmp_path):
+    baseline = write_run(tmp_path / "baseline.json", BASE)
+    current = write_run(tmp_path / "current.json", BASE)
+    assert checker.main(
+        [str(current), "--baseline", str(baseline), "--key", "bench_zz"]
+    ) == 1
+
+
+def test_no_key_benchmarks_present_errors(tmp_path):
+    # common benchmarks exist, but none of the default keys are among them
+    baseline = write_run(tmp_path / "baseline.json", BASE)
+    current = write_run(tmp_path / "current.json", BASE)
+    assert checker.main([str(current), "--baseline", str(baseline)]) == 1
+
+
+def test_no_common_benchmarks_errors(tmp_path):
+    baseline = write_run(tmp_path / "baseline.json", {"x": 1.0})
+    current = write_run(tmp_path / "current.json", {"y": 1.0})
+    assert checker.main([str(current), "--baseline", str(baseline)]) == 1
+
+
+def test_calibrated_ratio_isolates_the_regressing_benchmark():
+    means = dict(BASE)
+    common = sorted(means)
+    before = checker.calibrated_ratios(means, common, ["bench_a"])["bench_a"]
+    means["bench_a"] *= 1.4
+    after = checker.calibrated_ratios(means, common, ["bench_a"])["bench_a"]
+    assert after / before == pytest.approx(1.4)
+
+
+def test_key_speedup_does_not_contaminate_other_keys(tmp_path):
+    """Optimizing one key benchmark 10x must not flag the others."""
+    sped_up = dict(BASE, bench_a=BASE["bench_a"] / 10.0)
+    assert run_gate(tmp_path, sped_up) == 0  # bench_b's ratio is untouched
+
+
+def test_all_keys_falls_back_to_leave_one_out():
+    means = dict(BASE)
+    common = sorted(means)
+    ratios = checker.calibrated_ratios(means, common, common)
+    assert ratios["bench_a"] == pytest.approx(10.0 / 6.0)
+
+
+def test_trim_baseline_roundtrip(tmp_path):
+    full = {
+        "machine_info": {"python_version": "3.11", "cpu": "secret"},
+        "benchmarks": [
+            {"name": "a", "stats": {"mean": 1.5, "stddev": 0.1}, "extra": {}},
+        ],
+    }
+    src = tmp_path / "full.json"
+    src.write_text(json.dumps(full), encoding="utf-8")
+    out = tmp_path / "trimmed.json"
+    assert checker.main([str(src), "--trim-baseline", str(out)]) == 0
+    trimmed = json.loads(out.read_text(encoding="utf-8"))
+    assert trimmed["benchmarks"] == [{"name": "a", "stats": {"mean": 1.5}}]
+    assert checker.load_means(out) == {"a": 1.5}

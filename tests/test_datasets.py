@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.video.datasets import (
-    DATASETS,
     all_queries,
     build_dataset,
     dataset_names,

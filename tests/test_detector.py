@@ -5,7 +5,7 @@ import pytest
 
 from repro.detection.detector import OracleDetector, SimulatedDetector
 from repro.video.geometry import Box, Trajectory
-from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.instances import ObjectInstance
 from repro.video.repository import single_clip_repository
 
 

@@ -1,0 +1,224 @@
+"""Tests for the batched + parallel detection execution layer."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.detection.cache import (
+    CachingDetector,
+    CategoryFilterDetector,
+    DetectionCache,
+    SqliteBackend,
+)
+from repro.detection.detector import OracleDetector, SimulatedDetector
+from repro.detection.execution import ParallelDetector, batch_detect
+from repro.video.repository import single_clip_repository
+from repro.video.synthetic import place_instances
+
+TOTAL_FRAMES = 3000
+
+
+def make_repo(seed=0):
+    rng = np.random.default_rng(seed)
+    buses = place_instances(
+        20, TOTAL_FRAMES, rng, mean_duration=80,
+        skew_fraction=0.2, category="bus", with_boxes=False,
+    )
+    trucks = place_instances(
+        15, TOTAL_FRAMES, rng, mean_duration=60,
+        skew_fraction=0.1, category="truck", with_boxes=False, start_id=20,
+    )
+    return single_clip_repository(TOTAL_FRAMES, list(buses) + list(trucks))
+
+
+class PerFrameOnlyDetector:
+    """A Detector with no ``detect_many`` — the fallback-dispatch case."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.stats = inner.stats
+
+    def detect(self, frame_index):
+        return self._inner.detect(frame_index)
+
+
+# ------------------------------------------------------------ batch_detect
+
+def test_batch_detect_uses_native_batch_method():
+    repo = make_repo()
+    detector = OracleDetector(repo)
+    frames = [0, 500, 999, 500]
+    assert batch_detect(detector, frames) == [detector.detect(f) for f in frames]
+
+
+def test_batch_detect_falls_back_to_per_frame_loop():
+    repo = make_repo()
+    plain = PerFrameOnlyDetector(SimulatedDetector(repo, seed=4))
+    reference = SimulatedDetector(repo, seed=4)
+    frames = [3, 77, 2999, 77]
+    assert batch_detect(plain, frames) == [reference.detect(f) for f in frames]
+
+
+# -------------------------------------------------------- ParallelDetector
+
+def test_parallel_detector_validation():
+    repo = make_repo()
+    inner = OracleDetector(repo)
+    with pytest.raises(ValueError):
+        ParallelDetector(inner, workers=0)
+    with pytest.raises(ValueError):
+        ParallelDetector(inner, latency=-0.1)
+
+
+def test_parallel_detector_preserves_input_order():
+    repo = make_repo()
+    reference = SimulatedDetector(repo, seed=1)
+    parallel = ParallelDetector(SimulatedDetector(repo, seed=1), workers=4)
+    frames = list(range(0, 3000, 37))
+    assert parallel.detect_many(frames) == [reference.detect(f) for f in frames]
+    parallel.close()
+
+
+def test_parallel_detector_counts_frames_and_matches_inner_stats():
+    repo = make_repo()
+    parallel = ParallelDetector(OracleDetector(repo), workers=3)
+    parallel.detect(5)
+    parallel.detect_many([10, 20, 30])
+    assert parallel.stats.frames_processed == 4
+    assert parallel.wrapped.stats.frames_processed == 4
+    assert parallel.stats.detections_emitted == parallel.wrapped.stats.detections_emitted
+    parallel.close()
+
+
+def test_parallel_detector_overlaps_latency():
+    repo = make_repo()
+    latency = 0.02
+    parallel = ParallelDetector(OracleDetector(repo), workers=8, latency=latency)
+    frames = list(range(0, 800, 100))  # 8 frames
+    start = time.perf_counter()
+    parallel.detect_many(frames)
+    elapsed = time.perf_counter() - start
+    parallel.close()
+    # sequential would pay 8 * 20 ms = 160 ms; 8 workers overlap the sleeps
+    assert elapsed < len(frames) * latency * 0.75
+
+
+def test_parallel_detector_close_is_idempotent_and_reusable():
+    repo = make_repo()
+    parallel = ParallelDetector(OracleDetector(repo), workers=2)
+    parallel.detect_many([1, 2, 3])
+    parallel.close()
+    parallel.close()
+    assert parallel.detect_many([4, 5]) == [
+        OracleDetector(repo).detect(4), OracleDetector(repo).detect(5)
+    ]
+    parallel.close()
+
+
+def test_parallel_detector_single_worker_never_builds_a_pool():
+    repo = make_repo()
+    parallel = ParallelDetector(OracleDetector(repo), workers=1)
+    parallel.detect_many(list(range(0, 50, 10)))
+    assert parallel._pool is None  # degenerates to the sequential loop
+    parallel.close()
+
+
+def test_query_engine_releases_worker_pool_threads():
+    import threading
+
+    from repro.core.query import DistinctObjectQuery, QueryEngine
+
+    repo = make_repo()
+    engine = QueryEngine(repo, category="bus", chunk_frames=1000, workers=4)
+    before = threading.active_count()
+    engine.execute(DistinctObjectQuery("bus", limit=2, max_samples=50))
+    assert threading.active_count() == before  # pool joined, not leaked
+
+
+def test_query_service_close_releases_pools_and_cache():
+    import threading
+
+    from repro.serving import QueryService
+
+    repo = make_repo()
+    service = QueryService(
+        repo, chunk_frames=1000, frames_per_tick=16, batch_size=4, workers=4
+    )
+    before = threading.active_count()
+    service.submit(repo.name, "bus", limit=3, seed=1)
+    service.run_until_idle(max_ticks=50)
+    assert threading.active_count() > before  # pool is live while serving
+    service.close()
+    assert threading.active_count() == before
+
+
+# ----------------------------------------------- batch-aware cache facade
+
+def test_cache_get_many_accounts_hits_and_misses_per_frame():
+    repo = make_repo()
+    cache = DetectionCache()
+    detector = OracleDetector(repo)
+    cache.put("d", 10, detector.detect(10))
+    cache.put("d", 30, detector.detect(30))
+    results = cache.get_many("d", [10, 20, 30, 40])
+    assert results[0] is not None and results[2] is not None
+    assert results[1] is None and results[3] is None
+    assert (cache.stats.hits, cache.stats.misses) == (2, 2)
+
+
+def test_cache_put_many_single_round_trip(tmp_path):
+    repo = make_repo()
+    detector = OracleDetector(repo)
+    cache = DetectionCache(SqliteBackend(tmp_path / "c.sqlite"))
+    items = [(f, detector.detect(f)) for f in (5, 15, 25)]
+    cache.put_many("d", items)
+    assert cache.stats.inserts == 3
+    for frame, dets in items:
+        assert cache.get("d", frame) == tuple(dets)
+    cache.close()
+
+
+def test_sqlite_get_many_handles_large_batches(tmp_path):
+    cache = DetectionCache(SqliteBackend(tmp_path / "c.sqlite"))
+    frames = list(range(1200))
+    cache.put_many("d", [(f, []) for f in frames if f % 2 == 0])
+    results = cache.get_many("d", frames)
+    for frame, rows in zip(frames, results):
+        assert (rows == ()) if frame % 2 == 0 else (rows is None)
+    cache.close()
+
+
+def test_caching_detector_batch_partial_hit_splitting():
+    repo = make_repo()
+    cache = DetectionCache()
+    caching = CachingDetector(SimulatedDetector(repo, seed=2), cache, "d")
+    reference = SimulatedDetector(repo, seed=2)
+    for frame in (100, 300):  # prime a partial cache
+        caching.detect(frame)
+    calls_before = caching.detector_calls
+    frames = [100, 200, 300, 400, 200]  # 2 hits, 2 novel, 1 duplicate novel
+    batch = caching.detect_many(frames)
+    assert batch == [reference.detect(f) for f in frames]
+    # the wrapped detector is only charged for unique misses
+    assert caching.detector_calls - calls_before == 2
+    # and the misses are now cached
+    assert cache.contains("d", 200) and cache.contains("d", 400)
+
+
+def test_caching_detector_batch_empty_input():
+    repo = make_repo()
+    caching = CachingDetector(OracleDetector(repo), DetectionCache(), "d")
+    assert caching.detect_many([]) == []
+
+
+def test_category_filter_detect_many_filters_per_frame():
+    repo = make_repo()
+    shared = OracleDetector(repo)
+    view = CategoryFilterDetector(shared, "bus")
+    frames = [repo.instances[0].start_frame, 0, 1500]
+    batches = view.detect_many(frames)
+    assert len(batches) == len(frames)
+    for dets in batches:
+        assert all(d.category == "bus" for d in dets)
+    assert batches == [view.detect(f) for f in frames]

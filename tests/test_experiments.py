@@ -7,7 +7,7 @@ from repro.experiments.evaluation import EvalConfig, evaluate_query
 from repro.experiments.fig2 import Fig2Config, format_fig2, run_fig2
 from repro.experiments.fig3 import Fig3Config, format_fig3, run_fig3
 from repro.experiments.fig4 import Fig4Config, format_fig4, run_fig4
-from repro.experiments.fig5 import Fig5Result, format_fig5
+from repro.experiments.fig5 import format_fig5
 from repro.experiments.fig6 import format_fig6, run_fig6
 from repro.experiments.paper_reference import (
     FIG6_ANNOTATIONS,

@@ -14,9 +14,8 @@ import pytest
 from repro.core.chunking import even_count_chunks
 from repro.core.estimator import ChunkStatistics
 from repro.core.sampler import ExSample
-from repro.detection.detector import Detection, OracleDetector, SimulatedDetector
+from repro.detection.detector import OracleDetector, SimulatedDetector
 from repro.tracking.discriminator import OracleDiscriminator, TrackingDiscriminator
-from repro.video.geometry import Box
 from repro.video.repository import single_clip_repository
 from repro.video.synthetic import place_instances
 

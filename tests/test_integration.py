@@ -1,7 +1,5 @@
 """Integration tests: the paper's qualitative claims, end to end."""
 
-import numpy as np
-import pytest
 
 from repro.analysis.metrics import median_samples_to_target, savings_ratio
 from repro.core.query import DistinctObjectQuery, QueryEngine

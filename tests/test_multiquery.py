@@ -7,8 +7,6 @@ from repro.core.chunking import even_count_chunks
 from repro.core.multiquery import MultiQueryExSample
 from repro.detection.detector import OracleDetector
 from repro.tracking.discriminator import OracleDiscriminator
-from repro.video.geometry import Box, Trajectory
-from repro.video.instances import ObjectInstance
 from repro.video.repository import single_clip_repository
 from repro.video.synthetic import place_instances
 

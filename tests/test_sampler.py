@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.chunking import even_count_chunks
-from repro.core.policies import ThompsonSampling, UniformPolicy
+from repro.core.policies import UniformPolicy
 from repro.core.sampler import ExSample, SamplingHistory
 from repro.detection.detector import OracleDetector
 from repro.tracking.discriminator import OracleDiscriminator
