@@ -139,12 +139,40 @@ def main(argv: list[str] | None = None) -> int:
         print("error: no benchmarks in common with the baseline", file=sys.stderr)
         return 1
 
+    # a benchmark present on only one side is a rename/removal/addition,
+    # not a regression: warn (so the drift is visible and the baseline
+    # gets refreshed) but keep gating on what *is* comparable
+    baseline_only = sorted(set(baseline) - set(current))
+    current_only = sorted(set(current) - set(baseline))
+    if baseline_only:
+        print(
+            f"warning: {len(baseline_only)} baseline benchmark(s) missing from "
+            f"the current run (renamed or removed?): {', '.join(baseline_only)}; "
+            "refresh benchmarks/baseline.json to drop them",
+            file=sys.stderr,
+        )
+    if current_only:
+        print(
+            f"warning: {len(current_only)} benchmark(s) not in the baseline "
+            f"(new?): {', '.join(current_only)}; refresh benchmarks/baseline.json "
+            "to gate them",
+            file=sys.stderr,
+        )
+
     current_shares = shares(current, common)
     baseline_shares = shares(baseline, common)
     common_set = set(common)
     keys = args.key if args.key else [k for k in DEFAULT_KEYS if k in common_set]
+    skipped_keys = [k for k in DEFAULT_KEYS if k not in common_set] if not args.key else []
+    if skipped_keys:
+        print(
+            f"warning: default key benchmark(s) not in both runs, skipped: "
+            f"{', '.join(skipped_keys)}",
+            file=sys.stderr,
+        )
     missing = [k for k in (args.key or []) if k not in common_set]
     if missing:
+        # explicitly requested keys are a hard contract, unlike defaults
         print(f"error: key benchmarks not in both runs: {missing}", file=sys.stderr)
         return 1
     if not keys:

@@ -31,6 +31,18 @@ frames the policy picks, deterministically per seed:
     python -m repro query dashcam bicycle --limit 20 \
         --batch-size 8 --workers 8 --detector-latency 0.002
     python -m repro serve --state-dir ./state --batch-size 8 --workers 8
+
+Live ingestion (see :mod:`repro.serving.ingest`): ``ingest`` appends
+synthetic footage to a state directory's journal — to a paper profile
+dataset or to a fresh *live* dataset that starts empty — and ``serve
+--follow`` keeps polling that journal (and the sessions directory), so
+running queries pick up clips, and even whole submissions, that arrive
+while the server is up:
+
+    python -m repro submit cam0 bus --limit 10 --follow --state-dir ./state
+    python -m repro serve --state-dir ./state --follow &
+    python -m repro ingest cam0 --state-dir ./state \
+        --frames 2000 --category bus --instances 5
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 from .core.query import METHODS, DistinctObjectQuery, QueryEngine, QueryResult
 from .detection.cache import DetectionCache, SqliteBackend
@@ -46,6 +59,7 @@ from .detection.costmodel import format_duration
 from .experiments.persistence import to_jsonable
 from .experiments.reporting import format_table
 from .serving import (
+    IngestEntry,
     PriorityScheduler,
     QueryService,
     RoundRobinScheduler,
@@ -55,6 +69,7 @@ from .serving import (
     ThompsonSumScheduler,
     derive_session_seed,
 )
+from .serving import ingest as serving_ingest
 from .serving import script as serving_script
 from .serving import state as serving_state
 from .video.datasets import (
@@ -63,6 +78,7 @@ from .video.datasets import (
     get_profile,
     scaled_chunk_frames,
 )
+from .video.repository import empty_repository
 
 __all__ = ["main"]
 
@@ -227,11 +243,23 @@ def _build_service(
     workers: int = 1,
     detector_latency: float = 0.0,
 ) -> QueryService:
+    # profile names materialize the calibrated synthetic dataset; any
+    # other name is a *live* dataset: an empty repository whose footage
+    # arrives exclusively through the ingestion journal
+    profiles = set(dataset_names())
     repos = {
-        name: build_dataset(name, categories=None, scale=scale, seed=seed)
+        name: (
+            build_dataset(name, categories=None, scale=scale, seed=seed)
+            if name in profiles
+            else empty_repository(name)
+        )
         for name in datasets
     }
-    chunk_frames = {name: scaled_chunk_frames(name, scale) for name in datasets}
+    chunk_frames = {
+        name: scaled_chunk_frames(name, scale)
+        for name in datasets
+        if name in profiles
+    }
     return QueryService(
         repos,
         cache=cache,
@@ -267,14 +295,19 @@ def _print_serve_summary(service: QueryService) -> None:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    profile = get_profile(args.dataset)
-    if args.category not in profile.category_names():
-        print(
-            f"error: {args.dataset!r} has no category {args.category!r}; "
-            f"options: {profile.category_names()}",
-            file=sys.stderr,
-        )
-        return 2
+    # profile datasets get a typo check against the calibrated category
+    # list — unless the session follows a growing repository, where the
+    # sought category may simply not have been recorded yet.  Non-profile
+    # names are live datasets whose content only the journal defines.
+    if args.dataset in dataset_names() and not args.follow:
+        profile = get_profile(args.dataset)
+        if args.category not in profile.category_names():
+            print(
+                f"error: {args.dataset!r} has no category {args.category!r}; "
+                f"options: {profile.category_names()}",
+                file=sys.stderr,
+            )
+            return 2
     try:
         SessionSpec(  # validate limit/max-samples/priority before queuing
             dataset=args.dataset,
@@ -283,6 +316,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             max_samples=args.max_samples,
             priority=args.priority,
             batch_size=args.batch_size,
+            follow=args.follow,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -306,6 +340,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         steps_taken=0,
         warm_start_frames=None,  # warm start runs when a server loads it
         batch_size=args.batch_size,
+        follow=args.follow,
     )
     path = serving_state.write_snapshot(state_dir, snapshot)
     if args.json:
@@ -314,6 +349,46 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(
             f"{snapshot.session_id}: queued {args.dataset}/{args.category} "
             f"(limit={args.limit}) -> {path}"
+        )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    if args.instances > 0 and args.category is None:
+        print("error: --instances needs --category", file=sys.stderr)
+        return 2
+    try:
+        entry = IngestEntry(
+            dataset=args.dataset,
+            frames=args.frames,
+            clips=args.clips,
+            category=args.category,
+            instances=args.instances,
+            mean_duration=args.mean_duration,
+            skew_fraction=args.skew,
+            fps=args.fps,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    state_dir = pathlib.Path(args.state_dir)
+    # record the build config on first touch so every process synthesizes
+    # identical base repositories (and journal content) thereafter
+    serving_state.load_or_init_config(state_dir, scale=args.scale, seed=args.seed)
+    index = serving_ingest.append_entry(state_dir, entry)
+    if args.json:
+        payload = dict(entry.to_dict(), entry_index=index)
+        print(json.dumps(to_jsonable(payload), indent=2))
+    else:
+        content = (
+            f"{entry.instances} x {entry.category!r} per clip"
+            if entry.instances
+            else "no tracked objects"
+        )
+        print(
+            f"ingest #{index}: {entry.clips} clip(s) x {entry.frames} frames "
+            f"-> {entry.dataset} ({content}); a running `serve --follow` "
+            "picks this up on its next poll"
         )
     return 0
 
@@ -328,10 +403,91 @@ def _script_datasets(text: str) -> list[str]:
     return names
 
 
+def _dataset_factory(scale: float, seed: int):
+    """How the serve CLI materializes a dataset it has not seen yet:
+    profile names build the calibrated synthetic dataset, anything else
+    is a live dataset that starts empty.  Used both at startup and when
+    the follow loop meets a new dataset mid-run, so the two paths cannot
+    disagree about what a name means."""
+    profiles = set(dataset_names())
+
+    def build(name: str):
+        if name in profiles:
+            return build_dataset(name, categories=None, scale=scale, seed=seed)
+        return empty_repository(name)
+
+    return build
+
+
+def _follow_serve(
+    service: QueryService,
+    state_dir: pathlib.Path,
+    scale: float,
+    seed: int,
+    cursor: int,
+    ticks_cap: int | None,
+    poll_interval: float,
+) -> None:
+    """The ``serve --follow`` loop: poll the journal (new footage) and
+    the sessions directory (new submissions), tick while there is work,
+    persist whenever anything changed so observers see progress live.
+
+    Exits when every known session is terminal, after ``ticks_cap`` loop
+    rounds (each round is one poll, and one scheduling tick when any
+    session had work — the bounded-exit lever for scripted use), or on
+    Ctrl-C (state is saved either way — the follow loop loses at most
+    the tick in flight, like any serve).
+    """
+    missing = _dataset_factory(scale, seed)
+    rounds = 0
+    while True:
+        try:
+            new_cursor = serving_ingest.apply_journal(
+                service, state_dir, seed, cursor, on_missing_dataset=missing
+            )
+            restored = []
+            for snap in serving_state.load_snapshots(state_dir):
+                if snap.session_id not in service.sessions:
+                    try:
+                        service.repository(snap.dataset)
+                    except KeyError:
+                        service.register(snap.dataset, missing(snap.dataset))
+                    restored.append(service.restore(snap))
+            progressed = (
+                service.tick() if service.schedulable_sessions() else {}
+            )
+            if progressed or restored or new_cursor != cursor:
+                serving_state.save_sessions(service, state_dir)
+                service.cache.flush()
+            cursor = new_cursor
+            sessions = service.sessions
+            if sessions and all(s.state.terminal for s in sessions.values()):
+                return
+            rounds += 1
+            if ticks_cap is not None and rounds >= ticks_cap:
+                return
+            if not progressed:
+                time.sleep(poll_interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            serving_state.save_sessions(service, state_dir)
+            return
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.script is None and args.state_dir is None:
         print("error: pass --script and/or --state-dir", file=sys.stderr)
         return 2
+    if args.follow:
+        if args.script is not None:
+            print("error: --follow cannot be combined with --script", file=sys.stderr)
+            return 2
+        if args.state_dir is None:
+            print("error: --follow needs --state-dir (the journal lives there)",
+                  file=sys.stderr)
+            return 2
+        if args.poll_interval <= 0:
+            print("error: --poll-interval must be positive", file=sys.stderr)
+            return 2
     if args.ticks is not None:
         if args.script is not None:
             print(
@@ -354,19 +510,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache = None
     scale, seed = args.scale, args.seed
     snapshots: list[SessionSnapshot] = []
+    journal: list[IngestEntry] = []
+    state_dir: pathlib.Path | None = None
     if args.state_dir is not None:
         state_dir = pathlib.Path(args.state_dir)
         config = serving_state.load_or_init_config(state_dir, scale=scale, seed=seed)
         scale, seed = float(config["scale"]), int(config["seed"])
         cache = DetectionCache(SqliteBackend(state_dir / serving_state.CACHE_FILENAME))
         snapshots = serving_state.load_snapshots(state_dir)
+        journal = serving_ingest.load_entries(state_dir)
 
     script_text = None
     if args.script is not None:
         script_text = pathlib.Path(args.script).read_text(encoding="utf-8")
 
     # sealed (terminal) sessions never touch a repository, so only build
-    # the datasets live sessions and script submissions will actually use
+    # the datasets live sessions, script submissions, and the ingestion
+    # journal will actually use
     datasets = [
         snap.dataset
         for snap in snapshots
@@ -374,8 +534,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ]
     if script_text is not None:
         datasets += _script_datasets(script_text)
+    datasets += [entry.dataset for entry in journal]
     datasets = list(dict.fromkeys(datasets))  # dedupe, keep order
-    if not snapshots and not datasets:
+    if not snapshots and not datasets and not args.follow:
         print("error: nothing to serve (no sessions, empty script)", file=sys.stderr)
         return 2
 
@@ -390,6 +551,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         detector_latency=args.detector_latency,
     )
+    # the journal is replayed *before* restoring sessions: horizon-logged
+    # snapshots replay against the clip sequence their live runs absorbed
+    cursor = 0
+    if state_dir is not None:
+        cursor = serving_ingest.apply_journal(
+            service, state_dir, seed, cursor,
+            on_missing_dataset=_dataset_factory(scale, seed),
+        )
     for snap in snapshots:
         service.restore(snap)
 
@@ -402,14 +571,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not args.json:
             for line in log:
                 print(line)
+    elif args.follow:
+        _follow_serve(
+            service, state_dir, scale, seed, cursor, args.ticks,
+            args.poll_interval,
+        )
     elif args.ticks is not None:
         for _ in range(args.ticks):
             service.tick()
     else:
         service.run_until_idle()
 
-    if args.state_dir is not None:
-        serving_state.save_sessions(service, pathlib.Path(args.state_dir))
+    if state_dir is not None:
+        serving_state.save_sessions(service, state_dir)
 
     if args.json:
         print(json.dumps(to_jsonable(_serve_summary_payload(service)), indent=2))
@@ -492,6 +666,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip replaying cached frames into the new session",
     )
     submit.add_argument(
+        "--follow", action="store_true",
+        help="continuous query: survive draining the known footage and "
+             "resume whenever ingestion appends more",
+    )
+    submit.add_argument(
         "--scale", type=float, default=0.05,
         help="dataset scale; recorded in the state dir on first use",
     )
@@ -500,6 +679,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset synthesis seed; recorded in the state dir on first use",
     )
     submit.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="append synthetic footage to a state directory's ingestion journal",
+    )
+    ingest.add_argument(
+        "dataset",
+        help="profile name to extend, or any new name for a live dataset "
+             "that starts empty",
+    )
+    ingest.add_argument("--state-dir", required=True, help="serving state directory")
+    ingest.add_argument(
+        "--frames", type=int, required=True, help="frames per appended clip"
+    )
+    ingest.add_argument(
+        "--clips", type=int, default=1, help="number of clips to append"
+    )
+    ingest.add_argument(
+        "--category", default=None, help="object category the new footage contains"
+    )
+    ingest.add_argument(
+        "--instances", type=int, default=0,
+        help="instances of --category per appended clip",
+    )
+    ingest.add_argument(
+        "--mean-duration", type=float, default=60.0,
+        help="mean visible duration (frames) of the appended instances",
+    )
+    ingest.add_argument(
+        "--skew", type=float, default=None,
+        help="skew fraction for instance placement inside each clip "
+             "(default: uniform)",
+    )
+    ingest.add_argument(
+        "--fps", type=float, default=None,
+        help="frame rate of the appended clips (default: the dataset's)",
+    )
+    ingest.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale; recorded in the state dir on first use",
+    )
+    ingest.add_argument(
+        "--seed", type=int, default=0,
+        help="dataset synthesis seed; recorded in the state dir on first use",
+    )
+    ingest.add_argument("--json", action="store_true", help="print the journal entry")
 
     serve = sub.add_parser(
         "serve", help="run the query service over a state directory or a script"
@@ -511,7 +736,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--ticks", type=int, default=None,
-        help="scheduling rounds to run (default: until idle); state-dir mode only",
+        help="scheduling rounds to run (default: until idle); state-dir mode "
+             "only — with --follow, a cap on total rounds",
+    )
+    serve.add_argument(
+        "--follow", action="store_true",
+        help="keep polling the state directory for ingested footage and new "
+             "submissions; exits when every session is terminal",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between idle polls in --follow mode",
     )
     serve.add_argument(
         "--frames-per-tick", type=int, default=16,
@@ -555,4 +790,6 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_query(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     return _cmd_serve(args)

@@ -10,6 +10,15 @@ samples across the chunk — one frame per half, then per quarter, and so on
 Both orders are lazy: chunks can span hundreds of thousands of frames
 while a query samples only a handful, so full permutations are never
 materialized up front.
+
+Chunk layouts are **incrementally derivable**: because the clip-aligned
+layouts chunk every clip independently, the chunks of a repository that
+grew clip-by-clip are exactly the chunks of the same repository
+materialized up-front.  :class:`IncrementalChunker` packages that
+invariant — it emits chunks for newly visible clips on demand, with
+chunk ids continuing the existing sequence and frame orders drawing from
+the same RNG the initial layout used (order construction consumes no
+randomness, so extending never perturbs existing chunks' streams).
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ __all__ = [
     "chunks_from_clips",
     "clip_aligned_chunks",
     "make_chunks",
+    "IncrementalChunker",
 ]
 
 
@@ -268,6 +278,41 @@ def even_count_chunks(
     return chunks
 
 
+def _chunks_for_clip(
+    clip,
+    chunk_frames: int | None,
+    next_chunk_id: int,
+    rng: np.random.Generator,
+    use_random_plus: bool,
+) -> list[Chunk]:
+    """The chunks of one clip, numbered from ``next_chunk_id``.
+
+    Every clip-aligned layout — initial or incremental — reduces to this
+    per-clip step, which is what makes chunk layouts append-invariant: a
+    repository grown clip-by-clip chunks identically to the same
+    repository materialized up-front.
+    """
+    if chunk_frames is None:
+        return [
+            Chunk(
+                next_chunk_id,
+                clip.start_frame,
+                clip.end_frame,
+                _make_order(clip.start_frame, clip.end_frame, rng, use_random_plus),
+            )
+        ]
+    chunks = []
+    for start in range(clip.start_frame, clip.end_frame, chunk_frames):
+        end = min(start + chunk_frames, clip.end_frame)
+        chunks.append(
+            Chunk(
+                next_chunk_id + len(chunks), start, end,
+                _make_order(start, end, rng, use_random_plus),
+            )
+        )
+    return chunks
+
+
 def chunks_from_clips(
     repository: VideoRepository,
     rng: np.random.Generator,
@@ -275,15 +320,10 @@ def chunks_from_clips(
 ) -> list[Chunk]:
     """One chunk per clip — the forced layout for short-clip corpora like
     BDD, where sub-minute files leave nothing to subdivide (§V-A)."""
-    chunks = []
+    chunks: list[Chunk] = []
     for clip in repository.clips:
-        chunks.append(
-            Chunk(
-                clip.clip_id,
-                clip.start_frame,
-                clip.end_frame,
-                _make_order(clip.start_frame, clip.end_frame, rng, use_random_plus),
-            )
+        chunks.extend(
+            _chunks_for_clip(clip, None, len(chunks), rng, use_random_plus)
         )
     return chunks
 
@@ -304,16 +344,11 @@ def clip_aligned_chunks(
     """
     if chunk_frames <= 0:
         raise ValueError("chunk_frames must be positive")
-    chunks = []
+    chunks: list[Chunk] = []
     for clip in repository.clips:
-        for start in range(clip.start_frame, clip.end_frame, chunk_frames):
-            end = min(start + chunk_frames, clip.end_frame)
-            chunks.append(
-                Chunk(
-                    len(chunks), start, end,
-                    _make_order(start, end, rng, use_random_plus),
-                )
-            )
+        chunks.extend(
+            _chunks_for_clip(clip, chunk_frames, len(chunks), rng, use_random_plus)
+        )
     return chunks
 
 
@@ -329,3 +364,94 @@ def make_chunks(
     if chunk_frames is None:
         return chunks_from_clips(repository, rng, use_random_plus)
     return clip_aligned_chunks(repository, chunk_frames, rng, use_random_plus)
+
+
+class IncrementalChunker:
+    """Derives chunks for newly visible footage, one :meth:`take` at a time.
+
+    Bound to one repository and one RNG (the same generator the emitted
+    chunks' frame orders draw from), it tracks how many clips it has
+    already chunked and, on each :meth:`take`, emits chunks for the clips
+    appended since — with chunk ids continuing the sequence.  The first
+    ``take()`` over a fully materialized repository returns exactly
+    :func:`make_chunks`'s layout, and because every clip is chunked
+    independently, *any* split of the same clip sequence across takes
+    concatenates to that same layout.
+
+    Frame-order construction consumes no randomness (both orders draw
+    lazily), so taking new chunks never perturbs the sampling streams of
+    chunks already handed out — the property
+    :meth:`~repro.core.sampler.ExSample.extend` relies on.
+    """
+
+    def __init__(
+        self,
+        repository: VideoRepository,
+        rng: np.random.Generator,
+        chunk_frames: int | None = None,
+        use_random_plus: bool = True,
+    ):
+        if chunk_frames is not None and chunk_frames <= 0:
+            raise ValueError("chunk_frames must be positive")
+        self._repository = repository
+        self._rng = rng
+        self._chunk_frames = chunk_frames
+        self._use_random_plus = use_random_plus
+        self._clips_covered = 0
+        self._chunks_emitted = 0
+        self._horizon = 0
+
+    @property
+    def repository(self) -> VideoRepository:
+        return self._repository
+
+    @property
+    def horizon(self) -> int:
+        """Frames covered by the chunks emitted so far."""
+        return self._horizon
+
+    @property
+    def chunks_emitted(self) -> int:
+        return self._chunks_emitted
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames in the repository not yet covered by any emitted chunk."""
+        return self._repository.total_frames - self._horizon
+
+    def take(self, up_to_horizon: int | None = None) -> list[Chunk]:
+        """Chunks for clips that became visible since the last take.
+
+        ``up_to_horizon`` stops before clips ending beyond it — the
+        replay path's lever: a restored session re-takes chunks at each
+        horizon its live run recorded, even though the repository has
+        since grown past them.  Clip boundaries are append points, so a
+        recorded horizon always falls on one; a horizon that does not is
+        rejected rather than silently mis-chunked.
+        """
+        chunks: list[Chunk] = []
+        clips = self._repository.clips
+        while self._clips_covered < len(clips):
+            clip = clips[self._clips_covered]
+            if up_to_horizon is not None and clip.end_frame > up_to_horizon:
+                break
+            chunks.extend(
+                _chunks_for_clip(
+                    clip,
+                    self._chunk_frames,
+                    self._chunks_emitted + len(chunks),
+                    self._rng,
+                    self._use_random_plus,
+                )
+            )
+            self._clips_covered += 1
+            self._horizon = clip.end_frame
+        if up_to_horizon is not None and self._horizon < min(
+            up_to_horizon, self._repository.total_frames
+        ):
+            raise ValueError(
+                f"horizon {up_to_horizon} does not fall on a clip boundary "
+                f"(covered {self._horizon} of {self._repository.total_frames} frames)"
+            )
+        self._chunks_emitted += len(chunks)
+        return chunks

@@ -39,8 +39,10 @@ class ChunkStatistics:
     """
 
     def __init__(self, num_chunks: int):
-        if num_chunks <= 0:
-            raise ValueError("need at least one chunk")
+        # zero chunks is legal: a live query over an empty repository has
+        # no arms until ingestion delivers some (see :meth:`extend`)
+        if num_chunks < 0:
+            raise ValueError("num_chunks must be non-negative")
         self._n1 = np.zeros(num_chunks, dtype=np.float64)
         self._n = np.zeros(num_chunks, dtype=np.int64)
         self._total_results = 0
@@ -96,6 +98,21 @@ class ChunkStatistics:
         """
         self._check_chunk(chunk)
         self._n1[chunk] = max(0.0, self._n1[chunk] - 1.0)
+
+    def extend(self, num_new: int) -> None:
+        """Add ``num_new`` fresh arms with zero counts (live ingestion).
+
+        New chunks start exactly as they would have at construction — no
+        samples, no results — so every belief over them reduces to the
+        prior, and the existing arms' statistics are untouched: extending
+        mid-query cannot perturb any established estimate.
+        """
+        if num_new < 0:
+            raise ValueError("num_new must be non-negative")
+        if num_new == 0:
+            return
+        self._n1 = np.concatenate([self._n1, np.zeros(num_new, dtype=np.float64)])
+        self._n = np.concatenate([self._n, np.zeros(num_new, dtype=np.int64)])
 
     def record_batch(self, chunks: np.ndarray, d0s: np.ndarray, d1s: np.ndarray) -> None:
         """Commutative batched update (§III-F): order within the batch is

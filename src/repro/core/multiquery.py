@@ -147,6 +147,36 @@ class MultiQueryExSample:
     def active_categories(self) -> list[str]:
         return [c for c, q in self._queries.items() if not q.satisfied]
 
+    # ------------------------------------------------------------- ingestion
+
+    def extend(self, new_chunks: Sequence[Chunk]) -> None:
+        """Absorb chunks for newly ingested footage into the shared loop.
+
+        Mirrors :meth:`repro.core.sampler.ExSample.extend`: every query's
+        per-chunk ``(N1, n)`` table gains zero-count arms, existing arms'
+        statistics are untouched, and no RNG draws are consumed — so
+        queries already in flight keep their sampling streams while the
+        summed-Thompson choice starts exploring the new footage from the
+        shared prior.
+        """
+        new_chunks = list(new_chunks)
+        if not new_chunks:
+            return
+        for offset, chunk in enumerate(new_chunks):
+            expected = len(self._chunks) + offset
+            if chunk.chunk_id != expected:
+                raise ValueError(
+                    f"new chunk id {chunk.chunk_id} does not continue the "
+                    f"sequence (expected {expected}); derive extensions with "
+                    "IncrementalChunker"
+                )
+        self._chunks.extend(new_chunks)
+        for query in self._queries.values():
+            query.stats.extend(len(new_chunks))
+        self._available = np.concatenate(
+            [self._available, [not c.exhausted for c in new_chunks]]
+        )
+
     # ------------------------------------------------------------- execution
 
     def step(self) -> int:

@@ -177,8 +177,9 @@ class ExSample:
         repository: VideoRepository | None = None,
         cross_chunk_adjustment: bool = False,
     ):
-        if not chunks:
-            raise ValueError("need at least one chunk")
+        # an empty chunk list is legal: a live query admitted over a
+        # not-yet-recorded repository starts exhausted and gains its
+        # first arms through extend()
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self._chunks = list(chunks)
@@ -192,7 +193,9 @@ class ExSample:
         self._first_chunk: dict[int, int] = {}  # true_instance_id -> chunk
         self._stats = ChunkStatistics(len(self._chunks))
         self._history = SamplingHistory()
-        self._available = np.array([not c.exhausted for c in self._chunks])
+        self._available = np.array(
+            [not c.exhausted for c in self._chunks], dtype=bool
+        )
 
     # ------------------------------------------------------------ properties
 
@@ -238,6 +241,37 @@ class ExSample:
         drained chunks exactly as the policies do.
         """
         return self._available.copy()
+
+    # ------------------------------------------------------------- ingestion
+
+    def extend(self, new_chunks: Sequence[Chunk]) -> None:
+        """Absorb chunks for newly ingested footage mid-query.
+
+        The new arms join with zero counts — every policy's belief over
+        them is exactly the prior, as it would have been had they existed
+        at construction — and nothing about the existing arms moves: no
+        statistics change, no RNG draws are consumed (frame orders are
+        lazy), no history entries appear.  A query extended this way and
+        then run to completion therefore matches a query built over the
+        fully materialized repository up-front, provided the chunk layout
+        matches (see :class:`~repro.core.chunking.IncrementalChunker`).
+        """
+        new_chunks = list(new_chunks)
+        if not new_chunks:
+            return
+        for offset, chunk in enumerate(new_chunks):
+            expected = len(self._chunks) + offset
+            if chunk.chunk_id != expected:
+                raise ValueError(
+                    f"new chunk id {chunk.chunk_id} does not continue the "
+                    f"sequence (expected {expected}); derive extensions with "
+                    "IncrementalChunker"
+                )
+        self._chunks.extend(new_chunks)
+        self._stats.extend(len(new_chunks))
+        self._available = np.concatenate(
+            [self._available, [not c.exhausted for c in new_chunks]]
+        )
 
     # ------------------------------------------------------------- execution
 

@@ -97,6 +97,38 @@ class Detector(Protocol):
         ...
 
 
+class _ScheduleView:
+    """The ground-truth occupancy index behind a simulated detector.
+
+    Built once per repository *version*: when live ingestion appends a
+    clip (bumping :attr:`~repro.video.repository.VideoRepository.version`)
+    the next lookup rebuilds the index over the grown instance set, so a
+    long-lived detector sees appended objects without being reconstructed.
+    Rebuilds are O(instances) and happen once per append — negligible next
+    to the per-frame detection work they index.
+    """
+
+    def __init__(self, repository: VideoRepository, category: str | None):
+        self._repository = repository
+        self._category = category
+        self._built_version = repository.version
+        self._schedule = self._build()
+
+    def _build(self) -> OccupancySchedule:
+        source = (
+            self._repository.instances
+            if self._category is None
+            else self._repository.instances_of(self._category)
+        )
+        return OccupancySchedule(source)
+
+    def visible(self, frame_index: int):
+        if self._repository.version != self._built_version:
+            self._built_version = self._repository.version
+            self._schedule = self._build()
+        return self._schedule.visible(frame_index)
+
+
 class OracleDetector:
     """Perfect detector: returns exactly the ground-truth boxes.
 
@@ -107,12 +139,7 @@ class OracleDetector:
 
     def __init__(self, repository: VideoRepository, category: str | None = None):
         self._category = category
-        source = (
-            repository.instances
-            if category is None
-            else repository.instances_of(category)
-        )
-        self._schedule = OccupancySchedule(source)
+        self._schedule = _ScheduleView(repository, category)
         self.stats = DetectorStats()
 
     def detect(self, frame_index: int) -> list[Detection]:
@@ -160,12 +187,7 @@ class SimulatedDetector:
         if jitter < 0.0:
             raise ValueError("jitter must be non-negative")
         self._category = category
-        source = (
-            repository.instances
-            if category is None
-            else repository.instances_of(category)
-        )
-        self._schedule = OccupancySchedule(source)
+        self._schedule = _ScheduleView(repository, category)
         self._miss_rate = miss_rate
         self._fp_rate = false_positive_rate
         self._jitter = jitter

@@ -17,10 +17,20 @@ all sharing one detection cache so no frame is ever detected twice
   results) and the tick loop;
 * :mod:`repro.serving.state` — state-directory persistence for
   multi-process lifetimes (``python -m repro submit`` then ``serve``);
+* :mod:`repro.serving.ingest` — the live-ingestion journal: durable,
+  deterministic footage appends behind ``python -m repro ingest`` and
+  ``serve --follow``;
 * :mod:`repro.serving.script` — the scripted-session interpreter behind
   ``python -m repro serve --script``.
+
+Repositories grow while queries run: :meth:`QueryService.feed` appends a
+clip and running sessions absorb it mid-query (their engines extend
+without perturbing existing chunk statistics), ``follow`` sessions idle
+rather than exhaust when footage runs dry, and snapshots carry a horizon
+log so replay-restore stays exact across ingestion.
 """
 
+from .ingest import IngestEntry
 from .scheduler import (
     PriorityScheduler,
     RoundRobinScheduler,
@@ -40,6 +50,7 @@ from .session import (
 )
 
 __all__ = [
+    "IngestEntry",
     "PriorityScheduler",
     "RoundRobinScheduler",
     "SchedulerPolicy",

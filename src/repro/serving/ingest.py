@@ -1,0 +1,209 @@
+"""The ingestion journal: durable, deterministic live footage.
+
+A deployed service ingests clips while queries run.  In this synthetic
+reproduction a clip's *content* is generated, so what must be durable is
+not pixels but the generation recipe: the journal — ``ingest.jsonl``
+inside a serving state directory — records one :class:`IngestEntry` per
+``python -m repro ingest`` invocation, append-only.  Any process that
+replays the journal over the same base repositories (same config scale
+and seed) materializes byte-identical clips and ground truth, which is
+what keeps three properties intact across restarts:
+
+* **cache validity** — a journal-replayed frame has exactly the content
+  it had when its detections were cached, so ``(dataset, frame)`` keys
+  never go stale;
+* **snapshot exactness** — restored sessions replay their horizon logs
+  against the same clip sequence the live run absorbed;
+* **parity** — a query served while the journal grew converges to the
+  same answer as one served after the journal was fully applied.
+
+The journal names datasets freely: a profile name extends that synthetic
+dataset, any other name denotes a *live* dataset that starts as an empty
+repository and exists only through its journal entries.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import zlib
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..video.synthetic import place_instances
+
+__all__ = [
+    "INGEST_FILENAME",
+    "IngestEntry",
+    "journal_path",
+    "append_entry",
+    "load_entries",
+    "apply_entry",
+    "apply_journal",
+]
+
+INGEST_FILENAME = "ingest.jsonl"
+
+
+@dataclass(frozen=True)
+class IngestEntry:
+    """One journal line: a batch of synthetic clips to append.
+
+    ``frames`` and ``instances`` are *per clip* — an entry with
+    ``clips=3`` appends three clips of ``frames`` frames, each holding
+    ``instances`` fresh instances of ``category`` (zero instances, or no
+    category, appends object-free footage).  ``fps=None`` inherits the
+    dataset's current frame rate.
+    """
+
+    dataset: str
+    frames: int
+    clips: int = 1
+    category: str | None = None
+    instances: int = 0
+    mean_duration: float = 60.0
+    skew_fraction: float | None = None
+    fps: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.frames <= 0:
+            raise ValueError("frames per clip must be positive")
+        if self.clips <= 0:
+            raise ValueError("clips must be positive")
+        if self.instances < 0:
+            raise ValueError("instances must be non-negative")
+        if self.instances > 0 and self.category is None:
+            raise ValueError("instances need a category")
+        if self.mean_duration <= 0:
+            raise ValueError("mean_duration must be positive")
+        if self.fps is not None and self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "IngestEntry":
+        return IngestEntry(
+            dataset=str(data["dataset"]),
+            frames=int(data["frames"]),
+            clips=int(data.get("clips", 1)),
+            category=(
+                None if data.get("category") is None else str(data["category"])
+            ),
+            instances=int(data.get("instances", 0)),
+            mean_duration=float(data.get("mean_duration", 60.0)),
+            skew_fraction=(
+                None
+                if data.get("skew_fraction") is None
+                else float(data["skew_fraction"])
+            ),
+            fps=None if data.get("fps") is None else float(data["fps"]),
+        )
+
+
+# ------------------------------------------------------------------ journal
+
+def journal_path(state_dir: str | pathlib.Path) -> pathlib.Path:
+    return pathlib.Path(state_dir) / INGEST_FILENAME
+
+
+def append_entry(state_dir: str | pathlib.Path, entry: IngestEntry) -> int:
+    """Append one entry to the state directory's journal; returns the
+    entry's index (its identity for deterministic content synthesis)."""
+    path = journal_path(state_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    index = len(load_entries(state_dir))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry.to_dict()) + "\n")
+    return index
+
+
+def load_entries(state_dir: str | pathlib.Path) -> list["IngestEntry"]:
+    """All journal entries, in append order (the application order)."""
+    path = journal_path(state_dir)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            entries.append(IngestEntry.from_dict(json.loads(line)))
+    return entries
+
+
+# -------------------------------------------------------------- application
+
+def _clip_seed(base_seed: int, dataset: str, entry_index: int, clip_ordinal: int) -> int:
+    """Stable per-(entry, clip) substream, CRC-mixed like the dataset
+    builder's per-category seeds so journal replay is process-independent."""
+    mix = zlib.crc32(
+        f"ingest/{dataset}/{entry_index}/{clip_ordinal}".encode("utf-8")
+    ) & 0x7FFFFFFF
+    return (base_seed * 1_000_003 + mix) & 0x7FFFFFFF
+
+
+def apply_entry(service, entry: IngestEntry, entry_index: int, base_seed: int = 0) -> int:
+    """Feed one journal entry's clips into a service; returns frames added.
+
+    Content is a pure function of ``(base_seed, dataset, entry_index,
+    clip ordinal)`` plus the repository's state when the entry is applied
+    — and since the journal is append-only and applied in order, that
+    state is itself reproducible.  Instance ids continue from the current
+    maximum, so appended ground truth never collides with the base
+    dataset's.
+    """
+    repo = service.repository(entry.dataset)
+    appended = 0
+    for ordinal in range(entry.clips):
+        instances = []
+        if entry.category is not None and entry.instances > 0:
+            rng = np.random.default_rng(
+                _clip_seed(base_seed, entry.dataset, entry_index, ordinal)
+            )
+            ids = repo.instances.ids()
+            instances = place_instances(
+                entry.instances,
+                entry.frames,
+                rng,
+                mean_duration=entry.mean_duration,
+                skew_fraction=entry.skew_fraction,
+                category=entry.category,
+                with_boxes=False,
+                start_id=(max(ids) + 1) if ids else 0,
+                frame_offset=repo.horizon,
+            )
+        service.feed(entry.dataset, entry.frames, instances, fps=entry.fps)
+        appended += entry.frames
+    return appended
+
+
+def apply_journal(
+    service,
+    state_dir: str | pathlib.Path,
+    base_seed: int = 0,
+    start_index: int = 0,
+    on_missing_dataset=None,
+) -> int:
+    """Apply journal entries from ``start_index`` on; returns the new
+    cursor (the journal length).  The serve CLI — at startup and on
+    every follow-mode poll — calls this with its previous cursor, so
+    each entry is applied exactly once.
+
+    ``on_missing_dataset``, when given, maps a dataset name the service
+    has not seen to a fresh repository to :meth:`~QueryService.register`
+    (the CLI builds profile datasets and starts live ones empty); without
+    it an unknown dataset raises ``KeyError`` as :meth:`feed` would.
+    """
+    entries = load_entries(state_dir)
+    for index in range(start_index, len(entries)):
+        entry = entries[index]
+        try:
+            service.repository(entry.dataset)
+        except KeyError:
+            if on_missing_dataset is None:
+                raise
+            service.register(entry.dataset, on_missing_dataset(entry.dataset))
+        apply_entry(service, entry, index, base_seed)
+    return len(entries)

@@ -27,17 +27,18 @@ Two invariants carry the whole design:
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from ..core.chunking import make_chunks
+from ..core.chunking import IncrementalChunker
 from ..core.sampler import ExSample
 from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
 from ..detection.detector import Detection, Detector, OracleDetector
 from ..detection.execution import wrap_parallel
 from ..tracking.discriminator import Discriminator, OracleDiscriminator
-from ..video.repository import VideoRepository
+from ..video.instances import ObjectInstance
+from ..video.repository import VideoClip, VideoRepository
 from .scheduler import RoundRobinScheduler, SchedulerPolicy
 from .session import (
     QuerySession,
@@ -179,9 +180,26 @@ class QueryService:
     def sessions(self) -> dict[str, QuerySession]:
         return dict(self._sessions)
 
+    def repository(self, dataset: str) -> VideoRepository:
+        """The live repository backing ``dataset`` (KeyError if unknown) —
+        the object ingestion appends to."""
+        return self._repository(dataset)
+
+    def register(self, dataset: str, repository: VideoRepository) -> None:
+        """Admit a new dataset at runtime — how a follow-mode server
+        accepts footage for a camera that did not exist at startup."""
+        if dataset in self._repos:
+            raise ValueError(f"dataset {dataset!r} is already registered")
+        self._repos[dataset] = repository
+
     def active_sessions(self) -> list[QuerySession]:
         """Sessions eligible for budget, in submission order."""
         return [s for s in self._sessions.values() if s.state is SessionState.ACTIVE]
+
+    def schedulable_sessions(self) -> list[QuerySession]:
+        """Active sessions a tick could actually advance — excludes
+        ``follow`` sessions idling for footage (ACTIVE but drained)."""
+        return [s for s in self._sessions.values() if s.schedulable]
 
     # ------------------------------------------------------------- lifecycle
 
@@ -195,6 +213,7 @@ class QueryService:
         seed: int | None = None,
         warm_start: bool = True,
         batch_size: int | None = None,
+        follow: bool = False,
     ) -> str:
         """Admit a query; returns its session id.
 
@@ -202,10 +221,14 @@ class QueryService:
         cache is replayed through the new session's discriminator first —
         a query over well-trodden data may complete without a single
         detector call.  ``batch_size`` overrides the service default for
-        this session's engine batch.
+        this session's engine batch.  ``follow`` submits a *continuous*
+        query: it survives draining the currently known footage and
+        resumes whenever ingestion appends more (so its category need not
+        exist yet — the objects it searches for may not have been
+        recorded).
         """
         repo = self._repository(dataset)
-        if category not in repo.categories():
+        if not follow and category not in repo.categories():
             raise ValueError(
                 f"category {category!r} not present in dataset {dataset!r}; "
                 f"available: {repo.categories()}"
@@ -221,6 +244,7 @@ class QueryService:
             priority=priority,
             warm_start=warm_start,
             batch_size=self._batch_size if batch_size is None else batch_size,
+            follow=follow,
         )
         session_id = f"s{self._next_id}"
         self._next_id += 1
@@ -251,6 +275,50 @@ class QueryService:
         payload = status.to_dict()
         payload["result_frames"] = session.result_frames()
         return payload
+
+    # ------------------------------------------------------------- ingestion
+
+    def feed(
+        self,
+        dataset: str,
+        num_frames: int,
+        instances: Iterable[ObjectInstance] = (),
+        name: str | None = None,
+        fps: float | None = None,
+    ) -> VideoClip:
+        """Ingest one newly recorded clip and wake the dataset's sessions.
+
+        Appends the clip (and its ground truth) to the dataset's
+        repository at the current horizon, then :meth:`sync`\\ s so every
+        running session absorbs the footage immediately.  Returns the new
+        clip.  The companion path for footage appended *around* the
+        service (another process touching the same repository object, or
+        the CLI's ingest journal) is :meth:`sync` alone — :meth:`tick`
+        calls it automatically, so out-of-band growth is picked up no
+        later than the next scheduling round.
+        """
+        repo = self._repository(dataset)
+        clip = repo.append_clip(num_frames, instances, name=name, fps=fps)
+        self.sync(dataset)
+        return clip
+
+    def sync(self, dataset: str | None = None) -> dict[str, int]:
+        """Let sessions absorb any footage appended since they last looked.
+
+        Walks every non-terminal session (of ``dataset``, or all) and
+        extends its engine over newly visible clips via its own chunk
+        feed.  Returns ``{session_id: frames_absorbed}`` for the sessions
+        that grew.  O(sessions) integer compares when nothing changed, so
+        it is safe to call every tick.
+        """
+        absorbed: dict[str, int] = {}
+        for session in self._sessions.values():
+            if dataset is not None and session.spec.dataset != dataset:
+                continue
+            grew = session.absorb_new_footage()
+            if grew:
+                absorbed[session.session_id] = grew
+        return absorbed
 
     # ------------------------------------------------------------- execution
 
@@ -289,7 +357,15 @@ class QueryService:
         so a transient detector error loses at most the tick in flight —
         the same durability the state layer promises.
         """
-        active = self.active_sessions()
+        # pick up footage appended out-of-band since the last round; a
+        # session holding a pending (failed-tick) batch defers absorption
+        # until that batch commits, so this is always replay-safe
+        self.sync()
+        # allocate over sessions a tick can actually advance: a follow
+        # session idling for footage is ACTIVE but handing it budget
+        # would silently waste its share (plans come back empty and the
+        # remainder is never redistributed within the tick)
+        active = self.schedulable_sessions()
         if not active:
             return {}
         self._ticks += 1
@@ -356,12 +432,17 @@ class QueryService:
         return processed
 
     def run_until_idle(self, max_ticks: int | None = None) -> int:
-        """Tick until no session is active (or ``max_ticks``); returns the
-        number of ticks executed."""
+        """Tick until no session can be advanced (or ``max_ticks``);
+        returns the number of ticks executed.
+
+        "Idle" means no *schedulable* session — ``follow`` sessions that
+        drained the known footage stay ACTIVE (awaiting ingestion) but do
+        not keep this loop spinning.
+        """
         if max_ticks is not None and max_ticks <= 0:
             raise ValueError("max_ticks must be positive")
         executed = 0
-        while self.active_sessions():
+        while self.schedulable_sessions():
             if max_ticks is not None and executed >= max_ticks:
                 break
             self.tick()
@@ -392,9 +473,16 @@ class QueryService:
         not-yet-started submission, taken fresh from the current cache),
         then the recorded number of engine steps is re-run — all cache
         hits when the snapshot's frames are still cached, so the restore
-        costs no detector calls.  Terminal sessions skip the replay
-        entirely and restore *sealed*: they can never be scheduled again,
-        and the snapshot already answers every status/results poll.
+        costs no detector calls.  The snapshot's horizon log drives the
+        chunk-set evolution: chunks are taken up to the admission-time
+        horizon first and re-extended at each recorded absorption point,
+        so sessions that caught up with footage ingested mid-query replay
+        bit-exact even though the repository has grown since.  Footage
+        beyond the last logged horizon is *not* absorbed here — the next
+        :meth:`sync` (or tick) picks it up, exactly as it would have for
+        the live session.  Terminal sessions skip the replay entirely and
+        restore *sealed*: they can never be scheduled again, and the
+        snapshot already answers every status/results poll.
         """
         if snapshot.session_id in self._sessions:
             raise ValueError(f"session {snapshot.session_id!r} already exists")
@@ -415,6 +503,7 @@ class QueryService:
             warm_frames,
             replay_steps=snapshot.steps_taken,
             state=SessionState(snapshot.state),
+            horizons=snapshot.horizons,
         )
         self._sessions[snapshot.session_id] = session
         self._reserve_id(snapshot.session_id)
@@ -468,15 +557,22 @@ class QueryService:
         warm_frames,
         replay_steps: int = 0,
         state: SessionState = SessionState.ACTIVE,
+        horizons: tuple[tuple[int, int], ...] = (),
     ) -> QuerySession:
         repo = self._repository(spec.dataset)
         rng = np.random.default_rng(spec.seed)
-        chunks = make_chunks(
+        chunker = IncrementalChunker(
             repo,
             rng,
             chunk_frames=self._chunk_frames_for(spec.dataset),
             use_random_plus=self._use_random_plus,
         )
+        log = [(int(steps), int(horizon)) for steps, horizon in horizons]
+        if not log:
+            # fresh submission (or a pre-ingestion snapshot): the whole
+            # current repository is the admission-time chunk set
+            log = [(0, repo.horizon)]
+        chunks = chunker.take(up_to_horizon=log[0][1])
         engine = ExSample(
             chunks,
             CategoryFilterDetector(self._shared_detector(spec.dataset), spec.category),
@@ -488,13 +584,22 @@ class QueryService:
         replayed, result_frames = replay_cached_frames(
             engine, self._cache, spec.dataset, category=spec.category, frames=warm_frames
         )
+
         # replay by frame count, not step count, planning each batch with
         # the same max_samples clamp the live session used — both sides
         # compute batch sizes from (spec, frames_processed) alone, so the
-        # replayed sampling stream is identical
-        while engine.frames_processed < replay_steps:
-            size = spec.next_batch_size(engine.frames_processed)
-            engine.commit(engine.plan(batch_size=size))
+        # replayed sampling stream is identical.  The horizon log gates
+        # chunk-set growth to the recorded absorption points, replaying
+        # mid-query ingestion exactly.
+        def replay_to(step_target: int) -> None:
+            while engine.frames_processed < step_target:
+                size = spec.next_batch_size(engine.frames_processed)
+                engine.commit(engine.plan(batch_size=size))
+
+        for at_steps, horizon in log[1:]:
+            replay_to(at_steps)
+            engine.extend(chunker.take(up_to_horizon=horizon))
+        replay_to(replay_steps)
         return QuerySession(
             session_id,
             spec,
@@ -502,4 +607,6 @@ class QueryService:
             warm_start_frames=replayed,
             warm_result_frames=result_frames,
             state=state,
+            chunker=chunker,
+            horizon_log=log,
         )

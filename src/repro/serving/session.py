@@ -23,6 +23,18 @@ around three serving-specific ideas:
   re-runs those steps against the cache (all hits, zero detector cost)
   and lands in the exact pre-pause state.  No RNG internals, stratum
   sets, or tracker state ever need to be pickled.
+
+Live ingestion adds a fourth idea: a session's engine can **absorb new
+footage** mid-query (:meth:`QuerySession.absorb_new_footage`), extending
+its chunk set through its own
+:class:`~repro.core.chunking.IncrementalChunker` without perturbing any
+existing arm.  Each absorption is logged as a ``(frames_processed,
+horizon)`` pair; the snapshot carries that *horizon log*, so a restore
+replays the exact chunk-set evolution the live run saw — extension points
+and all — and remains bit-exact even for sessions that caught up with
+footage appended mid-flight.  A ``follow`` session additionally refuses
+to call itself exhausted when its chunks drain: it idles, schedulable
+again the moment ingestion delivers more frames.
 """
 
 from __future__ import annotations
@@ -89,6 +101,10 @@ class SessionSpec:
     ``batch_size`` is the engine's §III-F batch — frames chosen per
     engine iteration; it rides the spec (and thus every snapshot)
     because the replayed engine must re-take the same batched draws.
+    ``follow`` marks a continuous query over a growing repository:
+    draining every currently known chunk parks the session instead of
+    terminating it, and footage appended later re-activates it (its
+    ``limit`` / ``max_samples`` clauses still terminate as usual).
     """
 
     dataset: str
@@ -99,6 +115,7 @@ class SessionSpec:
     priority: float = 1.0
     warm_start: bool = True
     batch_size: int = 1
+    follow: bool = False
 
     def __post_init__(self) -> None:
         if self.limit is not None and self.limit <= 0:
@@ -131,6 +148,16 @@ class SessionSnapshot:
     session has processed — restore replays engine iterations (each
     ``batch_size`` frames, final batch clamped by ``max_samples``)
     until the frame count is reached.
+
+    ``horizons`` is the session's horizon log: ``(frames_processed,
+    horizon)`` pairs, one per chunk-set the session has sampled under —
+    the first entry is the repository horizon at admission, each later
+    entry one mid-query footage absorption.  Restore re-takes chunks at
+    exactly those horizons while replaying, so a session that caught up
+    with footage appended mid-flight restores bit-exact even though the
+    repository has since grown further.  Empty means "unknown": restore
+    uses the repository's current horizon from step zero (correct for
+    pending submissions that never ran, and for pre-ingestion snapshots).
     """
 
     session_id: str
@@ -149,6 +176,8 @@ class SessionSnapshot:
     results_found: int = 0
     result_frames: tuple[int, ...] = ()
     batch_size: int = 1
+    follow: bool = False
+    horizons: tuple[tuple[int, int], ...] = ()
 
     @property
     def spec(self) -> SessionSpec:
@@ -161,6 +190,7 @@ class SessionSnapshot:
             priority=self.priority,
             warm_start=self.warm_start,
             batch_size=self.batch_size,
+            follow=self.follow,
         )
 
     def to_dict(self) -> dict:
@@ -168,6 +198,7 @@ class SessionSnapshot:
         if self.warm_start_frames is not None:
             data["warm_start_frames"] = list(self.warm_start_frames)
         data["result_frames"] = list(self.result_frames)
+        data["horizons"] = [list(pair) for pair in self.horizons]
         return data
 
     @staticmethod
@@ -192,6 +223,11 @@ class SessionSnapshot:
             results_found=int(data.get("results_found", 0)),
             result_frames=tuple(int(f) for f in data.get("result_frames", ())),
             batch_size=int(data.get("batch_size", 1)),
+            follow=bool(data.get("follow", False)),
+            horizons=tuple(
+                (int(steps), int(horizon))
+                for steps, horizon in data.get("horizons", ())
+            ),
         )
 
 
@@ -211,6 +247,8 @@ class SessionStatus:
     frames_processed: int  # detector-charged samples by this session
     warm_frames_replayed: int  # zero-cost frames absorbed at admission
     satisfied: bool
+    follow: bool = False
+    horizon: int = 0  # repository frames this session's chunks cover
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -283,6 +321,8 @@ class QuerySession:
         warm_start_frames: Sequence[int] = (),
         warm_result_frames: Sequence[int] = (),
         state: SessionState = SessionState.ACTIVE,
+        chunker=None,
+        horizon_log: Sequence[tuple[int, int]] | None = None,
     ):
         self._session_id = session_id
         self._spec = spec
@@ -292,6 +332,14 @@ class QuerySession:
         self._state = state
         self._belief = GammaBelief()
         self._sealed: SessionSnapshot | None = None
+        # the session's private chunk feed over the (possibly growing)
+        # repository; None for sessions built outside the serving layer
+        self._chunker = chunker
+        self._horizon_log: list[tuple[int, int]] = [
+            (int(steps), int(horizon)) for steps, horizon in (horizon_log or ())
+        ]
+        if not self._horizon_log and chunker is not None:
+            self._horizon_log = [(0, chunker.horizon)]
         # a planned-but-uncommitted batch (a detector failure mid-tick):
         # re-offered by the next plan_step so no planned frame is lost
         self._pending: list[tuple[int, int]] = []
@@ -320,6 +368,10 @@ class QuerySession:
         session._state = state
         session._belief = GammaBelief()
         session._sealed = snapshot
+        session._chunker = None
+        session._horizon_log = [
+            (int(s), int(h)) for s, h in snapshot.horizons
+        ]
         session._pending = []
         return session
 
@@ -368,6 +420,44 @@ class QuerySession:
     def satisfied(self) -> bool:
         return self._spec.limit is not None and self.results_found >= self._spec.limit
 
+    @property
+    def horizon(self) -> int:
+        """Repository frames this session's chunk set currently covers."""
+        if self._chunker is not None:
+            return self._chunker.horizon
+        if self._horizon_log:
+            return self._horizon_log[-1][1]
+        return 0
+
+    @property
+    def horizon_log(self) -> list[tuple[int, int]]:
+        """The ``(frames_processed, horizon)`` absorption history — what
+        snapshots persist so restores replay the same chunk-set evolution."""
+        return list(self._horizon_log)
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether a tick could advance this session right now.
+
+        Distinct from :attr:`state`: a ``follow`` session whose chunks
+        have drained stays ACTIVE (more footage may arrive) but is not
+        schedulable until ingestion delivers it.  The service's
+        ``run_until_idle`` loops on this, not on ACTIVE, so idle
+        followers do not spin it forever.
+        """
+        if self._state is not SessionState.ACTIVE or self._engine is None:
+            return False
+        if self.satisfied:
+            return False
+        if self._pending:
+            return True
+        if (
+            self._spec.max_samples is not None
+            and self.frames_processed >= self._spec.max_samples
+        ):
+            return False
+        return not self._engine.exhausted
+
     def result_frames(self) -> list[int]:
         """Frames a user would open: every frame that yielded a new result,
         warm-start and sampled alike."""
@@ -388,13 +478,16 @@ class QuerySession:
             # detector call failed); the session must stay schedulable
             # even if planning it drained the chunks
             return
-        elif self._engine.exhausted:
-            self._state = SessionState.EXHAUSTED
         elif (
             self._spec.max_samples is not None
             and self.frames_processed >= self._spec.max_samples
         ):
             self._state = SessionState.EXHAUSTED
+        elif self._engine.exhausted:
+            # a follow session out of footage idles, awaiting ingestion;
+            # only non-follow sessions treat a drained chunk set as final
+            if not self._spec.follow:
+                self._state = SessionState.EXHAUSTED
 
     def pause(self) -> None:
         if self._state.terminal:
@@ -412,6 +505,36 @@ class QuerySession:
     def cancel(self) -> None:
         if not self._state.terminal:
             self._state = SessionState.CANCELLED
+
+    # ------------------------------------------------------------- ingestion
+
+    def absorb_new_footage(self) -> int:
+        """Extend the engine over clips appended since the last absorption.
+
+        Returns the number of newly covered frames (0 when there is
+        nothing new or the session cannot absorb right now).  The
+        absorption is logged as a ``(frames_processed, horizon)`` pair so
+        snapshot replay re-extends at exactly this point in the decision
+        stream.
+
+        A session holding a planned-but-uncommitted batch skips the
+        absorption (returning 0) until the batch commits: its pending
+        plan was drawn against the old chunk set, and extending under it
+        would make the live RNG stream diverge from what the horizon log
+        can reproduce.  The skipped footage is simply picked up by the
+        next sync after the commit.
+        """
+        if self._chunker is None or self._state.terminal or self._pending:
+            return 0
+        if self._chunker.pending_frames <= 0:
+            return 0
+        before = self._chunker.horizon
+        new_chunks = self._chunker.take()
+        if not new_chunks:
+            return 0
+        self._engine.extend(new_chunks)
+        self._horizon_log.append((self.frames_processed, self._chunker.horizon))
+        return self._chunker.horizon - before
 
     # ------------------------------------------------------------- execution
 
@@ -521,6 +644,8 @@ class QuerySession:
             frames_processed=self.frames_processed,
             warm_frames_replayed=self.warm_frames_replayed,
             satisfied=self.satisfied,
+            follow=self._spec.follow,
+            horizon=self.horizon,
         )
 
     def snapshot(self) -> SessionSnapshot:
@@ -543,4 +668,6 @@ class QuerySession:
             results_found=self.results_found,
             result_frames=tuple(self.result_frames()),
             batch_size=self._spec.batch_size,
+            follow=self._spec.follow,
+            horizons=tuple(self._horizon_log),
         )

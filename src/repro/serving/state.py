@@ -5,6 +5,7 @@ A state directory is the on-disk form of a :class:`QueryService`:
     state/
       service.json        # dataset build config (scale, seed, ...)
       cache.sqlite        # the shared detection cache (SqliteBackend)
+      ingest.jsonl        # live-ingestion journal (repro.serving.ingest)
       sessions/s1.json    # one SessionSnapshot per session
       sessions/s2.json
 

@@ -8,6 +8,16 @@ global frame-index space split into clips, a ground-truth
 Pixels are never materialized — the simulated detector consults ground
 truth directly — but every read is *charged* so experiments can report
 realistic time costs (§V-B's 20 fps detect / 100 fps scan split).
+
+Repositories are **appendable**: real camera deployments keep recording
+while queries run, so :meth:`VideoRepository.append_clip` admits new
+footage at the end of the frame space.  The frame-index space grows
+monotonically — existing frame indices, clip boundaries, and therefore
+detection-cache keys never change — and each append bumps
+:attr:`VideoRepository.version` so downstream consumers (simulated
+detectors, chunkers, serving sessions) can notice growth cheaply.  A
+repository may start *empty* (zero clips) and receive all of its footage
+through appends.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ __all__ = [
     "DecodeStats",
     "VideoRepository",
     "single_clip_repository",
+    "empty_repository",
 ]
 
 
@@ -113,8 +124,8 @@ class VideoRepository:
         instances: InstanceSet | Iterable[ObjectInstance],
         name: str = "synthetic",
     ):
-        if not clips:
-            raise ValueError("repository needs at least one clip")
+        # zero clips is legal: a live repository may start empty and
+        # receive all of its footage through append_clip()
         ordered = sorted(clips, key=lambda c: c.start_frame)
         expected = 0
         for clip in ordered:
@@ -138,12 +149,31 @@ class VideoRepository:
                 )
         self.name = name
         self.decode_stats = DecodeStats()
+        self._version = 0
 
     # ---------------------------------------------------------------- frames
 
     @property
     def total_frames(self) -> int:
         return self._total_frames
+
+    @property
+    def horizon(self) -> int:
+        """The exclusive upper bound of the frame space — an alias of
+        :attr:`total_frames` named for the live-ingestion contract: the
+        horizon only ever moves forward, and frames below it are
+        immutable (so caches keyed by frame index stay valid forever)."""
+        return self._total_frames
+
+    @property
+    def version(self) -> int:
+        """Monotonic ingestion counter: bumped once per appended clip.
+
+        Consumers that precompute indexes over the ground truth (the
+        simulated detectors' occupancy schedules, the serving layer's
+        chunk feeds) compare versions to detect growth in O(1).
+        """
+        return self._version
 
     def read(self, frame_index: int) -> Frame:
         """Decode one frame by global index, charging decode cost."""
@@ -169,6 +199,52 @@ class VideoRepository:
         pos = int(np.searchsorted(self._clip_starts, frame_index, side="right")) - 1
         return self._clips[pos]
 
+    # ------------------------------------------------------------- ingestion
+
+    def append_clip(
+        self,
+        num_frames: int,
+        instances: Iterable[ObjectInstance] = (),
+        name: str | None = None,
+        fps: float | None = None,
+    ) -> VideoClip:
+        """Append a newly recorded clip at the end of the frame space.
+
+        The clip starts exactly at the current horizon (frame indices are
+        assigned, not chosen), so every existing frame index — and every
+        detection-cache entry keyed by one — remains valid.  ``instances``
+        is the clip's ground truth; each instance must lie entirely inside
+        the new clip's span (clips are independent recordings, the same
+        invariant :func:`~repro.video.synthetic.place_instances` enforces
+        with ``boundaries``).  Returns the new :class:`VideoClip`.
+        """
+        if num_frames <= 0:
+            raise ValueError("appended clip must contain at least one frame")
+        if fps is None:
+            fps = self._clips[-1].fps if self._clips else 30.0
+        clip_id = len(self._clips)
+        clip = VideoClip(
+            clip_id=clip_id,
+            name=name if name is not None else f"{self.name}-{clip_id:04d}",
+            start_frame=self._total_frames,
+            num_frames=num_frames,
+            fps=fps,
+        )
+        new_instances = list(instances)
+        for inst in new_instances:
+            if inst.start_frame < clip.start_frame or inst.end_frame > clip.end_frame:
+                raise ValueError(
+                    f"instance {inst.instance_id} [{inst.start_frame}, {inst.end_frame}) "
+                    f"lies outside the appended clip [{clip.start_frame}, {clip.end_frame})"
+                )
+        self._clips.append(clip)
+        self._clip_starts = np.append(self._clip_starts, clip.start_frame)
+        self._total_frames = clip.end_frame
+        if new_instances:
+            self._instances = InstanceSet(list(self._instances) + new_instances)
+        self._version += 1
+        return clip
+
     # ----------------------------------------------------------- ground truth
 
     @property
@@ -192,6 +268,12 @@ class VideoRepository:
             f"VideoRepository(name={self.name!r}, clips={self.num_clips}, "
             f"frames={self._total_frames}, instances={len(self._instances)})"
         )
+
+
+def empty_repository(name: str = "live") -> VideoRepository:
+    """A repository with no footage yet — the live-ingestion starting
+    point: all content arrives through :meth:`VideoRepository.append_clip`."""
+    return VideoRepository([], InstanceSet([]), name=name)
 
 
 def single_clip_repository(

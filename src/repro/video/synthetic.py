@@ -127,6 +127,7 @@ def place_instances(
     center_fraction: float = 0.5,
     with_boxes: bool = True,
     boundaries: Sequence[int] | None = None,
+    frame_offset: int = 0,
 ) -> list[ObjectInstance]:
     """Place instances into ``[0, total_frames)`` with optional skew.
 
@@ -144,11 +145,19 @@ def place_instances(
     (starting at 0 and ending at ``total_frames``).  Instances are clamped
     to the segment containing their midpoint: an object in one dashcam
     drive or one BDD clip cannot spill into the next file.
+
+    ``frame_offset`` shifts every placed interval by a constant after
+    placement (skew and boundaries are interpreted in the local
+    ``[0, total_frames)`` coordinates first) — how live ingestion drops a
+    freshly synthesized clip's ground truth at the repository's current
+    horizon instead of at frame zero.
     """
     if num_instances <= 0:
         raise ValueError("num_instances must be positive")
     if total_frames <= 0:
         raise ValueError("total_frames must be positive")
+    if frame_offset < 0:
+        raise ValueError("frame_offset must be non-negative")
 
     durations = lognormal_durations(
         num_instances, mean_duration, rng, sigma_log=duration_sigma_log
@@ -180,6 +189,10 @@ def place_instances(
         starts = np.maximum(starts, edges[seg])
         ends = np.minimum(ends, edges[seg + 1])
         starts = np.minimum(starts, ends - 1)
+
+    if frame_offset:
+        starts = starts + frame_offset
+        ends = ends + frame_offset
 
     instances = []
     for k in range(num_instances):

@@ -218,7 +218,7 @@ def test_invalid_run_arguments():
         sampler.run(max_samples=-5)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(deadline=None)  # example count from the hypothesis profile
 @given(
     initial=st.integers(min_value=1, max_value=12),
     budget=st.integers(min_value=1, max_value=200),

@@ -19,7 +19,9 @@ from repro.video.synthetic import place_instances
 
 TOTAL_FRAMES = 2000
 
-SETTINGS = settings(max_examples=25, deadline=None)
+# example count comes from the active hypothesis profile (see
+# conftest.py): 25 by default, far more under --hypothesis-profile=nightly
+SETTINGS = settings(deadline=None)
 
 
 def _build_repo():

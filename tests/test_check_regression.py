@@ -137,3 +137,56 @@ def test_trim_baseline_roundtrip(tmp_path):
     trimmed = json.loads(out.read_text(encoding="utf-8"))
     assert trimmed["benchmarks"] == [{"name": "a", "stats": {"mean": 1.5}}]
     assert checker.load_means(out) == {"a": 1.5}
+
+
+def test_baseline_only_benchmark_warns_but_gates_the_rest(tmp_path, capsys):
+    """A renamed/removed benchmark must not crash the gate: it warns and
+    the remaining keys are still judged."""
+    baseline = write_run(
+        tmp_path / "baseline.json", dict(BASE, bench_gone=2.0)
+    )
+    current = write_run(tmp_path / "current.json", dict(BASE))
+    code = checker.main(
+        [str(current), "--baseline", str(baseline), "--key", "bench_a"]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "bench_gone" in err and "warning" in err
+
+
+def test_baseline_only_benchmark_still_fails_genuine_regressions(tmp_path, capsys):
+    baseline = write_run(
+        tmp_path / "baseline.json", dict(BASE, bench_gone=2.0)
+    )
+    current = write_run(
+        tmp_path / "current.json", dict(BASE, bench_a=BASE["bench_a"] * 1.6)
+    )
+    code = checker.main(
+        [str(current), "--baseline", str(baseline), "--key", "bench_a"]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "bench_gone" in err  # warned about the orphan...
+    assert "FAIL" in err  # ...and still failed the real regression
+
+
+def test_new_benchmark_warns(tmp_path, capsys):
+    baseline = write_run(tmp_path / "baseline.json", dict(BASE))
+    current = write_run(tmp_path / "current.json", dict(BASE, bench_new=3.0))
+    assert checker.main(
+        [str(current), "--baseline", str(baseline), "--key", "bench_a"]
+    ) == 0
+    assert "bench_new" in capsys.readouterr().err
+
+
+def test_missing_default_key_warns_and_skips(tmp_path, capsys):
+    """A default key that vanished is a warning; the present ones gate."""
+    means = {name: 5.0 for name in checker.DEFAULT_KEYS[:-1]}
+    means["calib"] = 10.0
+    baseline = write_run(
+        tmp_path / "baseline.json", dict(means, **{checker.DEFAULT_KEYS[-1]: 5.0})
+    )
+    current = write_run(tmp_path / "current.json", means)
+    assert checker.main([str(current), "--baseline", str(baseline)]) == 0
+    err = capsys.readouterr().err
+    assert checker.DEFAULT_KEYS[-1] in err and "skipped" in err

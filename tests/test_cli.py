@@ -216,3 +216,183 @@ def test_submit_default_seeds_are_distinct_per_submission(tmp_path, capsys):
           "--json"])
     second = json.loads(capsys.readouterr().out)
     assert first["seed"] != second["seed"]
+
+
+# ---------------------------------------------------------- live ingestion
+
+def test_ingest_validation(tmp_path, capsys):
+    state = str(tmp_path / "state")
+    code = main(["ingest", "cam0", "--state-dir", state, "--frames", "100",
+                 "--instances", "3"])
+    assert code == 2
+    assert "--category" in capsys.readouterr().err
+    code = main(["ingest", "cam0", "--state-dir", state, "--frames", "0"])
+    assert code == 2
+    assert "positive" in capsys.readouterr().err
+
+
+def test_serve_follow_flag_validation(tmp_path, capsys):
+    script = tmp_path / "s.txt"
+    script.write_text("submit dashcam bicycle --limit 2\n")
+    assert main(["serve", "--script", str(script), "--follow"]) == 2
+    assert "--follow" in capsys.readouterr().err
+    assert main(["serve", "--follow"]) == 2
+    assert "--state-dir" in capsys.readouterr().err
+    assert main(["serve", "--state-dir", str(tmp_path / "d"), "--follow",
+                 "--poll-interval", "0"]) == 2
+    assert "poll-interval" in capsys.readouterr().err
+
+
+def test_ingest_then_serve_live_dataset(tmp_path, capsys):
+    """A live (non-profile) dataset exists only through its journal; a
+    follow submission over it completes once footage is ingested."""
+    state = str(tmp_path / "state")
+    assert main(["submit", "cam0", "bus", "--limit", "4", "--follow",
+                 "--state-dir", state]) == 0
+    assert main(["ingest", "cam0", "--state-dir", state, "--frames", "2500",
+                 "--clips", "2", "--category", "bus", "--instances", "6"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "state" / "ingest.jsonl").exists()
+
+    assert main(["serve", "--state-dir", state, "--follow",
+                 "--poll-interval", "0.01", "--ticks", "500", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    session = payload["sessions"][0]
+    assert session["state"] == "completed"
+    assert session["results_found"] >= 4
+    assert session["result_frames"]
+
+
+def test_ingested_footage_is_deterministic_across_serves(tmp_path, capsys):
+    """Re-serving the same journal reproduces the same results — cache
+    entries and snapshots stay valid across restarts."""
+    state = str(tmp_path / "state")
+    main(["submit", "cam0", "bus", "--limit", "8", "--follow",
+          "--state-dir", state])
+    main(["ingest", "cam0", "--state-dir", state, "--frames", "3000",
+          "--category", "bus", "--instances", "8"])
+    capsys.readouterr()
+
+    assert main(["serve", "--state-dir", state, "--follow",
+                 "--poll-interval", "0.01", "--ticks", "2", "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["sessions"][0]["state"] == "active"  # stopped mid-flight
+    partial = first["sessions"][0]["frames_processed"]
+    assert partial > 0
+
+    assert main(["serve", "--state-dir", state, "--follow",
+                 "--poll-interval", "0.01", "--ticks", "500", "--json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["sessions"][0]["state"] == "completed"
+    # the restart replayed the first serve's frames from the shared cache
+    assert second["cache"]["hits"] >= partial
+
+
+def test_ingest_extends_profile_dataset(tmp_path, capsys):
+    """The journal can also grow one of the paper's profile datasets."""
+    state = str(tmp_path / "state")
+    main(["submit", "dashcam", "bicycle", "--limit", "1000", "--follow",
+          "--state-dir", state, "--scale", "0.02"])
+    capsys.readouterr()
+    assert main(["serve", "--state-dir", state, "--follow",
+                 "--poll-interval", "0.01", "--ticks", "3", "--json"]) == 0
+    before = json.loads(capsys.readouterr().out)["sessions"][0]["horizon"]
+    assert before > 0
+
+    main(["ingest", "dashcam", "--state-dir", state, "--frames", "1500",
+          "--category", "bicycle", "--instances", "5"])
+    capsys.readouterr()
+    assert main(["serve", "--state-dir", state, "--follow",
+                 "--poll-interval", "0.01", "--ticks", "6", "--json"]) == 0
+    after = json.loads(capsys.readouterr().out)["sessions"][0]["horizon"]
+    assert after == before + 1500
+
+
+def test_serve_follow_picks_up_ingest_without_restart(tmp_path):
+    """Acceptance: a *running* `serve --follow` process absorbs clips
+    appended by a separate `ingest` process and completes its session —
+    no restart involved."""
+    import os
+    import pathlib
+    import subprocess
+    import sys
+    import time as _time
+
+    import repro
+
+    state = str(tmp_path / "state")
+    env = dict(os.environ)
+    package_parent = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_parent, env.get("PYTHONPATH")) if p
+    )
+
+    def cli(*argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+
+    assert cli("submit", "cam0", "bus", "--limit", "5", "--follow",
+               "--state-dir", state).returncode == 0
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--state-dir", state,
+         "--follow", "--poll-interval", "0.05", "--json"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        # the server is idling on an empty repository; footage arrives now
+        _time.sleep(0.5)
+        assert server.poll() is None  # still following, not crashed
+        assert cli("ingest", "cam0", "--state-dir", state, "--frames", "3000",
+                   "--category", "bus", "--instances", "8").returncode == 0
+        out, err = server.communicate(timeout=60)  # exits once s1 completes
+    except Exception:
+        server.kill()
+        server.wait()
+        raise
+    assert server.returncode == 0, err
+    payload = json.loads(out)
+    session = payload["sessions"][0]
+    assert session["state"] == "completed"
+    assert session["results_found"] >= 5
+
+
+def test_follow_ticks_cap_exits_while_idle(tmp_path, capsys):
+    """--ticks must bound the follow loop even when no session is ever
+    schedulable (no footage arrives): each poll round counts."""
+    state = str(tmp_path / "state")
+    main(["submit", "cam0", "bus", "--limit", "3", "--follow",
+          "--state-dir", state])
+    capsys.readouterr()
+    assert main(["serve", "--state-dir", state, "--follow",
+                 "--poll-interval", "0.01", "--ticks", "3", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    session = payload["sessions"][0]
+    assert session["state"] == "active"  # still waiting for footage
+    assert session["frames_processed"] == 0
+
+
+def test_follow_loop_picks_up_submission_for_new_dataset(tmp_path, capsys):
+    """A submission (and footage) for a dataset the running server has
+    never seen must be registered and served, not crash the loop."""
+    import pathlib as _pathlib
+
+    from repro.cli import _build_service, _follow_serve
+    from repro.serving import state as serving_state
+
+    state = _pathlib.Path(tmp_path / "state")
+    serving_state.load_or_init_config(state, scale=0.05, seed=0)
+    # the server starts with no sessions and no journal...
+    service = _build_service([], 0.05, 0, 16, "round-robin", cache=None)
+    # ...then a submission + footage for a brand-new dataset arrive
+    main(["submit", "cam9", "bus", "--limit", "3", "--follow",
+          "--state-dir", str(state)])
+    main(["ingest", "cam9", "--state-dir", str(state), "--frames", "2000",
+          "--category", "bus", "--instances", "6"])
+    capsys.readouterr()
+    _follow_serve(service, state, 0.05, 0, cursor=0, ticks_cap=100,
+                  poll_interval=0.01)
+    status = service.status("s1")
+    assert status.state == "completed"
+    assert status.results_found >= 3

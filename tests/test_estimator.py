@@ -53,7 +53,14 @@ def test_record_validation():
     with pytest.raises(ValueError):
         stats.record(0, -1, 0)
     with pytest.raises(ValueError):
-        ChunkStatistics(0)
+        ChunkStatistics(-1)
+    # zero chunks is legal since live ingestion: arms arrive via extend()
+    empty = ChunkStatistics(0)
+    assert empty.num_chunks == 0
+    empty.extend(2)
+    assert empty.num_chunks == 2
+    with pytest.raises(ValueError):
+        empty.extend(-1)
 
 
 def test_views_are_read_only():

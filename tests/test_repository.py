@@ -46,9 +46,16 @@ def test_repository_requires_contiguous_clips():
         VideoRepository(clips, InstanceSet([]))
 
 
-def test_repository_requires_clips():
-    with pytest.raises(ValueError):
-        VideoRepository([], InstanceSet([]))
+def test_empty_repository_is_legal():
+    # zero clips is the live-ingestion starting point: footage arrives
+    # exclusively through append_clip()
+    repo = VideoRepository([], InstanceSet([]))
+    assert repo.total_frames == 0
+    assert repo.horizon == 0
+    assert repo.num_clips == 0
+    assert repo.version == 0
+    with pytest.raises(IndexError):
+        repo.clip_for_frame(0)
 
 
 def test_repository_rejects_out_of_range_instances():

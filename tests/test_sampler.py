@@ -163,8 +163,12 @@ def test_validation():
         make_sampler(repo).run(result_limit=0)
     with pytest.raises(ValueError):
         make_sampler(repo).run(max_samples=0)
-    with pytest.raises(ValueError):
-        ExSample([], OracleDetector(repo), OracleDiscriminator())
+    # an empty chunk list is legal since live ingestion (arms arrive via
+    # extend()): the sampler starts exhausted instead of raising
+    empty = ExSample([], OracleDetector(repo), OracleDiscriminator())
+    assert empty.exhausted
+    with pytest.raises(RuntimeError):
+        empty.plan()
     rng = np.random.default_rng(0)
     chunks = even_count_chunks(100, 2, rng)
     with pytest.raises(ValueError):

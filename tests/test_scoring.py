@@ -136,7 +136,7 @@ def test_scored_order_with_one_candidate_is_uniform():
     assert 800 < float(np.mean(early)) < 1200
 
 
-@settings(max_examples=25, deadline=None)
+@settings(deadline=None)  # example count from the hypothesis profile
 @given(
     size=st.integers(min_value=1, max_value=120),
     candidates=st.integers(min_value=1, max_value=16),

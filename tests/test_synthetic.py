@@ -144,7 +144,7 @@ def test_occupancy_schedule_matches_brute_force():
 
 
 @given(bucket=st.integers(min_value=1, max_value=512), seed=st.integers(0, 50))
-@settings(max_examples=25, deadline=None)
+@settings(deadline=None)  # example count from the hypothesis profile
 def test_occupancy_schedule_bucket_size_invariance(bucket, seed):
     rng = np.random.default_rng(seed)
     instances = place_instances(30, 1000, rng, mean_duration=40, with_boxes=False)
