@@ -43,6 +43,17 @@ while the server is up:
     python -m repro serve --state-dir ./state --follow &
     python -m repro ingest cam0 --state-dir ./state \
         --frames 2000 --category bus --instances 5
+
+Deterministic simulation (see :mod:`repro.simulation`): ``simulate``
+generates seed-driven randomized end-to-end scenarios — session mixes,
+mid-query ingestion, crash-restarts, cache drops, detector errors, torn
+journal writes — runs each against a real service, and checks every run
+against a brute-force oracle plus the system invariants.  A failure
+prints the scenario seed; re-running that seed reproduces the run
+bit-for-bit:
+
+    python -m repro simulate --scenarios 200 --profile quick
+    python -m repro simulate --seed 1234 --scenarios 1 --json
 """
 
 from __future__ import annotations
@@ -129,7 +140,14 @@ def _result_payload(result: QueryResult) -> dict:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    profile = get_profile(args.dataset)
+    try:
+        profile = get_profile(args.dataset)
+    except KeyError:
+        print(
+            f"error: unknown dataset {args.dataset!r}; options: {dataset_names()}",
+            file=sys.stderr,
+        )
+        return 2
     if args.category not in profile.category_names():
         print(
             f"error: {args.dataset!r} has no category {args.category!r}; "
@@ -375,7 +393,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     # record the build config on first touch so every process synthesizes
     # identical base repositories (and journal content) thereafter
     serving_state.load_or_init_config(state_dir, scale=args.scale, seed=args.seed)
-    index = serving_ingest.append_entry(state_dir, entry)
+    try:
+        index = serving_ingest.append_entry(state_dir, entry)
+    except serving_ingest.JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         payload = dict(entry.to_dict(), entry_index=index)
         print(json.dumps(to_jsonable(payload), indent=2))
@@ -427,16 +449,18 @@ def _follow_serve(
     cursor: int,
     ticks_cap: int | None,
     poll_interval: float,
-) -> None:
+) -> int:
     """The ``serve --follow`` loop: poll the journal (new footage) and
     the sessions directory (new submissions), tick while there is work,
     persist whenever anything changed so observers see progress live.
 
-    Exits when every known session is terminal, after ``ticks_cap`` loop
-    rounds (each round is one poll, and one scheduling tick when any
-    session had work — the bounded-exit lever for scripted use), or on
-    Ctrl-C (state is saved either way — the follow loop loses at most
-    the tick in flight, like any serve).
+    Exits 0 when every known session is terminal, after ``ticks_cap``
+    loop rounds (each round is one poll, and one scheduling tick when
+    any session had work — the bounded-exit lever for scripted use), or
+    on Ctrl-C; exits 2 when a poll meets on-disk corruption (a malformed
+    journal line or snapshot written by another process).  State is
+    saved on every exit path — the follow loop loses at most the tick in
+    flight, like any serve.
     """
     missing = _dataset_factory(scale, seed)
     rounds = 0
@@ -462,15 +486,22 @@ def _follow_serve(
             cursor = new_cursor
             sessions = service.sessions
             if sessions and all(s.state.terminal for s in sessions.values()):
-                return
+                return 0
             rounds += 1
             if ticks_cap is not None and rounds >= ticks_cap:
-                return
+                return 0
             if not progressed:
                 time.sleep(poll_interval)
+        except (serving_state.StateError, serving_ingest.JournalError) as exc:
+            # the startup path reports corruption cleanly; a long-running
+            # follow server meeting the same corruption mid-poll (written
+            # by another process) must not die with a traceback either
+            print(f"error: {exc}", file=sys.stderr)
+            serving_state.save_sessions(service, state_dir)
+            return 2
         except KeyboardInterrupt:  # pragma: no cover - interactive exit
             serving_state.save_sessions(service, state_dir)
-            return
+            return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -517,8 +548,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config = serving_state.load_or_init_config(state_dir, scale=scale, seed=seed)
         scale, seed = float(config["scale"]), int(config["seed"])
         cache = DetectionCache(SqliteBackend(state_dir / serving_state.CACHE_FILENAME))
-        snapshots = serving_state.load_snapshots(state_dir)
-        journal = serving_ingest.load_entries(state_dir)
+        try:
+            snapshots = serving_state.load_snapshots(state_dir)
+            journal = serving_ingest.load_entries(state_dir)
+        except (serving_state.StateError, serving_ingest.JournalError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     script_text = None
     if args.script is not None:
@@ -572,10 +607,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for line in log:
                 print(line)
     elif args.follow:
-        _follow_serve(
+        code = _follow_serve(
             service, state_dir, scale, seed, cursor, args.ticks,
             args.poll_interval,
         )
+        if code != 0:  # state already saved by the loop's error path
+            service.close()
+            return code
     elif args.ticks is not None:
         for _ in range(args.ticks):
             service.tick()
@@ -590,6 +628,120 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         _print_serve_summary(service)
     service.close()  # worker pools + buffered on-disk cache writes
+    return 0
+
+
+# --------------------------------------------------------------- simulate
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    """Run randomized end-to-end scenarios against the oracle contract.
+
+    Scenario ``k`` of a sweep uses seed ``args.seed + k``; a failure
+    prints that seed and the exact command that replays it, so a red CI
+    sweep is one copy-paste away from a local, bit-identical repro.
+    """
+    import dataclasses
+    import tempfile
+
+    from .simulation import PROFILES, generate_scenario, run_scenario
+    from .simulation.invariants import InvariantViolation
+
+    if args.seed < 0:
+        print("error: --seed must be non-negative", file=sys.stderr)
+        return 2
+    if args.scenarios <= 0:
+        print("error: --scenarios must be positive", file=sys.stderr)
+        return 2
+    if args.ticks is not None and args.ticks <= 0:
+        print("error: --ticks must be positive", file=sys.stderr)
+        return 2
+    if args.profile not in PROFILES:
+        print(
+            f"error: unknown profile {args.profile!r}; options: "
+            f"{sorted(PROFILES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    results: list[dict] = []
+    failures: list[tuple[int, str]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-simulate-") as workdir:
+        for k in range(args.scenarios):
+            seed = args.seed + k
+            try:
+                scenario = generate_scenario(seed, args.profile)
+                if args.ticks is not None:
+                    scenario = dataclasses.replace(scenario, ticks=args.ticks)
+                report = run_scenario(scenario, workdir=workdir)
+            except Exception as exc:  # noqa: BLE001 — any crash inside a
+                # scenario IS a finding; the sweep must record the seed
+                # and keep exploring, not die with a traceback
+                detail = (
+                    str(exc)
+                    if isinstance(exc, InvariantViolation)
+                    else f"{type(exc).__name__}: {exc}"
+                )
+                failures.append((seed, detail))
+                print(f"scenario seed {seed}: FAILED", file=sys.stderr)
+                print(f"  {detail}", file=sys.stderr)
+                print(
+                    f"  reproduce: python -m repro simulate --seed {seed} "
+                    f"--scenarios 1 --profile {args.profile}"
+                    + (f" --ticks {args.ticks}" if args.ticks is not None else ""),
+                    file=sys.stderr,
+                )
+                if args.fail_fast:
+                    break
+                continue
+            summary = {
+                "seed": seed,
+                "profile": args.profile,
+                "ticks_run": report.ticks_run,
+                "sessions": len(report.sessions),
+                "steps_committed": report.steps_committed,
+                "detector_calls": report.detector_calls,
+                "crashes": report.crashes,
+                "detector_errors": report.detector_errors,
+                "fault_kinds": scenario.fault_kinds(),
+                "log_sha256": report.log_digest(),
+            }
+            if args.scenarios == 1:
+                summary["event_log"] = report.event_log
+            results.append(summary)
+            if not args.json and not args.quiet:
+                faults = ",".join(scenario.fault_kinds()) or "-"
+                print(
+                    f"scenario seed {seed}: ok "
+                    f"({report.steps_committed} steps, "
+                    f"{report.detector_calls} detector calls, "
+                    f"faults: {faults}, log {report.log_digest()[:12]})"
+                )
+
+    if args.json:
+        payload = {
+            "profile": args.profile,
+            "scenarios": args.scenarios,
+            "passed": len(results),
+            "failed": len(failures),
+            "failing_seeds": [seed for seed, _ in failures],
+            "results": results,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{len(results)}/{len(results) + len(failures)} scenarios passed "
+            f"({args.profile} profile)"
+        )
+    if args.failures_file is not None and failures:
+        path = pathlib.Path(args.failures_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            for seed, message in failures:
+                handle.write(f"{seed}\t{message}\n")
+    if failures:
+        seeds = " ".join(str(seed) for seed, _ in failures)
+        print(f"FAILING SEEDS: {seeds}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -779,6 +931,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--json", action="store_true", help="print a machine-readable summary"
     )
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run randomized end-to-end scenarios with fault injection "
+             "against the oracle parity contract",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=0,
+        help="base scenario seed; scenario k uses seed+k, and a printed "
+             "failing seed replays bit-for-bit",
+    )
+    simulate.add_argument(
+        "--scenarios", type=int, default=1, help="number of scenarios to run"
+    )
+    simulate.add_argument(
+        "--ticks", type=int, default=None,
+        help="override each scenario's scheduling-round count",
+    )
+    simulate.add_argument(
+        "--profile", default="quick",
+        help="scenario scale: quick (CI smoke), default, stress",
+    )
+    simulate.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop the sweep at the first failing scenario",
+    )
+    simulate.add_argument(
+        "--failures-file", default=None,
+        help="write failing seeds (one per line) to this file — what the "
+             "nightly sweep uploads as an artifact",
+    )
+    simulate.add_argument(
+        "--quiet", action="store_true", help="suppress per-scenario lines"
+    )
+    simulate.add_argument(
+        "--json", action="store_true",
+        help="machine-readable sweep summary (with --scenarios 1, includes "
+             "the full event log)",
+    )
     return parser
 
 
@@ -792,4 +983,6 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "ingest":
         return _cmd_ingest(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
     return _cmd_serve(args)

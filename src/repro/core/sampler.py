@@ -95,6 +95,12 @@ class SamplingHistory:
         return np.asarray(self._frames, dtype=np.int64)
 
     @property
+    def d0_counts(self) -> np.ndarray:
+        """Per-step count of new results, aligned with :attr:`frame_indices`
+        — the decision stream differential tests compare run-for-run."""
+        return np.asarray(self._d0, dtype=np.int64)
+
+    @property
     def new_result_frames(self) -> np.ndarray:
         """Frames whose processing yielded at least one *new* result —
         the frames a user would actually open to inspect their results."""

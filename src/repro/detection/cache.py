@@ -134,6 +134,9 @@ class CacheBackend(Protocol):
     def frames(self, dataset: str) -> list[int]:  # pragma: no cover
         ...
 
+    def clear(self) -> None:  # pragma: no cover
+        ...
+
     def __len__(self) -> int:  # pragma: no cover
         ...
 
@@ -167,6 +170,9 @@ class InMemoryBackend:
 
     def frames(self, dataset: str) -> list[int]:
         return sorted(f for (d, f) in self._rows if d == dataset)
+
+    def clear(self) -> None:
+        self._rows.clear()
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -250,6 +256,10 @@ class SqliteBackend:
         ).fetchall()
         return [int(r[0]) for r in rows]
 
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM detections")
+        self._conn.commit()
+
     def __len__(self) -> int:
         return int(self._conn.execute("SELECT COUNT(*) FROM detections").fetchone()[0])
 
@@ -314,6 +324,11 @@ class JsonlBackend:
 
     def frames(self, dataset: str) -> list[int]:
         return sorted(f for (d, f) in self._rows if d == dataset)
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._handle.close()
+        self._handle = open(self._path, "w", encoding="utf-8")
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -405,6 +420,17 @@ class DetectionCache:
 
     def __len__(self) -> int:
         return len(self._backend)
+
+    def clear(self) -> None:
+        """Drop every cached detection (all datasets).
+
+        A correctness no-op by design: sampling decisions never depend on
+        cache contents, so dropping the cache costs detector calls but
+        cannot change any query's answer — the property the simulation
+        harness's cache-drop fault asserts.  Hit/miss accounting is left
+        untouched (the drop is an eviction, not a reset of history).
+        """
+        self._backend.clear()
 
     def flush(self) -> None:
         """Make buffered writes durable (the service calls this per tick)."""

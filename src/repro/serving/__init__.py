@@ -30,7 +30,7 @@ rather than exhaust when footage runs dry, and snapshots carry a horizon
 log so replay-restore stays exact across ingestion.
 """
 
-from .ingest import IngestEntry
+from .ingest import IngestEntry, JournalError, RepositoryFeeder
 from .scheduler import (
     PriorityScheduler,
     RoundRobinScheduler,
@@ -51,6 +51,8 @@ from .session import (
 
 __all__ = [
     "IngestEntry",
+    "JournalError",
+    "RepositoryFeeder",
     "PriorityScheduler",
     "RoundRobinScheduler",
     "SchedulerPolicy",

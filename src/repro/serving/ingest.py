@@ -36,6 +36,8 @@ from ..video.synthetic import place_instances
 __all__ = [
     "INGEST_FILENAME",
     "IngestEntry",
+    "JournalError",
+    "RepositoryFeeder",
     "journal_path",
     "append_entry",
     "load_entries",
@@ -44,6 +46,20 @@ __all__ = [
 ]
 
 INGEST_FILENAME = "ingest.jsonl"
+
+
+class JournalError(ValueError):
+    """A journal line that cannot be parsed.
+
+    Raised only for *committed* (newline-terminated) lines: those were
+    acknowledged appends, so garbage there is real corruption the
+    operator must see.  A torn final line without its newline is the
+    signature of a crash mid-append — an append that was never
+    acknowledged — and is silently ignored by :func:`load_entries`
+    (and truncated away by the next :func:`append_entry`), which is what
+    keeps every process that reads the journal agreeing on the entry
+    sequence no matter where a writer died.
+    """
 
 
 @dataclass(frozen=True)
@@ -109,31 +125,104 @@ def journal_path(state_dir: str | pathlib.Path) -> pathlib.Path:
     return pathlib.Path(state_dir) / INGEST_FILENAME
 
 
+def _committed_payload(path: pathlib.Path) -> tuple[bytes, int]:
+    """The journal's committed prefix and its byte length.
+
+    An entry is committed once its newline hits the file; whatever
+    follows the last newline is a torn append (writer crashed mid-line)
+    and is not part of the journal.  All journal IO is byte-oriented so
+    offsets mean the same thing on every platform (text mode would
+    translate newlines on Windows and make the torn-tail arithmetic
+    truncate healthy files).
+    """
+    raw = path.read_bytes()
+    cut = raw.rfind(b"\n") + 1  # 0 when no newline at all
+    return raw[:cut], cut
+
+
 def append_entry(state_dir: str | pathlib.Path, entry: IngestEntry) -> int:
     """Append one entry to the state directory's journal; returns the
-    entry's index (its identity for deterministic content synthesis)."""
+    entry's index (its identity for deterministic content synthesis).
+
+    A torn tail left by a crashed writer is truncated away first —
+    appending after it would otherwise weld two half-lines into one
+    corrupt committed entry.
+    """
     path = journal_path(state_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
     index = len(load_entries(state_dir))
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(entry.to_dict()) + "\n")
+    if path.exists():
+        _, committed_bytes = _committed_payload(path)
+        if committed_bytes != path.stat().st_size:
+            with open(path, "rb+") as handle:
+                handle.truncate(committed_bytes)
+    with open(path, "ab") as handle:
+        handle.write((json.dumps(entry.to_dict()) + "\n").encode("utf-8"))
     return index
 
 
 def load_entries(state_dir: str | pathlib.Path) -> list["IngestEntry"]:
-    """All journal entries, in append order (the application order)."""
+    """All journal entries, in append order (the application order).
+
+    Only newline-terminated lines count (see :class:`JournalError` for
+    the crash-consistency contract); a committed line that does not
+    parse raises :class:`JournalError` naming the line.
+    """
     path = journal_path(state_dir)
     if not path.exists():
         return []
+    committed, _ = _committed_payload(path)
     entries = []
-    for line in path.read_text(encoding="utf-8").splitlines():
+    for lineno, line in enumerate(committed.decode("utf-8").splitlines(), start=1):
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             entries.append(IngestEntry.from_dict(json.loads(line)))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise JournalError(
+                f"malformed journal entry at {path.name}:{lineno}: {exc}"
+            ) from exc
     return entries
 
 
 # -------------------------------------------------------------- application
+
+class RepositoryFeeder:
+    """The minimal feed target :func:`apply_entry` needs: a mapping of
+    repositories with no sessions attached.
+
+    :class:`~repro.serving.service.QueryService` satisfies the same duck
+    type (``repository`` + ``feed``); this standalone form lets journal
+    replay materialize bare repositories — the reference path the
+    simulation oracle diffs the serving stack against, and a convenient
+    way to rebuild "what the world looks like after the whole journal"
+    without constructing a service.
+    """
+
+    def __init__(self, repositories: dict):
+        self._repos = dict(repositories)
+
+    @property
+    def repositories(self) -> dict:
+        return dict(self._repos)
+
+    def repository(self, dataset: str):
+        repo = self._repos.get(dataset)
+        if repo is None:
+            raise KeyError(f"unknown dataset {dataset!r}")
+        return repo
+
+    def register(self, dataset: str, repository) -> None:
+        if dataset in self._repos:
+            raise ValueError(f"dataset {dataset!r} is already registered")
+        self._repos[dataset] = repository
+
+    def feed(self, dataset: str, num_frames: int, instances=(), name=None, fps=None):
+        return self.repository(dataset).append_clip(
+            num_frames, instances, name=name, fps=fps
+        )
+
 
 def _clip_seed(base_seed: int, dataset: str, entry_index: int, clip_ordinal: int) -> int:
     """Stable per-(entry, clip) substream, CRC-mixed like the dataset

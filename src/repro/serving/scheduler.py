@@ -117,7 +117,24 @@ class RoundRobinScheduler:
 
 
 class PriorityScheduler:
-    """Shares proportional to each session's submitted priority."""
+    """Shares proportional to each session's submitted priority.
+
+    Fractional shares are **carried across ticks**: each tick a session
+    accrues ``budget * w_i / W`` credit and is granted (close to) the
+    integer part, with largest-remainder rounding keeping the per-tick
+    grants summing to the budget exactly.  The carry is what rules out
+    starvation — under plain per-tick rounding a session whose share
+    rounds to zero (priority 1 next to priority 1000) would receive
+    nothing *forever*, while with the carry its credit grows every tick
+    and must eventually convert into a grant.  Cumulative grants stay
+    within one frame of the exact proportional share on each side.
+
+    Credit is keyed by session id and dropped once an id leaves the
+    active set, so completed sessions do not leak state.
+    """
+
+    def __init__(self) -> None:
+        self._credit: dict[str, float] = {}
 
     def allocate(
         self,
@@ -128,11 +145,49 @@ class PriorityScheduler:
         _validate(sessions, budget)
         if not sessions:
             return {}
-        return proportional_allocation(
-            [s.session_id for s in sessions],
-            [s.priority for s in sessions],
-            budget,
+        ids = [s.session_id for s in sessions]
+        w = np.maximum(
+            np.asarray([s.priority for s in sessions], dtype=np.float64), 0.0
         )
+        total = w.sum()
+        if total <= 0.0 or not np.isfinite(total):
+            w = np.ones(len(ids))
+            total = float(len(ids))
+        credit = np.array(
+            [self._credit.get(sid, 0.0) for sid in ids], dtype=np.float64
+        )
+        credit += budget * w / total
+        # a session that just consumed a rounded-up grant carries negative
+        # credit; it simply earns nothing until the debt amortizes — a
+        # grant itself can never be negative
+        base = np.maximum(np.floor(credit).astype(np.int64), 0)
+        # floors can overshoot the budget when prior ticks went granted
+        # slightly under par; claw back from the *smallest* fractional
+        # parts first (stable, so ties resolve in submission order)
+        overshoot = int(base.sum()) - budget
+        if overshoot > 0:
+            order = np.argsort(credit - base, kind="stable")
+            for idx in order:
+                take = min(int(base[idx]), overshoot)
+                base[idx] -= take
+                overshoot -= take
+                if overshoot == 0:
+                    break
+        # distribute what's left by largest remaining credit, looping
+        # because the leftover can exceed the session count: credits sum
+        # to the budget only while the active set is stable — a session
+        # leaving mid-run takes its carried credit with it, so the
+        # survivors' floors can undershoot by more than one frame each
+        remainder = budget - int(base.sum())
+        while remainder > 0:
+            order = np.argsort(-(credit - base), kind="stable")
+            take = min(remainder, len(ids))
+            base[order[:take]] += 1
+            remainder -= take
+        self._credit = {
+            sid: float(c - g) for sid, c, g in zip(ids, credit, base)
+        }
+        return {sid: int(g) for sid, g in zip(ids, base)}
 
 
 class ThompsonSumScheduler:

@@ -180,6 +180,14 @@ class QueryService:
     def sessions(self) -> dict[str, QuerySession]:
         return dict(self._sessions)
 
+    @property
+    def deficits(self) -> dict[str, int]:
+        """Frames each session has processed beyond its past allocations
+        (batched engines commit whole batches; see :meth:`tick`).  Read
+        by budget-conservation checks — after a completed tick, a
+        schedulable session's debt never exceeds ``batch_size - 1``."""
+        return dict(self._deficits)
+
     def repository(self, dataset: str) -> VideoRepository:
         """The live repository backing ``dataset`` (KeyError if unknown) —
         the object ingestion appends to."""
@@ -581,8 +589,18 @@ class QueryService:
             batch_size=spec.batch_size,
             repository=repo,
         )
+        # the shared detector backs the replay so a warm-start frame that
+        # fell out of the cache (process crash with an in-memory backend,
+        # an operator wiping cache.sqlite) is re-detected instead of
+        # silently skipped — skipping would silently change every sampling
+        # decision a restored session makes after the divergence point
         replayed, result_frames = replay_cached_frames(
-            engine, self._cache, spec.dataset, category=spec.category, frames=warm_frames
+            engine,
+            self._cache,
+            spec.dataset,
+            category=spec.category,
+            frames=warm_frames,
+            detector=self._shared_detector(spec.dataset),
         )
 
         # replay by frame count, not step count, planning each batch with

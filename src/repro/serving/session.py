@@ -48,6 +48,7 @@ import numpy as np
 from ..core.belief import GammaBelief
 from ..core.sampler import ExSample
 from ..detection.cache import DetectionCache
+from ..detection.detector import Detector
 
 __all__ = [
     "SessionState",
@@ -260,6 +261,7 @@ def replay_cached_frames(
     dataset: str,
     category: str | None = None,
     frames: Sequence[int] | None = None,
+    detector: Detector | None = None,
 ) -> tuple[list[int], list[int]]:
     """Warm-start ``sampler`` from cached detections, at zero detector cost.
 
@@ -268,11 +270,20 @@ def replay_cached_frames(
     discriminator and records the (d0, d1) outcome into the chunk the
     frame belongs to — exactly the state update Algorithm 1 would have
     made had the sampler processed the frame itself, minus the detector
-    invocation.  Frames outside the sampler's chunk spans or absent from
-    the cache are skipped.  The replay touches neither the sampler's
-    history (which counts detector-charged samples) nor its
-    without-replacement orders: a later re-draw of a replayed frame is a
-    cache hit and the discriminator treats it consistently as a re-visit.
+    invocation.  Frames outside the sampler's chunk spans are skipped.
+    The replay touches neither the sampler's history (which counts
+    detector-charged samples) nor its without-replacement orders: a later
+    re-draw of a replayed frame is a cache hit and the discriminator
+    treats it consistently as a re-visit.
+
+    ``detector``, when given, is the fallback for a frame in ``frames``
+    that is *no longer cached*: the frame is re-detected (and, through a
+    caching detector, re-cached) instead of silently skipped.  This is
+    what keeps snapshot restores bit-exact across cache loss — a
+    restored session must absorb exactly the warm-start frames its live
+    run absorbed, or every decision after the divergence point changes.
+    Without a detector, uncached frames are skipped (the pre-snapshot
+    admission path, where ``frames`` *is* the cache listing).
 
     Returns ``(replayed_frames, result_frames)`` — all frames absorbed,
     and the subset that yielded at least one new result.
@@ -293,7 +304,9 @@ def replay_cached_frames(
             continue  # outside every chunk span
         detections = cache.get(dataset, frame)
         if detections is None:
-            continue
+            if detector is None:
+                continue
+            detections = tuple(detector.detect(int(frame)))
         if category is not None:
             detections = tuple(d for d in detections if d.category == category)
         outcome = sampler.discriminator.observe(frame, detections)

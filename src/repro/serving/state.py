@@ -28,12 +28,22 @@ from .session import SessionSnapshot
 __all__ = [
     "CACHE_FILENAME",
     "CONFIG_FILENAME",
+    "StateError",
     "load_or_init_config",
     "load_snapshots",
     "next_session_id",
     "save_sessions",
     "write_snapshot",
 ]
+
+
+class StateError(ValueError):
+    """A state-directory file that cannot be read back.
+
+    Snapshots are written atomically enough for our purposes (one small
+    ``write_text`` per session), so a snapshot that does not parse means
+    real corruption — the CLI surfaces this as a clean error naming the
+    file instead of a traceback."""
 
 CONFIG_FILENAME = "service.json"
 CACHE_FILENAME = "cache.sqlite"
@@ -89,9 +99,12 @@ def load_snapshots(directory: str | pathlib.Path) -> list[SessionSnapshot]:
             p.stem,
         ),
     ):
-        snapshots.append(
-            SessionSnapshot.from_dict(json.loads(path.read_text(encoding="utf-8")))
-        )
+        try:
+            snapshots.append(
+                SessionSnapshot.from_dict(json.loads(path.read_text(encoding="utf-8")))
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StateError(f"corrupt snapshot file {path.name}: {exc}") from exc
     return snapshots
 
 

@@ -1,0 +1,46 @@
+"""Deterministic simulation testing for the whole serving stack.
+
+The paper's core claim — the adaptive sampler finds distinct instances
+with far fewer detector invocations than scanning — has to keep holding
+as the system grows batching, caching, snapshots, schedulers, and live
+ingestion.  The strongest guard for a stack this stateful is
+FoundationDB-style deterministic simulation: generate thousands of
+randomized full-stack scenarios from a single seed, inject the faults a
+deployment would actually see (crash-restart, cache loss, detector
+errors, torn journal writes), and check every run against a brute-force
+reference model plus a battery of invariants.  A failure prints one
+replayable seed; re-running that seed reproduces the run bit-for-bit.
+
+* :mod:`repro.simulation.scenario` — the scenario model and the
+  seed-driven generator (dataset shapes, session mixes, ingestion
+  schedules, fault plans, execution matrices);
+* :mod:`repro.simulation.faults` — the fault-injection seams
+  (:class:`FlakyDetector` and its controller);
+* :mod:`repro.simulation.runner` — drives one scenario against a real
+  :class:`~repro.serving.service.QueryService` tick by tick, recording a
+  deterministic event log;
+* :mod:`repro.simulation.oracle` — the reference model: a standalone
+  per-session sampler over the same RNG contract, no service, no cache,
+  no coalescing;
+* :mod:`repro.simulation.invariants` — the checks every run must pass.
+
+The CLI front door is ``python -m repro simulate`` (see
+:mod:`repro.cli`); ``tests/test_simulation.py`` runs a smaller sweep in
+the unit suite and proves the harness catches deliberately injected
+bugs.
+"""
+
+from .invariants import InvariantViolation
+from .oracle import reference_check
+from .runner import SimulationReport, run_scenario
+from .scenario import PROFILES, Scenario, generate_scenario
+
+__all__ = [
+    "InvariantViolation",
+    "PROFILES",
+    "Scenario",
+    "SimulationReport",
+    "generate_scenario",
+    "reference_check",
+    "run_scenario",
+]

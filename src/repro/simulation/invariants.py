@@ -1,0 +1,194 @@
+"""The invariants every simulated run must satisfy.
+
+Each check raises :class:`InvariantViolation` carrying the scenario seed,
+so a CI sweep failure is one `--seed` flag away from a local repro.  The
+checks deliberately say *why* an expectation holds, because each one is a
+design guarantee of a specific layer:
+
+* **ground truth containment / no duplicates** — the discriminator layer:
+  with the oracle detector every result is a real instance and no
+  instance is counted twice; with a noisy detector, false positives are
+  accounted separately and exactly;
+* **budget conservation** — the scheduler layer: per-tick grants sum to
+  the configured budget, and no session can outrun its grants by more
+  than one engine batch;
+* **state-machine consistency** — the session layer: terminal states
+  imply their stopping clauses and caps are never exceeded;
+* **replay exactness** — the snapshot layer: a restored session's
+  decision stream is byte-identical to what the live run already logged
+  (checked by the runner at every crash-restart, and end-to-end by the
+  oracle parity pass in :mod:`repro.simulation.oracle`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "InvariantViolation",
+    "check_allocation_records",
+    "check_tick_overshoot",
+    "check_budget_conservation",
+    "check_session_consistency",
+    "check_ground_truth_containment",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A simulated run broke a system guarantee.
+
+    ``seed`` replays the scenario: ``python -m repro simulate --seed N
+    --scenarios 1 --profile P``.
+    """
+
+    def __init__(self, seed: int, message: str):
+        super().__init__(f"[scenario seed {seed}] {message}")
+        self.seed = seed
+
+
+def check_allocation_records(
+    seed: int,
+    records: Sequence[tuple[tuple[str, ...], int, dict[str, int]]],
+    frames_per_tick: int,
+) -> None:
+    """Every scheduler grant covers exactly the requesting sessions,
+    is non-negative, and sums to the configured budget."""
+    for ids, budget, alloc in records:
+        if budget != frames_per_tick:
+            raise InvariantViolation(
+                seed, f"scheduler asked for budget {budget}, configured "
+                f"{frames_per_tick}"
+            )
+        if set(alloc) != set(ids):
+            raise InvariantViolation(
+                seed, f"allocation keys {sorted(alloc)} != sessions {sorted(ids)}"
+            )
+        if any(v < 0 for v in alloc.values()):
+            raise InvariantViolation(seed, f"negative allocation: {alloc}")
+        if sum(alloc.values()) != budget:
+            raise InvariantViolation(
+                seed,
+                f"allocations sum to {sum(alloc.values())}, budget {budget}: {alloc}",
+            )
+
+
+def check_tick_overshoot(
+    seed: int,
+    per_tick_growth: Sequence[Mapping[str, int]],
+    frames_per_tick: int,
+    batch_sizes: Mapping[str, int],
+) -> None:
+    """No session advances more than ``frames_per_tick + batch - 1``
+    frames in any single tick: a session's in-tick allowance is at most
+    the whole budget, and it may only finish the one batch in flight."""
+    for tick, growth in enumerate(per_tick_growth):
+        for sid, frames in growth.items():
+            bound = frames_per_tick + batch_sizes.get(sid, 1) - 1
+            if frames > bound:
+                raise InvariantViolation(
+                    seed,
+                    f"session {sid} advanced {frames} frames in tick {tick}, "
+                    f"bound {bound}",
+                )
+
+
+def check_budget_conservation(
+    seed: int,
+    total_allocated: Mapping[str, int],
+    total_processed: Mapping[str, int],
+    batch_sizes: Mapping[str, int],
+    deficits: Mapping[str, int],
+    clean: bool,
+) -> None:
+    """Across a whole run, a session never outruns its cumulative grants
+    by more than one engine batch.
+
+    Only asserted for *clean* runs (no crash-restarts, no injected
+    detector errors): a crash forgets in-memory deficits and a failed
+    tick withholds its credit, both of which legitimately loosen the
+    bound by a bounded amount per event — the per-tick bound
+    (:func:`check_tick_overshoot`) still holds there.
+    """
+    if not clean:
+        return
+    for sid, processed in total_processed.items():
+        allowed = total_allocated.get(sid, 0) + batch_sizes.get(sid, 1) - 1
+        if processed > allowed:
+            raise InvariantViolation(
+                seed,
+                f"session {sid} processed {processed} frames against "
+                f"{total_allocated.get(sid, 0)} allocated (+{batch_sizes.get(sid, 1) - 1} "
+                "batch slack)",
+            )
+    for sid, debt in deficits.items():
+        if debt > batch_sizes.get(sid, 1) - 1:
+            raise InvariantViolation(
+                seed,
+                f"session {sid} carries deficit {debt} > batch overshoot bound "
+                f"{batch_sizes.get(sid, 1) - 1}",
+            )
+
+
+def check_session_consistency(seed: int, status: Mapping) -> None:
+    """Terminal states imply their stopping clauses; caps are exact."""
+    sid = status["session_id"]
+    state = status["state"]
+    limit = status["limit"]
+    max_samples = status["max_samples"]
+    results = status["results_found"]
+    frames = status["frames_processed"]
+    if max_samples is not None and frames > max_samples:
+        raise InvariantViolation(
+            seed, f"session {sid} processed {frames} frames over its "
+            f"max_samples={max_samples} cap"
+        )
+    if state == "completed":
+        if limit is None or results < limit:
+            raise InvariantViolation(
+                seed,
+                f"session {sid} completed with {results} results, limit {limit}",
+            )
+    if limit is not None and state == "active" and results >= limit:
+        raise InvariantViolation(
+            seed, f"session {sid} is active with limit {limit} already met"
+        )
+
+
+def check_ground_truth_containment(
+    seed: int,
+    session_id: str,
+    category: str,
+    distinct_true: set[int],
+    false_positive_results: int,
+    results_found: int,
+    ground_truth_ids: set[int],
+    noisy_detector: bool,
+) -> None:
+    """Matches ⊆ ground truth, and no instance is ever counted twice.
+
+    ``results_found == |distinct true matches| + false positives`` is the
+    no-duplicates identity: the oracle discriminator keys results by true
+    instance id, so any double-count would break the equation.  With the
+    oracle detector there are no false positives at all.
+    """
+    rogue = distinct_true - ground_truth_ids
+    if rogue:
+        raise InvariantViolation(
+            seed,
+            f"session {session_id} matched instance ids {sorted(rogue)} that do "
+            f"not exist in the {category!r} ground truth",
+        )
+    if not noisy_detector and false_positive_results:
+        raise InvariantViolation(
+            seed,
+            f"session {session_id} produced {false_positive_results} false-positive "
+            "results under the oracle detector",
+        )
+    expected = len(distinct_true) + false_positive_results
+    if results_found != expected:
+        raise InvariantViolation(
+            seed,
+            f"session {session_id} reports {results_found} results but matched "
+            f"{len(distinct_true)} distinct instances + {false_positive_results} "
+            "false positives — a duplicate or lost result",
+        )

@@ -54,9 +54,12 @@ def test_query_requires_exactly_one_stopping_rule(capsys):
     assert "exactly one" in capsys.readouterr().err
 
 
-def test_unknown_dataset_raises():
-    with pytest.raises(KeyError):
-        main(["query", "atlantis", "bicycle", "--limit", "5"])
+def test_unknown_dataset_fails_cleanly(capsys):
+    code = main(["query", "atlantis", "bicycle", "--limit", "5"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "atlantis" in err
+    assert "dashcam" in err  # the error names the valid options
 
 
 def test_parser_rejects_bad_method():

@@ -1,0 +1,160 @@
+"""CLI error paths: every way on-disk state or arguments can be wrong
+must produce exit code 2 and a message naming the problem — never a
+traceback.  (The happy paths live in tests/test_cli.py.)"""
+
+import json
+
+from repro.cli import main
+from repro.serving import ingest as serving_ingest
+from repro.serving.ingest import IngestEntry
+
+
+def _submit(tmp_path, *extra):
+    code = main(
+        ["submit", "dashcam", "bicycle", "--limit", "3",
+         "--state-dir", str(tmp_path), "--scale", "0.02", *extra]
+    )
+    assert code == 0
+
+
+# --------------------------------------------------------- unknown dataset
+
+def test_query_unknown_dataset_exit_code_and_message(capsys):
+    assert main(["query", "nosuch", "bus", "--limit", "2"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "nosuch" in err and "options" in err
+
+
+def test_query_unknown_dataset_json_mode_also_clean(capsys):
+    assert main(["query", "nosuch", "bus", "--limit", "2", "--json"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""  # no half-written JSON on the happy stream
+
+
+# --------------------------------------------------------- corrupt snapshot
+
+def test_serve_corrupt_snapshot_file(tmp_path, capsys):
+    _submit(tmp_path)
+    snapshot = tmp_path / "sessions" / "s1.json"
+    snapshot.write_text("{ not json", encoding="utf-8")
+    assert main(["serve", "--state-dir", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "corrupt snapshot file s1.json" in err
+
+
+def test_serve_snapshot_with_wrong_shape(tmp_path, capsys):
+    _submit(tmp_path)
+    snapshot = tmp_path / "sessions" / "s1.json"
+    data = json.loads(snapshot.read_text(encoding="utf-8"))
+    del data["dataset"]  # valid JSON, invalid snapshot
+    snapshot.write_text(json.dumps(data), encoding="utf-8")
+    assert main(["serve", "--state-dir", str(tmp_path)]) == 2
+    assert "corrupt snapshot file s1.json" in capsys.readouterr().err
+
+
+# --------------------------------------------------------- broken journal
+
+def test_serve_malformed_journal_entry(tmp_path, capsys):
+    _submit(tmp_path)
+    journal = serving_ingest.journal_path(tmp_path)
+    journal.write_text('{"dataset": "dashcam"}\n', encoding="utf-8")  # no frames
+    assert main(["serve", "--state-dir", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "malformed journal entry" in err and "ingest.jsonl:1" in err
+
+
+def test_serve_tolerates_torn_journal_tail(tmp_path, capsys):
+    _submit(tmp_path)
+    serving_ingest.append_entry(tmp_path, IngestEntry(dataset="dashcam", frames=40))
+    journal = serving_ingest.journal_path(tmp_path)
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write('{"dataset": "dashcam", "fra')  # crashed writer
+    assert main(["serve", "--state-dir", str(tmp_path), "--ticks", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "s1" in out
+
+
+def test_ingest_into_corrupt_journal(tmp_path, capsys):
+    journal = serving_ingest.journal_path(tmp_path)
+    journal.parent.mkdir(parents=True, exist_ok=True)
+    journal.write_text("garbage line\n", encoding="utf-8")
+    code = main(
+        ["ingest", "dashcam", "--state-dir", str(tmp_path), "--frames", "50"]
+    )
+    assert code == 2
+    assert "malformed journal entry" in capsys.readouterr().err
+
+
+def test_follow_serve_exits_cleanly_on_mid_poll_corruption(
+    tmp_path, capsys, monkeypatch
+):
+    """A long-running --follow server meeting corruption written by
+    another process *after startup* must report it and exit 2, not die
+    with a traceback.  The corruption lands during the idle poll sleep,
+    exactly where an out-of-band writer would race the server."""
+    code = main(
+        ["submit", "cam9", "bus", "--limit", "2", "--follow",
+         "--state-dir", str(tmp_path), "--scale", "0.02"]
+    )
+    assert code == 0
+    journal = serving_ingest.journal_path(tmp_path)
+
+    def corrupting_sleep(_interval):
+        journal.write_bytes(b"garbage line\n")
+
+    monkeypatch.setattr("repro.cli.time.sleep", corrupting_sleep)
+    code = main(
+        ["serve", "--state-dir", str(tmp_path), "--follow", "--ticks", "5",
+         "--poll-interval", "0.01"]
+    )
+    assert code == 2
+    assert "malformed journal entry" in capsys.readouterr().err
+    # state was saved on the way out
+    assert (tmp_path / "sessions" / "s1.json").exists()
+
+
+# -------------------------------------------------------------- simulate
+
+def test_simulate_rejects_negative_seed(capsys):
+    assert main(["simulate", "--seed", "-3", "--scenarios", "1"]) == 2
+    assert "--seed" in capsys.readouterr().err
+
+
+def test_simulate_records_unexpected_crashes_as_failing_seeds(
+    monkeypatch, tmp_path, capsys
+):
+    """A scenario that crashes the runner (not an InvariantViolation) is
+    a finding too: the sweep records the seed and keeps exploring."""
+    import repro.simulation.runner as runner_mod
+
+    original = runner_mod.SimulationRunner.run
+    calls = []
+
+    def flaky(self):
+        calls.append(self.scenario.seed)
+        if self.scenario.seed == 1:
+            raise KeyError("latent serving-stack bug")
+        return original(self)
+
+    monkeypatch.setattr(runner_mod.SimulationRunner, "run", flaky)
+    failures = tmp_path / "seeds.txt"
+    code = main(
+        ["simulate", "--scenarios", "3", "--quiet",
+         "--failures-file", str(failures)]
+    )
+    assert code == 1
+    assert calls == [0, 1, 2]  # the sweep kept going past the crash
+    err = capsys.readouterr().err
+    assert "KeyError" in err and "FAILING SEEDS: 1" in err
+    assert failures.read_text().startswith("1\t")
+
+
+def test_simulate_rejects_bad_arguments(capsys):
+    assert main(["simulate", "--scenarios", "0"]) == 2
+    assert "--scenarios" in capsys.readouterr().err
+    assert main(["simulate", "--ticks", "0"]) == 2
+    assert "--ticks" in capsys.readouterr().err
+    assert main(["simulate", "--profile", "warp"]) == 2
+    err = capsys.readouterr().err
+    assert "warp" in err and "quick" in err
