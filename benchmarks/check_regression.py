@@ -37,12 +37,18 @@ import json
 import pathlib
 import sys
 
-# the gate's default scope: the long-running benchmarks (each >= ~5% of
-# suite time) whose shares are stable enough to judge — together they
-# exercise the sampling loop, the evaluation machinery, and the
-# ablation harness.  Pass --key to override.  Note the one blind spot
-# of share-based gating: a perfectly *uniform* slowdown across every
-# benchmark is indistinguishable from a slower machine, by design.
+# the gate's default scope: the long-running benchmarks whose shares are
+# stable enough to judge (the CPU-bound ones are each >= ~5% of suite
+# time) — together they exercise the sampling loop, the evaluation
+# machinery, the ablation harness, and the distributed serving path.
+# test_bench_distributed is latency-simulated (sleep-dominated), so its
+# absolute time is machine-independent while its calibration denominator
+# is not; it is sized just above the --min-share floor and its baseline
+# should be refreshed alongside the others (nightly workflow_dispatch)
+# if the gate's runner class changes.  Pass --key to override.  Note the
+# one blind spot of share-based gating: a perfectly *uniform* slowdown
+# across every benchmark is indistinguishable from a slower machine, by
+# design.
 DEFAULT_KEYS = (
     "test_bench_fig3",
     "test_bench_fig4",
@@ -50,6 +56,7 @@ DEFAULT_KEYS = (
     "test_bench_table1",
     "test_bench_ablation_scoring",
     "test_bench_ablation_policy",
+    "test_bench_distributed",
 )
 
 

@@ -1,0 +1,188 @@
+"""Bench: shard-parallel query serving across worker processes.
+
+Workload: the multi-tenant serving setting the distributed subsystem
+exists for — one :class:`~repro.serving.service.QueryService` over a
+multi-clip latency-simulated corpus, four concurrent sessions (one per
+category) whose per-tick §III-F batches the service coalesces into one
+batched detector call.  Two execution backends run the *same* sessions:
+
+* **local** — the coalesced batch served in-process, frame-at-a-time,
+  each call paying the full simulated per-call latency;
+* **sharded** — the batch routed by a
+  :class:`~repro.distributed.coordinator.ShardCoordinator` across 4
+  per-shard worker processes, each paying its own frames' latency
+  concurrently with the other shards.
+
+A single query's Thompson sampler deliberately *concentrates* its batch
+on hot chunks (that is the algorithm working), which pins that batch to
+few shards; it is the coalesced union across tenants that spreads over
+the shard plan — so serving-level throughput is the honest measure of
+what sharding buys, and the one measured here.
+
+Measured claims:
+
+* the sharded service achieves >= 2x detector-call throughput over the
+  single-process reference at 4 shards, on the same budget;
+* **parity** — the backend is invisible to answers: the coordinator
+  returns exactly the local per-frame detections, and every session
+  lands on the identical sampled-frame sequence, results, and result
+  frames as its single-process twin.
+"""
+
+import time
+
+import numpy as np
+
+from repro.detection.detector import SimulatedDetector
+from repro.distributed.coordinator import ShardCoordinator
+from repro.distributed.worker import DetectorSpec
+from repro.experiments.reporting import format_table, section
+from repro.serving.service import QueryService
+from repro.video.instances import InstanceSet
+from repro.video.repository import VideoClip, VideoRepository
+from repro.video.synthetic import place_instances
+
+NUM_CLIPS = 16
+CLIP_FRAMES = 2_500
+TOTAL_FRAMES = NUM_CLIPS * CLIP_FRAMES
+CATEGORIES = ("car", "bus", "person", "bicycle")
+INSTANCES_PER_CATEGORY = 30
+LATENCY = 0.002  # 2 ms per detector call — what the shards overlap
+SHARDS = 4
+BATCH = 8  # per-session §III-F batch; 4 sessions coalesce to ~32/tick
+FRAMES_PER_TICK = 32
+# sized so the benchmark clears the regression gate's --min-share noise
+# floor (~1% of suite time): a key below the floor is listed but never
+# enforced, and this key exists to be enforced
+BUDGET_PER_SESSION = 200  # detector-charged frames per session
+SEED = 3
+
+
+def _repo():
+    rng = np.random.default_rng(SEED)
+    boundaries = list(range(0, TOTAL_FRAMES + 1, CLIP_FRAMES))
+    instances = []
+    for k, category in enumerate(CATEGORIES):
+        instances.extend(
+            place_instances(
+                INSTANCES_PER_CATEGORY, TOTAL_FRAMES, rng, mean_duration=60,
+                skew_fraction=None, category=category, with_boxes=False,
+                start_id=1000 * k, boundaries=boundaries,
+            )
+        )
+    clips = [
+        VideoClip(i, f"clip-{i}", i * CLIP_FRAMES, CLIP_FRAMES)
+        for i in range(NUM_CLIPS)
+    ]
+    return VideoRepository(clips, InstanceSet(instances), name="bench-dist")
+
+
+def _service(execution, shards):
+    repo = _repo()
+    common = dict(
+        frames_per_tick=FRAMES_PER_TICK,
+        batch_size=BATCH,
+        detector_latency=LATENCY,
+        seed=SEED,
+    )
+    if execution == "sharded":
+        return QueryService(
+            repo,
+            execution="sharded",
+            shards=shards,
+            detector_spec=DetectorSpec(kind="simulated", seed=SEED),
+            **common,
+        )
+    return QueryService(
+        repo,
+        detector_factory=lambda r: SimulatedDetector(r, seed=SEED),
+        **common,
+    )
+
+
+def _run_service(execution, shards=1):
+    service = _service(execution, shards)
+    try:
+        for category in CATEGORIES:
+            service.submit(
+                "bench-dist", category,
+                max_samples=BUDGET_PER_SESSION, warm_start=False,
+            )
+        if execution == "sharded":
+            service.shard_backend("bench-dist").warm_up()  # spawn != throughput
+        start = time.perf_counter()
+        service.run_until_idle()
+        elapsed = time.perf_counter() - start
+        outcome = {
+            sid: {
+                "frames": [int(f) for f in s.engine.history.frame_indices],
+                "results": [int(r) for r in s.engine.history.results],
+                "result_frames": s.result_frames(),
+            }
+            for sid, s in service.sessions.items()
+        }
+        return service.detector_calls, elapsed, outcome
+    finally:
+        service.close()
+
+
+def _run():
+    calls_seq, t_seq, outcome_seq = _run_service("local")
+    calls_shard, t_shard, outcome_shard = _run_service("sharded", SHARDS)
+    return calls_seq, t_seq, outcome_seq, calls_shard, t_shard, outcome_shard
+
+
+def test_bench_distributed(benchmark, save_report):
+    calls_seq, t_seq, outcome_seq, calls_shard, t_shard, outcome_shard = (
+        benchmark.pedantic(_run, rounds=1, iterations=1)
+    )
+    seq_tput = calls_seq / t_seq
+    shard_tput = calls_shard / t_shard
+    speedup = shard_tput / seq_tput
+
+    # ------- parity: the distributed backend is invisible to the answer
+    # (a) every session's decision stream and results match its local twin
+    assert calls_seq == calls_shard
+    assert outcome_shard == outcome_seq
+    # (b) the coordinator returns exactly the local per-frame detections
+    repo = _repo()
+    raw = SimulatedDetector(repo, seed=SEED)
+    probe = outcome_seq["s1"]["frames"][:48]
+    with ShardCoordinator(
+        repo, SHARDS, detector_spec=DetectorSpec(kind="simulated", seed=SEED)
+    ) as checker:
+        assert checker.detect_many(probe) == [raw.detect(f) for f in probe]
+
+    rows = [
+        ["local (1 process)", calls_seq,
+         f"{t_seq:.3f}", f"{seq_tput:.0f}",
+         sum(len(o["result_frames"]) for o in outcome_seq.values())],
+        [f"sharded ({SHARDS} workers)", calls_shard,
+         f"{t_shard:.3f}", f"{shard_tput:.0f}",
+         sum(len(o["result_frames"]) for o in outcome_shard.values())],
+    ]
+    report = "\n".join(
+        [
+            section(
+                "Distributed serving — 4 coalesced sessions, shard workers vs "
+                f"one process ({LATENCY * 1e3:.0f} ms simulated per-call latency)"
+            ),
+            format_table(
+                ["mode", "detector calls", "seconds", "calls/s", "result frames"],
+                rows,
+            ),
+            f"throughput: {speedup:.2f}x single-process "
+            f"(parity: identical decision streams and results per seed)",
+        ]
+    )
+    save_report("distributed", report)
+
+    # every session spent its full budget; real detector calls may dip
+    # below the sum when sessions collide on a frame (the shared cache
+    # serving one session's detection to another — sharing working)
+    assert all(
+        len(o["frames"]) == BUDGET_PER_SESSION for o in outcome_seq.values()
+    )
+    assert calls_seq <= len(CATEGORIES) * BUDGET_PER_SESSION
+    # the acceptance claim: >= 2x detector throughput at 4 shards
+    assert speedup >= 2.0

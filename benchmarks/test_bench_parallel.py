@@ -64,14 +64,15 @@ def _sampler(repo, detector, batch_size):
 
 
 def _timed_run(repo, workers, batch_size, latency=LATENCY):
-    detector = ParallelDetector(
+    # context-managed so the worker pool is shut down even if the run
+    # raises — repeated benchmark invocations must not accumulate threads
+    with ParallelDetector(
         SimulatedDetector(repo, seed=SEED), workers=workers, latency=latency
-    )
-    sampler = _sampler(repo, detector, batch_size)
-    start = time.perf_counter()
-    sampler.run(max_samples=BUDGET)
-    elapsed = time.perf_counter() - start
-    detector.close()
+    ) as detector:
+        sampler = _sampler(repo, detector, batch_size)
+        start = time.perf_counter()
+        sampler.run(max_samples=BUDGET)
+        elapsed = time.perf_counter() - start
     return sampler, elapsed
 
 

@@ -18,6 +18,11 @@ The package is organized as the paper's system is:
 * :mod:`repro.serving` — the query serving subsystem: resumable
   sessions, the shared detection cache, and the frames-per-tick budget
   scheduler.
+* :mod:`repro.distributed` — shard-parallel execution: a clip-shard
+  planner, per-shard worker processes, and the coordinator that keeps
+  sharded answers byte-identical to single-process ones.
+* :mod:`repro.simulation` — the deterministic end-to-end simulation
+  harness (randomized scenarios, fault injection, oracle parity).
 """
 
 from .core import (

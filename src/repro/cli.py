@@ -32,6 +32,17 @@ frames the policy picks, deterministically per seed:
         --batch-size 8 --workers 8 --detector-latency 0.002
     python -m repro serve --state-dir ./state --batch-size 8 --workers 8
 
+Shard-parallel execution (see :mod:`repro.distributed`): ``--shards N``
+on ``query``/``serve``/``submit`` moves detection into N worker
+processes, each owning a contiguous clip shard with its own detector and
+local cache; the coordinator keeps all sampling state, so answers are
+byte-identical to local execution.  ``submit --shards`` records the
+count in the state directory so later ``serve`` runs shard by default:
+
+    python -m repro query dashcam bicycle --limit 20 \
+        --batch-size 8 --shards 4 --detector-latency 0.002
+    python -m repro serve --state-dir ./state --shards 4
+
 Live ingestion (see :mod:`repro.serving.ingest`): ``ingest`` appends
 synthetic footage to a state directory's journal — to a paper profile
 dataset or to a fresh *live* dataset that starts empty — and ``serve
@@ -173,6 +184,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         detector_latency=args.detector_latency,
+        shards=args.shards or 1,
         seed=args.seed,
     )
     query = DistinctObjectQuery(
@@ -230,13 +242,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------- serving
 
 def _validate_execution_args(args: argparse.Namespace) -> str | None:
-    """Shared validation of the execution-layer flags; None when valid."""
-    if args.batch_size <= 0:
-        return "--batch-size must be positive"
-    if args.workers < 1:
+    """Shared validation of the execution-layer flags; None when valid.
+
+    Every flag is checked here, before any dataset is built or state
+    directory touched, so a bad value is one clean line on stderr and
+    exit 2 — never a mid-run traceback.
+    """
+    if args.batch_size < 1:
+        return "--batch-size must be at least 1"
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
         return "--workers must be at least 1"
-    if args.detector_latency < 0.0:
+    if getattr(args, "detector_latency", 0.0) < 0.0:
         return "--detector-latency must be non-negative"
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        return "--shards must be at least 1"
+    if shards is not None and shards > 1 and workers > 1:
+        return (
+            "--shards and --workers are mutually exclusive: sharded "
+            "execution runs its own worker processes"
+        )
     return None
 
 
@@ -260,6 +286,7 @@ def _build_service(
     batch_size: int = 1,
     workers: int = 1,
     detector_latency: float = 0.0,
+    shards: int = 1,
 ) -> QueryService:
     # profile names materialize the calibrated synthetic dataset; any
     # other name is a *live* dataset: an empty repository whose footage
@@ -287,6 +314,8 @@ def _build_service(
         batch_size=batch_size,
         workers=workers,
         detector_latency=detector_latency,
+        execution="sharded" if shards > 1 else "local",
+        shards=shards,
         seed=seed,
     )
 
@@ -326,6 +355,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    error = _validate_execution_args(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     try:
         SessionSpec(  # validate limit/max-samples/priority before queuing
             dataset=args.dataset,
@@ -340,7 +373,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     state_dir = pathlib.Path(args.state_dir)
-    config = serving_state.load_or_init_config(state_dir, scale=args.scale, seed=args.seed)
+    config = serving_state.load_or_init_config(
+        state_dir, scale=args.scale, seed=args.seed, shards=args.shards or 1
+    )
     session_id = serving_state.next_session_id(state_dir)
     session_seed = args.session_seed
     if session_seed is None:
@@ -540,13 +575,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     cache = None
     scale, seed = args.scale, args.seed
+    # an explicit --shards wins; otherwise the state directory's recorded
+    # default applies (so `submit --shards N` makes every later `serve`
+    # shard without repeating the flag), else local execution
+    shards = args.shards if args.shards is not None else 1
     snapshots: list[SessionSnapshot] = []
     journal: list[IngestEntry] = []
     state_dir: pathlib.Path | None = None
     if args.state_dir is not None:
         state_dir = pathlib.Path(args.state_dir)
-        config = serving_state.load_or_init_config(state_dir, scale=scale, seed=seed)
+        config = serving_state.load_or_init_config(
+            state_dir, scale=scale, seed=seed, shards=shards
+        )
         scale, seed = float(config["scale"]), int(config["seed"])
+        if args.shards is None:
+            shards = int(config.get("shards", 1) or 1)
+            # the sticky default must pass the same exclusion the explicit
+            # flag does — a sharded state dir plus --workers would
+            # otherwise surface as a QueryService traceback, not exit 2
+            if shards > 1 and args.workers > 1:
+                print(
+                    f"error: this state directory defaults to sharded "
+                    f"execution (shards={shards}), which excludes "
+                    "--workers; pass --shards 1 to force local execution",
+                    file=sys.stderr,
+                )
+                return 2
         cache = DetectionCache(SqliteBackend(state_dir / serving_state.CACHE_FILENAME))
         try:
             snapshots = serving_state.load_snapshots(state_dir)
@@ -585,50 +639,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         detector_latency=args.detector_latency,
+        shards=shards,
     )
-    # the journal is replayed *before* restoring sessions: horizon-logged
-    # snapshots replay against the clip sequence their live runs absorbed
-    cursor = 0
-    if state_dir is not None:
-        cursor = serving_ingest.apply_journal(
-            service, state_dir, seed, cursor,
-            on_missing_dataset=_dataset_factory(scale, seed),
-        )
-    for snap in snapshots:
-        service.restore(snap)
+    # every exit path below — success, clean error, or an exception out
+    # of the serving stack — must release worker pools, shard worker
+    # processes, and the on-disk cache handle exactly once
+    try:
+        # the journal is replayed *before* restoring sessions: horizon-logged
+        # snapshots replay against the clip sequence their live runs absorbed
+        cursor = 0
+        if state_dir is not None:
+            cursor = serving_ingest.apply_journal(
+                service, state_dir, seed, cursor,
+                on_missing_dataset=_dataset_factory(scale, seed),
+            )
+        for snap in snapshots:
+            service.restore(snap)
 
-    if script_text is not None:
-        try:
-            log = serving_script.run_script(service, script_text)
-        except serving_script.ScriptError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        if not args.json:
-            for line in log:
-                print(line)
-    elif args.follow:
-        code = _follow_serve(
-            service, state_dir, scale, seed, cursor, args.ticks,
-            args.poll_interval,
-        )
-        if code != 0:  # state already saved by the loop's error path
-            service.close()
-            return code
-    elif args.ticks is not None:
-        for _ in range(args.ticks):
-            service.tick()
-    else:
-        service.run_until_idle()
+        if script_text is not None:
+            try:
+                log = serving_script.run_script(service, script_text)
+            except serving_script.ScriptError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if not args.json:
+                for line in log:
+                    print(line)
+        elif args.follow:
+            code = _follow_serve(
+                service, state_dir, scale, seed, cursor, args.ticks,
+                args.poll_interval,
+            )
+            if code != 0:  # state already saved by the loop's error path
+                return code
+        elif args.ticks is not None:
+            for _ in range(args.ticks):
+                service.tick()
+        else:
+            service.run_until_idle()
 
-    if state_dir is not None:
-        serving_state.save_sessions(service, state_dir)
+        if state_dir is not None:
+            serving_state.save_sessions(service, state_dir)
 
-    if args.json:
-        print(json.dumps(to_jsonable(_serve_summary_payload(service)), indent=2))
-    else:
-        _print_serve_summary(service)
-    service.close()  # worker pools + buffered on-disk cache writes
-    return 0
+        if args.json:
+            print(json.dumps(to_jsonable(_serve_summary_payload(service)), indent=2))
+        else:
+            _print_serve_summary(service)
+        return 0
+    finally:
+        service.close()  # worker pools, shard workers, buffered cache writes
 
 
 # --------------------------------------------------------------- simulate
@@ -645,6 +704,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     from .simulation import PROFILES, generate_scenario, run_scenario
     from .simulation.invariants import InvariantViolation
+    from .simulation.scenario import sharded_variant
 
     if args.seed < 0:
         print("error: --seed must be non-negative", file=sys.stderr)
@@ -654,6 +714,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     if args.ticks is not None and args.ticks <= 0:
         print("error: --ticks must be positive", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
         return 2
     if args.profile not in PROFILES:
         print(
@@ -672,6 +735,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 scenario = generate_scenario(seed, args.profile)
                 if args.ticks is not None:
                     scenario = dataclasses.replace(scenario, ticks=args.ticks)
+                if args.shards is not None:
+                    scenario = sharded_variant(scenario, args.shards)
                 report = run_scenario(scenario, workdir=workdir)
             except Exception as exc:  # noqa: BLE001 — any crash inside a
                 # scenario IS a finding; the sweep must record the seed
@@ -687,7 +752,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 print(
                     f"  reproduce: python -m repro simulate --seed {seed} "
                     f"--scenarios 1 --profile {args.profile}"
-                    + (f" --ticks {args.ticks}" if args.ticks is not None else ""),
+                    + (f" --ticks {args.ticks}" if args.ticks is not None else "")
+                    + (f" --shards {args.shards}" if args.shards is not None else ""),
                     file=sys.stderr,
                 )
                 if args.fail_fast:
@@ -788,6 +854,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated per-detector-call overhead in seconds (what --workers hides)",
     )
     query.add_argument(
+        "--shards", type=int, default=None,
+        help="shard-parallel execution: run detection across N worker "
+             "processes, each owning a contiguous clip shard "
+             "(answer-identical to local execution)",
+    )
+    query.add_argument(
         "--seed", type=int, default=0,
         help="seeds dataset synthesis and sampling; same seed => identical run",
     )
@@ -808,6 +880,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--batch-size", type=int, default=1,
         help="frames this session's engine chooses per iteration",
+    )
+    submit.add_argument(
+        "--shards", type=int, default=None,
+        help="record the state directory's default shard count on first "
+             "touch; later `serve` runs shard detection across that many "
+             "worker processes unless overridden",
     )
     submit.add_argument(
         "--session-seed", type=int, default=None,
@@ -917,6 +995,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated per-detector-call overhead in seconds",
     )
     serve.add_argument(
+        "--shards", type=int, default=None,
+        help="worker processes for sharded detection (default: the state "
+             "directory's recorded value, else 1 = local execution)",
+    )
+    serve.add_argument(
         "--scheduler", choices=SCHEDULERS, default="round-robin",
         help="budget allocation policy across sessions",
     )
@@ -952,6 +1035,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--profile", default="quick",
         help="scenario scale: quick (CI smoke), default, stress",
+    )
+    simulate.add_argument(
+        "--shards", type=int, default=None,
+        help="force every scenario onto the sharded execution backend "
+             "with N worker processes; in-process detector faults become "
+             "worker kills and every scenario gets at least one kill",
     )
     simulate.add_argument(
         "--fail-fast", action="store_true",

@@ -31,6 +31,8 @@ from ..baselines.uniform import UniformRandomSampler
 from ..detection.costmodel import ThroughputModel
 from ..detection.detector import Detector, OracleDetector, SimulatedDetector
 from ..detection.execution import wrap_parallel
+from ..distributed.coordinator import ShardCoordinator
+from ..distributed.worker import DetectorSpec
 from ..tracking.discriminator import (
     Discriminator,
     OracleDiscriminator,
@@ -123,6 +125,7 @@ class QueryEngine:
         batch_size: int = 1,
         workers: int = 1,
         detector_latency: float = 0.0,
+        shards: int = 1,
         oracle: bool = True,
         detector_factory: Callable[[], Detector] | None = None,
         discriminator_factory: Callable[[], Discriminator] | None = None,
@@ -144,10 +147,23 @@ class QueryEngine:
             raise ValueError("workers must be at least 1")
         if detector_latency < 0.0:
             raise ValueError("detector_latency must be non-negative")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if shards > 1 and workers > 1:
+            raise ValueError(
+                "workers is the in-process pool knob; sharded execution "
+                "runs its own worker processes (use shards alone)"
+            )
+        if shards > 1 and detector_factory is not None:
+            raise ValueError(
+                "sharded execution builds detectors inside the workers; "
+                "detector_factory is local-only"
+            )
         self._use_random_plus = use_random_plus
         self._batch_size = batch_size
         self._workers = workers
         self._detector_latency = detector_latency
+        self._shards = shards
         self._oracle = oracle
         self._detector_factory = detector_factory
         self._discriminator_factory = discriminator_factory
@@ -158,6 +174,21 @@ class QueryEngine:
     # --------------------------------------------------------------- factory
 
     def _make_detector(self) -> Detector:
+        if self._shards > 1:
+            # shard-parallel execution: detectors live in worker processes,
+            # built from a spec mirroring the local defaults below; the
+            # coordinator is score-equivalent to them by construction
+            spec = DetectorSpec(
+                kind="oracle" if self._oracle else "simulated",
+                category=self._category,
+                seed=self._seed,
+            )
+            return ShardCoordinator(
+                self._repository,
+                self._shards,
+                detector_spec=spec,
+                latency=self._detector_latency,
+            )
         if self._detector_factory is not None:
             detector = self._detector_factory()
         elif self._oracle:

@@ -200,6 +200,14 @@ class SqliteBackend:
         self._path = pathlib.Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(self._path)
+        # WAL lets concurrent processes (shard workers, a follow server
+        # next to an out-of-band submitter) read while one writes instead
+        # of serializing on the rollback journal; synchronous=NORMAL
+        # drops the per-commit fsync to one per WAL checkpoint — safe
+        # here because the cache is rebuildable (a lost tail costs
+        # re-detection, never answers) and WAL commits stay torn-proof
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS detections ("
             "dataset TEXT NOT NULL, frame INTEGER NOT NULL, payload TEXT NOT NULL, "

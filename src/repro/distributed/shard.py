@@ -1,0 +1,212 @@
+"""Shard planning: partitioning a repository's clips across workers.
+
+The sampler's chunk layouts never span a clip boundary (see
+:mod:`repro.core.chunking`), which makes the clip the natural unit of
+distribution: a shard is a run of whole clips, so every chunk — and
+therefore every per-chunk belief the coordinator maintains — lives
+entirely inside exactly one shard.  The :class:`ShardPlan` assigns each
+clip to a shard and answers the routing question the coordinator asks on
+every batch: *which worker owns this frame?*
+
+Two placement rules, both deterministic:
+
+* the **initial** partition is contiguous and frame-balanced — clip
+  midpoints are cut at ``total_frames / num_shards`` boundaries, so
+  shards hold near-equal footage and stay temporally contiguous (cache
+  locality for samplers that revisit a neighbourhood);
+* clips **appended after planning** (live ingestion) go to the currently
+  lightest shard (fewest frames, lowest id on ties), keeping load
+  balanced as the repository grows.
+
+Routing is a pure function of the clip sequence, so a coordinator
+rebuilt after a crash derives the identical plan — and because *any*
+routing returns the same detections (detection content is a function of
+the frame, never of which worker computed it), the plan can never affect
+a query's answer, only its wall-clock.
+
+:func:`shard_chunk_spans` ties the plan back to the sampling layer: it
+derives each shard's chunk layout with the same
+:class:`~repro.core.chunking.IncrementalChunker` the serving sessions
+use, taking chunks shard by shard at each shard's end horizon.  By the
+chunker's append-invariance, the per-shard layouts concatenate to exactly
+:func:`~repro.core.chunking.make_chunks`'s up-front layout — asserted in
+``tests/test_shard.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.chunking import IncrementalChunker
+from ..video.repository import VideoRepository
+
+__all__ = ["ShardSpec", "ShardPlan", "shard_chunk_spans"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's assignment: which clips it owns.
+
+    ``clip_ids`` may be empty — a repository with fewer clips than shards
+    (or an empty live repository) leaves trailing shards without footage,
+    and the coordinator never spawns a worker for a shard nobody routes
+    to.  ``frames`` is the shard's current footage load, the quantity the
+    append-placement rule balances.
+    """
+
+    shard_id: int
+    clip_ids: tuple[int, ...]
+    frames: int
+
+    @property
+    def empty(self) -> bool:
+        return not self.clip_ids
+
+
+class ShardPlan:
+    """Clip-to-shard assignment plus O(log clips) frame routing.
+
+    Bound to one repository; :meth:`sync` absorbs clips appended since
+    the plan last looked (the coordinator calls it before every batch).
+    """
+
+    def __init__(self, repository: VideoRepository, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self._repository = repository
+        self._num_shards = num_shards
+        self._clip_shards: list[int] = []  # clip_id -> shard_id
+        self._frames = [0] * num_shards  # per-shard footage load
+        # routing index over the clips covered so far
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._shard_of: list[int] = []
+        self._partition_initial()
+
+    def _partition_initial(self) -> None:
+        clips = self._repository.clips
+        total = self._repository.total_frames
+        for clip in clips:
+            if total <= 0:  # pragma: no cover - clips imply frames
+                shard = 0
+            else:
+                midpoint = (clip.start_frame + clip.end_frame) / 2.0
+                shard = min(
+                    self._num_shards - 1,
+                    int(self._num_shards * midpoint / total),
+                )
+            self._assign(clip, shard)
+
+    def _assign(self, clip, shard: int) -> None:
+        self._clip_shards.append(shard)
+        self._frames[shard] += clip.num_frames
+        self._starts.append(clip.start_frame)
+        self._ends.append(clip.end_frame)
+        self._shard_of.append(shard)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def repository(self) -> VideoRepository:
+        return self._repository
+
+    @property
+    def clips_covered(self) -> int:
+        return len(self._clip_shards)
+
+    @property
+    def horizon(self) -> int:
+        """Frames the plan currently routes (grows with :meth:`sync`)."""
+        return self._ends[-1] if self._ends else 0
+
+    def shards(self) -> list[ShardSpec]:
+        """The current assignment, one spec per shard (empty ones too)."""
+        clips_of: dict[int, list[int]] = {s: [] for s in range(self._num_shards)}
+        for clip_id, shard in enumerate(self._clip_shards):
+            clips_of[shard].append(clip_id)
+        return [
+            ShardSpec(
+                shard_id=s,
+                clip_ids=tuple(clips_of[s]),
+                frames=self._frames[s],
+            )
+            for s in range(self._num_shards)
+        ]
+
+    def shard_of_clip(self, clip_id: int) -> int:
+        return self._clip_shards[clip_id]
+
+    # --------------------------------------------------------------- routing
+
+    def sync(self) -> list[int]:
+        """Assign clips appended since the plan last looked; returns the
+        newly covered clip ids.  Appends go to the lightest shard
+        (fewest frames, lowest id on ties) — deterministic, so every
+        rebuild of the plan routes identically."""
+        new_ids: list[int] = []
+        clips = self._repository.clips
+        while len(self._clip_shards) < len(clips):
+            clip = clips[len(self._clip_shards)]
+            shard = min(range(self._num_shards), key=lambda s: (self._frames[s], s))
+            self._assign(clip, shard)
+            new_ids.append(clip.clip_id)
+        return new_ids
+
+    def shard_for_frame(self, frame: int) -> int:
+        """The shard owning ``frame``; raises for frames the plan does
+        not cover (call :meth:`sync` first for freshly appended footage)."""
+        pos = bisect.bisect_right(self._starts, frame) - 1
+        if pos < 0 or frame >= self._ends[pos]:
+            raise IndexError(
+                f"frame {frame} is outside the planned frame space "
+                f"[0, {self.horizon})"
+            )
+        return self._shard_of[pos]
+
+
+def shard_chunk_spans(
+    repository: VideoRepository,
+    plan: ShardPlan,
+    chunk_frames: int | None = None,
+    use_random_plus: bool = True,
+) -> dict[int, list[tuple[int, int, int]]]:
+    """Each shard's chunk layout as ``(chunk_id, start, end)`` spans.
+
+    Derived with the same :class:`IncrementalChunker` serving sessions
+    use, taken shard by shard at each shard's end horizon — so the
+    concatenation across shards *is* the single-process
+    :func:`~repro.core.chunking.make_chunks` layout (same ids, same
+    spans), which is what makes per-chunk statistics comparable between
+    sharded and local runs.  Only meaningful for contiguous (initial)
+    plans; a plan that has absorbed striped appends no longer has
+    per-shard end horizons.
+    """
+    rng = np.random.default_rng(0)  # orders are unused; spans are RNG-free
+    chunker = IncrementalChunker(
+        repository, rng, chunk_frames=chunk_frames, use_random_plus=use_random_plus
+    )
+    clips = repository.clips
+    out: dict[int, list[tuple[int, int, int]]] = {}
+    horizon = 0
+    for spec in plan.shards():
+        if spec.clip_ids:
+            ends = [clips[cid].end_frame for cid in spec.clip_ids]
+            starts = [clips[cid].start_frame for cid in spec.clip_ids]
+            if min(starts) < horizon:
+                raise ValueError(
+                    "shard_chunk_spans needs a contiguous plan; "
+                    f"shard {spec.shard_id} starts before {horizon}"
+                )
+            horizon = max(ends)
+        taken = chunker.take(up_to_horizon=horizon)
+        out[spec.shard_id] = [
+            (c.chunk_id, c.start_frame, c.end_frame) for c in taken
+        ]
+    return out

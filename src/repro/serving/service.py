@@ -36,6 +36,8 @@ from ..core.sampler import ExSample
 from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
 from ..detection.detector import Detection, Detector, OracleDetector
 from ..detection.execution import wrap_parallel
+from ..distributed.coordinator import ShardCoordinator
+from ..distributed.worker import DetectorSpec
 from ..tracking.discriminator import Discriminator, OracleDiscriminator
 from ..video.instances import ObjectInstance
 from ..video.repository import VideoClip, VideoRepository
@@ -92,6 +94,18 @@ class QueryService:
         wrapped in a :class:`~repro.detection.execution.ParallelDetector`
         so the coalesced per-tick batches are serviced concurrently.
         Score-equivalent to sequential execution by construction.
+    execution / shards / detector_spec:
+        The execution backend.  ``"local"`` (default) runs detection in
+        this process; ``"sharded"`` routes each coalesced batch through a
+        per-dataset :class:`~repro.distributed.coordinator.ShardCoordinator`
+        to ``shards`` worker processes, each owning a contiguous clip
+        shard, a detector built from ``detector_spec`` (default: the
+        oracle), and a local detection cache.  All sampling state stays
+        in this process, so a sharded service returns byte-identical
+        answers to a local one — sharding only moves detector work.
+        Sharded execution builds detectors in the workers, so it excludes
+        a custom ``detector_factory`` and the in-process ``workers``
+        pool.
     seed:
         Seeds the scheduler RNG and the per-session default seeds.
         Session decisions use only per-session RNGs (see module
@@ -111,6 +125,9 @@ class QueryService:
         batch_size: int = 1,
         workers: int = 1,
         detector_latency: float = 0.0,
+        execution: str = "local",
+        shards: int = 1,
+        detector_spec: DetectorSpec | None = None,
         seed: int = 0,
     ):
         if isinstance(repositories, VideoRepository):
@@ -125,6 +142,25 @@ class QueryService:
             raise ValueError("workers must be at least 1")
         if detector_latency < 0.0:
             raise ValueError("detector_latency must be non-negative")
+        if execution not in ("local", "sharded"):
+            raise ValueError(
+                f"unknown execution backend {execution!r}; options: local, sharded"
+            )
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if execution == "local" and shards > 1:
+            raise ValueError("shards > 1 requires execution='sharded'")
+        if execution == "sharded":
+            if detector_factory is not None:
+                raise ValueError(
+                    "sharded execution builds detectors inside the workers "
+                    "from detector_spec; detector_factory is local-only"
+                )
+            if workers > 1:
+                raise ValueError(
+                    "workers is the in-process pool knob; sharded execution "
+                    "runs its own worker processes (use shards instead)"
+                )
         self._repos = dict(repositories)
         self._cache = cache if cache is not None else DetectionCache()
         self._scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
@@ -144,6 +180,9 @@ class QueryService:
         self._batch_size = batch_size
         self._workers = workers
         self._detector_latency = detector_latency
+        self._execution = execution
+        self._shards = shards
+        self._detector_spec = detector_spec
         self._seed = seed
         self._rng = np.random.default_rng((seed, 0x5C4ED))
         self._detectors: dict[str, CachingDetector] = {}
@@ -187,6 +226,30 @@ class QueryService:
         by budget-conservation checks — after a completed tick, a
         schedulable session's debt never exceeds ``batch_size - 1``."""
         return dict(self._deficits)
+
+    @property
+    def execution(self) -> str:
+        """The execution backend: ``"local"`` or ``"sharded"``."""
+        return self._execution
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    def dataset_names(self) -> list[str]:
+        """Registered dataset names, sorted."""
+        return sorted(self._repos)
+
+    def shard_backend(self, dataset: str) -> ShardCoordinator | None:
+        """The dataset's :class:`ShardCoordinator` under sharded
+        execution (built on demand), ``None`` under local execution —
+        the seam the simulation harness's worker-kill fault reaches
+        through."""
+        if self._execution != "sharded":
+            return None
+        inner = self._shared_detector(dataset).wrapped
+        assert isinstance(inner, ShardCoordinator)
+        return inner
 
     def repository(self, dataset: str) -> VideoRepository:
         """The live repository backing ``dataset`` (KeyError if unknown) —
@@ -542,13 +605,23 @@ class QueryService:
     def _shared_detector(self, dataset: str) -> CachingDetector:
         detector = self._detectors.get(dataset)
         if detector is None:
-            # parallel execution sits *inside* the cache so hits never
-            # pay the (simulated) per-call detector overhead
-            inner = wrap_parallel(
-                self._detector_factory(self._repository(dataset)),
-                self._workers,
-                self._detector_latency,
-            )
+            # execution sits *inside* the cache so hits never pay the
+            # (simulated) per-call overhead — local worker pools and the
+            # sharded coordinator alike only ever see cache misses
+            if self._execution == "sharded":
+                inner: Detector = ShardCoordinator(
+                    self._repository(dataset),
+                    self._shards,
+                    detector_spec=self._detector_spec,
+                    latency=self._detector_latency,
+                    dataset=dataset,
+                )
+            else:
+                inner = wrap_parallel(
+                    self._detector_factory(self._repository(dataset)),
+                    self._workers,
+                    self._detector_latency,
+                )
             detector = CachingDetector(inner, self._cache, dataset)
             self._detectors[dataset] = detector
         return detector

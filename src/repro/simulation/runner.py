@@ -38,6 +38,7 @@ from ..detection.cache import (
     SqliteBackend,
 )
 from ..detection.detector import OracleDetector, SimulatedDetector
+from ..distributed.worker import DetectorSpec
 from ..serving import ingest as serving_ingest
 from ..serving import state as serving_state
 from ..serving.ingest import IngestEntry
@@ -174,6 +175,33 @@ class SimulationRunner:
 
     def _build_service(self) -> QueryService:
         repos = {name: empty_repository(name) for name in self._dataset_names()}
+        if self.scenario.execution == "sharded":
+            # detectors are built *inside* the worker processes from a
+            # picklable spec; the FlakyDetector seam stays out (its
+            # controller cannot cross a process boundary), which is why
+            # sharded scenarios carry worker_kill faults instead of
+            # detector_error ones (see scenario.sharded_variant)
+            noisy = self.scenario.detector == "noisy"
+            return QueryService(
+                repos,
+                cache=self.cache,
+                scheduler=self._make_policy(),
+                frames_per_tick=self.scenario.frames_per_tick,
+                chunk_frames=self.scenario.chunk_frames,
+                batch_size=1,
+                execution="sharded",
+                shards=self.scenario.shards,
+                detector_spec=DetectorSpec(
+                    kind="simulated" if noisy else "oracle",
+                    miss_rate=self.scenario.miss_rate if noisy else 0.1,
+                    false_positive_rate=(
+                        self.scenario.false_positive_rate if noisy else 0.02
+                    ),
+                    seed=self.scenario.seed,
+                ),
+                detector_latency=self.scenario.detector_latency,
+                seed=self.scenario.seed,
+            )
         return QueryService(
             repos,
             cache=self.cache,
@@ -305,10 +333,35 @@ class SimulationRunner:
             with open(path, "a", encoding="utf-8") as handle:
                 handle.write('{"dataset": "torn')  # no newline: a torn append
             self._emit(f"fault tick={tick} journal_torn_write")
+        elif kind == "worker_kill":
+            self._worker_kill(tick, int(fault.value))
         elif kind == "crash_restart":
             self._crash_restart(tick)
         else:  # pragma: no cover - scenario validation rejects these
             raise ValueError(f"unknown fault kind {kind!r}")
+
+    def _worker_kill(self, tick: int, which: int) -> None:
+        """Hard-kill one shard worker in every dataset's coordinator.
+
+        The strongest distributed fault the coordinator promises to
+        absorb transparently: the next batch routed to the dead shard
+        respawns a replacement from the worker's spec, loses only the
+        worker-local cache, and — the property the oracle check enforces
+        — changes no logged decision.  A no-op (logged as such) under
+        local execution or before any worker was spawned.
+        """
+        killed: list[str] = []
+        for name in self.service.dataset_names():
+            coordinator = self.service.shard_backend(name)
+            if coordinator is None:
+                continue
+            shard = which % coordinator.num_shards
+            if coordinator.kill_worker(shard):
+                killed.append(f"{name}:{shard}")
+        self._emit(
+            f"fault tick={tick} worker_kill "
+            f"killed={','.join(killed) if killed else '-'}"
+        )
 
     def _crash_restart(self, tick: int) -> None:
         """Kill the process state, rebuild from disk, prove the restore."""
@@ -411,7 +464,8 @@ class SimulationRunner:
             f"scheduler={scenario.scheduler} fpt={scenario.frames_per_tick} "
             f"ticks={scenario.ticks} chunk={scenario.chunk_frames} "
             f"backend={scenario.cache_backend} workers={scenario.workers} "
-            f"detector={scenario.detector}"
+            f"detector={scenario.detector} execution={scenario.execution} "
+            f"shards={scenario.shards}"
         )
         self._journal_initial_world()
         self.cache = self._make_cache()

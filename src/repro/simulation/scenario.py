@@ -32,12 +32,15 @@ __all__ = [
     "Scenario",
     "PROFILES",
     "generate_scenario",
+    "sharded_variant",
 ]
 
 # categories the generator draws from; real names keep logs readable
 _CATEGORIES = ("car", "bus", "person", "bicycle")
 
-# fault kinds the runner understands (see runner._apply_fault)
+# fault kinds the runner understands (see runner._apply_fault);
+# worker_kill is sharded-execution only: it hard-kills one shard worker
+# process per dataset, proving the coordinator's respawn-from-spec path
 FAULT_KINDS = (
     "crash_restart",
     "cache_drop",
@@ -45,6 +48,7 @@ FAULT_KINDS = (
     "latency_spike",
     "latency_clear",
     "journal_torn_write",
+    "worker_kill",
 )
 
 
@@ -149,6 +153,8 @@ class Scenario:
     detector: str = "oracle"  # oracle | noisy
     miss_rate: float = 0.0
     false_positive_rate: float = 0.0
+    execution: str = "local"  # local | sharded
+    shards: int = 1  # worker processes under sharded execution
 
     @property
     def has_faults(self) -> bool:
@@ -182,6 +188,8 @@ class Profile:
     max_latency: float = 0.0  # latency-spike ceiling, seconds
     backends: tuple[str, ...] = ("memory", "memory", "sqlite", "jsonl")
     noisy_detector_prob: float = 0.25
+    sharded_prob: float = 0.0  # chance a scenario runs the sharded backend
+    shard_counts: tuple[int, int] = (2, 3)
 
 
 PROFILES: Mapping[str, Profile] = {
@@ -221,6 +229,8 @@ PROFILES: Mapping[str, Profile] = {
         workers=(1, 4),
         max_latency=0.002,
         noisy_detector_prob=0.4,
+        sharded_prob=0.25,
+        shard_counts=(2, 4),
     ),
 }
 
@@ -392,7 +402,7 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
     scheduler = ("round-robin", "priority", "thompson")[int(rng.integers(3))]
     chunk_frames = None if rng.random() < 0.5 else int(rng.integers(40, 200))
     noisy = rng.random() < p.noisy_detector_prob
-    return Scenario(
+    scenario = Scenario(
         seed=int(seed),
         profile=profile,
         datasets=tuple(datasets),
@@ -412,5 +422,56 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
         false_positive_rate=(
             float(np.round(rng.uniform(0.0, 0.05), 3)) if noisy else 0.0
         ),
+    )
+    # the sharded-execution draw comes last, and only for profiles that
+    # enable it, so profiles with sharded_prob=0 generate bit-identical
+    # scenarios to before the knob existed
+    if p.sharded_prob > 0.0 and rng.random() < p.sharded_prob:
+        scenario = sharded_variant(scenario, _int(rng, p.shard_counts))
+    return scenario
+
+
+def sharded_variant(scenario: Scenario, shards: int) -> Scenario:
+    """The sharded twin of ``scenario``: same world, sessions, and
+    schedule, executed on the shard-parallel backend.
+
+    In-process detector faults have no seam inside worker processes
+    (:class:`~repro.simulation.faults.FlakyDetector` lives in the
+    coordinator's process), so they are mapped to their distributed
+    analogue: ``detector_error`` and ``latency_spike`` become
+    ``worker_kill``, ``latency_clear`` drops.  One ``worker_kill`` is
+    always added at a seed-derived tick, so every sharded scenario
+    exercises the coordinator's respawn-from-spec path.  ``workers`` is
+    forced to 1 — the in-process pool and the sharded backend are
+    mutually exclusive by design.
+    """
+    import dataclasses
+
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    faults: list[FaultPlan] = []
+    for fault in scenario.faults:
+        if fault.kind in ("detector_error", "latency_spike"):
+            faults.append(FaultPlan(fault.at_tick, "worker_kill", value=fault.value))
+        elif fault.kind == "latency_clear":
+            continue
+        else:
+            faults.append(fault)
+    # the guaranteed kill must land on a tick the runner actually
+    # executes (range(ticks)); single-tick scenarios kill at tick 0
+    if scenario.ticks > 1:
+        kill_tick = 1 + scenario.seed % (scenario.ticks - 1)
+    else:
+        kill_tick = 0
+    faults.append(
+        FaultPlan(kill_tick, "worker_kill", value=float(scenario.seed % shards))
+    )
+    faults.sort(key=lambda f: (f.at_tick, FAULT_KINDS.index(f.kind)))
+    return dataclasses.replace(
+        scenario,
+        execution="sharded",
+        shards=int(shards),
+        workers=1,
+        faults=tuple(faults),
     )
 

@@ -4,6 +4,8 @@ traceback.  (The happy paths live in tests/test_cli.py.)"""
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.serving import ingest as serving_ingest
 from repro.serving.ingest import IngestEntry
@@ -112,6 +114,94 @@ def test_follow_serve_exits_cleanly_on_mid_poll_corruption(
     assert "malformed journal entry" in capsys.readouterr().err
     # state was saved on the way out
     assert (tmp_path / "sessions" / "s1.json").exists()
+
+
+# ----------------------------------------------------- execution-flag range
+#
+# Every execution-layer count flag rejects values < 1 with exit 2 and a
+# clean one-line stderr message naming the flag — never a traceback or a
+# confusing downstream runtime error.
+
+def _assert_clean_rejection(capsys, argv, flag):
+    assert main(argv) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error:")
+    assert flag in captured.err
+    assert "Traceback" not in captured.err
+
+
+@pytest.mark.parametrize("flag,value", [
+    ("--workers", "0"),
+    ("--batch-size", "0"),
+    ("--batch-size", "-3"),
+    ("--shards", "0"),
+    ("--shards", "-1"),
+])
+def test_query_rejects_non_positive_execution_flags(capsys, flag, value):
+    _assert_clean_rejection(
+        capsys,
+        ["query", "dashcam", "bicycle", "--limit", "2", flag, value],
+        flag,
+    )
+
+
+@pytest.mark.parametrize("flag,value", [
+    ("--workers", "0"),
+    ("--batch-size", "0"),
+    ("--shards", "0"),
+])
+def test_serve_rejects_non_positive_execution_flags(tmp_path, capsys, flag, value):
+    _assert_clean_rejection(
+        capsys,
+        ["serve", "--state-dir", str(tmp_path), flag, value],
+        flag,
+    )
+
+
+@pytest.mark.parametrize("flag,value", [
+    ("--batch-size", "0"),
+    ("--shards", "0"),
+])
+def test_submit_rejects_non_positive_execution_flags(tmp_path, capsys, flag, value):
+    _assert_clean_rejection(
+        capsys,
+        ["submit", "dashcam", "bicycle", "--limit", "2",
+         "--state-dir", str(tmp_path), flag, value],
+        flag,
+    )
+    # nothing was queued on the rejected submission
+    assert not list((tmp_path / "sessions").glob("*.json"))
+
+
+def test_serve_sticky_sharded_state_dir_rejects_workers(tmp_path, capsys):
+    """The regression: a state dir whose recorded default is sharded
+    (submit --shards N) plus `serve --workers W` used to crash with a
+    QueryService ValueError traceback — the sticky default bypassed the
+    flag-level mutual-exclusion check."""
+    _submit(tmp_path, "--shards", "2")
+    assert main(["serve", "--state-dir", str(tmp_path), "--workers", "4"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
+    assert "sharded" in err and "--workers" in err
+    # an explicit --shards 1 overrides the sticky default and unblocks
+    assert main(
+        ["serve", "--state-dir", str(tmp_path), "--workers", "4",
+         "--shards", "1", "--ticks", "1"]
+    ) == 0
+
+
+def test_shards_and_workers_are_mutually_exclusive(capsys):
+    assert main(
+        ["query", "dashcam", "bicycle", "--limit", "2",
+         "--shards", "2", "--workers", "2"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "--shards" in err and "--workers" in err
+
+
+def test_simulate_rejects_bad_shards(capsys):
+    assert main(["simulate", "--shards", "0"]) == 2
+    assert "--shards" in capsys.readouterr().err
 
 
 # -------------------------------------------------------------- simulate

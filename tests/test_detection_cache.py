@@ -248,3 +248,41 @@ def test_warm_start_skips_unknown_and_out_of_range_frames():
     )
     assert replayed == [100]  # 500 not cached, 5000 outside every chunk
     assert result_frames == []
+
+
+# --------------------------------------------------------- sqlite WAL mode
+
+def test_sqlite_backend_opens_in_wal_with_normal_sync(tmp_path):
+    """Concurrent shard workers (and a follow server racing an
+    out-of-band submitter) must not serialize on the rollback journal:
+    the backend opens every connection in WAL with synchronous=NORMAL."""
+    backend = SqliteBackend(tmp_path / "cache.sqlite")
+    assert backend._conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+    # 1 == NORMAL
+    assert backend._conn.execute("PRAGMA synchronous").fetchone()[0] == 1
+    backend.close()
+    # the mode is a property of the database file: reopening keeps it
+    reopened = SqliteBackend(tmp_path / "cache.sqlite")
+    assert reopened._conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+    reopened.close()
+
+
+def test_sqlite_wal_leaves_batch_results_unchanged(tmp_path):
+    """The journal-mode change is invisible to the API: get_many/put_many
+    round-trip exactly as before, across flush and reopen."""
+    path = tmp_path / "cache.sqlite"
+    backend = SqliteBackend(path)
+    cache = DetectionCache(backend)
+    items = [(frame, sample_detections(frame)) for frame in (3, 9, 27, 81)]
+    cache.put_many("cam", items)
+    got = cache.get_many("cam", [3, 9, 27, 81, 5])
+    assert got[:4] == [tuple(dets) for _, dets in items]
+    assert got[4] is None
+    cache.flush()
+    cache.close()
+    reopened = DetectionCache(SqliteBackend(path))
+    assert reopened.get_many("cam", [81, 3]) == [
+        tuple(items[3][1]),
+        tuple(items[0][1]),
+    ]
+    reopened.close()

@@ -222,3 +222,57 @@ def test_category_filter_detect_many_filters_per_frame():
     for dets in batches:
         assert all(d.category == "bus" for d in dets)
     assert batches == [view.detect(f) for f in frames]
+
+
+# ---------------------------------------------- pool shutdown on exceptions
+
+class ExplodingDetector:
+    """Raises on a chosen frame — the regression trigger for pool leaks."""
+
+    def __init__(self, bad_frame=13):
+        from repro.detection.detector import DetectorStats
+
+        self.bad_frame = bad_frame
+        self.stats = DetectorStats()
+
+    def detect(self, frame_index):
+        if frame_index == self.bad_frame:
+            raise RuntimeError("detector blew up")
+        return []
+
+
+def test_parallel_detector_context_manager_closes_pool_on_exception():
+    """The regression: a batch that raises used to leave the worker pool
+    (and its threads) alive until someone remembered to call close() —
+    repeated benchmark runs accumulated threads.  The context manager
+    must shut the pool down on the exception path."""
+    import threading
+
+    before = set(threading.enumerate())
+    detector = ParallelDetector(ExplodingDetector(), workers=4)
+    with pytest.raises(RuntimeError, match="blew up"):
+        with detector:
+            detector.detect_many([1, 2, 13, 4, 5, 6])
+    assert detector._pool is None  # shut down despite the exception
+    # shutdown(wait=True) joined the threads; none of ours may linger
+    assert set(threading.enumerate()) <= before
+
+
+def test_repeated_failing_runs_do_not_leak_threads():
+    import threading
+
+    before = set(threading.enumerate())
+    for _ in range(8):
+        with pytest.raises(RuntimeError):
+            with ParallelDetector(ExplodingDetector(), workers=4) as detector:
+                detector.detect_many(list(range(10, 20)))
+    assert set(threading.enumerate()) <= before
+
+
+def test_parallel_detector_pool_size_matches_workers():
+    """Worker-count accounting: the pool must be created with exactly the
+    configured number of workers (not a default, not one per frame)."""
+    with ParallelDetector(OracleDetector(make_repo()), workers=3) as detector:
+        detector.detect_many([0, 1, 2, 3, 4, 5])
+        assert detector._pool is not None
+        assert detector._pool._max_workers == 3

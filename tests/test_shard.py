@@ -1,0 +1,152 @@
+"""The shard planner: partitioning, routing, and chunk-layout parity."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunking import make_chunks
+from repro.distributed.shard import ShardPlan, shard_chunk_spans
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.repository import VideoClip, VideoRepository, empty_repository
+
+
+def _instance(instance_id, start, duration, category="bus"):
+    return ObjectInstance(
+        instance_id=instance_id,
+        category=category,
+        trajectory=Trajectory.stationary(start, duration, Box(0.0, 0.0, 1.0, 1.0)),
+    )
+
+
+def _repository(clip_frames=(100, 150, 50, 120, 80)):
+    clips, start = [], 0
+    for clip_id, frames in enumerate(clip_frames):
+        clips.append(VideoClip(clip_id, f"c{clip_id}", start, frames))
+        start += frames
+    return VideoRepository(clips, InstanceSet([_instance(0, 10, 20)]), name="cam0")
+
+
+# ------------------------------------------------------------- partitioning
+
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 8])
+def test_initial_partition_is_contiguous_and_total(num_shards):
+    repo = _repository()
+    plan = ShardPlan(repo, num_shards)
+    shards = plan.shards()
+    assert len(shards) == num_shards
+    # every clip assigned exactly once, in contiguous runs
+    all_clips = [cid for spec in shards for cid in spec.clip_ids]
+    assert all_clips == list(range(repo.num_clips))
+    assert sum(spec.frames for spec in shards) == repo.total_frames
+
+
+def test_partition_balances_frames():
+    repo = _repository(clip_frames=(100,) * 10)
+    plan = ShardPlan(repo, 4)
+    loads = [spec.frames for spec in plan.shards()]
+    assert max(loads) - min(loads) <= 100  # within one clip of even
+
+
+def test_more_shards_than_clips_leaves_empty_shards():
+    repo = _repository(clip_frames=(60, 40))
+    plan = ShardPlan(repo, 5)
+    shards = plan.shards()
+    assert sum(1 for s in shards if not s.empty) == 2
+    assert sum(1 for s in shards if s.empty) == 3
+    # routing still covers every frame
+    for frame in (0, 59, 60, 99):
+        assert plan.shard_for_frame(frame) in range(5)
+
+
+def test_empty_repository_plans_to_all_empty_shards():
+    plan = ShardPlan(empty_repository("live"), 3)
+    assert all(spec.empty for spec in plan.shards())
+    assert plan.horizon == 0
+    with pytest.raises(IndexError):
+        plan.shard_for_frame(0)
+
+
+def test_invalid_shard_count():
+    with pytest.raises(ValueError):
+        ShardPlan(_repository(), 0)
+
+
+# ------------------------------------------------------------------ routing
+
+def test_routing_matches_clip_assignment():
+    repo = _repository()
+    plan = ShardPlan(repo, 3)
+    for clip in repo.clips:
+        shard = plan.shard_of_clip(clip.clip_id)
+        for frame in (clip.start_frame, clip.end_frame - 1):
+            assert plan.shard_for_frame(frame) == shard
+
+
+def test_routing_rejects_frames_beyond_horizon():
+    plan = ShardPlan(_repository(), 2)
+    with pytest.raises(IndexError):
+        plan.shard_for_frame(10_000)
+
+
+def test_sync_routes_appended_clips_to_lightest_shard():
+    repo = _repository(clip_frames=(100, 40))
+    plan = ShardPlan(repo, 2)
+    assert [s.frames for s in plan.shards()] == [100, 40]
+    clip = repo.append_clip(30)
+    assert plan.sync() == [clip.clip_id]
+    # the lighter shard (1) takes the new footage
+    assert plan.shard_of_clip(clip.clip_id) == 1
+    assert plan.shard_for_frame(clip.start_frame) == 1
+    assert plan.horizon == repo.horizon
+
+
+def test_sync_is_deterministic_across_rebuilds():
+    repo = _repository()
+    for _ in range(3):
+        repo.append_clip(35 + repo.num_clips)
+    a = ShardPlan(repo, 3)
+    b = ShardPlan(repo, 3)
+    assert [s.clip_ids for s in a.shards()] == [s.clip_ids for s in b.shards()]
+
+
+# --------------------------------------------------------- chunk-layout parity
+
+@pytest.mark.parametrize("chunk_frames", [None, 60, 100])
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 4])
+def test_shard_chunk_layout_equals_make_chunks(chunk_frames, num_shards):
+    """The load-bearing invariant: per-shard chunk layouts, derived with
+    the same IncrementalChunker serving sessions use, concatenate to
+    exactly the up-front make_chunks layout — ids and spans both."""
+    repo = _repository()
+    plan = ShardPlan(repo, num_shards)
+    spans = shard_chunk_spans(repo, plan, chunk_frames=chunk_frames)
+    flat = [span for shard_id in sorted(spans) for span in spans[shard_id]]
+    reference = [
+        (c.chunk_id, c.start_frame, c.end_frame)
+        for c in make_chunks(
+            repo, np.random.default_rng(0), chunk_frames=chunk_frames
+        )
+    ]
+    assert flat == reference
+
+
+def test_shard_chunk_layout_clip_shorter_than_chunk():
+    """A clip shorter than the chunk size becomes one whole chunk inside
+    its shard — never merged across the shard (= clip) boundary."""
+    repo = _repository(clip_frames=(30, 200, 45))
+    plan = ShardPlan(repo, 3)
+    spans = shard_chunk_spans(repo, plan, chunk_frames=100)
+    flat = [span for shard_id in sorted(spans) for span in spans[shard_id]]
+    reference = [
+        (c.chunk_id, c.start_frame, c.end_frame)
+        for c in make_chunks(repo, np.random.default_rng(0), chunk_frames=100)
+    ]
+    assert flat == reference
+    assert (0, 0, 30) in flat  # the short clip stands alone
+
+
+def test_shard_chunk_layout_empty_repository():
+    repo = empty_repository("live")
+    plan = ShardPlan(repo, 2)
+    spans = shard_chunk_spans(repo, plan, chunk_frames=50)
+    assert spans == {0: [], 1: []}

@@ -134,6 +134,99 @@ def test_handcrafted_kitchen_sink_scenario(tmp_path):
     assert report.event_log == again.event_log
 
 
+# ----------------------------------------------------- sharded execution
+
+def test_sharded_variant_maps_in_process_faults_to_worker_kills():
+    from repro.simulation.scenario import sharded_variant
+
+    base = None
+    for seed in range(60):
+        candidate = generate_scenario(seed, "quick")
+        if "detector_error" in candidate.fault_kinds():
+            base = candidate
+            break
+    assert base is not None
+    sharded = sharded_variant(base, 2)
+    assert sharded.execution == "sharded" and sharded.shards == 2
+    assert sharded.workers == 1
+    kinds = set(sharded.fault_kinds())
+    assert "worker_kill" in kinds
+    # no in-process detector seams survive the move to worker processes
+    assert not kinds & {"detector_error", "latency_spike", "latency_clear"}
+    # the world and the session mix are untouched — same scenario, new backend
+    assert sharded.datasets == base.datasets
+    assert sharded.sessions == base.sessions
+    assert sharded.ingests == base.ingests
+
+
+def test_every_sharded_variant_carries_a_worker_kill():
+    from repro.simulation.scenario import sharded_variant
+
+    for seed in range(10):
+        sharded = sharded_variant(generate_scenario(seed, "quick"), 3)
+        assert "worker_kill" in sharded.fault_kinds()
+        # on a tick the runner actually executes, whatever the tick count
+        assert all(
+            fault.at_tick < sharded.ticks
+            for fault in sharded.faults
+            if fault.kind == "worker_kill"
+        )
+
+
+def test_sharded_variant_kill_lands_in_range_for_single_tick_scenarios():
+    """The regression: with --ticks 1 the guaranteed kill was scheduled
+    at tick 1, which range(1) never executes — the respawn path was
+    silently unexercised while the sweep reported success."""
+    import dataclasses
+
+    from repro.simulation.scenario import sharded_variant
+
+    base = dataclasses.replace(generate_scenario(3, "quick"), ticks=1)
+    sharded = sharded_variant(base, 2)
+    kills = [f for f in sharded.faults if f.kind == "worker_kill"]
+    assert kills and all(f.at_tick == 0 for f in kills)
+
+
+def test_sharded_sweep_passes_oracle_and_invariants(tmp_path):
+    from repro.simulation.scenario import sharded_variant
+
+    for seed in range(max(3, int(6 * SCALE))):
+        scenario = sharded_variant(generate_scenario(seed, "quick"), 2)
+        report = run_scenario(scenario, workdir=tmp_path)
+        assert report.ticks_run > 0 or not scenario.sessions
+
+
+def test_sharded_run_is_bit_reproducible_across_worker_kills(tmp_path):
+    from repro.simulation.scenario import sharded_variant
+
+    scenario = sharded_variant(generate_scenario(7, "quick"), 2)
+    assert "worker_kill" in scenario.fault_kinds()
+    assert "crash_restart" in scenario.fault_kinds()  # both recovery paths
+    a = run_scenario(scenario, workdir=tmp_path / "a")
+    b = run_scenario(scenario, workdir=tmp_path / "b")
+    assert a.event_log == b.event_log
+
+
+def test_stress_profile_natively_generates_sharded_scenarios():
+    executions = {
+        generate_scenario(seed, "stress").execution for seed in range(30)
+    }
+    assert executions == {"local", "sharded"}
+    # quick/default stay local-only: their generation stream (and thus
+    # every historical replay seed) is untouched by the sharding knob
+    assert all(
+        generate_scenario(seed, "quick").execution == "local"
+        for seed in range(20)
+    )
+
+
+def test_cli_simulate_shards_override(capsys):
+    assert main(
+        ["simulate", "--scenarios", "3", "--shards", "2", "--quiet"]
+    ) == 0
+    assert "3/3 scenarios passed" in capsys.readouterr().out
+
+
 # -------------------------------------------------------- reproducibility
 
 def test_event_log_bit_reproducible_with_faults(tmp_path):
