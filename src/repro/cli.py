@@ -75,6 +75,7 @@ import pathlib
 import sys
 import time
 
+from . import telemetry
 from .core.query import METHODS, DistinctObjectQuery, QueryEngine, QueryResult
 from .detection.cache import DetectionCache, SqliteBackend
 from .detection.costmodel import format_duration
@@ -770,6 +771,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "detector_errors": report.detector_errors,
                 "fault_kinds": scenario.fault_kinds(),
                 "log_sha256": report.log_digest(),
+                "metrics": dict(report.metrics),
             }
             if args.scenarios == 1:
                 summary["event_log"] = report.event_log
@@ -808,6 +810,96 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seeds = " ".join(str(seed) for seed, _ in failures)
         print(f"FAILING SEEDS: {seeds}", file=sys.stderr)
         return 1
+    return 0
+
+
+# ------------------------------------------------------------------- stats
+
+def _write_metrics_snapshot(path: str | pathlib.Path) -> None:
+    """Dump the active pipeline's snapshot as stable JSON (sorted keys,
+    trailing newline) — the ``--metrics-out`` sink."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    snapshot = telemetry.get().snapshot()
+    target.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _histogram_mean(body: dict) -> str:
+    count = body.get("count", 0)
+    return f"{body['sum'] / count:.6g}" if count else "-"
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render a ``--metrics-out`` snapshot: table, JSON, or Prometheus."""
+    from .telemetry.schema import validation_errors
+
+    path = pathlib.Path(args.metrics)
+    if not path.exists():
+        print(f"error: no metrics snapshot at {path}", file=sys.stderr)
+        return 2
+    try:
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        errors = validation_errors(snapshot)
+        if errors:
+            print(f"error: {path} fails schema validation:", file=sys.stderr)
+            for line in errors:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    if args.format == "prometheus":
+        print(telemetry.render_prometheus(snapshot), end="")
+        return 0
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    slow_ticks = snapshot.get("slow_ticks", [])
+    if counters:
+        print(
+            format_table(
+                ["counter", "value"],
+                [[key, counters[key]] for key in sorted(counters)],
+            )
+        )
+    if gauges:
+        print(
+            format_table(
+                ["gauge", "value"],
+                [[key, gauges[key]] for key in sorted(gauges)],
+            )
+        )
+    if histograms:
+        print(
+            format_table(
+                ["histogram", "count", "sum", "mean"],
+                [
+                    [
+                        key,
+                        histograms[key].get("count", 0),
+                        f"{histograms[key].get('sum', 0.0):.6g}",
+                        _histogram_mean(histograms[key]),
+                    ]
+                    for key in sorted(histograms)
+                ],
+            )
+        )
+    if slow_ticks:
+        print(f"slow ticks retained: {len(slow_ticks)}")
+        for tick in slow_ticks:
+            stages = " ".join(
+                f"{child['name']}={child['duration_seconds']:.4f}s"
+                for child in tick.get("children", [])
+            )
+            print(f"  tick {tick['duration_seconds']:.4f}s  {stages}".rstrip())
+    if not (counters or gauges or histograms or slow_ticks):
+        print("(snapshot holds no series — was telemetry enabled?)")
     return 0
 
 
@@ -867,6 +959,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print a machine-readable results/cost summary instead of the table",
     )
+    query.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write the metrics snapshot (stable JSON) "
+             "to FILE on exit",
+    )
 
     submit = sub.add_parser(
         "submit", help="queue a query in a serving state directory (no work done)"
@@ -909,6 +1006,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="dataset synthesis seed; recorded in the state dir on first use",
     )
     submit.add_argument("--json", action="store_true", help="print the snapshot as JSON")
+    submit.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write the metrics snapshot (stable JSON) "
+             "to FILE on exit",
+    )
 
     ingest = sub.add_parser(
         "ingest",
@@ -1014,6 +1116,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--json", action="store_true", help="print a machine-readable summary"
     )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write the metrics snapshot (stable JSON) "
+             "to FILE on exit",
+    )
 
     simulate = sub.add_parser(
         "simulate",
@@ -1059,11 +1166,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable sweep summary (with --scenarios 1, includes "
              "the full event log)",
     )
+    simulate.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write the metrics snapshot (stable JSON) "
+             "to FILE on exit",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="render a --metrics-out snapshot (table, JSON, Prometheus)"
+    )
+    stats.add_argument(
+        "--metrics", required=True, metavar="FILE",
+        help="metrics snapshot file written by --metrics-out",
+    )
+    stats.add_argument(
+        "--format", choices=("table", "json", "prometheus"), default="table",
+        help="output rendering (default: table)",
+    )
+    stats.add_argument(
+        "--validate", action="store_true",
+        help="check the snapshot against the bundled JSON schema first "
+             "(exit 1 on violations)",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "datasets":
         return _cmd_datasets(args)
     if args.command == "query":
@@ -1074,4 +1202,22 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_ingest(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     return _cmd_serve(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is None:
+        return _dispatch(args)
+    # --metrics-out: run the whole command under a live pipeline and dump
+    # the snapshot on every exit path (including errors — a failed run's
+    # partial metrics are exactly what an operator wants to see)
+    telemetry.enable()
+    try:
+        return _dispatch(args)
+    finally:
+        _write_metrics_snapshot(metrics_out)
+        telemetry.disable()

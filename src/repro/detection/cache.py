@@ -37,6 +37,7 @@ import sqlite3
 from dataclasses import dataclass
 from typing import Iterable, Protocol, Sequence
 
+from .. import telemetry
 from ..video.geometry import Box
 from .detector import Detection, Detector, DetectorStats
 from .execution import batch_detect
@@ -55,11 +56,20 @@ __all__ = [
 
 @dataclass
 class CacheStats:
-    """Lookup accounting; ``hits`` are detector invocations avoided."""
+    """Lookup accounting; ``hits`` are detector invocations avoided.
+
+    ``last_batch_hits``/``last_batch_misses`` carry the exact split of
+    the most recent :meth:`DetectionCache.get_many` call — the per-batch
+    observability the cumulative totals cannot provide (a partial-hit
+    batch is invisible inside a long-running total).
+    """
 
     hits: int = 0
     misses: int = 0
     inserts: int = 0
+    batches: int = 0
+    last_batch_hits: int = 0
+    last_batch_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -73,6 +83,9 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.inserts = 0
+        self.batches = 0
+        self.last_batch_hits = 0
+        self.last_batch_misses = 0
 
 
 # ---------------------------------------------------------------- encoding
@@ -360,19 +373,83 @@ class DetectionCache:
 
     def __init__(self, backend: CacheBackend | None = None):
         self._backend = backend if backend is not None else InMemoryBackend()
+        self._backend_label = type(self._backend).__name__
         self.stats = CacheStats()
+        # telemetry deltas since the last drain: hits, misses, inserts,
+        # get round-trips, put round-trips (see _record)
+        self._tel_pending = [0, 0, 0, 0, 0]
+        self._tel_handles: tuple | None = None
 
     @property
     def backend(self) -> CacheBackend:
         return self._backend
+
+    def _record(
+        self, hits: int, misses: int, roundtrips: int, op: str, inserts: int = 0
+    ) -> None:
+        """Accumulate one lookup/write batch's telemetry deltas.
+
+        The cache sits on the per-frame serving path, so events are not
+        mirrored into the registry one by one: while telemetry is
+        enabled they accumulate here as plain integers and are pushed by
+        :meth:`flush` / :meth:`clear` / :meth:`close` — one registry
+        drain per durability point (the service flushes once per tick).
+        """
+        if not telemetry.get().enabled:
+            return
+        pending = self._tel_pending
+        pending[0] += hits
+        pending[1] += misses
+        pending[2] += inserts
+        if op == "get":
+            pending[3] += roundtrips
+        else:
+            pending[4] += roundtrips
+
+    def _drain_telemetry(self) -> None:
+        """Push accumulated deltas into the active registry.
+
+        Deltas from a pipeline that was disabled before the drain are
+        discarded, so a snapshot only ever describes events recorded —
+        and drained — while its own pipeline was live.  Instrument
+        handles are memoized per pipeline.
+        """
+        pending = self._tel_pending
+        if not (pending[0] or pending[1] or pending[2] or pending[3]
+                or pending[4]):
+            return
+        tel = telemetry.get()
+        if tel.enabled:
+            memo = self._tel_handles
+            if memo is None or memo[0] is not tel:
+                handles = (
+                    tel.counter("repro_cache_hits_total"),
+                    tel.counter("repro_cache_misses_total"),
+                    tel.counter("repro_cache_inserts_total"),
+                    tel.counter(
+                        "repro_cache_backend_roundtrips_total",
+                        {"backend": self._backend_label, "op": "get"},
+                    ),
+                    tel.counter(
+                        "repro_cache_backend_roundtrips_total",
+                        {"backend": self._backend_label, "op": "put"},
+                    ),
+                )
+                self._tel_handles = memo = (tel, handles)
+            for counter, amount in zip(memo[1], pending):
+                if amount:
+                    counter.inc(amount)
+        self._tel_pending = [0, 0, 0, 0, 0]
 
     def get(self, dataset: str, frame_index: int) -> tuple[Detection, ...] | None:
         """Cached detections for a frame, or ``None`` on a miss."""
         rows = self._backend.get(dataset, frame_index)
         if rows is None:
             self.stats.misses += 1
+            self._record(0, 1, 1, "get")
             return None
         self.stats.hits += 1
+        self._record(1, 0, 1, "get")
         return _decode(rows)
 
     def put(
@@ -380,25 +457,39 @@ class DetectionCache:
     ) -> None:
         self._backend.put(dataset, frame_index, _encode(detections))
         self.stats.inserts += 1
+        self._record(0, 0, 1, "put", inserts=1)
 
     def get_many(
         self, dataset: str, frame_indices: Sequence[int]
     ) -> list[tuple[Detection, ...] | None]:
         """Batch :meth:`get`: one backend round-trip, one entry per input
-        frame (``None`` on a miss), hit/miss accounting per frame."""
+        frame (``None`` on a miss).
+
+        The partial-hit split is accounted *exactly, per batch*: the
+        batch's hit/miss counts are computed in one pass and recorded
+        atomically into :attr:`stats` (``last_batch_hits`` /
+        ``last_batch_misses`` plus the cumulative totals), so an observer
+        polling between batches always sees a consistent split rather
+        than a mid-batch interleaving.
+        """
         getter = getattr(self._backend, "get_many", None)
         if getter is not None:
             rows_per_frame = getter(dataset, list(frame_indices))
+            roundtrips = 1
         else:  # backend predates the batch protocol
             rows_per_frame = [self._backend.get(dataset, int(f)) for f in frame_indices]
-        out: list[tuple[Detection, ...] | None] = []
-        for rows in rows_per_frame:
-            if rows is None:
-                self.stats.misses += 1
-                out.append(None)
-            else:
-                self.stats.hits += 1
-                out.append(_decode(rows))
+            roundtrips = len(rows_per_frame)
+        out: list[tuple[Detection, ...] | None] = [
+            None if rows is None else _decode(rows) for rows in rows_per_frame
+        ]
+        batch_hits = sum(1 for item in out if item is not None)
+        batch_misses = len(out) - batch_hits
+        self.stats.hits += batch_hits
+        self.stats.misses += batch_misses
+        self.stats.batches += 1
+        self.stats.last_batch_hits = batch_hits
+        self.stats.last_batch_misses = batch_misses
+        self._record(batch_hits, batch_misses, roundtrips, "get")
         return out
 
     def put_many(
@@ -411,10 +502,13 @@ class DetectionCache:
         encoded = [(int(frame), _encode(dets)) for frame, dets in items]
         if putter is not None:
             putter(dataset, encoded)
+            roundtrips = 1
         else:
             for frame, rows in encoded:
                 self._backend.put(dataset, frame, rows)
+            roundtrips = len(encoded)
         self.stats.inserts += len(encoded)
+        self._record(0, 0, roundtrips, "put", inserts=len(encoded))
 
     def contains(self, dataset: str, frame_index: int) -> bool:
         """Membership test without touching the hit/miss accounting."""
@@ -430,21 +524,30 @@ class DetectionCache:
         return len(self._backend)
 
     def clear(self) -> None:
-        """Drop every cached detection (all datasets).
+        """Drop every cached detection (all datasets) and reset accounting.
 
         A correctness no-op by design: sampling decisions never depend on
         cache contents, so dropping the cache costs detector calls but
         cannot change any query's answer — the property the simulation
-        harness's cache-drop fault asserts.  Hit/miss accounting is left
-        untouched (the drop is an eviction, not a reset of history).
+        harness's cache-drop fault asserts.  :attr:`stats` is reset along
+        with the contents: hit rates computed after a clear describe the
+        post-clear population, so a simulation cache-drop fault cannot
+        corrupt them with pre-drop history.
         """
+        self._drain_telemetry()  # pre-drop deltas still count, cumulatively
         self._backend.clear()
+        self.stats.reset()
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.counter("repro_cache_clears_total").inc()
 
     def flush(self) -> None:
         """Make buffered writes durable (the service calls this per tick)."""
+        self._drain_telemetry()
         self._backend.flush()
 
     def close(self) -> None:
+        self._drain_telemetry()
         self._backend.close()
 
 
@@ -504,9 +607,16 @@ class CachingDetector:
         frames = [int(f) for f in frame_indices]
         self.stats.frames_processed += len(frames)
         cached = self._cache.get_many(self._dataset, frames)
+        miss_occurrences = sum(1 for hit in cached if hit is None)
         missing = list(
             dict.fromkeys(f for f, hit in zip(frames, cached) if hit is None)
         )
+        if miss_occurrences > len(missing):
+            tel = telemetry.get()
+            if tel.enabled:  # duplicate misses collapsed into one detector call
+                tel.counter("repro_cache_dedup_saved_total").inc(
+                    miss_occurrences - len(missing)
+                )
         fresh: dict[int, list[Detection]] = {}
         if missing:
             detected = batch_detect(self._detector, missing)

@@ -33,6 +33,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
+from .. import telemetry
+from ..telemetry import FRAMES_BUCKETS
 from .detector import Detection, Detector, DetectorStats
 
 __all__ = ["batch_detect", "wrap_parallel", "ParallelDetector"]
@@ -101,6 +103,8 @@ class ParallelDetector:
         self._workers = workers
         self._latency = latency
         self._lock = threading.Lock()
+        self._tel_lock = threading.Lock()  # guards the in-flight tally
+        self._inflight = 0
         self._pool: ThreadPoolExecutor | None = None
         self.stats = DetectorStats()
 
@@ -121,25 +125,65 @@ class ParallelDetector:
     # ------------------------------------------------------------- execution
 
     def _call(self, frame_index: int) -> list[Detection]:
-        if self._latency > 0.0:
-            time.sleep(self._latency)  # overlappable per-call overhead
-        with self._lock:  # the wrapped detector is not assumed thread-safe
-            return self._detector.detect(frame_index)
+        tel = telemetry.get()
+        if tel.enabled:
+            with self._tel_lock:
+                self._inflight += 1
+                depth = self._inflight
+            tel.gauge("repro_exec_inflight_calls").set(depth)
+            tel.gauge("repro_exec_inflight_peak_calls").set_max(depth)
+            busy_start = time.perf_counter()
+        try:
+            if self._latency > 0.0:
+                time.sleep(self._latency)  # overlappable per-call overhead
+            with self._lock:  # the wrapped detector is not assumed thread-safe
+                return self._detector.detect(frame_index)
+        finally:
+            if tel.enabled:
+                tel.counter("repro_exec_busy_seconds_total").inc(
+                    time.perf_counter() - busy_start
+                )
+                with self._tel_lock:
+                    self._inflight -= 1
+                    depth = self._inflight
+                tel.gauge("repro_exec_inflight_calls").set(depth)
 
     def detect(self, frame_index: int) -> list[Detection]:
         detections = self._call(int(frame_index))
         self.stats.frames_processed += 1
         self.stats.detections_emitted += len(detections)
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.counter("repro_exec_frames_total").inc()
         return detections
 
     def detect_many(self, frame_indices: Sequence[int]) -> list[list[Detection]]:
         frames = [int(f) for f in frame_indices]
+        tel = telemetry.get()
+        if tel.enabled:
+            # queue depth: the whole batch is enqueued at once, so its
+            # size is what the pool sees waiting at submit time
+            tel.gauge("repro_exec_queue_depth_frames").set(len(frames))
+            tel.gauge("repro_exec_queue_depth_peak_frames").set_max(len(frames))
+            tel.gauge("repro_exec_workers").set(self._workers)
+            batch_start = time.perf_counter()
         if len(frames) <= 1 or self._workers == 1:
             results = [self._call(f) for f in frames]
         else:
             results = list(self._ensure_pool().map(self._call, frames))
         self.stats.frames_processed += len(frames)
         self.stats.detections_emitted += sum(len(r) for r in results)
+        if tel.enabled:
+            elapsed = time.perf_counter() - batch_start
+            tel.counter("repro_exec_batches_total").inc()
+            tel.counter("repro_exec_frames_total").inc(len(frames))
+            tel.histogram("repro_exec_batch_frames", buckets=FRAMES_BUCKETS).observe(
+                len(frames)
+            )
+            tel.histogram("repro_exec_batch_seconds").observe(elapsed)
+            tel.gauge("repro_exec_queue_depth_frames").set(0)
+            # worker utilization numerator: busy seconds accumulate in
+            # _call; utilization = busy / (batch_seconds × workers)
         return results
 
     # -------------------------------------------------------------- lifecycle

@@ -33,8 +33,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Sequence
 
+from .. import telemetry
+from ..telemetry import FRAMES_BUCKETS
 from ..detection.detector import Detection, DetectorStats
 from ..video.repository import VideoRepository
 from .shard import ShardPlan
@@ -231,6 +234,9 @@ class ShardCoordinator:
         if handle is not None:
             handle.kill()  # reap whatever is left; idempotent on the dead
         self.restarts += 1
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.counter("repro_shard_respawns_total", {"shard": shard_id}).inc()
         return self._spawn(shard_id)
 
     def _request(self, shard_id: int, op: str, payload) -> object:
@@ -327,22 +333,29 @@ class ShardCoordinator:
         frames = [int(f) for f in frame_indices]
         if not frames:
             return []
+        tel = telemetry.get()
+        batch_start = time.perf_counter() if tel.enabled else 0.0
         self._sync()
         groups: dict[int, list[int]] = {}
         for frame in frames:
             groups.setdefault(self._plan.shard_for_frame(frame), []).append(frame)
         # fan out: one in-flight request per shard
         in_flight: list[tuple[int, int]] = []  # (shard_id, request_id)
+        sent_at: dict[int, float] = {}  # shard_id -> send timestamp
         for shard_id in sorted(groups):
             handle = self._ensure_worker(shard_id)
             request_id = self._next_request
             self._next_request += 1
+            sent_at[shard_id] = time.perf_counter()
             try:
                 handle.send(("detect", request_id, groups[shard_id]))
                 in_flight.append((shard_id, request_id))
             except _DEAD_WORKER_ERRORS:
                 self._respawn(shard_id)
                 in_flight.append((shard_id, -1))  # re-issued on collect
+        if tel.enabled:
+            tel.gauge("repro_shard_inflight_requests").set(len(in_flight))
+            tel.gauge("repro_shard_inflight_peak_requests").set_max(len(in_flight))
         # collect, re-issuing against a fresh worker when one died
         # mid-flight.  Every in-flight request is drained before any
         # failure propagates: a worker answers exactly once per request,
@@ -364,13 +377,37 @@ class ShardCoordinator:
             except RuntimeError as exc:  # a shard failed; keep draining
                 failures.append(exc)
                 continue
+            if tel.enabled:
+                # send-to-merge latency as the coordinator experiences it
+                # (includes any wait behind earlier shards' responses)
+                tel.histogram(
+                    "repro_shard_request_seconds", {"shard": shard_id}
+                ).observe(time.perf_counter() - sent_at[shard_id])
+                tel.counter("repro_shard_requests_total", {"shard": shard_id}).inc()
+                tel.counter("repro_shard_frames_total", {"shard": shard_id}).inc(
+                    len(groups[shard_id])
+                )
             for frame, rows in zip(groups[shard_id], payload):
                 by_frame[frame] = decode_rows(rows)
+        if tel.enabled:
+            tel.gauge("repro_shard_inflight_requests").set(0)
         if failures:
             raise failures[0]
         out = [list(by_frame[frame]) for frame in frames]
         self.stats.frames_processed += len(frames)
         self.stats.detections_emitted += sum(len(d) for d in out)
+        if tel.enabled:
+            # the exec-layer view of the same work: in a sharded service
+            # the coordinator IS the execution backend (workers>1 and
+            # shards>1 are mutually exclusive), so it must publish the
+            # exec batch series or sharded runs would lose that layer
+            elapsed = time.perf_counter() - batch_start
+            tel.counter("repro_exec_batches_total").inc()
+            tel.counter("repro_exec_frames_total").inc(len(frames))
+            tel.histogram("repro_exec_batch_frames", buckets=FRAMES_BUCKETS).observe(
+                len(frames)
+            )
+            tel.histogram("repro_exec_batch_seconds").observe(elapsed)
         return out
 
     def detect(self, frame_index: int) -> list[Detection]:

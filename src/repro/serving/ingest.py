@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..video.synthetic import place_instances
 
 __all__ = [
@@ -151,13 +152,18 @@ def append_entry(state_dir: str | pathlib.Path, entry: IngestEntry) -> int:
     path = journal_path(state_dir)
     path.parent.mkdir(parents=True, exist_ok=True)
     index = len(load_entries(state_dir))
+    tel = telemetry.get()
     if path.exists():
         _, committed_bytes = _committed_payload(path)
         if committed_bytes != path.stat().st_size:
             with open(path, "rb+") as handle:
                 handle.truncate(committed_bytes)
+            if tel.enabled:
+                tel.counter("repro_ingest_torn_tail_repairs_total").inc()
     with open(path, "ab") as handle:
         handle.write((json.dumps(entry.to_dict()) + "\n").encode("utf-8"))
+    if tel.enabled:
+        tel.counter("repro_ingest_entries_total").inc()
     return index
 
 
@@ -265,6 +271,10 @@ def apply_entry(service, entry: IngestEntry, entry_index: int, base_seed: int = 
             )
         service.feed(entry.dataset, entry.frames, instances, fps=entry.fps)
         appended += entry.frames
+    tel = telemetry.get()
+    if tel.enabled:
+        tel.counter("repro_ingest_clips_total").inc(entry.clips)
+        tel.counter("repro_ingest_frames_total").inc(appended)
     return appended
 
 

@@ -27,11 +27,14 @@ Two invariants carry the whole design:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from .. import telemetry
 from ..core.chunking import IncrementalChunker
+from ..telemetry import FRAMES_BUCKETS
 from ..core.sampler import ExSample
 from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
 from ..detection.detector import Detection, Detector, OracleDetector
@@ -193,6 +196,9 @@ class QueryService:
         # engines commit whole batches); charged against future shares so
         # long-run throughput stays at frames_per_tick
         self._deficits: dict[str, int] = {}
+        # memoized telemetry instrument handles, rebuilt per pipeline
+        # (see _tick_instruments)
+        self._tel_memo: tuple | None = None
 
     # ------------------------------------------------------------ properties
 
@@ -389,9 +395,45 @@ class QueryService:
             grew = session.absorb_new_footage()
             if grew:
                 absorbed[session.session_id] = grew
+        if absorbed:
+            tel = telemetry.get()
+            if tel.enabled:
+                tel.counter("repro_serving_absorbed_frames_total").inc(
+                    sum(absorbed.values())
+                )
         return absorbed
 
     # ------------------------------------------------------------- execution
+
+    def _tick_instruments(self, tel) -> dict:
+        """Memoized instrument handles for the tick loop's emissions.
+
+        The tick path must not pay a series-key lookup per emission, so
+        handles are resolved once per pipeline (identity-checked: a
+        fresh ``telemetry.enable()`` rebuilds them) and per-session
+        gauges get-or-create into the memo's ``grant``/``deficit`` maps.
+        """
+        memo = self._tel_memo
+        if memo is None or memo[0] is not tel:
+            handles = {
+                "schedulable": tel.gauge("repro_serving_sessions_schedulable"),
+                "ticks": tel.counter("repro_serving_ticks_total"),
+                "frames": tel.counter("repro_serving_frames_total"),
+                "tick_seconds": tel.histogram("repro_serving_tick_seconds"),
+                "tick_frames": tel.histogram(
+                    "repro_serving_tick_frames", buckets=FRAMES_BUCKETS
+                ),
+                "stage": {
+                    name: tel.histogram(
+                        "repro_serving_stage_seconds", {"stage": name}
+                    )
+                    for name in ("plan", "coalesce", "detect", "commit")
+                },
+                "grant": {},
+                "deficit": {},
+            }
+            self._tel_memo = memo = (tel, handles)
+        return memo[1]
 
     def tick(self) -> dict[str, int]:
         """One scheduling round: split the frames-per-tick budget across
@@ -427,79 +469,163 @@ class QueryService:
         re-offer it on the next tick (:meth:`QuerySession.plan_step`),
         so a transient detector error loses at most the tick in flight —
         the same durability the state layer promises.
+
+        Telemetry (no-op unless :mod:`repro.telemetry` is enabled; never
+        consulted for any decision): the whole tick runs under a ``tick``
+        trace span with child spans per stage (``plan``/``coalesce``/
+        ``detect``/``commit``), feeding the slow-tick ring buffer, plus
+        tick-latency/frame histograms, per-session grant and deficit
+        gauges, and per-stage duration histograms.
         """
-        # pick up footage appended out-of-band since the last round; a
-        # session holding a pending (failed-tick) batch defers absorption
-        # until that batch commits, so this is always replay-safe
-        self.sync()
-        # allocate over sessions a tick can actually advance: a follow
-        # session idling for footage is ACTIVE but handing it budget
-        # would silently waste its share (plans come back empty and the
-        # remainder is never redistributed within the tick)
-        active = self.schedulable_sessions()
-        if not active:
-            return {}
-        self._ticks += 1
-        allocation = self._scheduler.allocate(active, self._frames_per_tick, self._rng)
-        processed: dict[str, int] = {s.session_id: 0 for s in active}
-        # forget debt only for sessions that are gone for good; paused
-        # sessions keep theirs and pay it on resume
-        self._deficits = {
-            sid: debt for sid, debt in self._deficits.items()
-            if sid in self._sessions and not self._sessions[sid].state.terminal
-        }
-        remaining = {
-            s.session_id: allocation.get(s.session_id, 0)
-            - self._deficits.get(s.session_id, 0)
-            for s in active
-        }
-        completed = False
-        try:
-            while True:
-                # stage 1, all sessions: plan one engine iteration each
-                plans: list[tuple[QuerySession, list[tuple[int, int]]]] = []
-                for session in active:  # submission order, independent of policy
-                    if remaining[session.session_id] <= 0:
-                        continue
-                    pending = session.plan_step()
-                    if pending:
-                        plans.append((session, pending))
-                    else:  # no longer schedulable (satisfied/exhausted/capped)
-                        remaining[session.session_id] = 0
-                if not plans:
-                    break
-                # stage 2, once per dataset: one batched detector call over
-                # the union of planned frames, duplicates coalesced
-                frames_by_dataset: dict[str, dict[int, None]] = {}
-                for session, pending in plans:
-                    ordered = frames_by_dataset.setdefault(session.spec.dataset, {})
-                    for _, frame in pending:
-                        ordered[frame] = None
-                detections: dict[str, dict[int, list[Detection]]] = {}
-                for dataset, ordered in frames_by_dataset.items():
-                    frames = list(ordered)
-                    per_frame = self._shared_detector(dataset).detect_many(frames)
-                    detections[dataset] = dict(zip(frames, per_frame))
-                # stage 3, all sessions: commit in submission order
-                for session, pending in plans:
-                    count = session.commit_step(
-                        pending, detections[session.spec.dataset]
-                    )
-                    processed[session.session_id] += count
-                    remaining[session.session_id] -= count
-            completed = True
-        finally:
-            # settle the books even if the detector raised mid-tick: every
-            # committed frame is charged, old debt survives, and the tick's
-            # share is only credited when the quantum actually completed
-            for session in active:
-                session_id = session.session_id
-                debt = self._deficits.pop(session_id, 0)
-                credit = allocation.get(session_id, 0) if completed else 0
-                new_debt = debt + processed[session_id] - credit
-                if new_debt > 0:
-                    self._deficits[session_id] = new_debt
-            self._cache.flush()  # one durability point per scheduling quantum
+        tel = telemetry.get()
+        tick_start = time.perf_counter() if tel.enabled else 0.0
+        with tel.span("tick", tick=self._ticks + 1) as tick_span:
+            # pick up footage appended out-of-band since the last round; a
+            # session holding a pending (failed-tick) batch defers absorption
+            # until that batch commits, so this is always replay-safe
+            with tel.span("sync"):
+                self.sync()
+            # allocate over sessions a tick can actually advance: a follow
+            # session idling for footage is ACTIVE but handing it budget
+            # would silently waste its share (plans come back empty and the
+            # remainder is never redistributed within the tick)
+            active = self.schedulable_sessions()
+            if not active:
+                return {}
+            self._ticks += 1
+            allocation = self._scheduler.allocate(
+                active, self._frames_per_tick, self._rng
+            )
+            if tel.enabled:
+                inst = self._tick_instruments(tel)
+                inst["schedulable"].set(len(active))
+                grants = inst["grant"]
+                for session in active:
+                    session_id = session.session_id
+                    gauge = grants.get(session_id)
+                    if gauge is None:
+                        gauge = grants[session_id] = tel.gauge(
+                            "repro_serving_session_grant_frames",
+                            {"session": session_id},
+                        )
+                    gauge.set(allocation.get(session_id, 0))
+            processed: dict[str, int] = {s.session_id: 0 for s in active}
+            # forget debt only for sessions that are gone for good; paused
+            # sessions keep theirs and pay it on resume
+            self._deficits = {
+                sid: debt for sid, debt in self._deficits.items()
+                if sid in self._sessions and not self._sessions[sid].state.terminal
+            }
+            remaining = {
+                s.session_id: allocation.get(s.session_id, 0)
+                - self._deficits.get(s.session_id, 0)
+                for s in active
+            }
+            completed = False
+            # stage timing accumulates with bare perf_counter arithmetic —
+            # a span per stage per *round* would tax the hot loop, so one
+            # summed span per stage is filed at tick end instead
+            enabled = tel.enabled
+            stage_seconds = {"plan": 0.0, "coalesce": 0.0, "detect": 0.0,
+                             "commit": 0.0}
+            rounds = 0
+            detect_frames = 0
+            try:
+                while True:
+                    mark = time.perf_counter() if enabled else 0.0
+                    # stage 1, all sessions: plan one engine iteration each
+                    plans: list[tuple[QuerySession, list[tuple[int, int]]]] = []
+                    for session in active:  # submission order, policy-free
+                        if remaining[session.session_id] <= 0:
+                            continue
+                        pending = session.plan_step()
+                        if pending:
+                            plans.append((session, pending))
+                        else:  # not schedulable (satisfied/exhausted/capped)
+                            remaining[session.session_id] = 0
+                    if enabled:
+                        now = time.perf_counter()
+                        stage_seconds["plan"] += now - mark
+                        mark = now
+                    if not plans:
+                        break
+                    rounds += 1
+                    # stage 2, once per dataset: one batched detector call over
+                    # the union of planned frames, duplicates coalesced
+                    frames_by_dataset: dict[str, dict[int, None]] = {}
+                    for session, pending in plans:
+                        ordered = frames_by_dataset.setdefault(
+                            session.spec.dataset, {}
+                        )
+                        for _, frame in pending:
+                            ordered[frame] = None
+                    if enabled:
+                        now = time.perf_counter()
+                        stage_seconds["coalesce"] += now - mark
+                        mark = now
+                    detections: dict[str, dict[int, list[Detection]]] = {}
+                    for dataset, ordered in frames_by_dataset.items():
+                        frames = list(ordered)
+                        per_frame = self._shared_detector(dataset).detect_many(
+                            frames
+                        )
+                        detections[dataset] = dict(zip(frames, per_frame))
+                        detect_frames += len(frames)
+                    if enabled:
+                        now = time.perf_counter()
+                        stage_seconds["detect"] += now - mark
+                        mark = now
+                    # stage 3, all sessions: commit in submission order
+                    for session, pending in plans:
+                        count = session.commit_step(
+                            pending, detections[session.spec.dataset]
+                        )
+                        processed[session.session_id] += count
+                        remaining[session.session_id] -= count
+                    if enabled:
+                        stage_seconds["commit"] += time.perf_counter() - mark
+                completed = True
+            finally:
+                # settle the books even if the detector raised mid-tick: every
+                # committed frame is charged, old debt survives, and the tick's
+                # share is only credited when the quantum actually completed
+                for session in active:
+                    session_id = session.session_id
+                    debt = self._deficits.pop(session_id, 0)
+                    credit = allocation.get(session_id, 0) if completed else 0
+                    new_debt = debt + processed[session_id] - credit
+                    if new_debt > 0:
+                        self._deficits[session_id] = new_debt
+                if tel.enabled:
+                    deficits = self._tick_instruments(tel)["deficit"]
+                    for session in active:
+                        session_id = session.session_id
+                        gauge = deficits.get(session_id)
+                        if gauge is None:
+                            gauge = deficits[session_id] = tel.gauge(
+                                "repro_serving_session_deficit_frames",
+                                {"session": session_id},
+                            )
+                        gauge.set(self._deficits.get(session_id, 0))
+                self._cache.flush()  # one durability point per scheduling quantum
+            if tel.enabled:
+                inst = self._tick_instruments(tel)
+                stage_hists = inst["stage"]
+                for name in ("plan", "coalesce", "detect", "commit"):
+                    if name == "detect":
+                        tel.record_span(
+                            name, stage_seconds[name],
+                            rounds=rounds, frames=detect_frames,
+                        )
+                    else:
+                        tel.record_span(name, stage_seconds[name], rounds=rounds)
+                    stage_hists[name].observe(stage_seconds[name])
+                frames_done = sum(processed.values())
+                tick_span.note(frames=frames_done, sessions=len(active))
+                inst["ticks"].inc()
+                inst["frames"].inc(frames_done)
+                inst["tick_seconds"].observe(time.perf_counter() - tick_start)
+                inst["tick_frames"].observe(frames_done)
         return processed
 
     def run_until_idle(self, max_ticks: int | None = None) -> int:

@@ -91,6 +91,10 @@ class SimulationReport:
     sessions: dict[str, dict] = field(default_factory=dict)
     crashes: int = 0
     detector_errors: int = 0
+    #: deterministic per-run observability summary (``simulate --json``
+    #: surfaces it as the scenario's ``metrics`` block) — only quantities
+    #: that are reproducible by design, never wall-clock
+    metrics: dict = field(default_factory=dict)
 
     def log_digest(self) -> str:
         """SHA-256 over the event log — the bit-reproducibility witness."""
@@ -581,6 +585,7 @@ class SimulationRunner:
                 noisy_detector=scenario.detector == "noisy",
             )
 
+        cache_stats = service.cache.stats
         return SimulationReport(
             scenario=scenario,
             event_log=list(self.log),
@@ -593,6 +598,19 @@ class SimulationRunner:
             },
             crashes=self.crashes,
             detector_errors=self.detector_errors,
+            metrics={
+                "ticks_run": ticks_run,
+                "steps_committed": sum(self.logged_steps.values()),
+                "detector_calls": service.detector_calls,
+                # post-clear when a cache_drop fault fired (clear() resets
+                # accounting), so rates always describe one population
+                "cache_hits": cache_stats.hits,
+                "cache_misses": cache_stats.misses,
+                "cache_inserts": cache_stats.inserts,
+                "cache_batches": cache_stats.batches,
+                "crashes": self.crashes,
+                "detector_errors": self.detector_errors,
+            },
         )
 
 

@@ -1,0 +1,76 @@
+"""Render a metrics snapshot in the Prometheus text exposition format.
+
+This is the wire format of the future network serving tier: a scrape
+endpoint will call :func:`render` on a live snapshot and return the text
+verbatim.  Until then it is reachable through ``python -m repro stats
+--format prometheus``, so dashboards can be prototyped against file
+snapshots before any socket exists.
+
+The renderer works from the *snapshot* (plain dicts), not the registry,
+so it can format metrics written by another process — which is the whole
+point of ``--metrics-out``.  Histograms are emitted with cumulative
+``_bucket`` lines (``le`` labels), ``_sum`` and ``_count``, per the
+exposition format; counters and gauges are single sample lines.  Series
+arrive already sorted from the snapshot and are emitted in that order,
+so rendered output is deterministic too.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render"]
+
+
+def _split_series(key: str) -> tuple[str, str]:
+    """``name{a="b"}`` -> (``name``, ``a="b"``); bare names get ``""``."""
+    if key.endswith("}") and "{" in key:
+        name, _, labels = key.partition("{")
+        return name, labels[:-1]
+    return key, ""
+
+
+def _with_label(labels: str, extra: str) -> str:
+    return f"{labels},{extra}" if labels else extra
+
+
+def _format_value(value: float) -> str:
+    # integers render bare (Prometheus accepts both; bare diffs cleaner)
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _type_lines(out: list[str], seen: set[str], name: str, kind: str) -> None:
+    if name not in seen:
+        seen.add(name)
+        out.append(f"# TYPE {name} {kind}")
+
+
+def render(snapshot: dict) -> str:
+    """The snapshot as Prometheus exposition text (trailing newline)."""
+    out: list[str] = []
+    typed: set[str] = set()
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _split_series(key)
+        _type_lines(out, typed, name, "counter")
+        suffix = f"{{{labels}}}" if labels else ""
+        out.append(f"{name}{suffix} {_format_value(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _split_series(key)
+        _type_lines(out, typed, name, "gauge")
+        suffix = f"{{{labels}}}" if labels else ""
+        out.append(f"{name}{suffix} {_format_value(value)}")
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = _split_series(key)
+        _type_lines(out, typed, name, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            le = _with_label(labels, f'le="{_format_value(bound)}"')
+            out.append(f"{name}_bucket{{{le}}} {cumulative}")
+        cumulative += hist["counts"][-1]
+        le = _with_label(labels, 'le="+Inf"')
+        out.append(f"{name}_bucket{{{le}}} {cumulative}")
+        suffix = f"{{{labels}}}" if labels else ""
+        out.append(f"{name}_sum{suffix} {repr(float(hist['sum']))}")
+        out.append(f"{name}_count{suffix} {hist['count']}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,249 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Three constraints shape this module, all downstream of the serving
+layer's determinism contract:
+
+* **dependency-free** — the registry must import nothing beyond the
+  stdlib, because it is loaded by every layer (core, detection, serving,
+  distributed, simulation) and must never become a reason a layer cannot;
+* **deterministic output** — histogram bucket bounds are fixed at
+  registration (never adapted to observed data) and snapshots serialize
+  series in sorted order, so two runs that do the same work produce
+  snapshots that differ only in measured durations, never in structure;
+* **thread-safe** — counters and gauges are touched from
+  :class:`~repro.detection.execution.ParallelDetector` worker threads,
+  so every mutation happens under the instrument's lock.
+
+Series identity is ``name`` plus an optional label mapping, rendered
+Prometheus-style (``repro_shard_frames_total{shard="2"}``) with label
+keys sorted, so the same logical series always lands under the same key
+no matter which call site created it first.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "FRAMES_BUCKETS",
+    "series_key",
+]
+
+# fixed default bucket bounds (upper-inclusive; +Inf is implicit).  Two
+# scales cover every metric in the catalog: wall-clock durations and
+# frame/batch counts.  Fixed bounds are what make snapshots structurally
+# deterministic — an adaptive histogram would shape its output by timing.
+SECONDS_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+FRAMES_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
+
+
+def series_key(name: str, labels: Mapping[str, object] | None = None) -> str:
+    """The canonical series identity: ``name`` or ``name{k="v",...}``
+    with label keys sorted (so call-site dict ordering never matters)."""
+    if not labels:
+        return name
+    rendered = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, frames, round-trips)."""
+
+    __slots__ = ("key", "_value", "_lock")
+
+    def __init__(self, key: str):
+        self.key = key
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, deficit, last grant)."""
+
+    __slots__ = ("key", "_value", "_lock")
+
+    def __init__(self, key: str):
+        self.key = key
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: int | float) -> None:
+        """Ratchet: keep the largest value ever seen (peak tracking)."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+class Histogram:
+    """A distribution over fixed, registration-time bucket bounds.
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]``
+    (non-cumulative, one extra overflow bucket at the end), plus running
+    ``sum``/``count`` — exactly what the Prometheus text renderer needs
+    to emit cumulative ``_bucket`` lines.
+    """
+
+    __slots__ = ("key", "bounds", "counts", "_sum", "_count", "_lock")
+
+    def __init__(self, key: str, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.key = key
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)  # +1: the +Inf overflow bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store, keyed by series identity.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: the first call
+    for a series creates it, later calls return the same instrument —
+    so instrumentation sites never hold registry state, only names.
+    Registering one series under two different instrument kinds is a
+    programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _guard(self, key: str, own: dict, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not own and key in table:
+                raise ValueError(
+                    f"series {key!r} is already registered as a {other_kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+
+    def counter(self, name: str, labels: Mapping[str, object] | None = None) -> Counter:
+        key = series_key(name, labels)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                self._guard(key, self._counters, "counter")
+                instrument = self._counters[key] = Counter(key)
+        return instrument
+
+    def gauge(self, name: str, labels: Mapping[str, object] | None = None) -> Gauge:
+        key = series_key(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                self._guard(key, self._gauges, "gauge")
+                instrument = self._gauges[key] = Gauge(key)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, object] | None = None,
+        buckets: Sequence[float] = SECONDS_BUCKETS,
+    ) -> Histogram:
+        key = series_key(name, labels)
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                self._guard(key, self._histograms, "histogram")
+                instrument = self._histograms[key] = Histogram(key, buckets)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """All series, sorted by key — the stable JSON body ``--metrics-out``
+        dumps (values are whatever was measured; the *structure* is a pure
+        function of the work performed)."""
+        with self._lock:
+            return {
+                "counters": {
+                    key: self._counters[key].value for key in sorted(self._counters)
+                },
+                "gauges": {
+                    key: self._gauges[key].value for key in sorted(self._gauges)
+                },
+                "histograms": {
+                    key: self._histograms[key].to_dict()
+                    for key in sorted(self._histograms)
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every series (a fresh registry, not zeroed instruments —
+        old instrument handles go stale by design)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

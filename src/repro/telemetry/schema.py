@@ -1,0 +1,114 @@
+"""A minimal JSON-Schema-subset validator for metrics snapshots.
+
+CI validates every ``--metrics-out`` snapshot against the checked-in
+``metrics_schema.json`` before uploading it, so a refactor that silently
+changes the snapshot shape fails the build instead of breaking whatever
+dashboards consume the artifacts.  The container ships no ``jsonschema``
+package, so this module implements exactly the subset the schema file
+uses — ``type``, ``required``, ``properties``, ``additionalProperties``,
+``items``, ``enum``, ``minimum`` — and nothing more.  An unsupported
+keyword in the schema is a hard error, not a silent pass: a schema that
+says more than the validator checks would be a false promise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["SCHEMA_PATH", "load_schema", "validate", "validation_errors"]
+
+SCHEMA_PATH = pathlib.Path(__file__).parent / "metrics_schema.json"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+}
+
+_SUPPORTED = {
+    "$comment", "type", "required", "properties",
+    "additionalProperties", "items", "enum", "minimum",
+}
+
+
+def load_schema(path: str | pathlib.Path | None = None) -> dict:
+    """The checked-in snapshot schema (or any schema file)."""
+    target = pathlib.Path(path) if path is not None else SCHEMA_PATH
+    return json.loads(target.read_text(encoding="utf-8"))
+
+
+def _check_type(value, expected: str, where: str, errors: list[str]) -> bool:
+    python_type = _TYPES[expected]
+    # bool is an int subclass in Python; "integer"/"number" must not
+    # accept True, or a snapshot bug could hide behind a boolean
+    if isinstance(value, bool) and expected != "boolean":
+        errors.append(f"{where}: expected {expected}, got boolean")
+        return False
+    if not isinstance(value, python_type):
+        errors.append(f"{where}: expected {expected}, got {type(value).__name__}")
+        return False
+    if expected == "integer" and isinstance(value, float):
+        errors.append(f"{where}: expected integer, got float")
+        return False
+    return True
+
+
+def _validate(value, schema: dict, where: str, errors: list[str]) -> None:
+    unsupported = set(schema) - _SUPPORTED
+    if unsupported:
+        raise ValueError(
+            f"schema at {where} uses unsupported keywords: {sorted(unsupported)}"
+        )
+    expected = schema.get("type")
+    if expected is not None:
+        if expected not in _TYPES:
+            raise ValueError(f"schema at {where}: unknown type {expected!r}")
+        if not _check_type(value, expected, where, errors):
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{where}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{where}: {value!r} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{where}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, subschema in properties.items():
+            if name in value:
+                _validate(value[name], subschema, f"{where}.{name}", errors)
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for name, item in value.items():
+                if name not in properties:
+                    _validate(item, extra, f"{where}.{name}", errors)
+        elif extra is False:
+            for name in value:
+                if name not in properties:
+                    errors.append(f"{where}: unexpected key {name!r}")
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], f"{where}[{index}]", errors)
+
+
+def validation_errors(snapshot: dict, schema: dict | None = None) -> list[str]:
+    """Every violation found, as ``path: message`` strings; empty = valid."""
+    if schema is None:
+        schema = load_schema()
+    errors: list[str] = []
+    _validate(snapshot, schema, "$", errors)
+    return errors
+
+
+def validate(snapshot: dict, schema: dict | None = None) -> None:
+    """Raise ``ValueError`` listing every violation; no-op when valid."""
+    errors = validation_errors(snapshot, schema)
+    if errors:
+        raise ValueError(
+            "metrics snapshot failed schema validation:\n  " + "\n  ".join(errors)
+        )

@@ -1,0 +1,173 @@
+"""Lightweight structured trace spans and the slow-tick ring buffer.
+
+A span is a named, timed region with optional key/value annotations and
+nested children — enough structure to answer "where did this tick's
+time go" without dragging in a tracing framework.  Spans are collected
+per thread (the tick loop is single-threaded; detector worker threads
+deliberately record counters only, never spans), and completed *root*
+spans named ``tick`` that exceed the configured threshold are copied
+into a bounded ring buffer: the slow-tick log.  The buffer is sized in
+entries, not time, so a misbehaving deployment can never grow it without
+bound — new slow ticks evict the oldest.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "SpanCollector", "NULL_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: name, timing, annotations, children."""
+
+    name: str
+    start: float
+    duration: float
+    meta: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "duration_seconds": self.duration}
+        if self.meta:
+            out["meta"] = {k: self.meta[k] for k in sorted(self.meta)}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class _NullSpan:
+    """The disabled-path span: a shared, allocation-free context manager.
+
+    Every method is a no-op and ``__enter__`` returns the singleton
+    itself, so instrumented code reads identically whether telemetry is
+    on or off — and the off path costs one attribute lookup per region.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def note(self, **_kw) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times itself and files into the collector's stack.
+
+    ``duration`` is set on exit so enabled-path callers can reuse the
+    span's own measurement (stage histograms) instead of timing twice.
+    """
+
+    __slots__ = ("_collector", "_name", "_meta", "_start", "duration")
+
+    def __init__(self, collector: "SpanCollector", name: str, meta: dict):
+        self._collector = collector
+        self._name = name
+        self._meta = meta
+        self.duration = 0.0
+
+    def note(self, **kw) -> None:
+        """Attach measurements discovered mid-span (batch sizes, counts)."""
+        self._meta.update(kw)
+
+    def __enter__(self) -> "_Span":
+        self._collector._push()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.duration = time.perf_counter() - self._start
+        record = SpanRecord(
+            name=self._name,
+            start=self._start,
+            duration=self.duration,
+            meta=self._meta,
+            children=self._collector._pop(),
+        )
+        self._collector._finish(record)
+        return False
+
+
+class SpanCollector:
+    """Per-thread span stacks plus the slow-tick ring buffer.
+
+    ``slow_tick_threshold`` is in seconds; a completed root span named
+    ``tick`` whose duration meets it is recorded (as a plain dict tree)
+    into a ``deque`` capped at ``slow_tick_capacity``.  The most recent
+    completed root span is also kept for tests and the stats surface.
+    """
+
+    TICK_SPAN = "tick"
+
+    def __init__(self, slow_tick_threshold: float = 0.1, slow_tick_capacity: int = 32):
+        if slow_tick_threshold < 0.0:
+            raise ValueError("slow_tick_threshold must be non-negative")
+        if slow_tick_capacity < 1:
+            raise ValueError("slow_tick_capacity must be at least 1")
+        self.slow_tick_threshold = slow_tick_threshold
+        self._slow_ticks: deque[dict] = deque(maxlen=slow_tick_capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.last_root: SpanRecord | None = None
+
+    def span(self, name: str, **meta) -> _Span:
+        return _Span(self, name, meta)
+
+    def record(self, name: str, duration: float, **meta) -> None:
+        """File a *pre-timed* span — a child of the currently open span,
+        or a root when none is open.
+
+        The escape hatch for hot loops: a tick's inner rounds accumulate
+        stage durations with bare ``perf_counter`` arithmetic (tens of
+        nanoseconds) and file one summed span per stage at tick end,
+        instead of paying span bookkeeping per round.
+        """
+        self._finish(
+            SpanRecord(name=name, start=0.0, duration=float(duration), meta=meta)
+        )
+
+    # ------------------------------------------------- stack bookkeeping
+
+    def _stack(self) -> list[list[SpanRecord]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self) -> None:
+        self._stack().append([])
+
+    def _pop(self) -> list[SpanRecord]:
+        return self._stack().pop()
+
+    def _finish(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if stack:  # a child: file under the enclosing span
+            stack[-1].append(record)
+            return
+        with self._lock:
+            self.last_root = record
+            if (
+                record.name == self.TICK_SPAN
+                and record.duration >= self.slow_tick_threshold
+            ):
+                self._slow_ticks.append(record.to_dict())
+
+    # ----------------------------------------------------------- output
+
+    def slow_ticks(self) -> list[dict]:
+        """The retained slow-tick span trees, oldest first."""
+        with self._lock:
+            return list(self._slow_ticks)

@@ -1,0 +1,516 @@
+"""Telemetry subsystem tests: registry semantics, snapshot determinism,
+the no-op default, span trees, renderers, schema validation — and the
+contract that matters most: decision streams are bit-identical with
+telemetry enabled or disabled."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.detection.cache import CachingDetector, DetectionCache
+from repro.detection.detector import OracleDetector
+from repro.serving import ingest as serving_ingest
+from repro.serving import (
+    PriorityScheduler,
+    QueryService,
+    RoundRobinScheduler,
+    ThompsonSumScheduler,
+)
+from repro.serving.ingest import IngestEntry
+from repro.telemetry import (
+    FRAMES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTelemetry,
+    SpanCollector,
+    Telemetry,
+    series_key,
+)
+from repro.telemetry.prometheus import render
+from repro.telemetry.schema import load_schema, validate, validation_errors
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.repository import VideoClip, VideoRepository
+
+SCHEDULERS = {
+    "round-robin": RoundRobinScheduler,
+    "priority": PriorityScheduler,
+    "thompson": ThompsonSumScheduler,
+}
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_pipeline():
+    """Telemetry is module-global state; no test may leak an enabled
+    pipeline into the next (or the parity contract itself is void)."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+# ---------------------------------------------------------------- registry
+
+def test_series_key_sorts_labels():
+    assert series_key("m") == "m"
+    assert series_key("m", {"b": 1, "a": "x"}) == 'm{a="x",b="1"}'
+    # call-site dict order never matters
+    assert series_key("m", {"a": "x", "b": 1}) == series_key("m", {"b": 1, "a": "x"})
+
+
+def test_counter_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_operations():
+    gauge = Gauge("g")
+    gauge.set(7)
+    gauge.inc(3)
+    gauge.dec()
+    assert gauge.value == 9
+    gauge.set_max(5)  # ratchet: lower values never win
+    assert gauge.value == 9
+    gauge.set_max(12)
+    assert gauge.value == 12
+
+
+def test_histogram_buckets_fixed_and_exact():
+    hist = Histogram("h", (1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+        hist.observe(value)
+    # upper-inclusive bounds plus one overflow bucket
+    assert hist.counts == [2, 1, 1, 1]
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(106.0)
+    body = hist.to_dict()
+    assert body["buckets"] == [1.0, 2.0, 4.0]
+    assert body["counts"] == [2, 1, 1, 1]
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", ())
+    with pytest.raises(ValueError):
+        Histogram("h", (1.0, 1.0, 2.0))
+    with pytest.raises(ValueError):
+        Histogram("h", (2.0, 1.0))
+
+
+def test_registry_get_or_create_identity():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_x_total", {"k": "v"})
+    b = registry.counter("repro_x_total", {"k": "v"})
+    assert a is b
+    assert registry.counter("repro_x_total") is not a  # different series
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total")
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total")
+    with pytest.raises(ValueError):
+        registry.histogram("repro_x_total")
+
+
+def test_registry_thread_safety():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_x_total")
+
+    def work():
+        for _ in range(5000):
+            counter.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 40_000
+
+
+def test_snapshot_is_sorted_and_structurally_deterministic():
+    def build():
+        registry = MetricsRegistry()
+        # scrambled creation order must not show in the snapshot
+        registry.counter("repro_z_total").inc(3)
+        registry.counter("repro_a_total").inc(1)
+        registry.gauge("repro_m_depth", {"b": 2}).set(5)
+        registry.gauge("repro_m_depth", {"a": 1}).set(4)
+        registry.histogram("repro_h_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        return registry.snapshot()
+
+    first, second = build(), build()
+    assert list(first["counters"]) == ["repro_a_total", "repro_z_total"]
+    assert list(first["gauges"]) == ['repro_m_depth{a="1"}', 'repro_m_depth{b="2"}']
+    # identical work => byte-identical serialized snapshots
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+# ------------------------------------------------------------ no-op default
+
+def test_default_pipeline_is_noop():
+    tel = telemetry.get()
+    assert isinstance(tel, NullTelemetry)
+    assert not tel.enabled
+    # every instrument is one shared object: nothing allocates per call
+    assert tel.counter("a") is tel.counter("b")
+    assert tel.counter("a") is tel.gauge("g") is tel.histogram("h")
+    assert tel.span("tick") is tel.span("other")
+    tel.counter("a").inc(5)
+    tel.gauge("g").set(3)
+    tel.histogram("h").observe(1.0)
+    with tel.span("tick") as span:
+        span.note(frames=4)
+    snap = tel.snapshot()
+    assert snap["enabled"] is False
+    assert snap["counters"] == {} and snap["slow_ticks"] == []
+
+
+def test_enable_disable_lifecycle():
+    live = telemetry.enable()
+    assert telemetry.get() is live
+    assert isinstance(live, Telemetry) and live.enabled
+    live.counter("repro_x_total").inc()
+    # enabling again starts a fresh window, never accumulates
+    fresh = telemetry.enable()
+    assert fresh is not live
+    assert fresh.snapshot()["counters"] == {}
+    telemetry.disable()
+    assert isinstance(telemetry.get(), NullTelemetry)
+
+
+# -------------------------------------------------------------------- spans
+
+def test_span_trees_nest_and_record_meta():
+    collector = SpanCollector(slow_tick_threshold=0.0)
+    with collector.span("tick", tick=1):
+        with collector.span("plan") as plan:
+            plan.note(frames=8)
+        with collector.span("detect"):
+            with collector.span("inner"):
+                pass
+    root = collector.last_root
+    assert root.name == "tick"
+    assert [c.name for c in root.children] == ["plan", "detect"]
+    assert root.children[1].children[0].name == "inner"
+    body = root.to_dict()
+    assert body["meta"] == {"tick": 1}
+    assert body["children"][0]["meta"] == {"frames": 8}
+
+
+def test_slow_tick_ring_buffer_bounds_and_filters():
+    collector = SpanCollector(slow_tick_threshold=0.0, slow_tick_capacity=2)
+    for i in range(4):
+        with collector.span("tick", tick=i):
+            pass
+    with collector.span("not-a-tick"):  # only root "tick" spans qualify
+        pass
+    retained = collector.slow_ticks()
+    assert len(retained) == 2  # capped: new slow ticks evict the oldest
+    assert [t["meta"]["tick"] for t in retained] == [2, 3]
+    # a high threshold filters everything out
+    quiet = SpanCollector(slow_tick_threshold=10.0)
+    with quiet.span("tick"):
+        pass
+    assert quiet.slow_ticks() == []
+    with pytest.raises(ValueError):
+        SpanCollector(slow_tick_threshold=-1.0)
+    with pytest.raises(ValueError):
+        SpanCollector(slow_tick_capacity=0)
+
+
+# --------------------------------------------------------------- prometheus
+
+def test_prometheus_rendering():
+    tel = Telemetry()
+    tel.counter("repro_x_total", {"shard": 0}).inc(3)
+    tel.gauge("repro_depth").set(2)
+    hist = tel.histogram("repro_h_seconds", buckets=(1.0, 2.0))
+    hist.observe(0.5)
+    hist.observe(1.5)
+    hist.observe(9.0)
+    text = render(tel.snapshot())
+    assert '# TYPE repro_x_total counter' in text
+    assert 'repro_x_total{shard="0"} 3' in text
+    assert "repro_depth 2" in text
+    # cumulative buckets with the implicit +Inf
+    assert 'repro_h_seconds_bucket{le="1"} 1' in text
+    assert 'repro_h_seconds_bucket{le="2"} 2' in text
+    assert 'repro_h_seconds_bucket{le="+Inf"} 3' in text
+    assert "repro_h_seconds_count 3" in text
+
+
+# ------------------------------------------------------------------- schema
+
+def test_schema_accepts_real_snapshots():
+    tel = Telemetry(slow_tick_threshold=0.0)
+    tel.counter("repro_x_total").inc()
+    tel.histogram("repro_h_seconds").observe(0.01)
+    with tel.spans.span("tick"):
+        pass
+    validate(tel.snapshot())  # must not raise
+    validate(NullTelemetry().snapshot())
+
+
+def test_schema_rejects_malformed_snapshots():
+    good = Telemetry().snapshot()
+    assert validation_errors(good) == []
+    assert validation_errors({}) != []  # every top-level key required
+    bad_counter = dict(good, counters={"repro_x_total": "three"})
+    assert any("counters" in e for e in validation_errors(bad_counter))
+    bad_bool = dict(good, counters={"repro_x_total": True})
+    assert validation_errors(bad_bool)  # bool must not pass as a number
+    with pytest.raises(ValueError):
+        validate(dict(good, version=99))
+
+
+def test_schema_validator_refuses_unsupported_keywords():
+    with pytest.raises(ValueError, match="unsupported"):
+        validation_errors({}, schema={"type": "object", "patternProperties": {}})
+    assert load_schema()["properties"]["version"]["enum"] == [1]
+
+
+# ------------------------------------------------- cache satellite fixes
+
+def _oracle_world():
+    instances = [
+        ObjectInstance(
+            instance_id=0,
+            category="bus",
+            trajectory=Trajectory.stationary(10, 30, Box(0.0, 0.0, 1.0, 1.0)),
+        )
+    ]
+    clips = [VideoClip(0, "c0", 0, 100)]
+    return VideoRepository(clips, InstanceSet(instances), name="cam0")
+
+
+def test_get_many_reports_exact_per_batch_split():
+    cache = DetectionCache()
+    cache.put("cam0", 1, [])
+    cache.put("cam0", 3, [])
+    out = cache.get_many("cam0", [1, 2, 3, 4, 1])
+    assert [o is not None for o in out] == [True, False, True, False, True]
+    assert cache.stats.batches == 1
+    assert cache.stats.last_batch_hits == 3
+    assert cache.stats.last_batch_misses == 2
+    assert cache.stats.hits == 3 and cache.stats.misses == 2
+    cache.get_many("cam0", [1])
+    assert cache.stats.batches == 2
+    assert (cache.stats.last_batch_hits, cache.stats.last_batch_misses) == (1, 0)
+    assert cache.stats.hits == 4  # totals keep accumulating
+
+
+def test_clear_resets_accounting():
+    cache = DetectionCache()
+    cache.put("cam0", 1, [])
+    cache.get("cam0", 1)
+    cache.get("cam0", 2)
+    assert cache.stats.lookups == 2
+    cache.clear()
+    assert cache.stats.lookups == 0 and cache.stats.inserts == 0
+    assert cache.stats.hit_rate == 0.0
+    # post-clear rates describe only the post-clear population
+    cache.get("cam0", 1)
+    assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+
+
+def test_dedup_savings_counted_once_per_duplicate_miss():
+    telemetry.enable()
+    repo = _oracle_world()
+    caching = CachingDetector(OracleDetector(repo), DetectionCache(), "cam0")
+    caching.detect_many([5, 5, 5, 7])  # four misses, two duplicate
+    caching.cache.flush()  # cache counters drain at durability points
+    snap = telemetry.get().snapshot()
+    assert snap["counters"]["repro_cache_dedup_saved_total"] == 2
+    assert snap["counters"]["repro_cache_misses_total"] == 4
+    assert snap["counters"]["repro_cache_inserts_total"] == 2
+
+
+# --------------------------------------------------- parity: on == off
+
+def _parity_repository(seed):
+    clips, start = [], 0
+    for clip_id, frames in enumerate((80, 70, 90, 60)):
+        clips.append(VideoClip(clip_id, f"c{clip_id}", start, frames))
+        start += frames
+    instances = [
+        ObjectInstance(
+            instance_id=i,
+            category="bus" if i < 3 else "car",
+            trajectory=Trajectory.stationary(
+                (20 + 37 * seed + 61 * i) % 270, 25, Box(0.0, 0.0, 1.0, 1.0)
+            ),
+        )
+        for i in range(5)
+    ]
+    return VideoRepository(clips, InstanceSet(instances), name="cam0")
+
+
+def _decision_stream(seed, scheduler, shards=1, enabled=False):
+    """Run a fixed workload and return the canonical decision bytes."""
+    if enabled:
+        telemetry.enable(slow_tick_threshold=0.0)
+    else:
+        telemetry.disable()
+    service = QueryService(
+        _parity_repository(seed),
+        scheduler=SCHEDULERS[scheduler](),
+        frames_per_tick=16,
+        chunk_frames=50,
+        execution="sharded" if shards > 1 else "local",
+        shards=shards,
+        seed=seed,
+    )
+    try:
+        a = service.submit("cam0", "bus", limit=3, max_samples=40, priority=2.0)
+        b = service.submit("cam0", "car", max_samples=30)
+        service.run_until_idle(max_ticks=50)
+        payload = {}
+        for sid in (a, b):
+            session = service.sessions[sid]
+            payload[sid] = {
+                "state": session.state.value,
+                "results_found": session.results_found,
+                "result_frames": session.result_frames(),
+                "per_chunk_samples": [int(n) for n in session.engine.stats.n],
+                "sampled_frames": [
+                    int(f) for f in session.engine.history.frame_indices
+                ],
+            }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+    finally:
+        service.close()
+        telemetry.disable()
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_decision_streams_identical_telemetry_on_or_off(seed, scheduler):
+    """The acceptance contract: telemetry only observes.  Same seed, same
+    workload => byte-identical decision streams whether the pipeline is
+    the live registry or the no-op default."""
+    off = _decision_stream(seed, scheduler, enabled=False)
+    on = _decision_stream(seed, scheduler, enabled=True)
+    assert on == off
+
+
+def test_parity_holds_under_sharded_execution():
+    off = _decision_stream(3, "round-robin", shards=2, enabled=False)
+    on = _decision_stream(3, "round-robin", shards=2, enabled=True)
+    assert on == off
+
+
+# --------------------------------------- five-layer coverage + surfaces
+
+def test_sharded_run_covers_all_five_layers(tmp_path):
+    """One sharded serving run must land series under every layer prefix
+    — serving ticks, cache, exec batches, shards, ingest — plus span
+    trees in the slow-tick log (threshold 0 retains every tick)."""
+    telemetry.enable(slow_tick_threshold=0.0)
+    repo = _parity_repository(0)
+    service = QueryService(
+        repo,
+        frames_per_tick=16,
+        chunk_frames=50,
+        execution="sharded",
+        shards=2,
+        seed=0,
+    )
+    try:
+        serving_ingest.append_entry(
+            tmp_path, IngestEntry(dataset="cam0", frames=60)
+        )
+        serving_ingest.apply_journal(service, tmp_path)
+        service.submit("cam0", "bus", max_samples=30)
+        for _ in range(4):
+            service.tick()
+        snap = telemetry.get().snapshot()
+    finally:
+        service.close()
+    validate(snap)
+    series = (
+        list(snap["counters"]) + list(snap["gauges"]) + list(snap["histograms"])
+    )
+    for layer in ("serving", "cache", "exec", "shard", "ingest"):
+        assert any(key.startswith(f"repro_{layer}_") for key in series), layer
+    # idle rounds (session budget drained) do no work and count no tick
+    assert 1 <= snap["counters"]["repro_serving_ticks_total"] <= 4
+    # span trees: every retained tick carries the stage children
+    assert snap["slow_ticks"], "threshold 0.0 must retain every tick"
+    # idle ticks carry only "sync"; a working tick carries every stage
+    worked = [
+        {c["name"] for c in tick.get("children", [])}
+        for tick in snap["slow_ticks"]
+    ]
+    assert any({"plan", "coalesce", "detect", "commit"} <= s for s in worked)
+
+
+def test_torn_tail_repair_is_counted(tmp_path):
+    telemetry.enable()
+    serving_ingest.append_entry(tmp_path, IngestEntry(dataset="cam0", frames=10))
+    with open(serving_ingest.journal_path(tmp_path), "a", encoding="utf-8") as fh:
+        fh.write('{"dataset": "torn')  # a crash mid-append
+    serving_ingest.append_entry(tmp_path, IngestEntry(dataset="cam0", frames=10))
+    snap = telemetry.get().snapshot()
+    assert snap["counters"]["repro_ingest_torn_tail_repairs_total"] == 1
+    assert snap["counters"]["repro_ingest_entries_total"] == 2
+    assert len(serving_ingest.load_entries(tmp_path)) == 2
+
+
+# ---------------------------------------------------------------- CLI
+
+def test_metrics_out_writes_valid_stable_snapshot(tmp_path, capsys):
+    out = tmp_path / "metrics.json"
+    code = main(
+        [
+            "simulate", "--seed", "11", "--scenarios", "1", "--quiet",
+            "--metrics-out", str(out),
+        ]
+    )
+    assert code == 0
+    snapshot = json.loads(out.read_text(encoding="utf-8"))
+    validate(snapshot)
+    assert snapshot["enabled"] is True
+    assert snapshot["counters"]  # a simulation always does cache work
+    # the flag never leaks an enabled pipeline past the command
+    assert isinstance(telemetry.get(), NullTelemetry)
+    capsys.readouterr()
+    # the stats surface renders and validates the same file
+    assert main(["stats", "--metrics", str(out), "--validate"]) == 0
+    table = capsys.readouterr().out
+    assert "repro_cache_misses_total" in table
+    assert main(["stats", "--metrics", str(out), "--format", "prometheus"]) == 0
+    prom = capsys.readouterr().out
+    assert "# TYPE repro_cache_misses_total counter" in prom
+
+
+def test_stats_validate_rejects_bad_snapshot(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"version": 1}), encoding="utf-8")
+    assert main(["stats", "--metrics", str(bad), "--validate"]) == 1
+    assert "fails schema validation" in capsys.readouterr().err
+    assert main(["stats", "--metrics", str(tmp_path / "nope.json")]) == 2
+    capsys.readouterr()
+
+
+def test_simulate_json_carries_metrics_block(capsys):
+    assert main(["simulate", "--seed", "5", "--scenarios", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    metrics = payload["results"][0]["metrics"]
+    for key in (
+        "ticks_run", "steps_committed", "detector_calls",
+        "cache_hits", "cache_misses", "cache_inserts", "cache_batches",
+        "crashes", "detector_errors",
+    ):
+        assert key in metrics
+    assert metrics["detector_calls"] >= 0
