@@ -63,6 +63,7 @@ DEFAULT_KEYS = (
     "test_bench_ablation_policy",
     "test_bench_distributed",
     "test_bench_telemetry_overhead",
+    "test_bench_sampler_vectorized",
 )
 
 

@@ -1,0 +1,175 @@
+"""Bench: the vectorized sampler hot path (Alg. 1 planning throughput).
+
+Times ``ExSample.plan()`` — the Thompson draw + argmax + frame pick that
+dominates serving-tick cost — over a 1000-chunk repository at the
+serving batch size, and checks the two throughput claims the PR gates:
+
+* the numpy fast path plans at least 5x faster than the pure-Python
+  fallback on the same flat-array layout;
+* the fallback itself is no slower than the naive per-arm scalar loop
+  it replaced (within noise), so losing numpy costs vectorization, not
+  an extra penalty.
+
+The ``benchmark`` timing (the regression-gated number) measures the
+backend the run actually uses, so the nightly baseline tracks the fast
+path while a force-fallback run still produces a comparable report.
+"""
+
+import math
+import time
+
+from repro.core import backend
+from repro.core.belief import DEFAULT_ALPHA0, DEFAULT_BETA0
+from repro.core.chunking import fixed_size_chunks
+from repro.core.estimator import ChunkStatistics
+from repro.core.rng import DecisionRng
+from repro.core.sampler import ExSample
+from repro.detection.detector import OracleDetector
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.repository import single_clip_repository
+
+NUM_CHUNKS = 1000
+CHUNK_FRAMES = 40
+BATCH = 8
+PLANS = 120
+
+
+def build_engine(seed: int = 0) -> ExSample:
+    total = NUM_CHUNKS * CHUNK_FRAMES
+    rng = DecisionRng(seed)
+    chunks = fixed_size_chunks(total, CHUNK_FRAMES, rng)
+    repo = single_clip_repository(total, [])
+    engine = ExSample(
+        chunks,
+        OracleDetector(repo),
+        OracleDiscriminator(),
+        rng=rng,
+        batch_size=BATCH,
+    )
+    # a realistic mid-query posterior: skewed hit counts, uneven visits
+    for m in range(NUM_CHUNKS):
+        n = 1 + (m * 7) % 23
+        n1 = (m % 11) % n
+        engine.stats.record(m, n1, 0)
+        for _ in range(n - 1):
+            engine.stats.record(m, 0, 0)
+    return engine
+
+
+def run_plans(engine: ExSample, plans: int = PLANS) -> int:
+    picked = 0
+    for _ in range(plans):
+        picked += len(engine.plan(batch_size=BATCH))
+    return picked
+
+
+def timed_plans(engine: ExSample, plans: int = PLANS) -> float:
+    run_plans(engine, plans=4)  # warm the layout and allocator
+    start = time.perf_counter()
+    run_plans(engine, plans=plans)
+    return time.perf_counter() - start
+
+
+def naive_scalar_gamma(rng: DecisionRng, shape: float) -> float:
+    """Marsaglia-Tsang, one arm at a time — the pre-vectorization cost
+    model: a Python-level loop body per (row, arm) pair."""
+    boost = 1.0
+    if shape < 1.0:
+        boost = rng.random() ** (1.0 / shape)
+        shape += 1.0
+    d = shape - 1.0 / 3.0
+    c = 1.0 / math.sqrt(9.0 * d)
+    while True:
+        x = rng.normal()
+        v = 1.0 + c * x
+        if v <= 0.0:
+            continue
+        v = v * v * v
+        u = rng.random()
+        if u < 1.0 - 0.0331 * x * x * x * x:
+            return boost * d * v
+        if math.log(u) < 0.5 * x * x + d * (1.0 - v + math.log(v)):
+            return boost * d * v
+
+
+def naive_plan_loop(stats: ChunkStatistics, rng: DecisionRng, plans: int) -> float:
+    """Per-arm scalar Thompson rounds over the same statistics."""
+    n1 = list(stats.n1)
+    n = list(stats.n)
+    start = time.perf_counter()
+    for _ in range(plans):
+        for _row in range(BATCH):
+            best, best_val = 0, -1.0
+            for m in range(NUM_CHUNKS):
+                draw = naive_scalar_gamma(rng, n1[m] + DEFAULT_ALPHA0) / (
+                    n[m] + DEFAULT_BETA0
+                )
+                if draw > best_val:
+                    best, best_val = m, draw
+            assert 0 <= best < NUM_CHUNKS
+    return time.perf_counter() - start
+
+
+def test_bench_sampler_vectorized(benchmark, save_report):
+    benchmark.pedantic(
+        run_plans,
+        setup=lambda: ((build_engine(),), {}),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        "sampler hot path: plan() over "
+        f"{NUM_CHUNKS} chunks, batch={BATCH}, {PLANS} plans per timing",
+    ]
+    fallback_elapsed = None
+    if backend.HAVE_NUMPY:
+        old = backend.set_force_fallback(False)
+        try:
+            fast_elapsed = timed_plans(build_engine(seed=1))
+            backend.set_force_fallback(True)
+            fallback_elapsed = timed_plans(build_engine(seed=1))
+        finally:
+            backend.set_force_fallback(old)
+        speedup = fallback_elapsed / fast_elapsed
+        lines += [
+            f"numpy fast path : {fast_elapsed:.4f}s "
+            f"({PLANS * BATCH / fast_elapsed:,.0f} frames planned/s)",
+            f"pure fallback   : {fallback_elapsed:.4f}s "
+            f"({PLANS * BATCH / fallback_elapsed:,.0f} frames planned/s)",
+            f"speedup         : {speedup:.1f}x",
+        ]
+        assert speedup >= 5.0, (
+            f"vectorized planning is only {speedup:.1f}x the fallback; "
+            "the hot path has regressed"
+        )
+    else:
+        fallback_elapsed = timed_plans(build_engine(seed=1))
+        lines.append(f"pure fallback   : {fallback_elapsed:.4f}s (numpy absent)")
+
+    # the fallback must not lose to the per-arm scalar loop it replaced
+    naive_plans = max(4, PLANS // 8)  # the naive loop is slow; sample it
+    old = backend.set_force_fallback(True)
+    try:
+        engine = build_engine(seed=2)
+        naive_elapsed = (
+            naive_plan_loop(engine.stats, DecisionRng(3), naive_plans)
+            * PLANS
+            / naive_plans
+        )
+        layout_elapsed = timed_plans(build_engine(seed=2))
+    finally:
+        backend.set_force_fallback(old)
+    lines.append(
+        f"naive per-arm   : {naive_elapsed:.4f}s (extrapolated from "
+        f"{naive_plans} plans); fallback/naive = "
+        f"{layout_elapsed / naive_elapsed:.2f}"
+    )
+    # a sanity bound, not a tight race: the fallback pays for the
+    # bit-identical counter-substream schedule, so it may run somewhat
+    # behind the unconstrained naive loop — but never multiples of it
+    assert layout_elapsed <= naive_elapsed * 2.0, (
+        "the flat-array fallback is slower than the naive per-arm loop "
+        f"({layout_elapsed:.3f}s vs {naive_elapsed:.3f}s)"
+    )
+    save_report("sampler_vectorized", "\n".join(lines))

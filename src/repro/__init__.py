@@ -29,6 +29,7 @@ from .core import (
     AdaptiveExSample,
     BayesUCB,
     ChunkStatistics,
+    DecisionRng,
     DistinctObjectQuery,
     ExSample,
     GammaBelief,
@@ -58,6 +59,7 @@ __all__ = [
     "AdaptiveExSample",
     "BayesUCB",
     "ChunkStatistics",
+    "DecisionRng",
     "DistinctObjectQuery",
     "ExSample",
     "GammaBelief",

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-import numpy as np
-
 from ..core.chunking import RandomPlusOrder
+from ..core.rng import DecisionRng
 from ..detection.detector import Detector
 from ..tracking.discriminator import Discriminator
 from ..video.repository import VideoRepository
@@ -24,7 +23,7 @@ __all__ = ["RandomPlusSampler", "random_plus_frame_order"]
 
 
 def random_plus_frame_order(
-    total_frames: int, rng: np.random.Generator
+    total_frames: int, rng
 ) -> Iterator[int]:
     """Lazy stratified order over ``[0, total_frames)``."""
     order = RandomPlusOrder(0, total_frames, rng)
@@ -43,10 +42,10 @@ class RandomPlusSampler(FrameSequenceSampler):
         repository: VideoRepository,
         detector: Detector,
         discriminator: Discriminator,
-        rng: np.random.Generator | None = None,
+        rng=None,
         charge_decode: bool = True,
     ):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else DecisionRng()
         super().__init__(
             frames=random_plus_frame_order(repository.total_frames, rng),
             detector=detector,

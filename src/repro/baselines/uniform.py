@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-import numpy as np
-
 from ..core.chunking import UniformOrder
+from ..core.rng import DecisionRng
 from ..detection.detector import Detector
 from ..tracking.discriminator import Discriminator
 from ..video.repository import VideoRepository
@@ -21,7 +20,7 @@ __all__ = ["UniformRandomSampler", "uniform_frame_order"]
 
 
 def uniform_frame_order(
-    total_frames: int, rng: np.random.Generator
+    total_frames: int, rng
 ) -> Iterator[int]:
     """Lazy uniform-without-replacement order over ``[0, total_frames)``."""
     order = UniformOrder(0, total_frames, rng)
@@ -40,10 +39,10 @@ class UniformRandomSampler(FrameSequenceSampler):
         repository: VideoRepository,
         detector: Detector,
         discriminator: Discriminator,
-        rng: np.random.Generator | None = None,
+        rng=None,
         charge_decode: bool = True,
     ):
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else DecisionRng()
         super().__init__(
             frames=uniform_frame_order(repository.total_frames, rng),
             detector=detector,

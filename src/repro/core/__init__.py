@@ -1,7 +1,9 @@
 """ExSample core: beliefs, policies, chunking, the Algorithm-1 loop, queries."""
 
+from . import backend
 from .adaptive import AdaptiveChunk, AdaptiveExSample
 from .belief import DEFAULT_ALPHA0, DEFAULT_BETA0, GammaBelief
+from .rng import DecisionRng, derive_key
 from .chunking import (
     Chunk,
     FrameOrder,
@@ -43,6 +45,9 @@ from .scoring import (
 __all__ = [
     "AdaptiveChunk",
     "AdaptiveExSample",
+    "DecisionRng",
+    "backend",
+    "derive_key",
     "DEFAULT_ALPHA0",
     "DEFAULT_BETA0",
     "GammaBelief",

@@ -33,11 +33,10 @@ from __future__ import annotations
 
 from typing import Callable
 
-import numpy as np
-
 from ..detection.detector import Detector
 from ..tracking.discriminator import Discriminator
 from ..video.repository import VideoRepository
+from . import backend
 from .belief import DEFAULT_ALPHA0, DEFAULT_BETA0
 from .sampler import SamplingHistory, StepRecord, process_frame_detailed
 
@@ -85,7 +84,7 @@ class AdaptiveChunk:
     def exhausted(self) -> bool:
         return self.n >= self.num_frames
 
-    def draw(self, rng: np.random.Generator) -> int:
+    def draw(self, rng) -> int:
         """One uniform not-yet-sampled frame from the span."""
         free = self.num_frames - self.n
         if free <= 0:
@@ -165,9 +164,10 @@ class AdaptiveExSample:
         max_chunks: int = 4096,
         alpha0: float = DEFAULT_ALPHA0,
         beta0: float = DEFAULT_BETA0,
-        rng: np.random.Generator | None = None,
+        rng=None,
         repository: VideoRepository | None = None,
     ):
+        backend.require_numpy("the adaptive re-chunking sampler")
         if total_frames <= 0:
             raise ValueError("total_frames must be positive")
         if not 1 <= initial_chunks <= total_frames:
@@ -190,9 +190,10 @@ class AdaptiveExSample:
         self._max_chunks = max_chunks
         self._alpha0 = alpha0
         self._beta0 = beta0
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else backend.np.random.default_rng()
         self._repository = repository
         self._history = SamplingHistory()
+        np = backend.np
         edges = np.linspace(0, total_frames, initial_chunks + 1).round().astype(np.int64)
         self._chunks = [
             AdaptiveChunk(int(edges[k]), int(edges[k + 1]))
@@ -307,6 +308,7 @@ class AdaptiveExSample:
 
     def _thompson_pick(self) -> int:
         """Gamma-Thompson draw over the current partition (Eq. III.4)."""
+        np = backend.np
         alphas = np.array([c.n1 for c in self._chunks]) + self._alpha0
         betas = np.array([float(c.n) for c in self._chunks]) + self._beta0
         draws = self._rng.gamma(shape=alphas, scale=1.0 / betas)

@@ -1,0 +1,77 @@
+"""Numpy-optional backend switch for the decision path.
+
+The sampler's hot path (belief arrays, Thompson draws, masked argmax) is
+written once against a flat-array layout and executed through one of two
+backends: numpy, when installed, as a bulk accelerator, or a pure-Python
+fallback.  Both backends implement the *same* decision contract (see
+:mod:`repro.core.rng`), so per-seed decision streams are bit-identical
+with and without numpy.
+
+Three distinct questions, three distinct surfaces:
+
+* ``np`` — the numpy module if it is importable, else ``None``.  Modules
+  that merely *tolerate* numpy's absence import ``np`` from here instead
+  of ``import numpy as np`` and guard their accelerated branches.
+* :func:`use_numpy` — "should the decision path vectorize with numpy
+  right now?"  False when numpy is missing **or** when the fallback has
+  been forced (``REPRO_FORCE_FALLBACK=1`` in the environment, or
+  :func:`set_force_fallback` from a test), which is how parity tests run
+  both backends inside one interpreter.
+* :func:`require_numpy` — for the numpy-only corners (scipy-backed
+  quantiles, the evaluation/experiment harness, calibrated datasets):
+  raise a clear error instead of an ``AttributeError`` on ``None``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "np",
+    "HAVE_NUMPY",
+    "use_numpy",
+    "set_force_fallback",
+    "require_numpy",
+]
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np  # type: ignore[no-redef]
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: True when numpy is importable at all (force-fallback does not change it).
+HAVE_NUMPY = np is not None
+
+_force_fallback = os.environ.get("REPRO_FORCE_FALLBACK", "").strip() not in ("", "0")
+
+
+def use_numpy() -> bool:
+    """Whether decision-path code should take its numpy-vectorized branch.
+
+    Checked at call time (not import time) so a test can flip the
+    backend with :func:`set_force_fallback` and compare both decision
+    streams in-process.  Objects that froze their layout at construction
+    should be rebuilt after a flip.
+    """
+    return HAVE_NUMPY and not _force_fallback
+
+
+def set_force_fallback(value: bool) -> bool:
+    """Force (or release) the pure-Python backend; returns the old flag."""
+    global _force_fallback
+    old = _force_fallback
+    _force_fallback = bool(value)
+    return old
+
+
+def require_numpy(feature: str) -> None:
+    """Raise ``ModuleNotFoundError`` when numpy is not installed.
+
+    ``feature`` names what the caller was trying to do, so the error
+    points at the missing capability rather than an import site.
+    """
+    if np is None:
+        raise ModuleNotFoundError(
+            f"{feature} requires numpy, which is not installed; "
+            "the sampling decision path itself runs without it"
+        )

@@ -11,16 +11,21 @@ keep the distribution defined when N1 = 0 or n = 0 — the state at the
 start of a query, when results are rare, and when a chunk is exhausted —
 so Thompson sampling keeps producing non-zero draws and the sampler can
 recover from early bad luck.
+
+Sampling dispatches on the generator type: a
+:class:`~repro.core.rng.DecisionRng` takes the backend-independent bulk
+contract (:meth:`DecisionRng.gamma_matrix` — bit-identical with and
+without numpy), while a ``numpy.random.Generator`` keeps the historical
+``rng.gamma`` stream so existing experiment seeds reproduce unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-from scipy import stats as _scipy_stats
-
+from . import backend
 from .estimator import ChunkStatistics
+from .rng import DecisionRng
 
 __all__ = ["GammaBelief", "DEFAULT_ALPHA0", "DEFAULT_BETA0"]
 
@@ -47,46 +52,75 @@ class GammaBelief:
 
     # ------------------------------------------------------------ parameters
 
-    def alphas(self, stats: ChunkStatistics) -> np.ndarray:
-        return stats.n1 + self.alpha0
+    def alphas(self, stats: ChunkStatistics):
+        if backend.use_numpy():
+            np = backend.np
+            return np.frombuffer(stats.n1_buffer, dtype=np.float64) + self.alpha0
+        return [v + self.alpha0 for v in stats.n1_buffer]
 
-    def betas(self, stats: ChunkStatistics) -> np.ndarray:
-        return stats.n + self.beta0
+    def betas(self, stats: ChunkStatistics):
+        if backend.use_numpy():
+            np = backend.np
+            return np.frombuffer(stats.n_buffer, dtype=np.int64) + self.beta0
+        return [v + self.beta0 for v in stats.n_buffer]
 
     # ----------------------------------------------------------------- query
 
-    def mean(self, stats: ChunkStatistics) -> np.ndarray:
+    def mean(self, stats: ChunkStatistics):
         """Belief means alpha/beta — the regularized Eq. III.1 estimate."""
-        return self.alphas(stats) / self.betas(stats)
-
-    def variance(self, stats: ChunkStatistics) -> np.ndarray:
-        """Belief variances alpha/beta² — matching the Eq. III.3 bound."""
+        alphas = self.alphas(stats)
         betas = self.betas(stats)
-        return self.alphas(stats) / (betas * betas)
+        if backend.use_numpy():
+            return alphas / betas
+        return [a / b for a, b in zip(alphas, betas)]
 
-    def sample(
-        self, stats: ChunkStatistics, rng: np.random.Generator, size: int = 1
-    ) -> np.ndarray:
-        """Thompson draws: a ``(size, M)`` array of independent samples.
+    def variance(self, stats: ChunkStatistics):
+        """Belief variances alpha/beta² — matching the Eq. III.3 bound."""
+        alphas = self.alphas(stats)
+        betas = self.betas(stats)
+        if backend.use_numpy():
+            return alphas / (betas * betas)
+        return [a / (b * b) for a, b in zip(alphas, betas)]
+
+    def sample(self, stats: ChunkStatistics, rng, size: int = 1):
+        """Thompson draws: a ``(size, M)`` matrix of independent samples.
 
         One row is one Thompson-sampling round (Alg. 1 line 4); ``size > 1``
-        produces the draws for a batched round (§III-F).
+        produces the draws for a batched round (§III-F).  With a
+        :class:`DecisionRng` the draw follows the backend-independent
+        contract (ndarray under numpy, list-of-rows on the fallback);
+        with a numpy ``Generator`` it is the historical vectorized
+        ``rng.gamma`` call, bit-compatible with pre-contract seeds.
         """
         if size <= 0:
             raise ValueError("size must be positive")
-        alphas = self.alphas(stats)
-        betas = self.betas(stats)
+        if isinstance(rng, DecisionRng):
+            return rng.gamma_matrix(self.alphas(stats), self.betas(stats), size)
+        # a numpy Generator implies numpy is importable even when the
+        # fallback is forced; keep the historical array-in array-out call.
+        np = backend.np
+        alphas = np.asarray(self.alphas(stats), dtype=np.float64)
+        betas = np.asarray(self.betas(stats), dtype=np.float64)
         return rng.gamma(shape=alphas, scale=1.0 / betas, size=(size, stats.num_chunks))
 
-    def quantile(self, stats: ChunkStatistics, q: float) -> np.ndarray:
+    def quantile(self, stats: ChunkStatistics, q: float):
         """Per-chunk belief quantiles, used by the Bayes-UCB policy."""
         if not 0.0 < q < 1.0:
             raise ValueError("q must lie in (0, 1)")
-        return _scipy_stats.gamma.ppf(q, a=self.alphas(stats), scale=1.0 / self.betas(stats))
+        backend.require_numpy("Gamma belief quantiles (scipy)")
+        from scipy import stats as _scipy_stats
 
-    def density(self, n1: float, n: float, grid: np.ndarray) -> np.ndarray:
+        np = backend.np
+        alphas = np.asarray(self.alphas(stats), dtype=np.float64)
+        betas = np.asarray(self.betas(stats), dtype=np.float64)
+        return _scipy_stats.gamma.ppf(q, a=alphas, scale=1.0 / betas)
+
+    def density(self, n1: float, n: float, grid):
         """Belief pdf for a single (N1, n) pair on ``grid`` — the orange
         curve of Fig. 2."""
+        backend.require_numpy("Gamma belief densities (scipy)")
+        from scipy import stats as _scipy_stats
+
         return _scipy_stats.gamma.pdf(
             grid, a=n1 + self.alpha0, scale=1.0 / (n + self.beta0)
         )

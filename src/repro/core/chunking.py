@@ -26,8 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
-import numpy as np
-
 from ..video.repository import VideoRepository
 
 __all__ = [
@@ -64,7 +62,7 @@ class UniformOrder:
     explicit shuffled remainder once half the range is consumed.
     """
 
-    def __init__(self, start: int, end: int, rng: np.random.Generator):
+    def __init__(self, start: int, end: int, rng):
         if end <= start:
             raise ValueError("empty frame range")
         self._start = start
@@ -116,7 +114,7 @@ class _Stratum:
     def exhausted(self) -> bool:
         return len(self.sampled) >= self.size
 
-    def draw(self, rng: np.random.Generator) -> int:
+    def draw(self, rng) -> int:
         free = self.size - len(self.sampled)
         if free <= 0:
             raise RuntimeError("drawing from an exhausted stratum")
@@ -151,7 +149,7 @@ class RandomPlusOrder:
     remains uniform within its stratum.
     """
 
-    def __init__(self, start: int, end: int, rng: np.random.Generator):
+    def __init__(self, start: int, end: int, rng):
         if end <= start:
             raise ValueError("empty frame range")
         self._rng = rng
@@ -225,7 +223,7 @@ class Chunk:
 
 
 def _make_order(
-    start: int, end: int, rng: np.random.Generator, use_random_plus: bool
+    start: int, end: int, rng, use_random_plus: bool
 ) -> FrameOrder:
     if use_random_plus:
         return RandomPlusOrder(start, end, rng)
@@ -235,7 +233,7 @@ def _make_order(
 def fixed_size_chunks(
     total_frames: int,
     chunk_frames: int,
-    rng: np.random.Generator,
+    rng,
     use_random_plus: bool = True,
 ) -> list[Chunk]:
     """Tile ``[0, total_frames)`` with chunks of ``chunk_frames`` frames.
@@ -259,7 +257,7 @@ def fixed_size_chunks(
 def even_count_chunks(
     total_frames: int,
     num_chunks: int,
-    rng: np.random.Generator,
+    rng,
     use_random_plus: bool = True,
 ) -> list[Chunk]:
     """Split ``[0, total_frames)`` into exactly ``num_chunks`` near-equal
@@ -268,7 +266,12 @@ def even_count_chunks(
         raise ValueError("total_frames must be positive")
     if not 1 <= num_chunks <= total_frames:
         raise ValueError("num_chunks must lie in [1, total_frames]")
-    edges = np.linspace(0, total_frames, num_chunks + 1).round().astype(np.int64)
+    # mirrors np.linspace(0, total, n + 1).round(): same step multiply,
+    # same round-half-to-even, endpoint pinned — so the historical chunk
+    # edges survive the numpy-free rewrite bit-for-bit.
+    step = total_frames / num_chunks
+    edges = [round(i * step) for i in range(num_chunks + 1)]
+    edges[-1] = total_frames
     chunks = []
     for chunk_id in range(num_chunks):
         start, end = int(edges[chunk_id]), int(edges[chunk_id + 1])
@@ -282,7 +285,7 @@ def _chunks_for_clip(
     clip,
     chunk_frames: int | None,
     next_chunk_id: int,
-    rng: np.random.Generator,
+    rng,
     use_random_plus: bool,
 ) -> list[Chunk]:
     """The chunks of one clip, numbered from ``next_chunk_id``.
@@ -315,7 +318,7 @@ def _chunks_for_clip(
 
 def chunks_from_clips(
     repository: VideoRepository,
-    rng: np.random.Generator,
+    rng,
     use_random_plus: bool = True,
 ) -> list[Chunk]:
     """One chunk per clip — the forced layout for short-clip corpora like
@@ -331,7 +334,7 @@ def chunks_from_clips(
 def clip_aligned_chunks(
     repository: VideoRepository,
     chunk_frames: int,
-    rng: np.random.Generator,
+    rng,
     use_random_plus: bool = True,
 ) -> list[Chunk]:
     """Fixed-size chunks that never span a clip boundary.
@@ -354,7 +357,7 @@ def clip_aligned_chunks(
 
 def make_chunks(
     repository: VideoRepository,
-    rng: np.random.Generator,
+    rng,
     chunk_frames: int | None = None,
     use_random_plus: bool = True,
 ) -> list[Chunk]:
@@ -387,7 +390,7 @@ class IncrementalChunker:
     def __init__(
         self,
         repository: VideoRepository,
-        rng: np.random.Generator,
+        rng,
         chunk_frames: int | None = None,
         use_random_plus: bool = True,
     ):

@@ -12,21 +12,27 @@ state Algorithm 1 keeps per chunk; the update after processing a frame is
     N1_j += |d0| - |d1|        n_j += 1                       (Alg. 1, l.11-12)
 
 with ``d0`` the new detections and ``d1`` those whose matched result had
-been seen exactly once before.  :class:`ChunkStatistics` is the vectorized
+been seen exactly once before.  :class:`ChunkStatistics` is the
 bookkeeping for all chunks, shared by every policy in
 :mod:`repro.core.policies`.
+
+Storage is a pair of flat parallel buffers (``array('d')`` for N1,
+``array('q')`` for n) regardless of backend: scalar updates index them
+directly, and the numpy fast path wraps the very same memory zero-copy
+via ``np.frombuffer`` for bulk math — one layout, two execution modes.
 """
 
 from __future__ import annotations
 
+from array import array
 
-import numpy as np
+from . import backend
 
 __all__ = ["ChunkStatistics"]
 
 
 class ChunkStatistics:
-    """Vectorized (N1_j, n_j) state over M chunks.
+    """Flat (N1_j, n_j) state over M chunks.
 
     Invariants maintained (and asserted in tests):
 
@@ -43,31 +49,52 @@ class ChunkStatistics:
         # no arms until ingestion delivers some (see :meth:`extend`)
         if num_chunks < 0:
             raise ValueError("num_chunks must be non-negative")
-        self._n1 = np.zeros(num_chunks, dtype=np.float64)
-        self._n = np.zeros(num_chunks, dtype=np.int64)
+        self._n1 = array("d", bytes(8 * num_chunks))
+        self._n = array("q", bytes(8 * num_chunks))
         self._total_results = 0
 
     @property
     def num_chunks(self) -> int:
         return len(self._n)
 
-    @property
-    def n1(self) -> np.ndarray:
-        """Read-only view of the per-chunk N1 counts."""
-        view = self._n1.view()
-        view.flags.writeable = False
-        return view
+    # The raw buffers, for backend-aware bulk consumers (belief, benches).
+    # Callers must treat them as read-only; numpy views made over them
+    # go stale after :meth:`extend` (the buffer reallocates), so take
+    # views per operation, never cache them.
 
     @property
-    def n(self) -> np.ndarray:
+    def n1_buffer(self) -> array:
+        return self._n1
+
+    @property
+    def n_buffer(self) -> array:
+        return self._n
+
+    @property
+    def n1(self):
+        """Read-only view of the per-chunk N1 counts.
+
+        A locked numpy view on the numpy backend, a tuple on the
+        fallback — both index and iterate the same way.
+        """
+        if backend.use_numpy():
+            view = backend.np.frombuffer(self._n1, dtype=backend.np.float64)
+            view.flags.writeable = False
+            return view
+        return tuple(self._n1)
+
+    @property
+    def n(self):
         """Read-only view of the per-chunk sample counts."""
-        view = self._n.view()
-        view.flags.writeable = False
-        return view
+        if backend.use_numpy():
+            view = backend.np.frombuffer(self._n, dtype=backend.np.int64)
+            view.flags.writeable = False
+            return view
+        return tuple(self._n)
 
     @property
     def total_samples(self) -> int:
-        return int(self._n.sum())
+        return int(sum(self._n))
 
     @property
     def total_results(self) -> int:
@@ -111,24 +138,37 @@ class ChunkStatistics:
             raise ValueError("num_new must be non-negative")
         if num_new == 0:
             return
-        self._n1 = np.concatenate([self._n1, np.zeros(num_new, dtype=np.float64)])
-        self._n = np.concatenate([self._n, np.zeros(num_new, dtype=np.int64)])
+        self._n1.extend([0.0] * num_new)
+        self._n.extend([0] * num_new)
 
-    def record_batch(self, chunks: np.ndarray, d0s: np.ndarray, d1s: np.ndarray) -> None:
+    def record_batch(self, chunks, d0s, d1s) -> None:
         """Commutative batched update (§III-F): order within the batch is
         irrelevant because all updates are additive."""
-        for chunk, d0, d1 in zip(chunks, d0s, d1s, strict=True):
+        chunks = list(chunks)
+        d0s = list(d0s)
+        d1s = list(d1s)
+        if not (len(chunks) == len(d0s) == len(d1s)):
+            raise ValueError("batch arrays must align")
+        for chunk, d0, d1 in zip(chunks, d0s, d1s):
             self.record(int(chunk), int(d0), int(d1))
 
-    def point_estimate(self) -> np.ndarray:
+    def point_estimate(self):
         """R̂_j = N1_j / n_j with the 0/0 convention R̂ = 0 (Eq. III.1).
 
         Chunks never sampled have no data; the *belief* layer, not this
         point estimate, is what keeps them explorable.
         """
-        with np.errstate(divide="ignore", invalid="ignore"):
-            est = np.where(self._n > 0, self._n1 / np.maximum(self._n, 1), 0.0)
-        return est
+        if backend.use_numpy():
+            np = backend.np
+            n1 = np.frombuffer(self._n1, dtype=np.float64)
+            n = np.frombuffer(self._n, dtype=np.int64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                est = np.where(n > 0, n1 / np.maximum(n, 1), 0.0)
+            return est
+        return [
+            (self._n1[j] / self._n[j]) if self._n[j] > 0 else 0.0
+            for j in range(len(self._n))
+        ]
 
     def _check_chunk(self, chunk: int) -> None:
         if not 0 <= chunk < self.num_chunks:

@@ -28,21 +28,42 @@ of queries (perfect overlap) and floored at ~1x (disjoint hot regions);
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Sequence
-
-import numpy as np
 
 from ..detection.detector import Detector
 from ..detection.execution import batch_detect
 from ..tracking.discriminator import Discriminator
 from ..video.repository import VideoRepository
+from . import backend
 from .belief import DEFAULT_ALPHA0, DEFAULT_BETA0, GammaBelief
 from .chunking import Chunk
 from .estimator import ChunkStatistics
+from .rng import DecisionRng
 from .sampler import SamplingHistory
 
 __all__ = ["QueryState", "MultiQueryExSample"]
+
+
+def _masked_argmax_row(row, available):
+    """First-max argmax of one score row over the available chunks.
+
+    Matches ``np.argmax`` (first maximum wins) in both layouts, and is
+    re-evaluated per batch slot because a pick can drain a chunk
+    mid-batch.
+    """
+    np_mod = backend.np
+    if np_mod is not None and isinstance(row, np_mod.ndarray):
+        masked = np_mod.where(np_mod.asarray(available, dtype=bool), row, -np_mod.inf)
+        return int(np_mod.argmax(masked))
+    best = -1
+    best_value = -math.inf
+    for m, ok in enumerate(available):
+        if ok and row[m] > best_value:
+            best_value = row[m]
+            best = m
+    return best
 
 
 @dataclass
@@ -94,7 +115,7 @@ class MultiQueryExSample:
         discriminator_factory: Callable[[str], Discriminator],
         alpha0: float = DEFAULT_ALPHA0,
         beta0: float = DEFAULT_BETA0,
-        rng: np.random.Generator | None = None,
+        rng=None,
         repository: VideoRepository | None = None,
         batch_size: int = 1,
     ):
@@ -110,7 +131,7 @@ class MultiQueryExSample:
         self._chunks = list(chunks)
         self._detector = detector
         self._belief = GammaBelief(alpha0, beta0)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else DecisionRng()
         self._repository = repository
         self._batch_size = batch_size
         self._queries = {
@@ -123,7 +144,7 @@ class MultiQueryExSample:
             )
             for category, limit in limits.items()
         }
-        self._available = np.array([not c.exhausted for c in self._chunks])
+        self._available = [not c.exhausted for c in self._chunks]
         self._frames_processed = 0
 
     # ------------------------------------------------------------ properties
@@ -142,7 +163,7 @@ class MultiQueryExSample:
 
     @property
     def exhausted(self) -> bool:
-        return not self._available.any()
+        return not any(self._available)
 
     def active_categories(self) -> list[str]:
         return [c for c, q in self._queries.items() if not q.satisfied]
@@ -173,9 +194,7 @@ class MultiQueryExSample:
         self._chunks.extend(new_chunks)
         for query in self._queries.values():
             query.stats.extend(len(new_chunks))
-        self._available = np.concatenate(
-            [self._available, [not c.exhausted for c in new_chunks]]
-        )
+        self._available.extend(not c.exhausted for c in new_chunks)
 
     # ------------------------------------------------------------- execution
 
@@ -208,16 +227,33 @@ class MultiQueryExSample:
             raise RuntimeError("all queries are satisfied")
 
         # combined Thompson score: sum of per-query draws per chunk, one
-        # independent draw-set per batch slot.
-        combined = np.zeros((batch_size, len(self._chunks)))
-        for query in active:
-            combined += self._belief.sample(query.stats, self._rng, size=batch_size)
+        # independent draw-set per batch slot.  The per-query matrices are
+        # folded left-to-right in both layouts so the float sums (and thus
+        # the arg-maxes) are bit-identical across backends.
+        draws_per_query = [
+            self._belief.sample(query.stats, self._rng, size=batch_size)
+            for query in active
+        ]
+        np_mod = backend.np
+        if np_mod is not None and all(
+            isinstance(d, np_mod.ndarray) for d in draws_per_query
+        ):
+            combined = draws_per_query[0].copy()
+            for draws in draws_per_query[1:]:
+                combined = combined + draws
+            rows = list(combined)
+        else:
+            rows = []
+            for r in range(batch_size):
+                acc = [0.0] * len(self._chunks)
+                for draws in draws_per_query:
+                    acc = [a + float(v) for a, v in zip(acc, draws[r])]
+                rows.append(acc)
         pending: list[tuple[int, int]] = []  # (chunk, frame)
-        for row in combined:
-            if not self._available.any():
+        for row in rows:
+            if not any(self._available):
                 break  # the batch drained every chunk
-            scores = np.where(self._available, row, -np.inf)
-            chunk_idx = int(np.argmax(scores))
+            chunk_idx = _masked_argmax_row(row, self._available)
             chunk = self._chunks[chunk_idx]
             frame = chunk.sample()
             if chunk.exhausted:

@@ -9,15 +9,23 @@ the ablation benches can swap them freely.
 
 A policy picks *batch_size* chunk indices given the current statistics.
 Exhausted chunks are masked out by the caller via ``available``.
+
+:class:`ThompsonSampling` — the decision-path default — runs on either
+backend: the whole batch's draws come back as one ``(batch, M)`` matrix
+(ndarray under numpy, row lists on the fallback) and the masked row-wise
+argmax picks the first maximum in both, so chunk choices are
+bit-identical across backends.  The ablation-only policies (Bayes-UCB,
+greedy, epsilon-greedy, uniform) keep their numpy implementations and
+are exercised only when numpy is installed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Protocol
 
-import numpy as np
-
+from . import backend
 from .belief import DEFAULT_ALPHA0, DEFAULT_BETA0, GammaBelief
 from .estimator import ChunkStatistics
 
@@ -37,26 +45,59 @@ class ChunkPolicy(Protocol):
     def choose(
         self,
         stats: ChunkStatistics,
-        rng: np.random.Generator,
-        available: np.ndarray,
+        rng,
+        available,
         batch_size: int = 1,
-    ) -> np.ndarray:  # pragma: no cover - protocol
+    ):  # pragma: no cover - protocol
         """Return ``batch_size`` chunk indices (with repetition allowed)."""
         ...
 
 
-def _validate(stats: ChunkStatistics, available: np.ndarray, batch_size: int) -> None:
+def _validate(stats: ChunkStatistics, available, batch_size: int) -> None:
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
-    if available.shape != (stats.num_chunks,):
+    if len(available) != stats.num_chunks:
         raise ValueError("available mask must have one entry per chunk")
-    if not available.any():
+    if backend.HAVE_NUMPY and isinstance(available, backend.np.ndarray):
+        some = bool(available.any())
+    else:
+        some = any(bool(b) for b in available)
+    if not some:
         raise ValueError("no chunks available to sample")
 
 
-def _masked_argmax(scores: np.ndarray, available: np.ndarray) -> np.ndarray:
-    """Row-wise argmax of ``scores`` restricted to available chunks."""
-    masked = np.where(available[None, :], scores, -np.inf)
+def masked_argmax_rows(draws, available):
+    """Row-wise argmax of a draw matrix restricted to available chunks.
+
+    Accepts the matrix in either backend layout (ndarray or list of row
+    lists) and an availability mask in either layout.  Both paths take
+    the *first* maximum, so for bit-identical draws the chosen indices
+    are identical across backends.
+    """
+    np = backend.np
+    if np is not None and isinstance(draws, np.ndarray):
+        avail = np.asarray(available, dtype=bool)
+        masked = np.where(avail[None, :], draws, -np.inf)
+        return np.argmax(masked, axis=1)
+    avail = [bool(b) for b in available]
+    out = []
+    for row in draws:
+        best = -1
+        best_value = -math.inf
+        for m, ok in enumerate(avail):
+            if ok:
+                v = row[m]
+                if v > best_value:
+                    best_value = v
+                    best = m
+        out.append(best)
+    return out
+
+
+def _masked_argmax(scores, available):
+    """Row-wise argmax for the numpy-only ablation policies."""
+    np = backend.np
+    masked = np.where(np.asarray(available, dtype=bool)[None, :], scores, -np.inf)
     return np.argmax(masked, axis=1)
 
 
@@ -75,14 +116,14 @@ class ThompsonSampling:
     def choose(
         self,
         stats: ChunkStatistics,
-        rng: np.random.Generator,
-        available: np.ndarray,
+        rng,
+        available,
         batch_size: int = 1,
-    ) -> np.ndarray:
+    ):
         _validate(stats, available, batch_size)
         belief = GammaBelief(self.alpha0, self.beta0)
         draws = belief.sample(stats, rng, size=batch_size)
-        return _masked_argmax(draws, available)
+        return masked_argmax_rows(draws, available)
 
 
 @dataclass(frozen=True)
@@ -102,10 +143,11 @@ class BayesUCB:
     def choose(
         self,
         stats: ChunkStatistics,
-        rng: np.random.Generator,
-        available: np.ndarray,
+        rng,
+        available,
         batch_size: int = 1,
-    ) -> np.ndarray:
+    ):
+        backend.require_numpy("the Bayes-UCB policy")
         _validate(stats, available, batch_size)
         belief = GammaBelief(self.alpha0, self.beta0)
         t = stats.total_samples + 1
@@ -131,13 +173,15 @@ class GreedyMean:
     def choose(
         self,
         stats: ChunkStatistics,
-        rng: np.random.Generator,
-        available: np.ndarray,
+        rng,
+        available,
         batch_size: int = 1,
-    ) -> np.ndarray:
+    ):
+        backend.require_numpy("the greedy-mean policy")
         _validate(stats, available, batch_size)
+        np = backend.np
         belief = GammaBelief(self.alpha0, self.beta0)
-        scores = belief.mean(stats)
+        scores = np.asarray(belief.mean(stats), dtype=np.float64)
         jitter = rng.uniform(0.0, 1e-12, size=(batch_size, stats.num_chunks))
         return _masked_argmax(scores[None, :] + jitter, available)
 
@@ -161,16 +205,18 @@ class EpsilonGreedy:
     def choose(
         self,
         stats: ChunkStatistics,
-        rng: np.random.Generator,
-        available: np.ndarray,
+        rng,
+        available,
         batch_size: int = 1,
-    ) -> np.ndarray:
+    ):
+        backend.require_numpy("the epsilon-greedy policy")
         _validate(stats, available, batch_size)
+        np = backend.np
         belief = GammaBelief(self.alpha0, self.beta0)
-        scores = belief.mean(stats)
+        scores = np.asarray(belief.mean(stats), dtype=np.float64)
         jitter = rng.uniform(0.0, 1e-12, size=(batch_size, stats.num_chunks))
         greedy = _masked_argmax(scores[None, :] + jitter, available)
-        explorable = np.flatnonzero(available)
+        explorable = np.flatnonzero(np.asarray(available, dtype=bool))
         random_pick = rng.choice(explorable, size=batch_size)
         explore = rng.random(batch_size) < self.epsilon
         return np.where(explore, random_pick, greedy)
@@ -192,18 +238,21 @@ class UniformPolicy:
     def choose(
         self,
         stats: ChunkStatistics,
-        rng: np.random.Generator,
-        available: np.ndarray,
+        rng,
+        available,
         batch_size: int = 1,
-    ) -> np.ndarray:
+    ):
+        backend.require_numpy("the uniform chunk policy")
         _validate(stats, available, batch_size)
+        np = backend.np
+        avail = np.asarray(available, dtype=bool)
         if self.weights is None:
-            w = available.astype(np.float64)
+            w = avail.astype(np.float64)
         else:
             w = np.asarray(self.weights, dtype=np.float64)
             if w.shape != (stats.num_chunks,):
                 raise ValueError("weights must have one entry per chunk")
-            w = np.where(available, np.maximum(w, 0.0), 0.0)
+            w = np.where(avail, np.maximum(w, 0.0), 0.0)
         total = w.sum()
         if total <= 0:
             raise ValueError("no positive-weight chunks available")

@@ -22,8 +22,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
-import numpy as np
-
 from ..baselines.blazeit import BlazeItSampler
 from ..baselines.random_plus import RandomPlusSampler
 from ..baselines.sequential import SequentialScanSampler
@@ -39,6 +37,7 @@ from ..tracking.discriminator import (
     TrackingDiscriminator,
 )
 from ..video.repository import VideoRepository
+from . import backend
 from .chunking import make_chunks
 from .policies import ChunkPolicy, ThompsonSampling
 from .sampler import ExSample, SamplingHistory
@@ -207,7 +206,7 @@ class QueryEngine:
             return OracleDiscriminator()
         return TrackingDiscriminator(self._repository.instances_of(self._category))
 
-    def _make_sampler(self, method: str, rng: np.random.Generator, detector=None):
+    def _make_sampler(self, method: str, rng, detector=None):
         if detector is None:
             detector = self._make_detector()
         discriminator = self._make_discriminator()
@@ -259,7 +258,10 @@ class QueryEngine:
                 f"engine is bound to category {self._category!r}, "
                 f"query asks for {query.category!r}"
             )
-        rng = np.random.default_rng(self._seed if seed is None else seed)
+        # the experiment engine keeps the historical numpy streams so
+        # published seeds reproduce; it is not on the no-numpy decision path.
+        backend.require_numpy("the experiment query engine")
+        rng = backend.np.random.default_rng(self._seed if seed is None else seed)
         detector = self._make_detector()
         sampler = self._make_sampler(method, rng, detector)
         ground_truth = len(self._repository.instances_of(self._category))

@@ -1,0 +1,515 @@
+"""The decision-stream RNG contract shared by both backends.
+
+Everything the serving and simulation stack *decides* — which chunk a
+Thompson round picks, which frame a chunk order yields, what noise a
+simulated detector adds — must be a pure function of seeds, never of
+which backend happens to execute it.  Numpy's own ``Generator`` cannot
+give that guarantee without numpy, so the decision path owns its
+generator: :class:`DecisionRng`, a SplitMix64 stream with
+
+* **scalar draws** (``random``, ``integers``, ``normal``, ``shuffle``,
+  ``choice``, ...) implemented once in pure Python and therefore
+  trivially identical with and without numpy, and
+* **one bulk operation**, :meth:`DecisionRng.gamma_matrix` — the
+  Thompson draw over all arms — with twin implementations: a
+  numpy-vectorized fast path and a pure-Python fallback that execute the
+  *same* counter-based draw schedule and the same IEEE-754 operation
+  sequence, so their outputs are bit-identical.
+
+How the bulk contract stays bit-identical
+-----------------------------------------
+
+``gamma_matrix`` advances the main stream exactly once, deriving an *op
+key*.  All randomness inside the op comes from a counter-based substream
+``u_j = mix64(op_key + (j+1)·GOLDEN)`` consumed in a fixed round-major
+schedule: rejection rounds process the pending elements in ascending
+element order, drawing one block of uniforms per round.  Both backends
+walk the identical schedule, so draw ``j`` lands on the identical
+element in both.
+
+Floating-point equality then only needs every arithmetic step to be an
+exactly-rounded IEEE-754 operation evaluated in the same order: ``+ - *
+/ sqrt`` and ``frexp/ldexp`` already are (numpy's elementwise kernels do
+not fuse), and the two transcendentals the gamma sampler needs — ``ln``
+and ``exp`` — are provided here as fixed polynomial evaluations
+(:func:`_ln`, :func:`_exp`) built only from those exact primitives,
+mirrored operation for operation in the vector path.  ``math.log`` /
+``np.log`` are deliberately *not* used: their results are
+implementation-defined in the last ulp and may disagree.
+
+Extending the sampler?  Read CONTRIBUTING.md ("The RNG contract") first:
+the draw *schedule* is load-bearing, and any new consumption of
+randomness must be added to both backends in the same order.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _stdlib_random
+
+from . import backend
+
+__all__ = ["DecisionRng", "derive_key"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_GOLDEN = 0x9E3779B97F4A7C15
+_SEED_INIT = 0x243F6A8885A308D3  # pi's fraction bits, a nothing-up-my-sleeve start
+_TO_UNIT = 2.0**-53  # (u64 >> 11) + 0.5 scaled into the open interval (0, 1)
+
+# atanh series 1/3, 1/5, ... 1/19 (highest order first, Horner-ready) for
+# ln(m) = 2s·(1 + s²·P(s²)), s = (m-1)/(m+1), m in [sqrt(1/2), sqrt(2))
+_ATANH_C = (
+    0.05263157894736842,  # 1/19
+    0.058823529411764705,  # 1/17
+    0.06666666666666667,  # 1/15
+    0.07692307692307693,  # 1/13
+    0.09090909090909091,  # 1/11
+    0.1111111111111111,  # 1/9
+    0.14285714285714285,  # 1/7
+    0.2,  # 1/5
+    0.3333333333333333,  # 1/3
+)
+# exp Taylor coefficients 1/15! ... 1/2!, 1, 1 (highest order first)
+_EXP_C = (
+    7.647163731819816e-13,
+    1.1470745597729725e-11,
+    1.6059043836821613e-10,
+    2.08767569878681e-09,
+    2.505210838544172e-08,
+    2.755731922398589e-07,
+    2.7557319223985893e-06,
+    2.48015873015873e-05,
+    0.0001984126984126984,
+    0.001388888888888889,
+    0.008333333333333333,
+    0.041666666666666664,
+    0.16666666666666666,
+    0.5,
+    1.0,
+    1.0,
+)
+_SQRT_HALF = 0.7071067811865476
+_LN2_HI = 6.93147180369123816490e-01
+_LN2_LO = 1.90821492927058770002e-10
+_INV_LN2 = 1.4426950408889634
+
+
+def _mix64(z: int) -> int:
+    """SplitMix64 finalizer: avalanche a 64-bit word."""
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def derive_key(parts) -> int:
+    """Hash a seed (int or tuple of ints) into a 64-bit stream key.
+
+    Tuple components are absorbed in order and the length is absorbed
+    last, so ``(a, b)`` and ``(a, b, 0)`` key different streams.  This is
+    the seeding rule every decision-path module uses, mirroring the
+    ``default_rng((seed, salt))`` idiom the codebase used before the
+    backend split.
+    """
+    if not isinstance(parts, (tuple, list)):
+        parts = (parts,)
+    acc = _SEED_INIT
+    for part in parts:
+        acc = _mix64(acc ^ _mix64(int(part) & _MASK64))
+    return _mix64(acc ^ len(parts))
+
+
+def _ln(x: float) -> float:
+    """Exactly-reproducible natural log (both backends, same bits).
+
+    frexp range reduction to [sqrt(1/2), sqrt(2)), then the atanh series;
+    accurate to a few ulp, which is far more than the samplers need —
+    what matters is that :func:`_ln_vec` is the same operation sequence.
+    """
+    m, e = math.frexp(x)
+    if m < _SQRT_HALF:
+        m = m * 2.0
+        e = e - 1
+    s = (m - 1.0) / (m + 1.0)
+    z = s * s
+    p = _ATANH_C[0]
+    for cst in _ATANH_C[1:]:
+        p = p * z + cst
+    lnm = 2.0 * s * (1.0 + z * p)
+    ef = float(e)
+    return ef * _LN2_HI + (ef * _LN2_LO + lnm)
+
+
+def _exp(x: float) -> float:
+    """Exactly-reproducible exponential (mirrors :func:`_exp_vec`)."""
+    kf = float(math.floor(x * _INV_LN2 + 0.5))
+    r = x - kf * _LN2_HI
+    r = r - kf * _LN2_LO
+    p = _EXP_C[0]
+    for cst in _EXP_C[1:]:
+        p = p * r + cst
+    return math.ldexp(p, int(kf))
+
+
+def _ln_vec(x):
+    """Vector twin of :func:`_ln` — identical operation sequence."""
+    np = backend.np
+    m, e = np.frexp(x)
+    low = m < _SQRT_HALF
+    m = np.where(low, m * 2.0, m)
+    e = e - low
+    s = (m - 1.0) / (m + 1.0)
+    z = s * s
+    p = np.full_like(s, _ATANH_C[0])
+    for cst in _ATANH_C[1:]:
+        p = p * z + cst
+    lnm = 2.0 * s * (1.0 + z * p)
+    ef = e.astype(np.float64)
+    return ef * _LN2_HI + (ef * _LN2_LO + lnm)
+
+
+def _exp_vec(x):
+    """Vector twin of :func:`_exp` — identical operation sequence."""
+    np = backend.np
+    kf = np.floor(x * _INV_LN2 + 0.5)
+    r = x - kf * _LN2_HI
+    r = r - kf * _LN2_LO
+    p = np.full_like(r, _EXP_C[0])
+    for cst in _EXP_C[1:]:
+        p = p * r + cst
+    return np.ldexp(p, kf.astype(np.int32))
+
+
+class DecisionRng:
+    """A backend-independent RNG for everything the system decides.
+
+    Scalar methods mirror the slice of ``numpy.random.Generator``'s API
+    the decision path uses, so chunk orders, schedulers, and detectors
+    are written once and accept either generator; engine code dispatches
+    on the type only where a bulk draw exists (``GammaBelief.sample``).
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed=None):
+        if seed is None:
+            seed = _stdlib_random.getrandbits(64)
+        self._state = derive_key(seed)
+
+    # ------------------------------------------------------------ the stream
+
+    def _next_u64(self) -> int:
+        self._state = (self._state + _GOLDEN) & _MASK64
+        return _mix64(self._state)
+
+    @property
+    def state(self) -> int:
+        """The raw 64-bit stream position (diagnostics and tests only)."""
+        return self._state
+
+    # --------------------------------------------------------- scalar draws
+
+    def random(self) -> float:
+        """One double in the open interval (0, 1)."""
+        return ((self._next_u64() >> 11) + 0.5) * _TO_UNIT
+
+    def integers(self, low: int, high: int | None = None, size: int | None = None):
+        """Uniform ints in ``[low, high)`` (or ``[0, low)``), numpy-style.
+
+        Unbiased via Lemire's multiply-shift with rejection.
+        """
+        if high is None:
+            low, high = 0, low
+        low = int(low)
+        high = int(high)
+        n = high - low
+        if n <= 0:
+            raise ValueError(f"empty integer range [{low}, {high})")
+        if size is not None:
+            return [self.integers(low, high) for _ in range(size)]
+        m = self._next_u64() * n
+        frac = m & _MASK64
+        if frac < n:
+            threshold = ((1 << 64) - n) % n
+            while frac < threshold:
+                m = self._next_u64() * n
+                frac = m & _MASK64
+        return low + (m >> 64)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return low + (high - low) * self.random()
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        """Marsaglia polar draw (no cached spare: each call is self-contained)."""
+        while True:
+            v1 = 2.0 * self.random() - 1.0
+            v2 = 2.0 * self.random() - 1.0
+            s = v1 * v1 + v2 * v2
+            if 0.0 < s < 1.0:
+                return loc + scale * (v1 * math.sqrt(-2.0 * _ln(s) / s))
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        return _exp(self.normal(mean, sigma))
+
+    def poisson(self, lam: float = 1.0) -> int:
+        """Knuth's product method — fine at the event rates detectors use."""
+        if lam < 0.0:
+            raise ValueError("lam must be non-negative")
+        if lam == 0.0:
+            return 0
+        limit = _exp(-lam)
+        k = 0
+        prod = self.random()
+        while prod > limit:
+            k += 1
+            prod *= self.random()
+        return k
+
+    def shuffle(self, seq) -> None:
+        """In-place Fisher-Yates over any mutable sequence."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.integers(0, i + 1)
+            seq[i], seq[j] = seq[j], seq[i]
+
+    def choice(self, a, size: int | None = None, replace: bool = True, p=None):
+        """numpy-style choice over ``range(a)`` or a sequence.
+
+        Returns a single element when ``size`` is ``None``, else a list.
+        ``p`` carries (unnormalized) weights; ``replace=False`` draws via
+        a partial Fisher-Yates.
+        """
+        population = list(range(a)) if isinstance(a, int) else list(a)
+        n = len(population)
+        if n == 0:
+            raise ValueError("cannot choose from an empty population")
+        if p is not None:
+            if replace is not True:
+                raise ValueError("weighted choice without replacement is unsupported")
+            weights = [float(w) for w in p]
+            if len(weights) != n:
+                raise ValueError("p must align with the population")
+            total = 0.0
+            cumulative = []
+            for w in weights:
+                if w < 0.0:
+                    raise ValueError("weights must be non-negative")
+                total += w
+                cumulative.append(total)
+            if total <= 0.0:
+                raise ValueError("weights must sum to a positive value")
+
+            def pick_one():
+                r = self.random() * total
+                for idx, edge in enumerate(cumulative):
+                    if r < edge:
+                        return population[idx]
+                return population[n - 1]
+
+            if size is None:
+                return pick_one()
+            return [pick_one() for _ in range(size)]
+        if size is None:
+            return population[self.integers(0, n)]
+        if replace:
+            return [population[self.integers(0, n)] for _ in range(size)]
+        if size > n:
+            raise ValueError("cannot draw more unique items than the population holds")
+        pool = population[:]
+        out = []
+        for i in range(size):
+            j = i + self.integers(0, n - i)
+            pool[i], pool[j] = pool[j], pool[i]
+            out.append(pool[i])
+        return out
+
+    # ------------------------------------------------------------ bulk draws
+
+    def gamma_matrix(self, alphas, betas, rows: int):
+        """The vectorized Thompson draw: a ``(rows, M)`` Gamma sample matrix.
+
+        Entry ``(r, m)`` is a draw from Gamma(shape=alphas[m],
+        scale=1/betas[m]) — one Thompson-sampling round per row.  The
+        main stream advances exactly once (the op key) regardless of
+        shape; all element randomness comes from the op's counter-based
+        substream, consumed on the fixed round-major schedule described
+        in the module docstring, so the numpy and pure-Python backends
+        return bit-identical matrices.
+
+        Returns an ``ndarray`` on the numpy backend, a list of row lists
+        on the fallback.
+        """
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        a_cols = [float(a) for a in alphas]
+        b_cols = [float(b) for b in betas]
+        if len(a_cols) != len(b_cols):
+            raise ValueError("alphas and betas must align")
+        for a in a_cols:
+            if a <= 0.0:
+                raise ValueError("gamma shapes must be positive")
+        for b in b_cols:
+            if b <= 0.0:
+                raise ValueError("gamma rates must be positive")
+        op_key = self._next_u64()
+        if not a_cols:
+            empty = [[] for _ in range(rows)]
+            if backend.use_numpy():
+                return backend.np.zeros((rows, 0), dtype=backend.np.float64)
+            return empty
+        if backend.use_numpy():
+            return _gamma_matrix_np(op_key, a_cols, b_cols, rows)
+        return _gamma_matrix_py(op_key, a_cols, b_cols, rows)
+
+
+# ---------------------------------------------------------------------------
+# The twin gamma implementations.  Marsaglia-Tsang with the shape<1 boost;
+# per-round draw blocks come from the op substream in ascending element
+# order.  Keep every arithmetic expression textually parallel between the
+# two: that parallelism IS the bit-identity proof obligation.
+# ---------------------------------------------------------------------------
+
+
+def _gamma_matrix_py(op_key: int, a_cols: list, b_cols: list, rows: int):
+    M = len(a_cols)
+    n = rows * M
+    cursor = 0
+
+    def take(count: int) -> list:
+        nonlocal cursor
+        out = []
+        base = op_key
+        for j in range(cursor, cursor + count):
+            z = _mix64((base + ((j + 1) * _GOLDEN)) & _MASK64)
+            out.append(((z >> 11) + 0.5) * _TO_UNIT)
+        cursor += count
+        return out
+
+    boost_u = take(n)
+
+    a_flat = [a_cols[e % M] for e in range(n)]
+    d = [0.0] * n
+    c = [0.0] * n
+    for e in range(n):
+        a_eff = a_flat[e] + 1.0 if a_flat[e] < 1.0 else a_flat[e]
+        d[e] = a_eff - (1.0 / 3.0)
+        c[e] = 1.0 / math.sqrt(9.0 * d[e])
+
+    x = [0.0] * n
+    val = [0.0] * n
+    pending = list(range(n))
+    while pending:
+        need = pending[:]
+        while need:
+            u1s = take(len(need))
+            u2s = take(len(need))
+            still = []
+            for i, e in enumerate(need):
+                v1 = 2.0 * u1s[i] - 1.0
+                v2 = 2.0 * u2s[i] - 1.0
+                s = v1 * v1 + v2 * v2
+                if 0.0 < s < 1.0:
+                    x[e] = v1 * math.sqrt(-2.0 * _ln(s) / s)
+                else:
+                    still.append(e)
+            need = still
+        tpos = []
+        vcube = {}
+        for e in pending:
+            t = 1.0 + c[e] * x[e]
+            if t > 0.0:
+                vcube[e] = t * t * t
+                tpos.append(e)
+        us = take(len(tpos))
+        tpos_set = set(tpos)
+        rejected = [e for e in pending if e not in tpos_set]
+        for i, e in enumerate(tpos):
+            u = us[i]
+            v = vcube[e]
+            x2 = x[e] * x[e]
+            if u < 1.0 - 0.0331 * (x2 * x2):
+                val[e] = d[e] * v
+            elif _ln(u) < 0.5 * x2 + d[e] * (1.0 - v + _ln(v)):
+                val[e] = d[e] * v
+            else:
+                rejected.append(e)
+        pending = sorted(rejected)
+
+    out = []
+    for r in range(rows):
+        row = []
+        for m in range(M):
+            e = r * M + m
+            v = val[e]
+            if a_flat[e] < 1.0:
+                v = v * _exp(_ln(boost_u[e]) / a_flat[e])
+            row.append(v / b_cols[m])
+        out.append(row)
+    return out
+
+
+def _gamma_matrix_np(op_key: int, a_cols: list, b_cols: list, rows: int):
+    np = backend.np
+    M = len(a_cols)
+    n = rows * M
+    cursor = 0
+    key = np.uint64(op_key)
+    golden = np.uint64(_GOLDEN)
+
+    def take(count: int):
+        nonlocal cursor
+        idx = np.arange(cursor + 1, cursor + count + 1, dtype=np.uint64)
+        cursor += count
+        z = key + idx * golden
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+        return ((z >> np.uint64(11)).astype(np.float64) + 0.5) * _TO_UNIT
+
+    boost_u = take(n)
+
+    a_flat = np.tile(np.asarray(a_cols, dtype=np.float64), rows)
+    small = a_flat < 1.0
+    a_eff = np.where(small, a_flat + 1.0, a_flat)
+    d = a_eff - (1.0 / 3.0)
+    c = 1.0 / np.sqrt(9.0 * d)
+
+    x = np.zeros(n, dtype=np.float64)
+    val = np.zeros(n, dtype=np.float64)
+    pending = np.arange(n)
+    while pending.size:
+        need = pending
+        while need.size:
+            u1s = take(need.size)
+            u2s = take(need.size)
+            v1 = 2.0 * u1s - 1.0
+            v2 = 2.0 * u2s - 1.0
+            s = v1 * v1 + v2 * v2
+            ok = (0.0 < s) & (s < 1.0)
+            s_ok = s[ok]
+            x[need[ok]] = v1[ok] * np.sqrt(-2.0 * _ln_vec(s_ok) / s_ok)
+            need = need[~ok]
+        t = 1.0 + c[pending] * x[pending]
+        has_v = t > 0.0
+        tpos = pending[has_v]
+        tv = t[has_v]
+        v = tv * tv * tv
+        us = take(tpos.size)
+        xe = x[tpos]
+        x2 = xe * xe
+        accept = us < 1.0 - 0.0331 * (x2 * x2)
+        log_test = ~accept
+        if log_test.any():
+            lhs = _ln_vec(us[log_test])
+            rhs = 0.5 * x2[log_test] + d[tpos[log_test]] * (
+                1.0 - v[log_test] + _ln_vec(v[log_test])
+            )
+            accept = accept.copy()
+            accept[log_test] = lhs < rhs
+        good = tpos[accept]
+        val[good] = d[good] * v[accept]
+        pending = np.sort(np.concatenate([pending[~has_v], tpos[~accept]]))
+
+    if small.any():
+        boost = _exp_vec(_ln_vec(boost_u[small]) / a_flat[small])
+        val[small] = val[small] * boost
+    val = val / np.tile(np.asarray(b_cols, dtype=np.float64), rows)
+    return val.reshape(rows, M)

@@ -26,18 +26,19 @@ concurrent queries without perturbing any sampling decision.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Sequence
-
-import numpy as np
 
 from ..detection.detector import Detection, Detector
 from ..detection.execution import batch_detect
 from ..tracking.discriminator import Discriminator
 from ..video.repository import VideoRepository
+from . import backend
 from .chunking import Chunk
 from .estimator import ChunkStatistics
 from .policies import ChunkPolicy, ThompsonSampling
+from .rng import DecisionRng
 
 __all__ = [
     "StepRecord",
@@ -81,41 +82,54 @@ class SamplingHistory:
         return len(self._results)
 
     @property
-    def samples(self) -> np.ndarray:
+    def samples(self):
         """1-based sample counts, aligned with :attr:`results`."""
-        return np.arange(1, len(self._results) + 1, dtype=np.int64)
+        if backend.use_numpy():
+            np = backend.np
+            return np.arange(1, len(self._results) + 1, dtype=np.int64)
+        return list(range(1, len(self._results) + 1))
 
     @property
-    def results(self) -> np.ndarray:
+    def results(self):
         """Cumulative distinct results after each sample."""
-        return np.asarray(self._results, dtype=np.int64)
+        if backend.use_numpy():
+            return backend.np.asarray(self._results, dtype=backend.np.int64)
+        return list(self._results)
 
     @property
-    def frame_indices(self) -> np.ndarray:
-        return np.asarray(self._frames, dtype=np.int64)
+    def frame_indices(self):
+        if backend.use_numpy():
+            return backend.np.asarray(self._frames, dtype=backend.np.int64)
+        return list(self._frames)
 
     @property
-    def d0_counts(self) -> np.ndarray:
+    def d0_counts(self):
         """Per-step count of new results, aligned with :attr:`frame_indices`
         — the decision stream differential tests compare run-for-run."""
-        return np.asarray(self._d0, dtype=np.int64)
+        if backend.use_numpy():
+            return backend.np.asarray(self._d0, dtype=backend.np.int64)
+        return list(self._d0)
 
     @property
-    def new_result_frames(self) -> np.ndarray:
+    def new_result_frames(self):
         """Frames whose processing yielded at least one *new* result —
         the frames a user would actually open to inspect their results."""
-        d0 = np.asarray(self._d0, dtype=np.int64)
-        frames = np.asarray(self._frames, dtype=np.int64)
-        return frames[d0 > 0]
+        if backend.use_numpy():
+            np = backend.np
+            d0 = np.asarray(self._d0, dtype=np.int64)
+            frames = np.asarray(self._frames, dtype=np.int64)
+            return frames[d0 > 0]
+        return [f for f, d in zip(self._frames, self._d0) if d > 0]
 
     def samples_to_reach(self, target_results: int) -> int | None:
         """Frames processed when ``target_results`` was first reached, or
         ``None`` if the run never got there."""
         if target_results <= 0:
             return 0
-        results = self.results
-        hits = np.flatnonzero(results >= target_results)
-        return int(hits[0]) + 1 if len(hits) else None
+        for i, total in enumerate(self._results):
+            if total >= target_results:
+                return i + 1
+        return None
 
 
 def process_frame(
@@ -178,7 +192,7 @@ class ExSample:
         detector: Detector,
         discriminator: Discriminator,
         policy: ChunkPolicy | None = None,
-        rng: np.random.Generator | None = None,
+        rng=None,
         batch_size: int = 1,
         repository: VideoRepository | None = None,
         cross_chunk_adjustment: bool = False,
@@ -192,16 +206,20 @@ class ExSample:
         self._detector = detector
         self._discriminator = discriminator
         self._policy = policy if policy is not None else ThompsonSampling()
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else DecisionRng()
         self._batch_size = batch_size
         self._repository = repository
         self._cross_chunk = cross_chunk_adjustment
         self._first_chunk: dict[int, int] = {}  # true_instance_id -> chunk
         self._stats = ChunkStatistics(len(self._chunks))
         self._history = SamplingHistory()
-        self._available = np.array(
-            [not c.exhausted for c in self._chunks], dtype=bool
-        )
+        self._available = [not c.exhausted for c in self._chunks]
+        #: wall-clock split of the last :meth:`plan` call — ``draw`` is
+        #: the Thompson belief sampling (policy choice), ``score`` the
+        #: frame selection that turns chunk picks into concrete frames.
+        #: Surfaced by the serving layer as the plan-stage telemetry
+        #: split; reading it never affects decisions.
+        self.last_plan_timings: dict[str, float] = {"draw": 0.0, "score": 0.0}
 
     # ------------------------------------------------------------ properties
 
@@ -236,17 +254,20 @@ class ExSample:
     @property
     def exhausted(self) -> bool:
         """True once every chunk's frame order is fully consumed."""
-        return not self._available.any()
+        return not any(self._available)
 
     @property
-    def chunk_availability(self) -> np.ndarray:
+    def chunk_availability(self):
         """Per-chunk mask of chunks that still have frames to sample.
 
         Exposed for schedulers that score a whole sampler (e.g. the
         serving layer's Thompson-sum budget allocation) and must ignore
-        drained chunks exactly as the policies do.
+        drained chunks exactly as the policies do.  A bool ndarray under
+        numpy, a list of bools on the fallback.
         """
-        return self._available.copy()
+        if backend.use_numpy():
+            return backend.np.asarray(self._available, dtype=bool)
+        return list(self._available)
 
     # ------------------------------------------------------------- ingestion
 
@@ -275,9 +296,7 @@ class ExSample:
                 )
         self._chunks.extend(new_chunks)
         self._stats.extend(len(new_chunks))
-        self._available = np.concatenate(
-            [self._available, [not c.exhausted for c in new_chunks]]
-        )
+        self._available.extend(not c.exhausted for c in new_chunks)
 
     # ------------------------------------------------------------- execution
 
@@ -306,26 +325,36 @@ class ExSample:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
 
+        draw_start = time.perf_counter()
         picks = self._policy.choose(
             self._stats, self._rng, self._available, batch_size=batch_size
         )
+        score_start = time.perf_counter()
+        draw_seconds = score_start - draw_start
+        redraw_seconds = 0.0
         pending: list[tuple[int, int]] = []  # (chunk, frame)
         for pick in picks:
             chunk_idx = int(pick)
             if not self._available[chunk_idx]:
                 # an earlier pick in this batch drained the chunk; re-draw.
-                if not self._available.any():
+                if not any(self._available):
                     break
+                redraw_start = time.perf_counter()
                 chunk_idx = int(
                     self._policy.choose(
                         self._stats, self._rng, self._available, batch_size=1
                     )[0]
                 )
+                redraw_seconds += time.perf_counter() - redraw_start
             chunk = self._chunks[chunk_idx]
             frame = chunk.sample()
             if chunk.exhausted:
                 self._available[chunk_idx] = False
             pending.append((chunk_idx, frame))
+        self.last_plan_timings = {
+            "draw": draw_seconds + redraw_seconds,
+            "score": (time.perf_counter() - score_start) - redraw_seconds,
+        }
         return pending
 
     def commit(

@@ -32,8 +32,6 @@ from __future__ import annotations
 import math
 from typing import Protocol
 
-import numpy as np
-
 from ..video.instances import InstanceSet
 
 __all__ = [
@@ -168,7 +166,7 @@ class ScoredOrder:
         self,
         start: int,
         end: int,
-        rng: np.random.Generator,
+        rng,
         scorer: FrameScorer,
         candidates: int = 8,
     ):
@@ -217,7 +215,7 @@ class ScoredOrder:
 def scored_even_count_chunks(
     total_frames: int,
     num_chunks: int,
-    rng: np.random.Generator,
+    rng,
     scorer: FrameScorer,
     candidates: int = 8,
 ) -> list:
@@ -234,7 +232,11 @@ def scored_even_count_chunks(
         raise ValueError("total_frames must be positive")
     if not 1 <= num_chunks <= total_frames:
         raise ValueError("num_chunks must lie in [1, total_frames]")
-    edges = np.linspace(0, total_frames, num_chunks + 1).round().astype(np.int64)
+    # same edge computation as chunking.even_count_chunks (and bit-equal
+    # to the historical np.linspace(...).round() it replaces).
+    step = total_frames / num_chunks
+    edges = [round(i * step) for i in range(num_chunks + 1)]
+    edges[-1] = total_frames
     chunks = []
     for chunk_id in range(num_chunks):
         start, end = int(edges[chunk_id]), int(edges[chunk_id + 1])

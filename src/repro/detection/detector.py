@@ -22,11 +22,11 @@ sampling behaviour from detection behaviour in controlled experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
-import numpy as np
-
+from ..core.rng import DecisionRng
 from ..video.geometry import Box
 from ..video.repository import VideoRepository
 from ..video.synthetic import FRAME_HEIGHT, FRAME_WIDTH, OccupancySchedule
@@ -225,10 +225,8 @@ class SimulatedDetector:
 
     # ------------------------------------------------------------- internals
 
-    def _rng_for(self, frame_index: int, instance_id: int) -> np.random.Generator:
-        return np.random.default_rng(
-            (self._seed, 0x5EED, frame_index, instance_id)
-        )
+    def _rng_for(self, frame_index: int, instance_id: int) -> DecisionRng:
+        return DecisionRng((self._seed, 0x5EED, frame_index, instance_id))
 
     def _effective_miss_rate(self, box: Box) -> float:
         """Small objects are missed more often, up to 3x the base rate."""
@@ -238,37 +236,37 @@ class SimulatedDetector:
         factor = min(3.0, max(0.5, reference_area / max(box.area, 1.0)))
         return min(0.95, self._miss_rate * factor)
 
-    def _jitter_box(self, box: Box, rng: np.random.Generator) -> Box:
+    def _jitter_box(self, box: Box, rng: DecisionRng) -> Box:
         if self._jitter == 0.0:
             return box
         dx = rng.normal(0.0, self._jitter * max(box.width, 1.0))
         dy = rng.normal(0.0, self._jitter * max(box.height, 1.0))
-        scale = float(np.exp(rng.normal(0.0, self._jitter)))
-        jittered = box.translate(float(dx), float(dy)).scale(scale)
+        scale = math.exp(rng.normal(0.0, self._jitter))
+        jittered = box.translate(dx, dy).scale(scale)
         return jittered.clip(FRAME_WIDTH, FRAME_HEIGHT)
 
-    def _score(self, box: Box, rng: np.random.Generator) -> float:
+    def _score(self, box: Box, rng: DecisionRng) -> float:
         base = 0.5 + 0.5 * min(1.0, box.area / (300.0 * 300.0))
         noise = rng.normal(0.0, 0.08)
-        return float(np.clip(base + noise, 0.05, 1.0))
+        return min(max(base + noise, 0.05), 1.0)
 
     def _false_positives(self, frame_index: int) -> list[Detection]:
         if self._fp_rate == 0.0:
             return []
-        rng = np.random.default_rng((self._seed, 0xFA15E, frame_index))
+        rng = DecisionRng((self._seed, 0xFA15E, frame_index))
         count = rng.poisson(self._fp_rate)
         out = []
         for _ in range(count):
-            w = float(rng.uniform(20, 120))
-            h = float(rng.uniform(20, 120))
-            cx = float(rng.uniform(w / 2, FRAME_WIDTH - w / 2))
-            cy = float(rng.uniform(h / 2, FRAME_HEIGHT - h / 2))
+            w = rng.uniform(20, 120)
+            h = rng.uniform(20, 120)
+            cx = rng.uniform(w / 2, FRAME_WIDTH - w / 2)
+            cy = rng.uniform(h / 2, FRAME_HEIGHT - h / 2)
             out.append(
                 Detection(
                     frame_index=frame_index,
                     box=Box.from_center(cx, cy, w, h),
                     category=self._fp_category,
-                    score=float(rng.uniform(0.05, 0.6)),
+                    score=rng.uniform(0.05, 0.6),
                     true_instance_id=None,
                 )
             )

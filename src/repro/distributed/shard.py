@@ -38,9 +38,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.chunking import IncrementalChunker
+from ..core.rng import DecisionRng
 from ..video.repository import VideoRepository
 
 __all__ = ["ShardSpec", "ShardPlan", "shard_chunk_spans"]
@@ -188,7 +187,7 @@ def shard_chunk_spans(
     plans; a plan that has absorbed striped appends no longer has
     per-shard end horizons.
     """
-    rng = np.random.default_rng(0)  # orders are unused; spans are RNG-free
+    rng = DecisionRng(0)  # orders are unused; spans are RNG-free
     chunker = IncrementalChunker(
         repository, rng, chunk_frames=chunk_frames, use_random_plus=use_random_plus
     )

@@ -10,9 +10,17 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
+from ..core import backend
 
 __all__ = ["format_table", "format_ratio", "sparkline", "section"]
+
+# numpy scalar types participate in the numeric-alignment and float
+# formatting checks only when numpy is installed
+_INTEGRAL: tuple[type, ...] = (int,)
+_FLOATING: tuple[type, ...] = (float,)
+if backend.np is not None:
+    _INTEGRAL = (int, backend.np.integer)
+    _FLOATING = (float, backend.np.floating)
 
 
 def format_table(
@@ -36,7 +44,7 @@ def format_table(
     for original, row in zip(rows, cells):
         padded = []
         for col, text in enumerate(row):
-            if isinstance(original[col], (int, float, np.integer, np.floating)):
+            if isinstance(original[col], _INTEGRAL + _FLOATING):
                 padded.append(text.rjust(widths[col]))
             else:
                 padded.append(text.ljust(widths[col]))
@@ -47,7 +55,7 @@ def format_table(
 def _fmt(value: object) -> str:
     if value is None:
         return "-"
-    if isinstance(value, (float, np.floating)):
+    if isinstance(value, _FLOATING):
         if value == 0:
             return "0"
         magnitude = abs(value)
@@ -73,17 +81,19 @@ _BLOCKS = " ▁▂▃▄▅▆▇█"
 
 def sparkline(values: Sequence[float], width: int = 40) -> str:
     """A coarse unicode trajectory for results-vs-samples curves."""
-    vals = np.asarray(list(values), dtype=np.float64)
-    if len(vals) == 0:
+    vals = [float(v) for v in values]
+    if not vals:
         return ""
     if len(vals) > width:
-        idx = np.linspace(0, len(vals) - 1, width).round().astype(int)
-        vals = vals[idx]
-    top = vals.max()
+        step = (len(vals) - 1) / (width - 1) if width > 1 else 0.0
+        vals = [vals[round(i * step)] for i in range(width)]
+    top = max(vals)
     if top <= 0:
         return _BLOCKS[0] * len(vals)
-    scaled = np.clip((vals / top) * (len(_BLOCKS) - 1), 0, len(_BLOCKS) - 1)
-    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+    span = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[int(round(min(max(v / top * span, 0.0), span)))] for v in vals
+    )
 
 
 def section(title: str) -> str:

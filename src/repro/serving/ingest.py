@@ -29,9 +29,8 @@ import pathlib
 import zlib
 from dataclasses import asdict, dataclass
 
-import numpy as np
-
 from .. import telemetry
+from ..core.rng import DecisionRng
 from ..video.synthetic import place_instances
 
 __all__ = [
@@ -254,7 +253,7 @@ def apply_entry(service, entry: IngestEntry, entry_index: int, base_seed: int = 
     for ordinal in range(entry.clips):
         instances = []
         if entry.category is not None and entry.instances > 0:
-            rng = np.random.default_rng(
+            rng = DecisionRng(
                 _clip_seed(base_seed, entry.dataset, entry_index, ordinal)
             )
             ids = repo.instances.ids()

@@ -24,9 +24,8 @@ allocations summing to the budget (when any session is eligible).
 
 from __future__ import annotations
 
+import math
 from typing import Protocol, Sequence
-
-import numpy as np
 
 from .session import QuerySession
 
@@ -46,7 +45,7 @@ class SchedulerPolicy(Protocol):
         self,
         sessions: Sequence[QuerySession],
         budget: int,
-        rng: np.random.Generator,
+        rng,
     ) -> dict[str, int]:  # pragma: no cover - protocol
         ...
 
@@ -72,18 +71,19 @@ def proportional_allocation(
         return {}
     if len(ids) != len(weights):
         raise ValueError("ids and weights must align")
-    w = np.maximum(np.asarray(weights, dtype=np.float64), 0.0)
-    total = w.sum()
-    if total <= 0.0 or not np.isfinite(total):
-        w = np.ones(len(ids))
+    w = [max(float(v), 0.0) for v in weights]
+    total = math.fsum(w)
+    if total <= 0.0 or not math.isfinite(total):
+        w = [1.0] * len(ids)
         total = float(len(ids))
-    shares = budget * w / total
-    base = np.floor(shares).astype(np.int64)
-    remainder = budget - int(base.sum())
+    shares = [budget * v / total for v in w]
+    base = [math.floor(s) for s in shares]
+    remainder = budget - sum(base)
     if remainder > 0:
         # stable sort: equal fractional parts resolve in list order
-        order = np.argsort(-(shares - base), kind="stable")
-        base[order[:remainder]] += 1
+        order = sorted(range(len(ids)), key=lambda i: -(shares[i] - base[i]))
+        for i in order[:remainder]:
+            base[i] += 1
     return {sid: int(n) for sid, n in zip(ids, base)}
 
 
@@ -102,7 +102,7 @@ class RoundRobinScheduler:
         self,
         sessions: Sequence[QuerySession],
         budget: int,
-        rng: np.random.Generator,
+        rng,
     ) -> dict[str, int]:
         _validate(sessions, budget)
         if not sessions:
@@ -140,35 +140,33 @@ class PriorityScheduler:
         self,
         sessions: Sequence[QuerySession],
         budget: int,
-        rng: np.random.Generator,
+        rng,
     ) -> dict[str, int]:
         _validate(sessions, budget)
         if not sessions:
             return {}
         ids = [s.session_id for s in sessions]
-        w = np.maximum(
-            np.asarray([s.priority for s in sessions], dtype=np.float64), 0.0
-        )
-        total = w.sum()
-        if total <= 0.0 or not np.isfinite(total):
-            w = np.ones(len(ids))
+        w = [max(float(s.priority), 0.0) for s in sessions]
+        total = math.fsum(w)
+        if total <= 0.0 or not math.isfinite(total):
+            w = [1.0] * len(ids)
             total = float(len(ids))
-        credit = np.array(
-            [self._credit.get(sid, 0.0) for sid in ids], dtype=np.float64
-        )
-        credit += budget * w / total
+        credit = [
+            self._credit.get(sid, 0.0) + budget * v / total
+            for sid, v in zip(ids, w)
+        ]
         # a session that just consumed a rounded-up grant carries negative
         # credit; it simply earns nothing until the debt amortizes — a
         # grant itself can never be negative
-        base = np.maximum(np.floor(credit).astype(np.int64), 0)
+        base = [max(math.floor(c), 0) for c in credit]
         # floors can overshoot the budget when prior ticks went granted
         # slightly under par; claw back from the *smallest* fractional
         # parts first (stable, so ties resolve in submission order)
-        overshoot = int(base.sum()) - budget
+        overshoot = sum(base) - budget
         if overshoot > 0:
-            order = np.argsort(credit - base, kind="stable")
+            order = sorted(range(len(ids)), key=lambda i: credit[i] - base[i])
             for idx in order:
-                take = min(int(base[idx]), overshoot)
+                take = min(base[idx], overshoot)
                 base[idx] -= take
                 overshoot -= take
                 if overshoot == 0:
@@ -178,14 +176,15 @@ class PriorityScheduler:
         # to the budget only while the active set is stable — a session
         # leaving mid-run takes its carried credit with it, so the
         # survivors' floors can undershoot by more than one frame each
-        remainder = budget - int(base.sum())
+        remainder = budget - sum(base)
         while remainder > 0:
-            order = np.argsort(-(credit - base), kind="stable")
+            order = sorted(range(len(ids)), key=lambda i: -(credit[i] - base[i]))
             take = min(remainder, len(ids))
-            base[order[:take]] += 1
+            for i in order[:take]:
+                base[i] += 1
             remainder -= take
         self._credit = {
-            sid: float(c - g) for sid, c, g in zip(ids, credit, base)
+            sid: c - g for sid, c, g in zip(ids, credit, base)
         }
         return {sid: int(g) for sid, g in zip(ids, base)}
 
@@ -207,7 +206,7 @@ class ThompsonSumScheduler:
         self,
         sessions: Sequence[QuerySession],
         budget: int,
-        rng: np.random.Generator,
+        rng,
     ) -> dict[str, int]:
         _validate(sessions, budget)
         if not sessions:

@@ -30,10 +30,9 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, Mapping
 
-import numpy as np
-
 from .. import telemetry
 from ..core.chunking import IncrementalChunker
+from ..core.rng import DecisionRng
 from ..telemetry import FRAMES_BUCKETS
 from ..core.sampler import ExSample
 from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
@@ -187,7 +186,7 @@ class QueryService:
         self._shards = shards
         self._detector_spec = detector_spec
         self._seed = seed
-        self._rng = np.random.default_rng((seed, 0x5C4ED))
+        self._rng = DecisionRng((seed, 0x5C4ED))
         self._detectors: dict[str, CachingDetector] = {}
         self._sessions: dict[str, QuerySession] = {}
         self._next_id = 1
@@ -429,6 +428,12 @@ class QueryService:
                     )
                     for name in ("plan", "coalesce", "detect", "commit")
                 },
+                "plan_split": {
+                    name: tel.histogram(
+                        "repro_serving_plan_seconds", {"stage": name}
+                    )
+                    for name in ("draw", "score")
+                },
                 "grant": {},
                 "deficit": {},
             }
@@ -528,6 +533,9 @@ class QueryService:
             enabled = tel.enabled
             stage_seconds = {"plan": 0.0, "coalesce": 0.0, "detect": 0.0,
                              "commit": 0.0}
+            # the plan stage split by what the engine spent drawing
+            # (Thompson sampling) vs scoring (frame pick + bookkeeping)
+            plan_split = {"draw": 0.0, "score": 0.0}
             rounds = 0
             detect_frames = 0
             try:
@@ -539,6 +547,10 @@ class QueryService:
                         if remaining[session.session_id] <= 0:
                             continue
                         pending = session.plan_step()
+                        if enabled:
+                            timings = session.last_plan_timings
+                            plan_split["draw"] += timings["draw"]
+                            plan_split["score"] += timings["score"]
                         if pending:
                             plans.append((session, pending))
                         else:  # not schedulable (satisfied/exhausted/capped)
@@ -620,6 +632,8 @@ class QueryService:
                     else:
                         tel.record_span(name, stage_seconds[name], rounds=rounds)
                     stage_hists[name].observe(stage_seconds[name])
+                for name in ("draw", "score"):
+                    inst["plan_split"][name].observe(plan_split[name])
                 frames_done = sum(processed.values())
                 tick_span.note(frames=frames_done, sessions=len(active))
                 inst["ticks"].inc()
@@ -767,7 +781,7 @@ class QueryService:
         horizons: tuple[tuple[int, int], ...] = (),
     ) -> QuerySession:
         repo = self._repository(spec.dataset)
-        rng = np.random.default_rng(spec.seed)
+        rng = DecisionRng(spec.seed)
         chunker = IncrementalChunker(
             repo,
             rng,

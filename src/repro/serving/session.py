@@ -39,12 +39,13 @@ again the moment ingestion delivers more frames.
 
 from __future__ import annotations
 
+import bisect
 import enum
+import math
 from dataclasses import asdict, dataclass
 from typing import Sequence
 
-import numpy as np
-
+from ..core import backend
 from ..core.belief import GammaBelief
 from ..core.sampler import ExSample
 from ..detection.cache import DetectionCache
@@ -291,15 +292,15 @@ def replay_cached_frames(
     if frames is None:
         frames = cache.frames(dataset)
     chunks = sampler.chunks
-    starts = np.array([c.start_frame for c in chunks], dtype=np.int64)
-    ends = np.array([c.end_frame for c in chunks], dtype=np.int64)
-    order = np.argsort(starts, kind="stable")
-    starts, ends = starts[order], ends[order]
+    raw_starts = [int(c.start_frame) for c in chunks]
+    order = sorted(range(len(chunks)), key=raw_starts.__getitem__)
+    starts = [raw_starts[i] for i in order]
+    ends = [int(chunks[i].end_frame) for i in order]
 
     replayed: list[int] = []
     result_frames: list[int] = []
     for frame in frames:
-        pos = int(np.searchsorted(starts, frame, side="right")) - 1
+        pos = bisect.bisect_right(starts, frame) - 1
         if pos < 0 or frame >= ends[pos]:
             continue  # outside every chunk span
         detections = cache.get(dataset, frame)
@@ -356,6 +357,10 @@ class QuerySession:
         # a planned-but-uncommitted batch (a detector failure mid-tick):
         # re-offered by the next plan_step so no planned frame is lost
         self._pending: list[tuple[int, int]] = []
+        # draw/score wall time of the most recent *fresh* plan (zeros when
+        # the last plan_step re-offered a pending batch) — observational
+        # only, read by the service's plan-stage telemetry
+        self.last_plan_timings: dict[str, float] = {"draw": 0.0, "score": 0.0}
         if self._state is SessionState.ACTIVE:
             self._refresh_state()
 
@@ -386,6 +391,7 @@ class QuerySession:
             (int(s), int(h)) for s, h in snapshot.horizons
         ]
         session._pending = []
+        session.last_plan_timings = {"draw": 0.0, "score": 0.0}
         return session
 
     # ------------------------------------------------------------ properties
@@ -597,6 +603,7 @@ class QuerySession:
         costs nothing but the tick in flight — the sampling stream stays
         a pure function of the session's seed and committed step count.
         """
+        self.last_plan_timings = {"draw": 0.0, "score": 0.0}
         self._refresh_state()
         if self._state is not SessionState.ACTIVE:
             return []
@@ -606,6 +613,7 @@ class QuerySession:
             return []
         size = self._spec.next_batch_size(self._engine.frames_processed)
         self._pending = self._engine.plan(batch_size=size)
+        self.last_plan_timings = dict(self._engine.last_plan_timings)
         return list(self._pending)
 
     def commit_step(self, pending, detections_by_frame) -> int:
@@ -630,7 +638,7 @@ class QuerySession:
         self._refresh_state()
         return len(records)
 
-    def thompson_draw(self, rng: np.random.Generator) -> float:
+    def thompson_draw(self, rng) -> float:
         """One Thompson sample of this session's best-chunk yield — its
         bid in the :class:`~repro.serving.scheduler.ThompsonSumScheduler`
         budget auction (generalizing ``MultiQueryExSample``'s arg-max of
@@ -638,8 +646,16 @@ class QuerySession:
         if self._engine is None or self._engine.exhausted:
             return 0.0
         draws = self._belief.sample(self._engine.stats, rng, size=1)[0]
-        draws = np.where(self._engine.chunk_availability, draws, -np.inf)
-        return float(draws.max())
+        available = self._engine.chunk_availability
+        np_mod = backend.np
+        if np_mod is not None and isinstance(draws, np_mod.ndarray):
+            masked = np_mod.where(np_mod.asarray(available, dtype=bool), draws, -np_mod.inf)
+            return float(masked.max())
+        best = -math.inf
+        for v, ok in zip(draws, available):
+            if ok and v > best:
+                best = v
+        return best if best > -math.inf else 0.0
 
     # --------------------------------------------------------- serialization
 

@@ -27,9 +27,8 @@ import bisect
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-import numpy as np
-
 from ..core.chunking import IncrementalChunker
+from ..core.rng import DecisionRng
 from ..core.sampler import ExSample
 from ..detection.cache import CategoryFilterDetector
 from ..detection.detector import Detector
@@ -72,11 +71,15 @@ def materialize_repositories(
 
 @dataclass
 class ReferenceResult:
-    """What the standalone re-run produced, ready for comparison."""
+    """What the standalone re-run produced, ready for comparison.
 
-    frames: np.ndarray  # sampled frame per committed step
-    d0: np.ndarray  # new results per committed step
-    results: np.ndarray  # cumulative results per committed step
+    The per-step sequences take the history's backend layout — ndarray
+    under numpy, plain lists on the fallback; the parity check only
+    indexes and measures them, which both support."""
+
+    frames: Sequence[int]  # sampled frame per committed step
+    d0: Sequence[int]  # new results per committed step
+    results: Sequence[int]  # cumulative results per committed step
     results_found: int
     result_frames: list[int]  # sorted; warm-start and sampled alike
     distinct_true: set[int]
@@ -99,7 +102,7 @@ def reference_run(
     repository served — frame indices are immutable under append.
     """
     spec = snapshot.spec
-    rng = np.random.default_rng(spec.seed)
+    rng = DecisionRng(spec.seed)
     chunker = IncrementalChunker(
         repository, rng, chunk_frames=chunk_frames, use_random_plus=use_random_plus
     )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Mapping
 
-import numpy as np
+from ..core.rng import DecisionRng
 
 __all__ = [
     "ClipPlan",
@@ -237,7 +237,7 @@ PROFILES: Mapping[str, Profile] = {
 _SKEW_CHOICES = (None, None, 0.5, 0.25, 1.0 / 32.0)
 
 
-def _int(rng: np.random.Generator, bounds: tuple[int, int]) -> int:
+def _int(rng: DecisionRng, bounds: tuple[int, int]) -> int:
     lo, hi = bounds
     return int(rng.integers(lo, hi + 1))
 
@@ -253,7 +253,7 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; options: {sorted(PROFILES)}")
     p = PROFILES[profile]
-    rng = np.random.default_rng((int(seed), 0x51A1))
+    rng = DecisionRng((int(seed), 0x51A1))
 
     # ------------------------------------------------------------- datasets
     datasets: list[DatasetPlan] = []
@@ -351,7 +351,7 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
                 category=category,
                 limit=limit,
                 max_samples=max_samples,
-                priority=float(np.round(rng.uniform(0.5, 4.0), 2)),
+                priority=float(round(rng.uniform(0.5, 4.0), 2)),
                 batch_size=_int(rng, p.batch_size),
                 follow=follow,
                 warm_start=bool(rng.random() < 0.85),
@@ -418,9 +418,9 @@ def generate_scenario(seed: int, profile: str = "default") -> Scenario:
         detector_latency=0.0,
         cache_backend=str(p.backends[int(rng.integers(len(p.backends)))]),
         detector="noisy" if noisy else "oracle",
-        miss_rate=float(np.round(rng.uniform(0.02, 0.2), 3)) if noisy else 0.0,
+        miss_rate=float(round(rng.uniform(0.02, 0.2), 3)) if noisy else 0.0,
         false_positive_rate=(
-            float(np.round(rng.uniform(0.0, 0.05), 3)) if noisy else 0.0
+            float(round(rng.uniform(0.0, 0.05), 3)) if noisy else 0.0
         ),
     )
     # the sharded-execution draw comes last, and only for profiles that

@@ -11,9 +11,6 @@ assignment.
 
 from __future__ import annotations
 
-
-import numpy as np
-
 __all__ = ["greedy_match", "MatchResult"]
 
 
@@ -42,29 +39,45 @@ class MatchResult:
         )
 
 
-def greedy_match(iou: np.ndarray, threshold: float = 0.5) -> MatchResult:
+def greedy_match(iou, threshold: float = 0.5) -> MatchResult:
     """Greedily match rows (detections) to columns (tracks).
 
+    ``iou`` may be an ndarray or a list of row lists (the two layouts
+    :func:`repro.video.geometry.iou_matrix` produces); matching scans
+    row-major and takes the *first* maximum, exactly like ``np.argmax``
+    on the flattened matrix, so the assignment is backend-independent.
     Ties below ``threshold`` are never matched.  Complexity is
     O(K · N·M) for K matches, which is trivial at per-frame scales.
     """
-    if iou.ndim != 2:
-        raise ValueError("iou must be a 2-D matrix")
+    if hasattr(iou, "ndim"):
+        if iou.ndim != 2:
+            raise ValueError("iou must be a 2-D matrix")
+        num_dets, num_tracks = (int(n) for n in iou.shape)
+        rows = [[float(v) for v in row] for row in iou]
+    else:
+        rows = [list(row) for row in iou]
+        if rows and any(len(row) != len(rows[0]) for row in rows):
+            raise ValueError("iou must be a 2-D matrix")
+        num_dets = len(rows)
+        num_tracks = len(rows[0]) if rows else 0
     if not 0.0 <= threshold <= 1.0:
         raise ValueError("threshold must lie in [0, 1]")
-
-    num_dets, num_tracks = iou.shape
     pairs: dict[int, int] = {}
     if num_dets and num_tracks:
-        work = iou.astype(np.float64, copy=True)
         while True:
-            flat = int(np.argmax(work))
-            det, track = divmod(flat, num_tracks)
-            if work[det, track] < threshold or work[det, track] <= 0.0:
+            best = -1.0
+            det = track = -1
+            for d, row in enumerate(rows):
+                for t, v in enumerate(row):
+                    if v > best:
+                        best = v
+                        det, track = d, t
+            if best < threshold or best <= 0.0:
                 break
             pairs[det] = track
-            work[det, :] = -1.0
-            work[:, track] = -1.0
+            rows[det] = [-1.0] * num_tracks
+            for row in rows:
+                row[track] = -1.0
 
     unmatched_dets = [d for d in range(num_dets) if d not in pairs]
     matched_tracks = set(pairs.values())

@@ -29,10 +29,10 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Sequence
 
-import numpy as np
-
+from ..core import backend
 from .instances import InstanceSet, ObjectInstance
 from .repository import VideoClip, VideoRepository
 from .synthetic import place_instances
@@ -265,7 +265,7 @@ def build_dataset(
         clip_frames = list(profile.clip_frames[:keep])
     else:
         clip_frames = [max(2, int(round(f * scale))) for f in profile.clip_frames]
-    offsets = np.concatenate([[0], np.cumsum(clip_frames)])
+    offsets = [0, *accumulate(clip_frames)]
     total = int(offsets[-1])
     clips = [
         VideoClip(
@@ -284,7 +284,10 @@ def build_dataset(
         if cat.category not in wanted:
             continue
         count = max(4, int(round(cat.num_instances * scale)))
-        rng = np.random.default_rng(_category_seed(seed, name, cat.category))
+        # calibrated profiles keep their historical numpy streams so the
+        # published per-seed ground truth is unchanged.
+        backend.require_numpy("calibrated dataset synthesis")
+        rng = backend.np.random.default_rng(_category_seed(seed, name, cat.category))
         placed = place_instances(
             count,
             total,
@@ -295,7 +298,7 @@ def build_dataset(
             duration_sigma_log=cat.duration_sigma_log,
             start_id=next_id,
             with_boxes=with_boxes,
-            boundaries=offsets.tolist(),
+            boundaries=list(offsets),
         )
         instances.extend(placed)
         next_id += count

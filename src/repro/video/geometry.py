@@ -10,10 +10,11 @@ every frame in which an object instance is visible.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
+from ..core import backend
 
 __all__ = [
     "Box",
@@ -101,7 +102,12 @@ class Box:
     def contains_point(self, x: float, y: float) -> bool:
         return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
 
-    def to_array(self) -> np.ndarray:
+    def to_tuple(self) -> tuple[float, float, float, float]:
+        return (self.x1, self.y1, self.x2, self.y2)
+
+    def to_array(self):
+        backend.require_numpy("Box.to_array")
+        np = backend.np
         return np.array([self.x1, self.y1, self.x2, self.y2], dtype=np.float64)
 
     @staticmethod
@@ -122,40 +128,79 @@ def iou(a: Box, b: Box) -> float:
     return a.iou(b)
 
 
-def iou_matrix(boxes_a: Sequence[Box] | np.ndarray, boxes_b: Sequence[Box] | np.ndarray) -> np.ndarray:
+def iou_matrix(boxes_a, boxes_b):
     """Pairwise IoU between two box collections.
 
-    Accepts either sequences of :class:`Box` or ``(N, 4)`` float arrays in
-    corner convention.  Returns an ``(len(a), len(b))`` float array.  Empty
-    inputs yield empty matrices, which keeps tracker code branch-free.
+    Accepts sequences of :class:`Box` (or ``(N, 4)`` float arrays, numpy
+    only) in corner convention.  Returns an ``(len(a), len(b))`` matrix —
+    an ndarray under numpy, a list of row lists on the fallback.  The two
+    layouts carry bit-identical values: both compute the same max/min/
+    multiply/divide per cell.  Empty inputs yield empty matrices, which
+    keeps tracker code branch-free.
     """
-    a = _as_box_array(boxes_a)
-    b = _as_box_array(boxes_b)
-    if a.shape[0] == 0 or b.shape[0] == 0:
-        return np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
+    if backend.use_numpy():
+        np = backend.np
+        a = _as_box_array(boxes_a)
+        b = _as_box_array(boxes_b)
+        if a.shape[0] == 0 or b.shape[0] == 0:
+            return np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
 
-    ix1 = np.maximum(a[:, None, 0], b[None, :, 0])
-    iy1 = np.maximum(a[:, None, 1], b[None, :, 1])
-    ix2 = np.minimum(a[:, None, 2], b[None, :, 2])
-    iy2 = np.minimum(a[:, None, 3], b[None, :, 3])
-    iw = np.clip(ix2 - ix1, 0.0, None)
-    ih = np.clip(iy2 - iy1, 0.0, None)
-    inter = iw * ih
+        ix1 = np.maximum(a[:, None, 0], b[None, :, 0])
+        iy1 = np.maximum(a[:, None, 1], b[None, :, 1])
+        ix2 = np.minimum(a[:, None, 2], b[None, :, 2])
+        iy2 = np.minimum(a[:, None, 3], b[None, :, 3])
+        iw = np.clip(ix2 - ix1, 0.0, None)
+        ih = np.clip(iy2 - iy1, 0.0, None)
+        inter = iw * ih
 
-    area_a = (a[:, 2] - a[:, 0]) * (a[:, 3] - a[:, 1])
-    area_b = (b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])
-    union = area_a[:, None] + area_b[None, :] - inter
-    with np.errstate(divide="ignore", invalid="ignore"):
-        result = np.where(union > 0.0, inter / union, 0.0)
-    return result
+        area_a = (a[:, 2] - a[:, 0]) * (a[:, 3] - a[:, 1])
+        area_b = (b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])
+        union = area_a[:, None] + area_b[None, :] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.where(union > 0.0, inter / union, 0.0)
+        return result
+    a = _as_box_rows(boxes_a)
+    b = _as_box_rows(boxes_b)
+    out = []
+    for ax1, ay1, ax2, ay2 in a:
+        area_a = (ax2 - ax1) * (ay2 - ay1)
+        row = []
+        for bx1, by1, bx2, by2 in b:
+            iw = min(ax2, bx2) - max(ax1, bx1)
+            if iw < 0.0:
+                iw = 0.0
+            ih = min(ay2, by2) - max(ay1, by1)
+            if ih < 0.0:
+                ih = 0.0
+            inter = iw * ih
+            area_b = (bx2 - bx1) * (by2 - by1)
+            union = area_a + area_b - inter
+            row.append(inter / union if union > 0.0 else 0.0)
+        out.append(row)
+    return out
 
 
-def _as_box_array(boxes: Sequence[Box] | np.ndarray) -> np.ndarray:
+def _as_box_array(boxes):
+    np = backend.np
     if isinstance(boxes, np.ndarray):
         if boxes.ndim != 2 or boxes.shape[1] != 4:
             raise ValueError("box array must have shape (N, 4)")
         return boxes.astype(np.float64, copy=False)
-    return np.array([b.to_array() for b in boxes], dtype=np.float64).reshape(-1, 4)
+    return np.array(
+        [(b.x1, b.y1, b.x2, b.y2) for b in boxes], dtype=np.float64
+    ).reshape(-1, 4)
+
+
+def _as_box_rows(boxes) -> list[tuple[float, float, float, float]]:
+    rows = []
+    for b in boxes:
+        if isinstance(b, Box):
+            rows.append((b.x1, b.y1, b.x2, b.y2))
+            continue
+        if len(b) != 4:
+            raise ValueError("box rows must have exactly 4 coordinates")
+        rows.append((float(b[0]), float(b[1]), float(b[2]), float(b[3])))
+    return rows
 
 
 class Trajectory:
@@ -174,18 +219,21 @@ class Trajectory:
         frames = [f for f, _ in ordered]
         if len(set(frames)) != len(frames):
             raise ValueError("duplicate keyframe frame indices")
-        self._frames = np.array(frames, dtype=np.int64)
-        self._coords = np.stack([b.to_array() for _, b in ordered])
+        # plain lists/tuples: per-frame interpolation over 4 floats gains
+        # nothing from vectorization, and this keeps the motion model (and
+        # everything downstream of it) backend-independent.
+        self._frames = frames
+        self._coords = [(b.x1, b.y1, b.x2, b.y2) for _, b in ordered]
 
     @property
     def start_frame(self) -> int:
         """First frame (inclusive) covered by the trajectory."""
-        return int(self._frames[0])
+        return self._frames[0]
 
     @property
     def end_frame(self) -> int:
         """One past the last keyframe, so the span is ``[start, end)``."""
-        return int(self._frames[-1]) + 1
+        return self._frames[-1] + 1
 
     @property
     def duration(self) -> int:
@@ -201,13 +249,15 @@ class Trajectory:
             raise ValueError(
                 f"frame {frame} outside trajectory span [{self.start_frame}, {self.end_frame})"
             )
-        idx = int(np.searchsorted(self._frames, frame, side="right")) - 1
-        f0 = int(self._frames[idx])
+        idx = bisect.bisect_right(self._frames, frame) - 1
+        f0 = self._frames[idx]
         if f0 == frame or idx == len(self._frames) - 1:
             return Box.from_array(self._coords[idx])
-        f1 = int(self._frames[idx + 1])
+        f1 = self._frames[idx + 1]
         t = (frame - f0) / (f1 - f0)
-        coords = (1.0 - t) * self._coords[idx] + t * self._coords[idx + 1]
+        c0 = self._coords[idx]
+        c1 = self._coords[idx + 1]
+        coords = tuple((1.0 - t) * p0 + t * p1 for p0, p1 in zip(c0, c1))
         return Box.from_array(coords)
 
     @staticmethod

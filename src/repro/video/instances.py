@@ -9,11 +9,12 @@ simply its visible duration divided by the number of frames in scope.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Iterable, Iterator
 
-import numpy as np
-
+from ..core import backend
 from .geometry import Box, Trajectory
 
 __all__ = ["ObjectInstance", "InstanceSet"]
@@ -77,11 +78,11 @@ class InstanceSet:
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate instance ids")
         self._by_id = {inst.instance_id: inst for inst in self._instances}
-        self._starts = np.array([inst.start_frame for inst in self._instances], dtype=np.int64)
-        ends = np.array([inst.end_frame for inst in self._instances], dtype=np.int64)
+        self._starts = [inst.start_frame for inst in self._instances]
+        ends = [inst.end_frame for inst in self._instances]
         # prefix maximum of end frames enables pruning the backward scan:
         # all instances before index k have ended once max_end[:k] <= frame.
-        self._prefix_max_end = np.maximum.accumulate(ends) if len(ends) else ends
+        self._prefix_max_end = list(accumulate(ends, max))
 
     def __len__(self) -> int:
         return len(self._instances)
@@ -108,7 +109,7 @@ class InstanceSet:
         if not self._instances:
             return []
         # candidates: instances starting at or before `frame`
-        hi = int(np.searchsorted(self._starts, frame, side="right"))
+        hi = bisect.bisect_right(self._starts, frame)
         visible = []
         for idx in range(hi - 1, -1, -1):
             if self._prefix_max_end[idx] <= frame:
@@ -120,14 +121,21 @@ class InstanceSet:
         visible.reverse()
         return visible
 
-    def durations(self) -> np.ndarray:
-        return np.array([inst.duration for inst in self._instances], dtype=np.int64)
+    def durations(self):
+        """Per-instance visible durations — ndarray under numpy, else a list."""
+        values = [inst.duration for inst in self._instances]
+        if backend.use_numpy():
+            return backend.np.asarray(values, dtype=backend.np.int64)
+        return values
 
-    def probabilities(self, total_frames: int) -> np.ndarray:
+    def probabilities(self, total_frames: int):
         """Vector of ``p_i`` for all instances relative to ``total_frames``."""
         if total_frames <= 0:
             raise ValueError("total_frames must be positive")
-        return self.durations() / float(total_frames)
+        durations = self.durations()
+        if backend.use_numpy():
+            return durations / float(total_frames)
+        return [d / float(total_frames) for d in durations]
 
     def count_in_range(self, start: int, end: int) -> int:
         """Instances whose midpoint falls in ``[start, end)``.

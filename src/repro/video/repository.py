@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-import numpy as np
+import bisect
 
 from .instances import InstanceSet, ObjectInstance
 
@@ -136,7 +136,7 @@ class VideoRepository:
                 )
             expected = clip.end_frame
         self._clips = list(ordered)
-        self._clip_starts = np.array([c.start_frame for c in self._clips], dtype=np.int64)
+        self._clip_starts = [c.start_frame for c in self._clips]
         self._total_frames = expected
         self._instances = (
             instances if isinstance(instances, InstanceSet) else InstanceSet(instances)
@@ -196,7 +196,7 @@ class VideoRepository:
             raise IndexError(
                 f"frame {frame_index} out of range [0, {self._total_frames})"
             )
-        pos = int(np.searchsorted(self._clip_starts, frame_index, side="right")) - 1
+        pos = bisect.bisect_right(self._clip_starts, frame_index) - 1
         return self._clips[pos]
 
     # ------------------------------------------------------------- ingestion
@@ -238,7 +238,7 @@ class VideoRepository:
                     f"lies outside the appended clip [{clip.start_frame}, {clip.end_frame})"
                 )
         self._clips.append(clip)
-        self._clip_starts = np.append(self._clip_starts, clip.start_frame)
+        self._clip_starts.append(clip.start_frame)
         self._total_frames = clip.end_frame
         if new_instances:
             self._instances = InstanceSet(list(self._instances) + new_instances)

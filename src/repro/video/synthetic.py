@@ -25,12 +25,13 @@ in for them:
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
+from ..core import backend
+from ..core.rng import DecisionRng
 from .geometry import Box, Trajectory
 from .instances import InstanceSet, ObjectInstance
 
@@ -52,11 +53,11 @@ FRAME_HEIGHT = 1080
 
 def lognormal_probabilities(
     num_instances: int,
-    rng: np.random.Generator,
+    rng,
     mean_p: float = 3e-3,
     sigma_log: float = 1.75,
     max_p: float = 0.5,
-) -> np.ndarray:
+):
     """Heavy-tailed per-instance presence probabilities ``p_i``.
 
     Defaults reproduce the §III-D simulation scale: with 1000 instances the
@@ -69,6 +70,12 @@ def lognormal_probabilities(
     if not 0.0 < mean_p < 1.0:
         raise ValueError("mean_p must lie in (0, 1)")
     mu = math.log(mean_p) - sigma_log**2 / 2.0
+    if isinstance(rng, DecisionRng):
+        return [
+            min(max(rng.lognormal(mu, sigma_log), 1e-12), max_p)
+            for _ in range(num_instances)
+        ]
+    np = backend.np
     p = rng.lognormal(mean=mu, sigma=sigma_log, size=num_instances)
     return np.clip(p, 1e-12, max_p)
 
@@ -76,10 +83,10 @@ def lognormal_probabilities(
 def lognormal_durations(
     num_instances: int,
     mean_duration: float,
-    rng: np.random.Generator,
+    rng,
     sigma_log: float = 0.8,
     min_duration: int = 1,
-) -> np.ndarray:
+):
     """Instance durations (frames) with a target mean and lognormal skew.
 
     With the default shape the ratio max/min over ~2000 draws is roughly
@@ -88,6 +95,12 @@ def lognormal_durations(
     if mean_duration <= 0:
         raise ValueError("mean_duration must be positive")
     mu = math.log(mean_duration) - sigma_log**2 / 2.0
+    if isinstance(rng, DecisionRng):
+        return [
+            max(round(rng.lognormal(mu, sigma_log)), min_duration)
+            for _ in range(num_instances)
+        ]
+    np = backend.np
     durations = rng.lognormal(mean=mu, sigma=sigma_log, size=num_instances)
     return np.maximum(np.round(durations).astype(np.int64), min_duration)
 
@@ -118,7 +131,7 @@ class _PlacementSpec:
 def place_instances(
     num_instances: int,
     total_frames: int,
-    rng: np.random.Generator,
+    rng,
     mean_duration: float = 700.0,
     skew_fraction: float | None = None,
     category: str = "object",
@@ -162,37 +175,73 @@ def place_instances(
     durations = lognormal_durations(
         num_instances, mean_duration, rng, sigma_log=duration_sigma_log
     )
-    durations = np.minimum(durations, total_frames)
-
     std = skew_fraction_to_std(total_frames, skew_fraction)
     center = center_fraction * total_frames
-    if std is None:
-        midpoints = rng.uniform(0, total_frames, size=num_instances)
+
+    if isinstance(rng, DecisionRng):
+        # scalar path, identical with and without numpy by construction:
+        # same block draw order as the vectorized path (all durations,
+        # then all midpoints, then per-instance trajectories).
+        durations = [min(d, total_frames) for d in durations]
+        if std is None:
+            midpoints = [rng.uniform(0, total_frames) for _ in range(num_instances)]
+        else:
+            midpoints = [
+                min(max(rng.normal(center, std), 0.0), float(total_frames - 1))
+                for _ in range(num_instances)
+            ]
+        starts = [
+            max(round(m - d / 2.0), 0) for m, d in zip(midpoints, durations)
+        ]
+        ends = [min(s + d, total_frames) for s, d in zip(starts, durations)]
+        starts = [min(s, e - 1) for s, e in zip(starts, ends)]
+
+        if boundaries is not None:
+            edges = sorted(int(e) for e in boundaries)
+            if edges[0] != 0 or edges[-1] != total_frames:
+                raise ValueError("boundaries must start at 0 and end at total_frames")
+            for k in range(num_instances):
+                mid = (starts[k] + ends[k]) // 2
+                seg = min(max(bisect.bisect_right(edges, mid) - 1, 0), len(edges) - 2)
+                starts[k] = max(starts[k], edges[seg])
+                ends[k] = min(ends[k], edges[seg + 1])
+                starts[k] = min(starts[k], ends[k] - 1)
+
+        if frame_offset:
+            starts = [s + frame_offset for s in starts]
+            ends = [e + frame_offset for e in ends]
     else:
-        midpoints = rng.normal(loc=center, scale=std, size=num_instances)
-        midpoints = np.clip(midpoints, 0, total_frames - 1)
+        np = backend.np
+        durations = np.minimum(durations, total_frames)
+        if std is None:
+            midpoints = rng.uniform(0, total_frames, size=num_instances)
+        else:
+            midpoints = rng.normal(loc=center, scale=std, size=num_instances)
+            midpoints = np.clip(midpoints, 0, total_frames - 1)
 
-    starts = np.clip(
-        np.round(midpoints - durations / 2.0).astype(np.int64),
-        0,
-        None,
-    )
-    ends = np.minimum(starts + durations, total_frames)
-    starts = np.minimum(starts, ends - 1)  # keep at least one frame
+        starts = np.clip(
+            np.round(midpoints - durations / 2.0).astype(np.int64),
+            0,
+            None,
+        )
+        ends = np.minimum(starts + durations, total_frames)
+        starts = np.minimum(starts, ends - 1)  # keep at least one frame
 
-    if boundaries is not None:
-        edges = np.asarray(sorted(boundaries), dtype=np.int64)
-        if edges[0] != 0 or edges[-1] != total_frames:
-            raise ValueError("boundaries must start at 0 and end at total_frames")
-        mids = ((starts + ends) // 2).astype(np.int64)
-        seg = np.clip(np.searchsorted(edges, mids, side="right") - 1, 0, len(edges) - 2)
-        starts = np.maximum(starts, edges[seg])
-        ends = np.minimum(ends, edges[seg + 1])
-        starts = np.minimum(starts, ends - 1)
+        if boundaries is not None:
+            edges = np.asarray(sorted(boundaries), dtype=np.int64)
+            if edges[0] != 0 or edges[-1] != total_frames:
+                raise ValueError("boundaries must start at 0 and end at total_frames")
+            mids = ((starts + ends) // 2).astype(np.int64)
+            seg = np.clip(
+                np.searchsorted(edges, mids, side="right") - 1, 0, len(edges) - 2
+            )
+            starts = np.maximum(starts, edges[seg])
+            ends = np.minimum(ends, edges[seg + 1])
+            starts = np.minimum(starts, ends - 1)
 
-    if frame_offset:
-        starts = starts + frame_offset
-        ends = ends + frame_offset
+        if frame_offset:
+            starts = starts + frame_offset
+            ends = ends + frame_offset
 
     instances = []
     for k in range(num_instances):
@@ -212,7 +261,7 @@ def place_instances(
     return instances
 
 
-def _random_trajectory(start_frame: int, duration: int, rng: np.random.Generator) -> Trajectory:
+def _random_trajectory(start_frame: int, duration: int, rng) -> Trajectory:
     """A plausible straight-line object track inside the image plane.
 
     Box sizes are drawn from a wide range (distant pedestrian to close
@@ -287,9 +336,7 @@ class OccupancySchedule:
         return len(self.visible(frame))
 
 
-def first_second_appearance(
-    p: np.ndarray, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
+def first_second_appearance(p, rng):
     """First and second appearance sample-counts under independent presence.
 
     Under the §III-D model a random frame shows instance *i* independently
@@ -304,6 +351,8 @@ def first_second_appearance(
     This is equivalent to (but ~1000x cheaper than) tossing every coin for
     every sampled frame as the paper's simulation describes.
     """
+    backend.require_numpy("the closed-form appearance-time sampler")
+    np = backend.np
     p = np.asarray(p, dtype=np.float64)
     if np.any((p <= 0) | (p > 1)):
         raise ValueError("probabilities must lie in (0, 1]")

@@ -136,7 +136,7 @@ def test_no_frame_sampled_twice():
     sampler = make_sampler(repo)
     sampler.run(max_samples=800)
     frames = sampler.history.frame_indices
-    assert len(frames) == len(set(frames.tolist()))
+    assert len(frames) == len(set(list(frames)))
 
 
 def test_exhaustion_is_clean():

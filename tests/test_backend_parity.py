@@ -1,0 +1,367 @@
+"""Numpy-vs-fallback decision-stream parity, end to end.
+
+The vectorized sampler hot path runs on numpy when it is available and
+on a pure-Python twin when it is not.  The contract is that the choice
+of backend is **invisible in every decision**: same seed, same workload
+=> bit-identical sampled frames, result sets, schedules, and event logs.
+This module enforces the contract at three distances:
+
+* a serving-stack workload matrix (seed x scheduler x shards), flipping
+  the backend in-process with :func:`backend.set_force_fallback`;
+* the simulation harness: whole randomized scenarios (ingestion,
+  faults, crash-restart, oracle parity) must produce the same event-log
+  digest under both backends;
+* a subprocess whose numpy import is physically blocked — proving the
+  fallback path is what actually runs when numpy is absent, not merely
+  when a flag is set.
+
+It also pins the flat-array belief layout's behavioral edges — live
+``extend()`` growth and snapshot/restore — in both modes, including a
+snapshot JSON written in the pre-vectorization format.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import backend
+from repro.core.chunking import IncrementalChunker
+from repro.core.rng import DecisionRng
+from repro.core.sampler import ExSample
+from repro.detection.cache import CategoryFilterDetector, DetectionCache
+from repro.detection.detector import OracleDetector
+from repro.serving import (
+    PriorityScheduler,
+    QueryService,
+    RoundRobinScheduler,
+    ThompsonSumScheduler,
+)
+from repro.serving.session import SessionSnapshot
+from repro.simulation import generate_scenario, run_scenario
+from repro.tracking.discriminator import OracleDiscriminator
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.repository import VideoClip, VideoRepository
+
+SCHEDULERS = {
+    "round-robin": RoundRobinScheduler,
+    "priority": PriorityScheduler,
+    "thompson": ThompsonSumScheduler,
+}
+
+needs_numpy = pytest.mark.skipif(
+    not backend.HAVE_NUMPY, reason="cross-backend comparison needs numpy"
+)
+
+
+@pytest.fixture
+def fallback_guard():
+    old = backend.set_force_fallback(False)
+    yield
+    backend.set_force_fallback(old)
+
+
+def parity_repository(seed: int) -> VideoRepository:
+    clips, start = [], 0
+    for clip_id, frames in enumerate((80, 70, 90, 60)):
+        clips.append(VideoClip(clip_id, f"c{clip_id}", start, frames))
+        start += frames
+    instances = [
+        ObjectInstance(
+            instance_id=i,
+            category="bus" if i < 3 else "car",
+            trajectory=Trajectory.stationary(
+                (20 + 37 * seed + 61 * i) % 270, 25, Box(0.0, 0.0, 1.0, 1.0)
+            ),
+        )
+        for i in range(5)
+    ]
+    return VideoRepository(clips, InstanceSet(instances), name="cam0")
+
+
+def serve_fixed_workload(seed: int, scheduler: str, shards: int) -> bytes:
+    """Run the canonical two-session workload; return the decision bytes."""
+    service = QueryService(
+        parity_repository(seed),
+        scheduler=SCHEDULERS[scheduler](),
+        frames_per_tick=16,
+        chunk_frames=50,
+        execution="sharded" if shards > 1 else "local",
+        shards=shards,
+        seed=seed,
+    )
+    try:
+        a = service.submit("cam0", "bus", limit=3, max_samples=40, priority=2.0)
+        b = service.submit("cam0", "car", max_samples=30)
+        service.run_until_idle(max_ticks=50)
+        payload = {}
+        for sid in (a, b):
+            session = service.sessions[sid]
+            payload[sid] = {
+                "state": session.state.value,
+                "results_found": session.results_found,
+                "result_frames": session.result_frames(),
+                "per_chunk_samples": [int(n) for n in session.engine.stats.n],
+                "sampled_frames": [
+                    int(f) for f in session.engine.history.frame_indices
+                ],
+            }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+    finally:
+        service.close()
+
+
+# ----------------------------------------------- serving workload matrix
+
+@needs_numpy
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_serving_matrix_numpy_vs_fallback(fallback_guard, seed, scheduler):
+    backend.set_force_fallback(False)
+    fast = serve_fixed_workload(seed, scheduler, shards=1)
+    backend.set_force_fallback(True)
+    slow = serve_fixed_workload(seed, scheduler, shards=1)
+    assert fast == slow
+
+
+@needs_numpy
+@pytest.mark.parametrize("shards", [2, 3])
+def test_serving_sharded_numpy_vs_fallback(fallback_guard, monkeypatch, shards):
+    # worker processes read the flag from the environment at spawn
+    monkeypatch.delenv("REPRO_FORCE_FALLBACK", raising=False)
+    backend.set_force_fallback(False)
+    fast = serve_fixed_workload(5, "round-robin", shards=shards)
+    monkeypatch.setenv("REPRO_FORCE_FALLBACK", "1")
+    backend.set_force_fallback(True)
+    slow = serve_fixed_workload(5, "round-robin", shards=shards)
+    assert fast == slow
+
+
+# ------------------------------------------------- whole-scenario digests
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [0, 2, 5, 11])
+def test_scenario_digests_match_across_backends(fallback_guard, tmp_path, seed):
+    """The strongest in-process form: a full randomized scenario — live
+    ingestion, faults, crash-restart, oracle parity on both sides — must
+    log a byte-identical event stream under either backend."""
+    scenario = generate_scenario(seed, "quick")
+    backend.set_force_fallback(False)
+    fast = run_scenario(scenario, workdir=tmp_path / "fast")
+    backend.set_force_fallback(True)
+    slow = run_scenario(scenario, workdir=tmp_path / "slow")
+    assert fast.log_digest() == slow.log_digest()
+    assert fast.event_log == slow.event_log
+
+
+@needs_numpy
+def test_scenario_digest_matches_with_numpy_import_blocked(tmp_path):
+    """Run the same scenario in a child process whose numpy import
+    raises — the no-flag, physically-absent form of the fallback — and
+    compare digests with the in-process numpy run."""
+    seed = 3
+    reference = run_scenario(generate_scenario(seed, "quick"), workdir=tmp_path)
+
+    blocker = tmp_path / "blocker"
+    blocker.mkdir()
+    for module in ("numpy", "scipy"):
+        (blocker / f"{module}.py").write_text(
+            f'raise ImportError("{module} is blocked for this parity test")\n',
+            encoding="utf-8",
+        )
+    src = pathlib.Path(__file__).resolve().parents[1] / "src"
+    script = (
+        "import sys\n"
+        "try:\n"
+        "    import numpy\n"
+        "except ImportError:\n"
+        "    pass\n"
+        "else:\n"
+        "    sys.exit('numpy import was not blocked')\n"
+        "from repro.simulation import generate_scenario, run_scenario\n"
+        f"report = run_scenario(generate_scenario({seed}, 'quick'))\n"
+        "print(report.log_digest())\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={
+            "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": f"{blocker}:{src}",
+            "PYTHONHASHSEED": "0",
+        },
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip().splitlines()[-1] == reference.log_digest()
+
+
+# ------------------------------------------- flat layout: extend + restore
+
+def make_engine(horizon=200, chunk_frames=50, seed=0):
+    """An engine over the first ``horizon`` frames plus the chunker that
+    can grow it — the same incremental shape the serving layer uses."""
+    repo = parity_repository(seed)
+    rng = DecisionRng(seed)
+    chunker = IncrementalChunker(repo, rng, chunk_frames=chunk_frames)
+    chunks = chunker.take(up_to_horizon=horizon)
+    detector = CategoryFilterDetector(OracleDetector(repo), "bus")
+    engine = ExSample(
+        chunks, detector, OracleDiscriminator(), rng=rng, batch_size=2
+    )
+    return engine, chunker
+
+
+@pytest.mark.parametrize("forced", [False, True])
+def test_extend_grows_flat_arrays_mid_run(fallback_guard, forced):
+    if forced and not backend.HAVE_NUMPY:
+        pytest.skip("force-fallback run is redundant without numpy")
+    backend.set_force_fallback(forced)
+    engine, chunker = make_engine(horizon=150)
+    before_arms = len(list(engine.stats.n))
+    for _ in range(10):
+        engine.commit(engine.plan())
+    sampled_before = list(engine.history.frame_indices)
+    n_before = [int(v) for v in engine.stats.n]
+
+    new_chunks = chunker.take(up_to_horizon=300)
+    assert new_chunks, "the repository holds 300 frames; growth expected"
+    engine.extend(new_chunks)
+    assert len(list(engine.stats.n)) == before_arms + len(new_chunks)
+    # existing per-arm counts survive the growth untouched
+    assert [int(v) for v in engine.stats.n][:before_arms] == n_before
+    # the new arms are drawable: keep sampling until one is visited
+    for _ in range(60):
+        if engine.exhausted:
+            break
+        engine.commit(engine.plan())
+    assert any(
+        int(v) > 0 for v in list(engine.stats.n)[before_arms:]
+    ), "extend() must make the appended arms reachable"
+    # history kept the pre-extend prefix
+    assert list(engine.history.frame_indices)[: len(sampled_before)] == sampled_before
+
+
+@needs_numpy
+def test_extend_decisions_identical_across_backends(fallback_guard):
+    def run(forced: bool):
+        backend.set_force_fallback(forced)
+        engine, chunker = make_engine(horizon=150)
+        for _ in range(8):
+            engine.commit(engine.plan())
+        engine.extend(chunker.take(up_to_horizon=300))
+        while not engine.exhausted and len(engine.history.frame_indices) < 120:
+            engine.commit(engine.plan())
+        return [int(f) for f in engine.history.frame_indices]
+
+    assert run(False) == run(True)
+
+
+@pytest.mark.parametrize("forced", [False, True])
+def test_snapshot_restore_replays_flat_layout(fallback_guard, forced):
+    if forced and not backend.HAVE_NUMPY:
+        pytest.skip("force-fallback run is redundant without numpy")
+    backend.set_force_fallback(forced)
+    repo = parity_repository(1)
+    service = QueryService(
+        repo, cache=DetectionCache(), frames_per_tick=12, chunk_frames=50, seed=0
+    )
+    sid = service.submit("cam0", "bus", limit=3, max_samples=60, seed=9)
+    for _ in range(3):
+        service.tick()
+    live = service.sessions[sid]
+    blob = json.dumps(service.snapshot(sid).to_dict())
+
+    clone_host = QueryService(
+        repo, cache=service.cache, frames_per_tick=12, chunk_frames=50, seed=0
+    )
+    clone_sid = clone_host.restore(SessionSnapshot.from_dict(json.loads(blob)))
+    clone = clone_host.sessions[clone_sid]
+    assert [int(v) for v in live.engine.stats.n1] == [
+        int(v) for v in clone.engine.stats.n1
+    ]
+    assert [int(v) for v in live.engine.stats.n] == [
+        int(v) for v in clone.engine.stats.n
+    ]
+    assert list(live.engine.history.frame_indices) == list(
+        clone.engine.history.frame_indices
+    )
+    # and the two finish identically
+    service.run_until_idle(max_ticks=40)
+    clone_host.run_until_idle(max_ticks=40)
+    assert live.result_frames() == clone.result_frames()
+    assert live.state == clone.state
+
+
+def test_pre_vectorization_snapshot_restores_and_replays():
+    """Forward compatibility: snapshots are replay-based (spec + step
+    count + horizon log, no RNG internals), so a JSON blob written by the
+    pre-vectorization release — which lacks the newer optional fields —
+    must still restore, and a restored pending submission must replay
+    the exact decision stream a fresh submission with the same spec
+    produces under the current engine."""
+    old_format = {
+        # exactly the keys the pre-vectorization release wrote; no
+        # "horizons", no "batch_size", no "follow"
+        "session_id": "s41",
+        "dataset": "cam0",
+        "category": "bus",
+        "limit": 3,
+        "max_samples": 50,
+        "seed": 17,
+        "priority": 1.0,
+        "warm_start": True,
+        "state": "active",
+        "steps_taken": 0,
+        "warm_start_frames": None,
+        "results_found": 0,
+        "result_frames": [],
+    }
+    snapshot = SessionSnapshot.from_dict(json.loads(json.dumps(old_format)))
+    assert snapshot.batch_size == 1 and snapshot.horizons == ()
+
+    repo = parity_repository(4)
+    restored_host = QueryService(repo, frames_per_tick=12, chunk_frames=50, seed=0)
+    restored_sid = restored_host.restore(snapshot)
+    restored_host.run_until_idle(max_ticks=40)
+    restored = restored_host.sessions[restored_sid]
+
+    fresh_host = QueryService(repo, frames_per_tick=12, chunk_frames=50, seed=0)
+    fresh_sid = fresh_host.submit("cam0", "bus", limit=3, max_samples=50, seed=17)
+    fresh_host.run_until_idle(max_ticks=40)
+    fresh = fresh_host.sessions[fresh_sid]
+
+    assert list(restored.engine.history.frame_indices) == list(
+        fresh.engine.history.frame_indices
+    )
+    assert restored.result_frames() == fresh.result_frames()
+    assert restored.state == fresh.state
+
+    # a sealed terminal snapshot in the old format restores without replay
+    sealed = SessionSnapshot.from_dict(
+        {
+            "session_id": "s42",
+            "dataset": "cam0",
+            "category": "bus",
+            "limit": 2,
+            "max_samples": None,
+            "seed": 3,
+            "priority": 1.0,
+            "warm_start": True,
+            "state": "completed",
+            "steps_taken": 12,
+            "warm_start_frames": [],
+            "results_found": 2,
+            "result_frames": [31, 57],
+        }
+    )
+    sealed_host = QueryService(repo, frames_per_tick=12, chunk_frames=50, seed=0)
+    sealed_sid = sealed_host.restore(sealed)
+    status = sealed_host.status(sealed_sid)
+    assert status.state == "completed"
+    assert status.results_found == 2
+    assert sealed_host.sessions[sealed_sid].result_frames() == [31, 57]

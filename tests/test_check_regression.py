@@ -190,3 +190,21 @@ def test_missing_default_key_warns_and_skips(tmp_path, capsys):
     assert checker.main([str(current), "--baseline", str(baseline)]) == 0
     err = capsys.readouterr().err
     assert checker.DEFAULT_KEYS[-1] in err and "skipped" in err
+
+
+def test_every_default_key_exists_in_committed_baseline():
+    """The gate is only as strong as the committed baseline: a DEFAULT_KEY
+    with no baseline row silently never gates, so adding a key without
+    re-committing ``benchmarks/baseline.json`` must fail loudly here."""
+    baseline_path = SCRIPT.parent / "baseline.json"
+    committed = checker.load_means(baseline_path)
+    missing = [key for key in checker.DEFAULT_KEYS if key not in committed]
+    assert not missing, (
+        f"DEFAULT_KEYS absent from {baseline_path.name}: {missing}; "
+        "run the benchmark suite and re-commit the baseline"
+    )
+
+
+def test_vectorized_sampler_bench_is_a_default_key():
+    """The sampler hot path's throughput is CI-gated, not best-effort."""
+    assert "test_bench_sampler_vectorized" in checker.DEFAULT_KEYS

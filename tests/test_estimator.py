@@ -64,10 +64,12 @@ def test_record_validation():
 
 
 def test_views_are_read_only():
+    # a locked ndarray view raises ValueError; the fallback tuple raises
+    # TypeError — either way the exposed state cannot be mutated.
     stats = ChunkStatistics(2)
-    with pytest.raises(ValueError):
+    with pytest.raises((ValueError, TypeError)):
         stats.n1[0] = 5
-    with pytest.raises(ValueError):
+    with pytest.raises((ValueError, TypeError)):
         stats.n[0] = 5
 
 
@@ -110,9 +112,9 @@ def test_invariants_under_arbitrary_updates(updates):
     stats = ChunkStatistics(4)
     for chunk, d0, d1 in updates:
         stats.record(chunk, d0, d1)
-    assert np.all(stats.n1 >= 0)
+    assert all(v >= 0 for v in stats.n1)
     assert stats.total_samples == len(updates)
-    assert int(stats.n.sum()) == len(updates)
+    assert int(sum(stats.n)) == len(updates)
     assert stats.total_results == sum(d0 for _, d0, _ in updates)
     # N1 can never exceed results contributed to that chunk
-    assert stats.n1.sum() <= stats.total_results
+    assert sum(stats.n1) <= stats.total_results

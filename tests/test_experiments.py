@@ -55,7 +55,7 @@ def test_repeat_histories_distinct_seeds():
     repo = make_simulation_repository(2_000, 10, 50.0, None, seed=3)
     runs = repeat_histories(repo, "random", 3, max_samples=50, base_seed=1)
     assert len(runs) == 3
-    frames = [tuple(h.frame_indices.tolist()) for h in runs]
+    frames = [tuple(list(h.frame_indices)) for h in runs]
     assert len(set(frames)) == 3
     with pytest.raises(ValueError):
         repeat_histories(repo, "random", 0, max_samples=10)

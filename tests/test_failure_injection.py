@@ -45,7 +45,7 @@ def test_severe_miss_rate_still_terminates_and_stays_consistent():
     detector = SimulatedDetector(repo, miss_rate=0.8, seed=1)
     sampler = run_exsample(repo, detector, OracleDiscriminator())
     assert sampler.frames_processed == 600
-    assert np.all(sampler.stats.n1 >= 0)
+    assert all(v >= 0 for v in sampler.stats.n1)
     assert np.all(np.diff(sampler.history.results) >= 0)
     # 80% misses still finds *something* on a 25-instance workload
     assert sampler.results_found > 0
@@ -62,7 +62,7 @@ def test_false_positive_storm_inflates_results_not_invariants():
     # ...but provenance separates them from true instances
     true_found = len(sampler.discriminator.distinct_true_instances())
     assert true_found <= 25
-    assert np.all(sampler.stats.n1 >= 0)
+    assert all(v >= 0 for v in sampler.stats.n1)
 
 
 def test_detector_determinism_under_noise():
@@ -91,7 +91,7 @@ def test_partial_track_coverage_double_counts_but_never_crashes():
     disc = TrackingDiscriminator(repo.instances, track_coverage=0.3)
     sampler = run_exsample(repo, detector, disc)
     assert sampler.frames_processed == 600
-    assert np.all(sampler.stats.n1 >= 0)
+    assert all(v >= 0 for v in sampler.stats.n1)
     assert np.all(np.diff(sampler.history.results) >= 0)
 
 
@@ -137,7 +137,7 @@ def test_adversarial_d1_only_discriminator_is_absorbed():
         repo, OracleDetector(repo), AdversarialDiscriminator(), max_samples=200
     )
     assert sampler.frames_processed == 200
-    assert np.all(sampler.stats.n1 >= 0)
+    assert all(v >= 0 for v in sampler.stats.n1)
     assert sampler.stats.total_samples == 200
 
 
@@ -151,7 +151,7 @@ def test_empty_repository_runs_to_exhaustion():
     )
     assert sampler.results_found == 0
     assert sampler.exhausted
-    assert np.all(sampler.stats.point_estimate() == 0.0)
+    assert all(v == 0.0 for v in sampler.stats.point_estimate())
 
 
 def test_category_with_no_instances_is_safe():

@@ -235,8 +235,8 @@ def test_extend_mid_chunk_leaves_existing_arms_untouched():
         rng=rng,
     )
     engine.run(max_samples=35)  # mid-chunk: no chunk is exhausted yet
-    n_before = engine.stats.n.copy()
-    n1_before = engine.stats.n1.copy()
+    n_before = list(engine.stats.n)
+    n1_before = list(engine.stats.n1)
     avail_before = engine.chunk_availability
     remaining_before = [c.remaining for c in engine.chunks]
     old_count = len(engine.chunks)
@@ -252,7 +252,7 @@ def test_extend_mid_chunk_leaves_existing_arms_untouched():
         engine.chunk_availability[:old_count], avail_before
     )
     assert [c.remaining for c in engine.chunks[:old_count]] == remaining_before
-    assert engine.stats.n[old_count:].sum() == 0
+    assert sum(list(engine.stats.n)[old_count:]) == 0
 
 
 def test_extend_rejects_discontinuous_chunk_ids():

@@ -96,7 +96,7 @@ def test_categories_and_filtering():
 
 def test_durations_and_probabilities_vectors():
     iset = InstanceSet([make_instance(0, 0, 10), make_instance(1, 0, 40)])
-    assert iset.durations().tolist() == [10, 40]
+    assert list(iset.durations()) == [10, 40]
     np.testing.assert_allclose(iset.probabilities(100), [0.1, 0.4])
     with pytest.raises(ValueError):
         iset.probabilities(0)

@@ -91,8 +91,8 @@ def test_history_consistent_with_discriminator(policy):
     assert np.all(np.diff(history.results) >= 0)
     # every sampled frame lies in range and is unique (without replacement)
     frames = history.frame_indices
-    assert frames.min() >= 0 and frames.max() < repo.total_frames
-    assert len(set(frames.tolist())) == len(frames)
+    assert min(frames) >= 0 and max(frames) < repo.total_frames
+    assert len(set(list(frames))) == len(frames)
 
 
 @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
@@ -102,7 +102,7 @@ def test_every_policy_drains_the_whole_space(policy):
     sampler.run()
     assert sampler.exhausted
     assert sampler.frames_processed == 400
-    assert sorted(sampler.history.frame_indices.tolist()) == list(range(400))
+    assert sorted(list(sampler.history.frame_indices)) == list(range(400))
     # all instances necessarily found after a full drain
     assert sampler.results_found == 6
 
@@ -126,8 +126,8 @@ def test_property_batched_runs_keep_invariants(batch, seed):
     # the budget check happens per iteration, so overshoot < one batch
     assert 120 <= sampler.frames_processed < 120 + batch
     frames = sampler.history.frame_indices
-    assert len(set(frames.tolist())) == len(frames)
-    assert np.all(sampler.stats.n1 >= 0)
+    assert len(set(list(frames))) == len(frames)
+    assert all(v >= 0 for v in sampler.stats.n1)
 
 
 def test_single_chunk_exsample_equals_its_order():
@@ -137,7 +137,7 @@ def test_single_chunk_exsample_equals_its_order():
     sampler = make_sampler(repo, num_chunks=1)
     sampler.run(max_samples=500)
     assert sampler.exhausted
-    assert set(sampler.history.frame_indices.tolist()) == set(range(500))
+    assert set(list(sampler.history.frame_indices)) == set(range(500))
 
 
 # ------------------------------------------------------------- query engine
@@ -159,7 +159,7 @@ def test_limit_query_never_returns_more_than_needed_plus_frame():
     engine = QueryEngine(repo, category="truck", chunk_frames=500, seed=9)
     result = engine.execute(DistinctObjectQuery("truck", limit=5))
     step_yields = np.diff(np.concatenate([[0], result.history.results]))
-    assert result.results_returned - 5 <= max(step_yields.max(), 0)
+    assert result.results_returned - 5 <= max(max(step_yields, default=0), 0)
 
 
 def test_scan_charge_only_for_proxy():

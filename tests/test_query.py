@@ -107,7 +107,7 @@ def test_seed_reproducibility(engine):
     a = engine.execute(DistinctObjectQuery("bicycle", limit=3), seed=11)
     b = engine.execute(DistinctObjectQuery("bicycle", limit=3), seed=11)
     assert a.frames_processed == b.frames_processed
-    assert a.history.frame_indices.tolist() == b.history.frame_indices.tolist()
+    assert list(a.history.frame_indices) == list(b.history.frame_indices)
 
 
 def test_noisy_pipeline_runs(dashcam):

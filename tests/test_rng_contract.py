@@ -1,0 +1,243 @@
+"""The RNG contract: DecisionRng determinism and backend bit-identity.
+
+Every sampling decision in the system flows through
+:class:`repro.core.rng.DecisionRng`, whose scalar draws are pure Python
+and whose one bulk operation (``gamma_matrix``, the vectorized Thompson
+draw) has twin numpy / pure-Python implementations that must return
+**bit-identical** matrices and leave the stream in the same position.
+These tests are the contract's enforcement: if either half drifts — a
+different transcendental, a reordered draw schedule, a backend-dependent
+rounding — the suite fails before any decision-stream parity test has to
+localize it.
+"""
+
+import math
+
+import pytest
+
+from repro.core import backend
+from repro.core.rng import DecisionRng, derive_key
+
+
+@pytest.fixture
+def fallback_guard():
+    """Restore the backend flag no matter how a test exits."""
+    old = backend.set_force_fallback(False)
+    yield
+    backend.set_force_fallback(old)
+
+
+# ----------------------------------------------------------- scalar stream
+
+def test_same_seed_same_stream():
+    a = DecisionRng(12345)
+    b = DecisionRng(12345)
+    assert [a.random() for _ in range(64)] == [b.random() for _ in range(64)]
+    assert a.state == b.state
+
+
+def test_different_seeds_diverge():
+    a = DecisionRng(1)
+    b = DecisionRng(2)
+    assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+
+def test_tuple_seeds_are_first_class():
+    assert DecisionRng((7, 0x51A1)).random() == DecisionRng((7, 0x51A1)).random()
+    assert DecisionRng((7, 0)).random() != DecisionRng(7).random()
+    assert DecisionRng((1, 2)).random() != DecisionRng((2, 1)).random()
+
+
+def test_derive_key_is_deterministic_and_order_sensitive():
+    assert derive_key((3, 5, 9)) == derive_key((3, 5, 9))
+    assert derive_key((3, 5)) != derive_key((5, 3))
+    # length is absorbed: a prefix must not collide with its extension
+    assert derive_key((3,)) != derive_key((3, 0))
+
+
+def test_random_is_in_open_unit_interval():
+    rng = DecisionRng(0)
+    draws = [rng.random() for _ in range(1000)]
+    assert all(0.0 < u < 1.0 for u in draws)
+
+
+def test_integers_bounds_and_determinism():
+    rng = DecisionRng(99)
+    draws = rng.integers(5, 17, size=500)
+    assert all(5 <= v < 17 for v in draws)
+    assert set(draws) == set(range(5, 17))  # every value reachable
+    assert rng.integers(3) in (0, 1, 2)
+    with pytest.raises(ValueError):
+        rng.integers(4, 4)
+
+
+def test_shuffle_is_a_permutation():
+    rng = DecisionRng(4)
+    seq = list(range(40))
+    rng.shuffle(seq)
+    assert sorted(seq) == list(range(40))
+    assert seq != list(range(40))  # astronomically unlikely to be identity
+
+
+def test_choice_without_replacement_is_unique():
+    rng = DecisionRng(8)
+    picked = rng.choice(30, size=30, replace=False)
+    assert sorted(picked) == list(range(30))
+    with pytest.raises(ValueError):
+        rng.choice(3, size=4, replace=False)
+
+
+def test_weighted_choice_respects_zero_weights():
+    rng = DecisionRng(2)
+    draws = rng.choice(["a", "b", "c"], size=200, p=[1.0, 0.0, 3.0])
+    assert "b" not in draws
+    assert draws.count("c") > draws.count("a")
+
+
+def test_scalar_moments_sane():
+    rng = DecisionRng(11)
+    normals = [rng.normal() for _ in range(4000)]
+    mean = sum(normals) / len(normals)
+    var = sum((x - mean) ** 2 for x in normals) / len(normals)
+    assert abs(mean) < 0.1
+    assert abs(var - 1.0) < 0.15
+    lam = 3.0
+    pois = [rng.poisson(lam) for _ in range(4000)]
+    assert abs(sum(pois) / len(pois) - lam) < 0.2
+
+
+# -------------------------------------------------------------- gamma bulk
+
+def _alphas_betas():
+    base = DecisionRng(777)
+    alphas = [0.1 + 5.0 * base.random() for _ in range(37)]
+    betas = [0.05 + 3.0 * base.random() for _ in range(37)]
+    return alphas, betas
+
+
+def test_gamma_matrix_shape_and_positivity(fallback_guard):
+    alphas, betas = _alphas_betas()
+    for forced in (False, True):
+        backend.set_force_fallback(forced)
+        got = DecisionRng(5).gamma_matrix(alphas, betas, rows=4)
+        rows = [list(r) for r in got]
+        assert len(rows) == 4 and all(len(r) == len(alphas) for r in rows)
+        assert all(v > 0.0 for r in rows for v in r)
+
+
+def test_gamma_matrix_moments(fallback_guard):
+    # mean of Gamma(a, rate b) is a/b; average many rows per arm
+    alphas = [0.5, 1.0, 4.0]
+    betas = [1.0, 2.0, 0.5]
+    got = DecisionRng(13).gamma_matrix(alphas, betas, rows=6000)
+    rows = [list(r) for r in got]
+    for m, (a, b) in enumerate(zip(alphas, betas)):
+        mean = sum(r[m] for r in rows) / len(rows)
+        expected = a / b
+        assert abs(mean - expected) < 0.12 * max(expected, 1.0)
+
+
+@pytest.mark.skipif(not backend.HAVE_NUMPY, reason="needs numpy to compare twins")
+@pytest.mark.parametrize("rows", [1, 2, 8])
+@pytest.mark.parametrize("seed", [0, 1, 42, (9, 0xBEEF)])
+def test_gamma_matrix_twins_bit_identical(fallback_guard, seed, rows):
+    """The heart of the contract: the numpy fast path and the pure
+    fallback must produce the exact same floats AND leave the stream in
+    the exact same position."""
+    alphas, betas = _alphas_betas()
+
+    backend.set_force_fallback(False)
+    fast_rng = DecisionRng(seed)
+    fast = fast_rng.gamma_matrix(alphas, betas, rows=rows)
+    fast_next = fast_rng.random()
+
+    backend.set_force_fallback(True)
+    slow_rng = DecisionRng(seed)
+    slow = slow_rng.gamma_matrix(alphas, betas, rows=rows)
+    slow_next = slow_rng.random()
+
+    fast_rows = [[float(v) for v in r] for r in fast]
+    assert fast_rows == slow  # element-wise exact, not approximate
+    assert fast_next == slow_next  # the op consumed one main-stream step
+
+
+@pytest.mark.skipif(not backend.HAVE_NUMPY, reason="needs numpy to compare twins")
+def test_gamma_matrix_twins_across_shape_regimes(fallback_guard):
+    """Shapes below and above 1 exercise both Marsaglia-Tsang branches."""
+    alphas = [0.05, 0.3, 0.9, 1.0, 1.1, 7.5, 40.0]
+    betas = [1.0] * len(alphas)
+    backend.set_force_fallback(False)
+    fast = DecisionRng(3).gamma_matrix(alphas, betas, rows=16)
+    backend.set_force_fallback(True)
+    slow = DecisionRng(3).gamma_matrix(alphas, betas, rows=16)
+    assert [[float(v) for v in r] for r in fast] == slow
+
+
+def test_gamma_matrix_validates_inputs():
+    rng = DecisionRng(0)
+    with pytest.raises(ValueError):
+        rng.gamma_matrix([1.0], [1.0], rows=0)
+    with pytest.raises(ValueError):
+        rng.gamma_matrix([0.0], [1.0], rows=1)
+    with pytest.raises(ValueError):
+        rng.gamma_matrix([1.0], [-1.0], rows=1)
+    with pytest.raises(ValueError):
+        rng.gamma_matrix([1.0, 2.0], [1.0], rows=1)
+
+
+def test_gamma_matrix_empty_arms(fallback_guard):
+    for forced in (False, True):
+        backend.set_force_fallback(forced)
+        got = DecisionRng(1).gamma_matrix([], [], rows=3)
+        assert [list(r) for r in got] == [[], [], []]
+
+
+def test_gamma_matrix_advances_stream_once_regardless_of_shape():
+    a = DecisionRng(21)
+    b = DecisionRng(21)
+    a.gamma_matrix([1.0], [1.0], rows=1)
+    b.gamma_matrix([0.2] * 50, [0.7] * 50, rows=9)
+    assert a.state == b.state
+    assert a.random() == b.random()
+
+
+# ---------------------------------------------------------- backend flags
+
+def test_set_force_fallback_returns_previous_flag():
+    old = backend.set_force_fallback(True)
+    try:
+        assert not backend.use_numpy()
+        assert backend.set_force_fallback(old) is True
+    finally:
+        backend.set_force_fallback(old)
+    if backend.HAVE_NUMPY and not old:
+        assert backend.use_numpy()
+
+
+def test_require_numpy_message_names_the_feature():
+    if backend.HAVE_NUMPY:
+        backend.require_numpy("anything")  # no-op when numpy is present
+    else:
+        with pytest.raises(ModuleNotFoundError, match="anything"):
+            backend.require_numpy("anything")
+
+
+@pytest.mark.skipif(not backend.HAVE_NUMPY, reason="needs numpy to compare twins")
+def test_ln_exp_scalar_and_vector_twins_agree():
+    # the transcendental twins are the bit-identity foundation: the
+    # scalar (pure) and vectorized (numpy) forms must agree exactly,
+    # even where they differ from math.exp in the last ulp
+    from repro.core.rng import _exp, _exp_vec, _ln, _ln_vec
+
+    np = backend.np
+    ln_pts = [1e-9, 0.1, 0.5, 1.0, 2.0, 10.0, 1e6]
+    exp_pts = [-20.0, -1.0, 0.0, 1.0, 2.5, 20.0]
+    assert [_ln(x) for x in ln_pts] == list(_ln_vec(np.asarray(ln_pts)))
+    assert [_exp(x) for x in exp_pts] == list(_exp_vec(np.asarray(exp_pts)))
+    # and they stay within an ulp of the math module (sanity, not identity)
+    assert all(
+        math.isclose(_ln(x), math.log(x), rel_tol=1e-15) for x in ln_pts
+    )
+    assert all(
+        math.isclose(_exp(x), math.exp(x), rel_tol=1e-15) for x in exp_pts
+    )

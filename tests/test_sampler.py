@@ -74,7 +74,7 @@ def test_history_results_nondecreasing():
     history = sampler.run(max_samples=300)
     results = history.results
     assert np.all(np.diff(results) >= 0)
-    assert history.samples.tolist() == list(range(1, 301))
+    assert list(history.samples) == list(range(1, 301))
 
 
 def test_history_samples_to_reach():
@@ -100,7 +100,7 @@ def test_no_frame_sampled_twice():
     history = sampler.run()
     frames = history.frame_indices
     assert len(frames) == 400
-    assert len(set(frames.tolist())) == 400
+    assert len(set(frames)) == 400
 
 
 def test_batched_sampling():
@@ -138,7 +138,7 @@ def test_batch_drains_small_chunks_cleanly():
     sampler = make_sampler(repo, num_chunks=4, batch_size=64)
     history = sampler.run()
     assert sampler.exhausted
-    assert sorted(history.frame_indices.tolist()) == list(range(40))
+    assert sorted(history.frame_indices) == list(range(40))
 
 
 def test_callback_invoked_per_record():
@@ -197,7 +197,7 @@ def test_thompson_concentrates_on_productive_chunk():
     repo = single_clip_repository(4000, squeezed)
     sampler = make_sampler(repo, num_chunks=8, seed=9)
     sampler.run(max_samples=800)
-    n = sampler.stats.n
+    n = np.asarray(sampler.stats.n)
     assert n[0] > 2 * n[1:].mean()
 
 
@@ -207,8 +207,8 @@ def test_new_result_frames_exposes_hit_frames():
     history = sampler.history
     hits = history.new_result_frames
     # hit frames are a subset of all processed frames
-    processed = set(history.frame_indices.tolist())
-    assert set(hits.tolist()) <= processed
+    processed = set(history.frame_indices)
+    assert set(hits) <= processed
     # the number of hit frames is at most the number of results and at
     # least one per "jump" in the results curve
     jumps = int((np.diff(np.concatenate([[0], history.results])) > 0).sum())
@@ -222,7 +222,7 @@ def test_steps_generator_matches_run():
 
     stepped = make_sampler(make_repo(), seed=21)
     records = list(stepped.steps(result_limit=8, max_samples=400))
-    assert [r.frame_index for r in records] == ran.history.frame_indices.tolist()
+    assert [r.frame_index for r in records] == list(ran.history.frame_indices)
     assert stepped.results_found == ran.results_found
     assert np.array_equal(stepped.stats.n1, ran.stats.n1)
     assert np.array_equal(stepped.stats.n, ran.stats.n)

@@ -193,7 +193,9 @@ def test_sharded_sweep_passes_oracle_and_invariants(tmp_path):
     for seed in range(max(3, int(6 * SCALE))):
         scenario = sharded_variant(generate_scenario(seed, "quick"), 2)
         report = run_scenario(scenario, workdir=tmp_path)
-        assert report.ticks_run > 0 or not scenario.sessions
+        # a scenario whose only sessions are follow queries over footage
+        # that never arrives legitimately runs zero ticks
+        assert report.ticks_run > 0 or all(s.follow for s in scenario.sessions)
 
 
 def test_sharded_run_is_bit_reproducible_across_worker_kills(tmp_path):
@@ -314,9 +316,9 @@ def test_mutation_scheduler_overspend_is_caught(monkeypatch, tmp_path):
         return alloc
 
     monkeypatch.setattr(RoundRobinScheduler, "allocate", generous)
-    # seed 0's quick scenario schedules round-robin
+    # seed 7's quick scenario schedules round-robin
     with pytest.raises(InvariantViolation, match="allocations sum"):
-        run_scenario(generate_scenario(0, "quick"), workdir=tmp_path)
+        run_scenario(generate_scenario(7, "quick"), workdir=tmp_path)
 
 
 def test_mutation_stale_cache_results_are_caught(monkeypatch, tmp_path):

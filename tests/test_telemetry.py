@@ -21,7 +21,6 @@ from repro.serving import (
 )
 from repro.serving.ingest import IngestEntry
 from repro.telemetry import (
-    FRAMES_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -514,3 +513,42 @@ def test_simulate_json_carries_metrics_block(capsys):
     ):
         assert key in metrics
     assert metrics["detector_calls"] >= 0
+
+
+def test_plan_seconds_split_draw_vs_score_reaches_stats(tmp_path, capsys):
+    """The vectorized hot path's instrumentation: every working tick
+    files ``repro_serving_plan_seconds`` histograms for both stages of
+    plan() — the Thompson draw and the frame scoring/pick — and the
+    ``stats`` surface renders them."""
+    telemetry.enable()
+    service = QueryService(
+        _parity_repository(0), frames_per_tick=16, chunk_frames=50, seed=0
+    )
+    try:
+        service.submit("cam0", "bus", max_samples=30)
+        for _ in range(3):
+            service.tick()
+        snap = telemetry.get().snapshot()
+    finally:
+        service.close()
+        telemetry.disable()
+    validate(snap)
+    draw_key = 'repro_serving_plan_seconds{stage="draw"}'
+    score_key = 'repro_serving_plan_seconds{stage="score"}'
+    assert draw_key in snap["histograms"], sorted(snap["histograms"])
+    assert score_key in snap["histograms"]
+    draw = snap["histograms"][draw_key]
+    score = snap["histograms"][score_key]
+    # one observation per worked tick, and drawing took measurable time
+    assert draw["count"] >= 1 and draw["count"] == score["count"]
+    assert draw["sum"] > 0.0
+    # both are wall-clock durations: a negative sum means the split
+    # double-counted the draw window against the score window
+    assert score["sum"] >= 0.0
+    # the split is visible through the stats CLI
+    out = tmp_path / "metrics.json"
+    out.write_text(json.dumps(snap), encoding="utf-8")
+    assert main(["stats", "--metrics", str(out)]) == 0
+    table = capsys.readouterr().out
+    assert "repro_serving_plan_seconds" in table
+    assert 'stage="draw"' in table and 'stage="score"' in table
