@@ -64,6 +64,11 @@ DEFAULT_KEYS = (
     "test_bench_distributed",
     "test_bench_telemetry_overhead",
     "test_bench_sampler_vectorized",
+    # the closed-loop network load benchmark: 256 concurrent client
+    # sessions against a subprocess `repro server`; its runtime share
+    # guards the whole served path (admission queue, tick loop under
+    # polling load, per-session first-result latency) against creep
+    "test_bench_server_load",
 )
 
 

@@ -70,8 +70,10 @@ bit-for-bit:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import pathlib
+import signal
 import sys
 import time
 
@@ -95,6 +97,7 @@ from .serving import (
 from .serving import ingest as serving_ingest
 from .serving import script as serving_script
 from .serving import state as serving_state
+from .server import AsyncQueryServer, ServerConfig, restore_state
 from .video.datasets import (
     build_dataset,
     dataset_names,
@@ -540,6 +543,31 @@ def _follow_serve(
             return 0
 
 
+class _graceful_signals:
+    """Route SIGTERM through the KeyboardInterrupt path for the scope.
+
+    ``kill`` (what init systems and CI send) and Ctrl-C then take the
+    same exit: save state, summarize, exit 0 — not a traceback with the
+    last tick's progress lost.  The previous handler is restored on the
+    way out; off the main thread (embedded use) signals cannot be
+    installed, so the scope is a no-op there.
+    """
+
+    def __enter__(self) -> "_graceful_signals":
+        def raise_interrupt(signum, frame):  # pragma: no cover - signal path
+            raise KeyboardInterrupt
+
+        try:
+            self._previous = signal.signal(signal.SIGTERM, raise_interrupt)
+        except ValueError:
+            self._previous = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is not None:
+            signal.signal(signal.SIGTERM, self._previous)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.script is None and args.state_dir is None:
         print("error: pass --script and/or --state-dir", file=sys.stderr)
@@ -657,27 +685,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for snap in snapshots:
             service.restore(snap)
 
-        if script_text is not None:
+        # SIGTERM and Ctrl-C both drain gracefully on every serve mode:
+        # stop after the tick in flight, fall through to the save below,
+        # exit 0 (the follow loop handles the interrupt itself, same way)
+        with _graceful_signals():
             try:
-                log = serving_script.run_script(service, script_text)
-            except serving_script.ScriptError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-            if not args.json:
-                for line in log:
-                    print(line)
-        elif args.follow:
-            code = _follow_serve(
-                service, state_dir, scale, seed, cursor, args.ticks,
-                args.poll_interval,
-            )
-            if code != 0:  # state already saved by the loop's error path
-                return code
-        elif args.ticks is not None:
-            for _ in range(args.ticks):
-                service.tick()
-        else:
-            service.run_until_idle()
+                if script_text is not None:
+                    try:
+                        log = serving_script.run_script(service, script_text)
+                    except serving_script.ScriptError as exc:
+                        print(f"error: {exc}", file=sys.stderr)
+                        return 2
+                    if not args.json:
+                        for line in log:
+                            print(line)
+                elif args.follow:
+                    code = _follow_serve(
+                        service, state_dir, scale, seed, cursor, args.ticks,
+                        args.poll_interval,
+                    )
+                    if code != 0:  # state already saved by the error path
+                        return code
+                elif args.ticks is not None:
+                    for _ in range(args.ticks):
+                        service.tick()
+                else:
+                    service.run_until_idle()
+            except KeyboardInterrupt:
+                pass  # drained: persist below and exit 0
 
         if state_dir is not None:
             serving_state.save_sessions(service, state_dir)
@@ -689,6 +724,117 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         service.close()  # worker pools, shard workers, buffered cache writes
+
+
+# ----------------------------------------------------------------- server
+
+async def _run_server(server: AsyncQueryServer) -> None:
+    """Start the listener, announce the bound address, install graceful
+    signal handlers, and run until a drain completes."""
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_drain)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass  # platforms/threads without signal support: drain op only
+    host, port = await server.start()
+    # the one line scripts and tests parse to find an ephemeral port
+    print(f"repro server listening on {host}:{port}", flush=True)
+    await server.run_until_drained()
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    if args.frames_per_tick <= 0:
+        print("error: --frames-per-tick must be positive", file=sys.stderr)
+        return 2
+    error = _validate_execution_args(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        server_config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            tenant_quota=args.tenant_quota,
+            retry_after=args.retry_after,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    scale, seed = args.scale, args.seed
+    shards = args.shards if args.shards is not None else 1
+    snapshots: list[SessionSnapshot] = []
+    journal: list[IngestEntry] = []
+    state_dir: pathlib.Path | None = None
+    if args.state_dir is not None:
+        state_dir = pathlib.Path(args.state_dir)
+        config = serving_state.load_or_init_config(
+            state_dir, scale=scale, seed=seed, shards=shards
+        )
+        scale, seed = float(config["scale"]), int(config["seed"])
+        if args.shards is None:
+            shards = int(config.get("shards", 1) or 1)
+        cache = DetectionCache(SqliteBackend(state_dir / serving_state.CACHE_FILENAME))
+        try:
+            snapshots = serving_state.load_snapshots(state_dir)
+            journal = serving_ingest.load_entries(state_dir)
+        except (serving_state.StateError, serving_ingest.JournalError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    datasets = [snap.dataset for snap in snapshots]
+    datasets += [entry.dataset for entry in journal]
+    if args.datasets:
+        datasets += [
+            name.strip() for name in args.datasets.split(",") if name.strip()
+        ]
+    datasets = list(dict.fromkeys(datasets))
+
+    service = _build_service(
+        datasets,
+        scale,
+        seed,
+        args.frames_per_tick,
+        args.scheduler,
+        cache,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        detector_latency=args.detector_latency,
+        shards=shards,
+    )
+    try:
+        factory = _dataset_factory(scale, seed)
+        cursor = 0
+        if state_dir is not None:
+            # journal before snapshots, same as serve: horizon-logged
+            # sessions must replay against the footage their live runs saw
+            try:
+                cursor = restore_state(service, state_dir, seed, factory)
+            except (serving_state.StateError, serving_ingest.JournalError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        server = AsyncQueryServer(
+            service,
+            server_config,
+            state_dir=state_dir,
+            base_seed=seed,
+            journal_cursor=cursor,
+            dataset_factory=factory,
+        )
+        asyncio.run(_run_server(server))
+        # the drain already persisted snapshots + tenant ledger; what's
+        # left is the human-facing close-out
+        if args.json:
+            print(json.dumps(to_jsonable(_serve_summary_payload(service)), indent=2))
+        else:
+            print("server drained")
+            _print_serve_summary(service)
+        return 0
+    finally:
+        service.close()
 
 
 # --------------------------------------------------------------- simulate
@@ -1122,6 +1268,82 @@ def build_parser() -> argparse.ArgumentParser:
              "to FILE on exit",
     )
 
+    server = sub.add_parser(
+        "server",
+        help="network front door: asyncio NDJSON server over the query "
+             "service (submit/status/results/ingest; SIGTERM drains)",
+    )
+    server.add_argument("--state-dir", default=None, help="serving state directory")
+    server.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    server.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = ephemeral; the bound port is printed)",
+    )
+    server.add_argument(
+        "--datasets", default=None, metavar="NAMES",
+        help="comma-separated datasets to pre-register (profile names build "
+             "the calibrated corpus, other names start empty); state-dir "
+             "sessions and journal datasets register automatically",
+    )
+    server.add_argument(
+        "--max-queue", type=int, default=64,
+        help="bounded admission queue depth; beyond it submits/ingests get "
+             "a queue-full reject with retry_after",
+    )
+    server.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="max concurrent non-terminal sessions per tenant "
+             "(default: unlimited)",
+    )
+    server.add_argument(
+        "--retry-after", type=float, default=0.05,
+        help="retry hint (seconds) attached to backpressure rejections",
+    )
+    server.add_argument(
+        "--frames-per-tick", type=int, default=16,
+        help="global detector budget per scheduling round",
+    )
+    server.add_argument(
+        "--batch-size", type=int, default=1,
+        help="default engine batch for submitted sessions",
+    )
+    server.add_argument(
+        "--workers", type=int, default=1,
+        help="detector worker pool; coalesced per-tick batches run concurrently",
+    )
+    server.add_argument(
+        "--detector-latency", type=float, default=0.0,
+        help="simulated per-detector-call overhead in seconds",
+    )
+    server.add_argument(
+        "--shards", type=int, default=None,
+        help="worker processes for sharded detection (default: the state "
+             "directory's recorded value, else 1 = local execution)",
+    )
+    server.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="round-robin",
+        help="budget allocation policy across sessions",
+    )
+    server.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset scale (overridden by an existing state-dir config)",
+    )
+    server.add_argument(
+        "--seed", type=int, default=0,
+        help="dataset/service seed (overridden by an existing state-dir config)",
+    )
+    server.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable summary after the drain",
+    )
+    server.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write the metrics snapshot (stable JSON) "
+             "to FILE on exit",
+    )
+
     simulate = sub.add_parser(
         "simulate",
         help="run randomized end-to-end scenarios with fault injection "
@@ -1200,6 +1422,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_submit(args)
     if args.command == "ingest":
         return _cmd_ingest(args)
+    if args.command == "server":
+        return _cmd_server(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "stats":

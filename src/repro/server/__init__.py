@@ -1,0 +1,39 @@
+"""Network front door for the serving stack.
+
+``repro.server`` puts a stdlib-only asyncio TCP server in front of a
+:class:`~repro.serving.service.QueryService`: newline-delimited JSON
+requests (:mod:`repro.server.protocol`), a bounded admission queue with
+explicit 429-style backpressure, per-tenant concurrent-session quotas,
+and graceful drain/restart riding the existing replay-based
+snapshot/restore — so a restarted server resumes every session
+bit-identically.  :mod:`repro.server.thread` hosts a server in a
+background thread for tests and benchmarks; the matching blocking
+client lives in :mod:`repro.serving.client`.
+"""
+
+from .app import AsyncQueryServer, ServerConfig, restore_state, TENANTS_FILENAME
+from .protocol import (
+    MAX_REQUEST_BYTES,
+    OPS,
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .thread import ServerThread
+
+__all__ = [
+    "AsyncQueryServer",
+    "ServerConfig",
+    "ServerThread",
+    "restore_state",
+    "TENANTS_FILENAME",
+    "MAX_REQUEST_BYTES",
+    "OPS",
+    "ProtocolError",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]

@@ -1,0 +1,140 @@
+"""The wire protocol: newline-delimited JSON requests and responses.
+
+One request is one JSON object on one ``\\n``-terminated line; one
+response is the same coming back.  The framing is deliberately the
+simplest thing that a load generator, a shell one-liner (``nc`` + a
+here-doc), and the blocking client in :mod:`repro.serving.client` can
+all speak — no HTTP parser, no content-length arithmetic, no protocol
+state beyond "lines".
+
+Requests carry an ``op`` naming the endpoint plus op-specific fields::
+
+    {"op": "submit", "dataset": "dashcam", "category": "bicycle",
+     "limit": 5, "tenant": "team-a"}
+    {"op": "status", "session_id": "s1"}
+
+Responses always carry ``ok``.  Success responses add op-specific
+payload fields; error responses add a stable machine-readable ``error``
+code, a human ``message``, and — for the backpressure rejections
+(``queue-full`` / ``quota-exceeded`` / ``draining``) — a
+``retry_after`` hint in seconds, the NDJSON spelling of an HTTP 429
+with a ``Retry-After`` header::
+
+    {"ok": true, "session_id": "s1"}
+    {"ok": false, "error": "queue-full", "message": "...",
+     "retry_after": 0.05}
+
+Error-code contract (what clients may dispatch on):
+
+``bad-json`` / ``bad-request``
+    The line was not a JSON object, or ``op``/required fields are
+    missing or of the wrong type.  The connection stays usable — line
+    framing survives garbage *content* (only garbage *framing*, an
+    over-long line, forces a close; see ``oversized``).
+``unknown-op``
+    A well-formed request naming no known endpoint.
+``oversized``
+    The request line exceeded the server's byte limit.  The server
+    cannot know where the over-long line would have ended, so after
+    answering it closes the connection; the *server* keeps serving
+    other connections.
+``queue-full`` / ``quota-exceeded`` / ``draining``
+    Admission control: the bounded submit/ingest queue is full, the
+    tenant is at its concurrent-session quota, or the server is
+    shutting down.  All carry ``retry_after``.
+``unknown-session`` / ``unknown-dataset`` / ``invalid``
+    The request was understood but names something that does not exist
+    or fails domain validation (a non-positive limit, say).
+
+Everything here is pure data-plane: no sockets, no asyncio — which is
+what makes the robustness tests able to hammer the parser directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "MAX_REQUEST_BYTES",
+    "OPS",
+    "ProtocolError",
+    "parse_request",
+    "encode",
+    "ok_response",
+    "error_response",
+]
+
+# one request line may carry at most this many bytes (newline included);
+# generous for every real request (the largest is a submit with every
+# optional field set, well under 1 KiB) while bounding what one client
+# can make the server buffer
+MAX_REQUEST_BYTES = 64 * 1024
+
+OPS = ("ping", "submit", "status", "results", "ingest", "stats", "drain")
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be honored; carries the wire error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def parse_request(line: bytes, max_bytes: int = MAX_REQUEST_BYTES) -> dict:
+    """Decode one request line into its payload dict.
+
+    Raises :class:`ProtocolError` with the contract's error codes; the
+    caller turns that into an error response.  ``op`` presence and type
+    are validated here; op-*specific* fields are validated by the
+    endpoint (which knows what it needs).
+    """
+    if len(line) > max_bytes:
+        raise ProtocolError(
+            "oversized",
+            f"request line of {len(line)} bytes exceeds the "
+            f"{max_bytes}-byte limit",
+        )
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("bad-json", f"request is not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"request must be a JSON object, got {type(payload).__name__}",
+        )
+    op = payload.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("bad-request", "request needs a string 'op' field")
+    return payload
+
+
+def encode(response: Mapping[str, Any]) -> bytes:
+    """One response as a compact, newline-terminated JSON line.
+
+    ``sort_keys`` keeps every response byte-deterministic — the property
+    the load benchmark's decision-stream parity check leans on when it
+    compares served results byte-for-byte with an in-process run.
+    """
+    return (
+        json.dumps(response, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def ok_response(**fields: Any) -> dict:
+    return {"ok": True, **fields}
+
+
+def error_response(
+    code: str, message: str, retry_after: float | None = None
+) -> dict:
+    body: dict[str, Any] = {"ok": False, "error": code, "message": message}
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    return body

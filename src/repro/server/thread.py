@@ -1,0 +1,128 @@
+"""Host an :class:`AsyncQueryServer` in a background thread.
+
+The server's own design is one event loop, one thread — this module is
+for the *embedder*: tests and the load benchmark need a live server
+while the test body stays synchronous.  The thread runs the event loop;
+the owning thread talks to it only through the socket (clients) or
+``loop.call_soon_threadsafe`` (drain).  Nothing else crosses the
+boundary, so the single-threaded determinism story is untouched.
+
+Pass either a built server or a zero-argument factory.  A factory is
+*called on the loop thread* — required whenever the service holds
+thread-bound resources (the sqlite cache backend refuses cross-thread
+use), and the right default habit regardless::
+
+    with ServerThread(lambda: AsyncQueryServer(make_service())) as host:
+        client = ServingClient(*host.address)
+        ...
+    # exiting the block drains the server and joins the thread
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, Union
+
+from .app import AsyncQueryServer
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """Run one server's event loop in a daemon thread.
+
+    ``__enter__`` blocks until the listener is bound (so ``.address``
+    is immediately usable); ``__exit__`` requests a drain and joins.
+    A failure on the loop thread — at startup (port in use, a factory
+    error) or during the run (a fatal tick-loop exception) — re-raises
+    in the owning thread from ``start()`` or ``join()``.
+    """
+
+    def __init__(
+        self,
+        server: Union[AsyncQueryServer, Callable[[], AsyncQueryServer]],
+        join_timeout: float = 30.0,
+    ):
+        self._source = server
+        self._join_timeout = join_timeout
+        self._server: AsyncQueryServer | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._address: tuple[str, int] | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("server thread is not running")
+        return self._address
+
+    @property
+    def server(self) -> AsyncQueryServer:
+        if self._server is None:
+            raise RuntimeError("server thread is not running")
+        return self._server
+
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._address is None:  # startup failed before binding
+            self._thread.join(timeout=self._join_timeout)
+            error = self._error
+            raise error if error is not None else RuntimeError(
+                "server thread failed to start"
+            )
+        return self
+
+    def drain(self) -> None:
+        """Ask the server to drain, from any thread (idempotent)."""
+        loop, server = self._loop, self._server
+        if loop is not None and server is not None and loop.is_running():
+            loop.call_soon_threadsafe(server.request_drain)
+
+    def join(self) -> None:
+        """Drain, wait for the loop thread, re-raise its failure if any."""
+        self.drain()
+        if self._thread is not None:
+            self._thread.join(timeout=self._join_timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("server thread did not drain in time")
+        if self._error is not None:
+            raise self._error
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced by join()
+            self._error = exc
+        finally:
+            self._ready.set()  # unblock start() on pre-bind failures
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = self._source() if callable(self._source) else self._source
+        self._server = server
+        await server.start()
+        self._address = server.address
+        self._ready.set()
+        try:
+            await server.run_until_drained()
+        finally:
+            # a factory-built service was born on this thread; close it
+            # here too (sqlite handles are thread-bound).  A pre-built
+            # server's service belongs to whoever built it.
+            if callable(self._source):
+                server.service.close()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.join()

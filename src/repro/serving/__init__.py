@@ -21,7 +21,10 @@ all sharing one detection cache so no frame is ever detected twice
   deterministic footage appends behind ``python -m repro ingest`` and
   ``serve --follow``;
 * :mod:`repro.serving.script` — the scripted-session interpreter behind
-  ``python -m repro serve --script``.
+  ``python -m repro serve --script``;
+* :mod:`repro.serving.client` — the blocking NDJSON client for the
+  network tier (:mod:`repro.server`), used by tests, the closed-loop
+  load benchmark, and scripts.
 
 Repositories grow while queries run: :meth:`QueryService.feed` appends a
 clip and running sessions absorb it mid-query (their engines extend
@@ -30,6 +33,7 @@ rather than exhaust when footage runs dry, and snapshots carry a horizon
 log so replay-restore stays exact across ingestion.
 """
 
+from .client import ServerError, ServingClient
 from .ingest import IngestEntry, JournalError, RepositoryFeeder
 from .scheduler import (
     PriorityScheduler,
@@ -50,6 +54,8 @@ from .session import (
 )
 
 __all__ = [
+    "ServerError",
+    "ServingClient",
     "IngestEntry",
     "JournalError",
     "RepositoryFeeder",

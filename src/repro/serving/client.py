@@ -1,0 +1,163 @@
+"""A small blocking client for the NDJSON serving protocol.
+
+One socket, one request in flight at a time — deliberately boring,
+because its consumers (tests, the closed-loop load benchmark, shell
+scripting via ``python -c``) want determinism-friendly simplicity, not
+throughput tricks.  Each load-generator thread owns one
+:class:`ServingClient`; concurrency comes from many clients, matching
+how the benchmark models "hundreds of concurrent sessions".
+
+The client retries the protocol's explicit backpressure rejections
+(``queue-full`` / ``quota-exceeded``) by honoring ``retry_after`` —
+the 429/Retry-After loop every well-behaved client of this server is
+expected to run.  All other errors raise :class:`ServerError` with the
+wire code attached.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any
+
+__all__ = ["ServingClient", "ServerError"]
+
+# rejections a client is *invited* to retry: the response carries
+# retry_after precisely because the condition is expected to clear
+_RETRYABLE = frozenset({"queue-full", "quota-exceeded"})
+
+
+class ServerError(RuntimeError):
+    """An error response from the server; ``code`` is the wire code."""
+
+    def __init__(self, code: str, message: str, retry_after: float | None = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ServingClient:
+    """Blocking NDJSON client; usable as a context manager.
+
+    ``retries`` bounds how many backpressure rejections one request
+    will sit out before giving up (0 disables retrying and surfaces
+    ``queue-full`` / ``quota-exceeded`` as :class:`ServerError` —
+    what the admission-control tests want).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 40,
+    ):
+        self._address = (host, port)
+        self._timeout = timeout
+        self._retries = retries
+        self._sock = socket.create_connection(self._address, timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------- plumbing
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """One op → one response payload; retries backpressure rejects."""
+        attempts = 0
+        while True:
+            response = self._roundtrip({"op": op, **fields})
+            if response.get("ok"):
+                return response
+            code = str(response.get("error", "unknown"))
+            retry_after = response.get("retry_after")
+            if code in _RETRYABLE and attempts < self._retries:
+                attempts += 1
+                time.sleep(float(retry_after) if retry_after else 0.05)
+                continue
+            raise ServerError(code, str(response.get("message", "")), retry_after)
+
+    def _roundtrip(self, payload: dict) -> dict:
+        line = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+        self._sock.sendall(line)
+        reply = self._file.readline()
+        if not reply:
+            raise ConnectionError("server closed the connection")
+        return json.loads(reply.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ endpoints
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def submit(self, dataset: str, category: str, **fields: Any) -> str:
+        """Submit a query session; returns its session id.  Accepts the
+        service's submit knobs (``limit``, ``max_samples``, ``seed``,
+        ``priority``, ``batch_size``, ``follow``) plus ``tenant``."""
+        return str(self.request("submit", dataset=dataset,
+                                category=category, **fields)["session_id"])
+
+    def status(self, session_id: str | None = None) -> dict | list[dict]:
+        """One session's status dict, or every session's when no id."""
+        if session_id is None:
+            return self.request("status")["sessions"]
+        return self.request("status", session_id=session_id)["session"]
+
+    def results(self, session_id: str) -> dict:
+        return self.request("results", session_id=session_id)["results"]
+
+    def ingest(self, dataset: str, frames: int, **fields: Any) -> dict:
+        return self.request("ingest", dataset=dataset, frames=frames, **fields)
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def drain(self) -> bool:
+        return bool(self.request("drain").get("draining"))
+
+    # --------------------------------------------------------- conveniences
+
+    def wait_first_result(
+        self, session_id: str, timeout: float = 60.0, poll: float = 0.005
+    ) -> dict:
+        """Poll until the session has a result (or is terminal); returns
+        the final status dict observed.  The closed-loop benchmark's
+        submit-to-first-result clock stops on this returning."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(session_id)
+            if status["results_found"] > 0 or status["state"] in (
+                "completed", "exhausted", "cancelled"
+            ):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"session {session_id} produced no result in {timeout}s"
+                )
+            time.sleep(poll)
+
+    def wait_terminal(
+        self, session_id: str, timeout: float = 120.0, poll: float = 0.005
+    ) -> dict:
+        """Poll until the session reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(session_id)
+            if status["state"] in ("completed", "exhausted", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"session {session_id} not terminal in {timeout}s"
+                )
+            time.sleep(poll)

@@ -37,7 +37,7 @@ Usage::
 
 Metric names follow ``repro_<layer>_<name>_<unit>`` (see
 CONTRIBUTING.md); layers in the catalog today: ``serving``, ``cache``,
-``exec``, ``shard``, ``ingest``.
+``exec``, ``shard``, ``ingest``, ``server``.
 """
 
 from __future__ import annotations

@@ -52,6 +52,7 @@ _NUMPY_ONLY_MODULES = {
     # ground-truth streams, numpy-gated by design)
     "test_cli.py",
     "test_cli_errors.py",
+    "test_server_cli.py",  # subprocess CLI runs over profile datasets
 }
 
 _TOP_LEVEL_NUMPY = re.compile(

@@ -208,3 +208,9 @@ def test_every_default_key_exists_in_committed_baseline():
 def test_vectorized_sampler_bench_is_a_default_key():
     """The sampler hot path's throughput is CI-gated, not best-effort."""
     assert "test_bench_sampler_vectorized" in checker.DEFAULT_KEYS
+
+
+def test_server_load_bench_is_a_default_key():
+    """The network serving tier's load benchmark is CI-gated: served
+    throughput under concurrent sessions cannot silently regress."""
+    assert "test_bench_server_load" in checker.DEFAULT_KEYS
