@@ -79,7 +79,7 @@ import time
 
 from . import telemetry
 from .core.query import METHODS, DistinctObjectQuery, QueryEngine, QueryResult
-from .detection.cache import DetectionCache, SqliteBackend
+from .detection.cache import DetectionCache, SqliteBackend, TieredBackend
 from .detection.costmodel import format_duration
 from .experiments.persistence import to_jsonable
 from .experiments.reporting import format_table
@@ -267,6 +267,9 @@ def _validate_execution_args(args: argparse.Namespace) -> str | None:
             "--shards and --workers are mutually exclusive: sharded "
             "execution runs its own worker processes"
         )
+    budget = getattr(args, "cache_budget", None)
+    if budget is not None and budget < 0:
+        return "--cache-budget must be non-negative"
     return None
 
 
@@ -291,6 +294,7 @@ def _build_service(
     workers: int = 1,
     detector_latency: float = 0.0,
     shards: int = 1,
+    cache_budget: int | None = None,
 ) -> QueryService:
     # profile names materialize the calibrated synthetic dataset; any
     # other name is a *live* dataset: an empty repository whose footage
@@ -320,6 +324,7 @@ def _build_service(
         detector_latency=detector_latency,
         execution="sharded" if shards > 1 else "local",
         shards=shards,
+        cache_budget=cache_budget,
         seed=seed,
     )
 
@@ -378,7 +383,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 2
     state_dir = pathlib.Path(args.state_dir)
     config = serving_state.load_or_init_config(
-        state_dir, scale=args.scale, seed=args.seed, shards=args.shards or 1
+        state_dir, scale=args.scale, seed=args.seed, shards=args.shards or 1,
+        cache_budget=args.cache_budget,
     )
     session_id = serving_state.next_session_id(state_dir)
     session_seed = args.session_seed
@@ -606,15 +612,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     scale, seed = args.scale, args.seed
     # an explicit --shards wins; otherwise the state directory's recorded
     # default applies (so `submit --shards N` makes every later `serve`
-    # shard without repeating the flag), else local execution
+    # shard without repeating the flag), else local execution; the same
+    # sticky-default pattern carries --cache-budget
     shards = args.shards if args.shards is not None else 1
+    cache_budget = args.cache_budget
     snapshots: list[SessionSnapshot] = []
     journal: list[IngestEntry] = []
     state_dir: pathlib.Path | None = None
     if args.state_dir is not None:
         state_dir = pathlib.Path(args.state_dir)
         config = serving_state.load_or_init_config(
-            state_dir, scale=scale, seed=seed, shards=shards
+            state_dir, scale=scale, seed=seed, shards=shards,
+            cache_budget=cache_budget,
         )
         scale, seed = float(config["scale"]), int(config["seed"])
         if args.shards is None:
@@ -630,7 +639,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-        cache = DetectionCache(SqliteBackend(state_dir / serving_state.CACHE_FILENAME))
+        if cache_budget is None and config.get("cache_budget") is not None:
+            cache_budget = int(config["cache_budget"])
+        backend = SqliteBackend(state_dir / serving_state.CACHE_FILENAME)
+        if cache_budget is not None:
+            # a bounded memory tier over the persistent store: eviction
+            # drops only the memory copy, sqlite keeps every detection
+            backend = TieredBackend(backend, max_entries=cache_budget)
+        cache = DetectionCache(backend)
         try:
             snapshots = serving_state.load_snapshots(state_dir)
             journal = serving_ingest.load_entries(state_dir)
@@ -669,6 +685,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         detector_latency=args.detector_latency,
         shards=shards,
+        cache_budget=cache_budget,
     )
     # every exit path below — success, clean error, or an exception out
     # of the serving stack — must release worker pools, shard worker
@@ -766,18 +783,25 @@ def _cmd_server(args: argparse.Namespace) -> int:
     cache = None
     scale, seed = args.scale, args.seed
     shards = args.shards if args.shards is not None else 1
+    cache_budget = args.cache_budget
     snapshots: list[SessionSnapshot] = []
     journal: list[IngestEntry] = []
     state_dir: pathlib.Path | None = None
     if args.state_dir is not None:
         state_dir = pathlib.Path(args.state_dir)
         config = serving_state.load_or_init_config(
-            state_dir, scale=scale, seed=seed, shards=shards
+            state_dir, scale=scale, seed=seed, shards=shards,
+            cache_budget=cache_budget,
         )
         scale, seed = float(config["scale"]), int(config["seed"])
         if args.shards is None:
             shards = int(config.get("shards", 1) or 1)
-        cache = DetectionCache(SqliteBackend(state_dir / serving_state.CACHE_FILENAME))
+        if cache_budget is None and config.get("cache_budget") is not None:
+            cache_budget = int(config["cache_budget"])
+        backend = SqliteBackend(state_dir / serving_state.CACHE_FILENAME)
+        if cache_budget is not None:
+            backend = TieredBackend(backend, max_entries=cache_budget)
+        cache = DetectionCache(backend)
         try:
             snapshots = serving_state.load_snapshots(state_dir)
             journal = serving_ingest.load_entries(state_dir)
@@ -804,6 +828,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
         workers=args.workers,
         detector_latency=args.detector_latency,
         shards=shards,
+        cache_budget=cache_budget,
     )
     try:
         factory = _dataset_factory(scale, seed)
@@ -1131,6 +1156,12 @@ def build_parser() -> argparse.ArgumentParser:
              "worker processes unless overridden",
     )
     submit.add_argument(
+        "--cache-budget", type=int, default=None,
+        help="record the state directory's default cache entry budget on "
+             "first touch; later `serve` runs bound the memory tier (and "
+             "shard workers' local caches) to that many cached frames",
+    )
+    submit.add_argument(
         "--session-seed", type=int, default=None,
         help="per-session sampling seed (default: derived per submission)",
     )
@@ -1248,6 +1279,13 @@ def build_parser() -> argparse.ArgumentParser:
              "directory's recorded value, else 1 = local execution)",
     )
     serve.add_argument(
+        "--cache-budget", type=int, default=None,
+        help="bound the detection cache's memory tier to N cached frames "
+             "(LRU over the on-disk store; also bounds shard workers' "
+             "local caches; default: the state directory's recorded "
+             "value, else unbounded)",
+    )
+    serve.add_argument(
         "--scheduler", choices=SCHEDULERS, default="round-robin",
         help="budget allocation policy across sessions",
     )
@@ -1321,6 +1359,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None,
         help="worker processes for sharded detection (default: the state "
              "directory's recorded value, else 1 = local execution)",
+    )
+    server.add_argument(
+        "--cache-budget", type=int, default=None,
+        help="bound the detection cache's memory tier to N cached frames "
+             "(LRU over the on-disk store; also bounds shard workers' "
+             "local caches; default: the state directory's recorded "
+             "value, else unbounded)",
     )
     server.add_argument(
         "--scheduler", choices=SCHEDULERS, default="round-robin",

@@ -2,6 +2,7 @@
 
 from .cache import (
     CacheBackend,
+    CacheError,
     CacheStats,
     CachingDetector,
     CategoryFilterDetector,
@@ -9,6 +10,8 @@ from .cache import (
     InMemoryBackend,
     JsonlBackend,
     SqliteBackend,
+    TieredBackend,
+    TierStats,
 )
 from .costmodel import ThroughputModel, format_duration, parse_duration
 from .detector import (
@@ -22,7 +25,10 @@ from .execution import ParallelDetector, batch_detect, wrap_parallel
 
 __all__ = [
     "CacheBackend",
+    "CacheError",
     "CacheStats",
+    "TieredBackend",
+    "TierStats",
     "CachingDetector",
     "CategoryFilterDetector",
     "DetectionCache",

@@ -32,6 +32,7 @@ a filtered subset would poison later queries for other categories.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sqlite3
 from dataclasses import dataclass
@@ -43,15 +44,32 @@ from .detector import Detection, Detector, DetectorStats
 from .execution import batch_detect
 
 __all__ = [
+    "CacheError",
     "CacheStats",
+    "TierStats",
     "CacheBackend",
     "InMemoryBackend",
     "SqliteBackend",
     "JsonlBackend",
+    "TieredBackend",
     "DetectionCache",
     "CachingDetector",
     "CategoryFilterDetector",
 ]
+
+
+class CacheError(ValueError):
+    """A persistent cache file is corrupt in a way repair cannot hide.
+
+    Raised with the file name and line number of the offending entry —
+    the operator-facing contract mirrors the ingest journal's
+    :class:`~repro.serving.ingest.JournalError`.  A torn *final* line
+    (writer crashed mid-append) is NOT an error: it is truncated away on
+    open, because an uncommitted tail was never part of the cache.  Only
+    a malformed *committed* line — one that made it to disk with its
+    newline — raises, since that means the file was corrupted after the
+    fact rather than merely interrupted.
+    """
 
 
 @dataclass
@@ -161,16 +179,21 @@ class CacheBackend(Protocol):
 
 
 class InMemoryBackend:
-    """Plain dict storage; the default for single-process services."""
+    """Plain dict storage; the default for single-process services.
+
+    Frame keys are coerced to ``int`` on every path (the facade does the
+    same), so a numpy integer or bool-ish index can never write a key
+    that a later plain-``int`` lookup misses.
+    """
 
     def __init__(self) -> None:
         self._rows: dict[tuple[str, int], list[dict]] = {}
 
     def get(self, dataset: str, frame_index: int) -> list[dict] | None:
-        return self._rows.get((dataset, frame_index))
+        return self._rows.get((dataset, int(frame_index)))
 
     def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
-        self._rows[(dataset, frame_index)] = rows
+        self._rows[(dataset, int(frame_index))] = rows
 
     def get_many(
         self, dataset: str, frame_indices: Sequence[int]
@@ -212,6 +235,7 @@ class SqliteBackend:
     def __init__(self, path: str | pathlib.Path):
         self._path = pathlib.Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._closed = False
         self._conn = sqlite3.connect(self._path)
         # WAL lets concurrent processes (shard workers, a follow server
         # next to an out-of-band submitter) read while one writes instead
@@ -233,16 +257,18 @@ class SqliteBackend:
         return self._path
 
     def get(self, dataset: str, frame_index: int) -> list[dict] | None:
+        # int() before binding: sqlite stores what it is handed, so a
+        # numpy int put raw would create a row a plain-int lookup misses
         row = self._conn.execute(
             "SELECT payload FROM detections WHERE dataset = ? AND frame = ?",
-            (dataset, frame_index),
+            (dataset, int(frame_index)),
         ).fetchone()
         return None if row is None else json.loads(row[0])
 
     def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO detections (dataset, frame, payload) VALUES (?, ?, ?)",
-            (dataset, frame_index, json.dumps(rows)),
+            (dataset, int(frame_index), json.dumps(rows)),
         )
 
     def get_many(
@@ -285,9 +311,14 @@ class SqliteBackend:
         return int(self._conn.execute("SELECT COUNT(*) FROM detections").fetchone()[0])
 
     def flush(self) -> None:
+        if self._closed:  # a flush after close has nothing left to commit
+            return
         self._conn.commit()
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._conn.commit()
         self._conn.close()
 
@@ -298,33 +329,77 @@ class JsonlBackend:
     Loads fully into memory on open, appends on every put — simple,
     greppable, and adequate below millions of cached frames.  Re-put keys
     append a superseding line; the latest line wins on load.
+
+    Crash consistency mirrors the ingest journal
+    (:mod:`repro.serving.ingest`): all IO is byte-oriented, a line is
+    committed once its newline hits the file, and a torn final line left
+    by a writer killed mid-append is truncated away on open — the entry
+    was never committed, so dropping it costs one re-detection, never an
+    unrecoverable state dir.  A malformed *committed* line raises
+    :class:`CacheError` with its line number.
+
+    Superseding appends leave dead lines behind; :meth:`compact` (called
+    automatically by :meth:`close` when there is anything to reclaim)
+    atomically rewrites the file with one line per live key, preserving
+    latest-line-wins semantics with zero bytes of garbage.
     """
 
     def __init__(self, path: str | pathlib.Path):
         self._path = pathlib.Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._rows: dict[tuple[str, int], list[dict]] = {}
+        self._stale_lines = 0  # superseded on-disk lines (compaction debt)
         if self._path.exists():
-            with open(self._path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
+            raw = self._path.read_bytes()
+            cut = raw.rfind(b"\n") + 1  # 0 when no newline at all
+            if cut != len(raw):  # torn tail: the writer died mid-append
+                with open(self._path, "rb+") as repair:
+                    repair.truncate(cut)
+                tel = telemetry.get()
+                if tel.enabled:
+                    tel.counter("repro_cache_torn_tail_repairs_total").inc()
+            for lineno, line in enumerate(
+                raw[:cut].decode("utf-8").splitlines(), start=1
+            ):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
                     record = json.loads(line)
-                    self._rows[(record["dataset"], int(record["frame"]))] = record["rows"]
-        self._handle = open(self._path, "a", encoding="utf-8")
+                    key = (str(record["dataset"]), int(record["frame"]))
+                    rows = record["rows"]
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise CacheError(
+                        f"malformed cache line at {self._path.name}:{lineno}: {exc}"
+                    ) from exc
+                if key in self._rows:
+                    self._stale_lines += 1
+                self._rows[key] = rows
+        self._handle = open(self._path, "ab")
 
     @property
     def path(self) -> pathlib.Path:
         return self._path
 
+    @property
+    def stale_lines(self) -> int:
+        """On-disk lines superseded by a later put — what compaction reclaims."""
+        return self._stale_lines
+
+    @staticmethod
+    def _line(dataset: str, frame_index: int, rows: list[dict]) -> bytes:
+        record = {"dataset": dataset, "frame": int(frame_index), "rows": rows}
+        return json.dumps(record).encode("utf-8") + b"\n"
+
     def get(self, dataset: str, frame_index: int) -> list[dict] | None:
-        return self._rows.get((dataset, frame_index))
+        return self._rows.get((dataset, int(frame_index)))
 
     def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
-        self._rows[(dataset, frame_index)] = rows
-        record = {"dataset": dataset, "frame": frame_index, "rows": rows}
-        self._handle.write(json.dumps(record) + "\n")
+        key = (dataset, int(frame_index))
+        if key in self._rows:
+            self._stale_lines += 1
+        self._rows[key] = rows
+        self._handle.write(self._line(dataset, key[1], rows))
         self._handle.flush()
 
     def get_many(
@@ -335,30 +410,300 @@ class JsonlBackend:
     def put_many(self, dataset: str, items: Sequence[tuple[int, list[dict]]]) -> None:
         lines = []
         for frame_index, rows in items:
-            self._rows[(dataset, int(frame_index))] = rows
-            lines.append(
-                json.dumps({"dataset": dataset, "frame": int(frame_index), "rows": rows})
-            )
+            key = (dataset, int(frame_index))
+            if key in self._rows:
+                self._stale_lines += 1
+            self._rows[key] = rows
+            lines.append(self._line(dataset, key[1], rows))
         if lines:  # one write + flush for the whole batch
-            self._handle.write("\n".join(lines) + "\n")
+            self._handle.write(b"".join(lines))
             self._handle.flush()
 
     def frames(self, dataset: str) -> list[int]:
         return sorted(f for (d, f) in self._rows if d == dataset)
 
+    def compact(self) -> int:
+        """Rewrite the file with one line per live key; returns the
+        number of superseded lines dropped.
+
+        The rewrite is atomic (tmp file + fsync + ``os.replace``): a
+        crash at any point leaves either the old file or the complete
+        new one, never a half-compacted cache.
+        """
+        dropped = self._stale_lines
+        if dropped == 0:
+            return 0
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        tmp = self._path.with_name(self._path.name + ".compact")
+        with open(tmp, "wb") as out:
+            for (dataset, frame), rows in self._rows.items():
+                out.write(self._line(dataset, frame, rows))
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, self._path)
+        self._handle = open(self._path, "ab")
+        self._stale_lines = 0
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.counter("repro_cache_compactions_total").inc()
+            tel.counter("repro_cache_compacted_lines_total").inc(dropped)
+        return dropped
+
     def clear(self) -> None:
         self._rows.clear()
-        self._handle.close()
-        self._handle = open(self._path, "w", encoding="utf-8")
+        self._stale_lines = 0
+        # swap the handle out *before* closing it: if close() raises
+        # mid-flush, the finally still truncates via a fresh handle, so
+        # the old handle's buffered lines can never resurface on disk
+        handle, self._handle = self._handle, None
+        try:
+            if handle is not None and not handle.closed:
+                handle.close()
+        finally:
+            self._handle = open(self._path, "wb")
 
     def __len__(self) -> int:
         return len(self._rows)
 
     def flush(self) -> None:
-        self._handle.flush()
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
 
     def close(self) -> None:
+        if self._handle is None or self._handle.closed:
+            return
+        if self._stale_lines:  # leave a garbage-free file behind
+            self.compact()
         self._handle.close()
+
+
+@dataclass
+class TierStats:
+    """Memory-tier accounting for :class:`TieredBackend`.
+
+    ``hits``/``misses`` describe the *tier* only — a tier miss that the
+    backing store answers is still a tier miss (it cost a backend
+    round-trip, which is exactly what the tier exists to avoid).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class TieredBackend:
+    """A bounded LRU memory tier, optionally fronting a persistent backend.
+
+    The unbounded backends trade memory for detector calls without limit;
+    long-lived deployments need the trade bounded.  This backend keeps the
+    hottest entries in memory under an entry and/or byte budget and
+    (when ``backing`` is given) writes every put *through* to the
+    persistent store, so eviction only ever drops the memory copy — a
+    later lookup falls through to the backing store and is re-admitted.
+    With no backing store, eviction loses the entry entirely and the
+    caller re-detects: by the serving layer's core invariant (sampling
+    decisions never depend on cache contents) that costs detector calls,
+    never answers — the contract ``tests/test_cache_tiering.py`` pins.
+
+    Policy is plain LRU (dict insertion order, touched on hit).  ARC was
+    considered and rejected: its ghost lists buy hit rate on scan-heavy
+    mixes this workload does not produce (lookups are Thompson-sampled,
+    heavily skewed toward hot chunks), and LRU keeps eviction decisions
+    trivially auditable in tests.
+
+    ``max_bytes`` charges each entry its compact-JSON encoding size —
+    deterministic, platform-independent, and proportional to what the
+    persistent backends would store for the same rows.  A zero budget is
+    legal and admits nothing (every lookup falls through).
+    """
+
+    def __init__(
+        self,
+        backing: CacheBackend | None = None,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ):
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        self._backing = backing
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._tier: dict[tuple[str, int], list[dict]] = {}
+        self._sizes: dict[tuple[str, int], int] = {}
+        self._bytes = 0
+        self.tier_stats = TierStats()
+        # telemetry deltas since the last drain: tier hits, tier misses,
+        # evictions (same pattern as the facade: the tier sits on the
+        # per-frame path, so the registry is only touched at durability
+        # points — see DetectionCache._record)
+        self._tel_pending = [0, 0, 0]
+
+    @property
+    def backing(self) -> CacheBackend | None:
+        return self._backing
+
+    @property
+    def max_entries(self) -> int | None:
+        return self._max_entries
+
+    @property
+    def max_bytes(self) -> int | None:
+        return self._max_bytes
+
+    @property
+    def tier_entries(self) -> int:
+        return len(self._tier)
+
+    @property
+    def tier_bytes(self) -> int:
+        return self._bytes
+
+    # ------------------------------------------------------------- tier core
+
+    @staticmethod
+    def _cost(rows: list[dict]) -> int:
+        return len(json.dumps(rows, separators=(",", ":")))
+
+    def _touch(self, key: tuple[str, int]) -> list[dict]:
+        """Move a resident key to the LRU tail and return its rows."""
+        rows = self._tier.pop(key)
+        self._tier[key] = rows
+        return rows
+
+    def _admit(self, key: tuple[str, int], rows: list[dict]) -> None:
+        if self._max_entries == 0 or self._max_bytes == 0:
+            return  # a zero budget stores nothing, by definition
+        cost = self._cost(rows) if self._max_bytes is not None else 0
+        if self._max_bytes is not None and cost > self._max_bytes:
+            return  # larger than the whole budget: admitting would just
+            # evict everything else and then be evicted itself
+        if key in self._tier:
+            self._tier.pop(key)
+            self._bytes -= self._sizes.pop(key, 0)
+        self._tier[key] = rows
+        self._sizes[key] = cost
+        self._bytes += cost
+        while (
+            self._max_entries is not None and len(self._tier) > self._max_entries
+        ) or (self._max_bytes is not None and self._bytes > self._max_bytes):
+            victim = next(iter(self._tier))
+            self._tier.pop(victim)
+            self._bytes -= self._sizes.pop(victim, 0)
+            self.tier_stats.evictions += 1
+            if telemetry.get().enabled:
+                self._tel_pending[2] += 1
+
+    def _note(self, hits: int, misses: int) -> None:
+        self.tier_stats.hits += hits
+        self.tier_stats.misses += misses
+        if telemetry.get().enabled:
+            self._tel_pending[0] += hits
+            self._tel_pending[1] += misses
+
+    def _drain_telemetry(self) -> None:
+        pending = self._tel_pending
+        tel = telemetry.get()
+        if tel.enabled:
+            if pending[0]:
+                tel.counter("repro_cache_tier_hits_total").inc(pending[0])
+            if pending[1]:
+                tel.counter("repro_cache_tier_misses_total").inc(pending[1])
+            if pending[2]:
+                tel.counter("repro_cache_tier_evictions_total").inc(pending[2])
+            tel.gauge("repro_cache_tier_entries").set(len(self._tier))
+            tel.gauge("repro_cache_tier_bytes").set(self._bytes)
+        self._tel_pending = [0, 0, 0]
+
+    # -------------------------------------------------------------- protocol
+
+    def get(self, dataset: str, frame_index: int) -> list[dict] | None:
+        key = (dataset, int(frame_index))
+        if key in self._tier:
+            self._note(1, 0)
+            return self._touch(key)
+        self._note(0, 1)
+        if self._backing is None:
+            return None
+        rows = self._backing.get(dataset, key[1])
+        if rows is not None:
+            self._admit(key, rows)
+        return rows
+
+    def put(self, dataset: str, frame_index: int, rows: list[dict]) -> None:
+        frame = int(frame_index)
+        if self._backing is not None:  # write-through: eviction is lossless
+            self._backing.put(dataset, frame, rows)
+        self._admit((dataset, frame), rows)
+
+    def get_many(
+        self, dataset: str, frame_indices: Sequence[int]
+    ) -> list[list[dict] | None]:
+        frames = [int(f) for f in frame_indices]
+        out: list[list[dict] | None] = [None] * len(frames)
+        missing: dict[int, None] = {}
+        hits = 0
+        for pos, frame in enumerate(frames):
+            key = (dataset, frame)
+            if key in self._tier:
+                out[pos] = self._touch(key)
+                hits += 1
+            else:
+                missing[frame] = None
+        self._note(hits, len(frames) - hits)
+        if missing and self._backing is not None:
+            unique = list(missing)
+            found = dict(zip(unique, self._backing.get_many(dataset, unique)))
+            for pos, frame in enumerate(frames):
+                if out[pos] is None and found.get(frame) is not None:
+                    out[pos] = found[frame]
+            for frame in unique:  # admit in lookup order, once per frame
+                if found.get(frame) is not None:
+                    self._admit((dataset, frame), found[frame])
+        return out
+
+    def put_many(self, dataset: str, items: Sequence[tuple[int, list[dict]]]) -> None:
+        coerced = [(int(frame), rows) for frame, rows in items]
+        if self._backing is not None:
+            self._backing.put_many(dataset, coerced)
+        for frame, rows in coerced:
+            self._admit((dataset, frame), rows)
+
+    def frames(self, dataset: str) -> list[int]:
+        if self._backing is not None:
+            return self._backing.frames(dataset)
+        return sorted(f for (d, f) in self._tier if d == dataset)
+
+    def clear(self) -> None:
+        self._tier.clear()
+        self._sizes.clear()
+        self._bytes = 0
+        self._drain_telemetry()
+        if self._backing is not None:
+            self._backing.clear()
+
+    def __len__(self) -> int:
+        if self._backing is not None:
+            return len(self._backing)
+        return len(self._tier)
+
+    def flush(self) -> None:
+        self._drain_telemetry()
+        if self._backing is not None:
+            self._backing.flush()
+
+    def close(self) -> None:
+        self._drain_telemetry()
+        if self._backing is not None:
+            self._backing.close()
 
 
 # ------------------------------------------------------------------ facade
@@ -442,8 +787,14 @@ class DetectionCache:
         self._tel_pending = [0, 0, 0, 0, 0]
 
     def get(self, dataset: str, frame_index: int) -> tuple[Detection, ...] | None:
-        """Cached detections for a frame, or ``None`` on a miss."""
-        rows = self._backend.get(dataset, frame_index)
+        """Cached detections for a frame, or ``None`` on a miss.
+
+        Frame keys are coerced to plain ``int`` here, once, for every
+        facade path (and defensively again in the backends): a numpy
+        integer or bool must address the same entry as its ``int``
+        value on every backend.
+        """
+        rows = self._backend.get(dataset, int(frame_index))
         if rows is None:
             self.stats.misses += 1
             self._record(0, 1, 1, "get")
@@ -455,7 +806,7 @@ class DetectionCache:
     def put(
         self, dataset: str, frame_index: int, detections: Sequence[Detection]
     ) -> None:
-        self._backend.put(dataset, frame_index, _encode(detections))
+        self._backend.put(dataset, int(frame_index), _encode(detections))
         self.stats.inserts += 1
         self._record(0, 0, 1, "put", inserts=1)
 
@@ -512,7 +863,7 @@ class DetectionCache:
 
     def contains(self, dataset: str, frame_index: int) -> bool:
         """Membership test without touching the hit/miss accounting."""
-        return self._backend.get(dataset, frame_index) is not None
+        return self._backend.get(dataset, int(frame_index)) is not None
 
     def frames(self, dataset: str) -> list[int]:
         """Sorted frame indices cached for ``dataset`` — the replay order

@@ -27,10 +27,12 @@ Front doors: ``QueryService(execution="sharded", shards=N)``,
 """
 
 from .coordinator import ShardCoordinator, WorkerHandle
+from .plane import CachePlane
 from .shard import ShardPlan, ShardSpec, shard_chunk_spans
 from .worker import DetectorSpec, ShardWorker, WorkerSpec, worker_main
 
 __all__ = [
+    "CachePlane",
     "ShardCoordinator",
     "WorkerHandle",
     "ShardPlan",

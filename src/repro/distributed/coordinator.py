@@ -40,6 +40,7 @@ from .. import telemetry
 from ..telemetry import FRAMES_BUCKETS
 from ..detection.detector import Detection, DetectorStats
 from ..video.repository import VideoRepository
+from .plane import CachePlane
 from .shard import ShardPlan
 from .worker import DetectorSpec, WorkerSpec, decode_rows, worker_main
 
@@ -135,13 +136,26 @@ class ShardCoordinator:
     latency:
         Simulated per-detection overhead paid inside each worker (see
         :class:`WorkerSpec`).
+    cache_plane:
+        An optional shared :class:`~repro.distributed.plane.CachePlane`.
+        When set, every batch consults the plane before fanning out —
+        plane hits never reach a worker — and freshly detected rows are
+        filled back in, so a frame detected under any coordinator
+        sharing the plane is a hit for all of them.  The plane is
+        borrowed, not owned: :meth:`close` leaves it untouched.
+    cache_budget:
+        Optional entry budget for each worker's *local* cache (threaded
+        into :class:`WorkerSpec`); ``None`` keeps workers unbounded.
 
     ``stats`` counts frames *served by this coordinator* — with the
     service's shared cache in front, that is exactly the real detection
     work the paper's cost model charges, matching what a local detector's
     ``stats`` would read.  Worker-local cache hits (possible only after a
     respawn or an upstream cache drop) are an execution detail and are
-    deliberately not subtracted: the frame was still served.
+    deliberately not subtracted: the frame was still served.  Frames
+    answered by the plane are likewise served (and counted in
+    ``plane_hits``); the real detector invocations they avoided show up
+    as the gap against :meth:`worker_stats`' ``detector_calls``.
     """
 
     def __init__(
@@ -152,11 +166,15 @@ class ShardCoordinator:
         latency: float = 0.0,
         dataset: str | None = None,
         start_method: str | None = None,
+        cache_plane: CachePlane | None = None,
+        cache_budget: int | None = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         if latency < 0.0:
             raise ValueError("latency must be non-negative")
+        if cache_budget is not None and cache_budget < 0:
+            raise ValueError("cache_budget must be non-negative")
         self._repository = repository
         self._plan = ShardPlan(repository, num_shards)
         self._detector_spec = (
@@ -167,10 +185,13 @@ class ShardCoordinator:
         self._ctx = multiprocessing.get_context(
             start_method if start_method is not None else _start_method()
         )
+        self._plane = cache_plane
+        self._cache_budget = cache_budget
         self._handles: list[WorkerHandle | None] = [None] * num_shards
         self._next_request = 0
         self._closed = False
         self.restarts = 0  # respawns forced by dead workers
+        self.plane_hits = 0  # frames answered by the shared plane
         self.stats = DetectorStats()
 
     # ------------------------------------------------------------ properties
@@ -191,6 +212,10 @@ class ShardCoordinator:
     def detector_spec(self) -> DetectorSpec:
         return self._detector_spec
 
+    @property
+    def cache_plane(self) -> CachePlane | None:
+        return self._plane
+
     def workers_alive(self) -> list[int]:
         """Shard ids with a currently live worker process."""
         return [
@@ -207,6 +232,7 @@ class ShardCoordinator:
             dataset=self._dataset,
             detector=self._detector_spec,
             latency=self._latency,
+            cache_budget=self._cache_budget,
         )
 
     def _spawn(self, shard_id: int) -> WorkerHandle:
@@ -336,8 +362,22 @@ class ShardCoordinator:
         tel = telemetry.get()
         batch_start = time.perf_counter() if tel.enabled else 0.0
         self._sync()
+        # consult the shared plane first: a frame any coordinator on this
+        # plane already paid for never reaches a worker.  Plane rows are
+        # the same encoded wire format workers return, so hits merge
+        # through the identical decode path — byte-identical detections.
+        plane_rows: dict[int, list[dict]] = {}
+        dispatch = frames
+        if self._plane is not None:
+            unique = list(dict.fromkeys(frames))
+            found = self._plane.lookup(self._dataset, unique)
+            plane_rows = {
+                frame: rows for frame, rows in zip(unique, found) if rows is not None
+            }
+            self.plane_hits += sum(1 for f in frames if f in plane_rows)
+            dispatch = [f for f in frames if f not in plane_rows]
         groups: dict[int, list[int]] = {}
-        for frame in frames:
+        for frame in dispatch:
             groups.setdefault(self._plan.shard_for_frame(frame), []).append(frame)
         # fan out: one in-flight request per shard
         in_flight: list[tuple[int, int]] = []  # (shard_id, request_id)
@@ -361,7 +401,10 @@ class ShardCoordinator:
         # failure propagates: a worker answers exactly once per request,
         # so abandoning a healthy shard's queued response here would
         # desynchronize its wire stream for every later batch.
-        by_frame: dict[int, list[Detection]] = {}
+        by_frame: dict[int, list[Detection]] = {
+            frame: decode_rows(rows) for frame, rows in plane_rows.items()
+        }
+        fresh_items: list[tuple[int, list[dict]]] = []  # plane fill-back
         failures: list[Exception] = []
         for shard_id, request_id in in_flight:
             payload = None
@@ -388,11 +431,15 @@ class ShardCoordinator:
                     len(groups[shard_id])
                 )
             for frame, rows in zip(groups[shard_id], payload):
+                if self._plane is not None and frame not in by_frame:
+                    fresh_items.append((frame, rows))
                 by_frame[frame] = decode_rows(rows)
         if tel.enabled:
             tel.gauge("repro_shard_inflight_requests").set(0)
         if failures:
             raise failures[0]
+        if self._plane is not None and fresh_items:
+            self._plane.fill(self._dataset, fresh_items)
         out = [list(by_frame[frame]) for frame in frames]
         self.stats.frames_processed += len(frames)
         self.stats.detections_emitted += sum(len(d) for d in out)

@@ -1,0 +1,125 @@
+"""The shared cache plane: one detection store across coordinators.
+
+Within a single service the coordinator-side
+:class:`~repro.detection.cache.CachingDetector` already shares every
+detection across sessions and shards — a frame one shard detects is a
+hit for every session of that service.  What stays private without this
+module is the *cross-service* (multi-tenant) case: two services querying
+overlapping footage each pay full price, and each sharded worker's local
+cache re-pays for frames a sibling worker of another tenant already
+detected.
+
+A :class:`CachePlane` closes that gap.  It is a thread-safe store of
+encoded detection rows (the wire format workers already speak) that any
+number of :class:`~repro.distributed.coordinator.ShardCoordinator`\\ s
+consult *before* fanning a batch out and fill *after* collecting worker
+results — so a frame detected under one tenant is a plane hit for all,
+and the workers never even see it.  Because the plane deals purely in
+detection content (a pure function of the frame) and sampling state
+never leaves the coordinators, sharing it cannot change any query's
+answer; bounding it with a
+:class:`~repro.detection.cache.TieredBackend` degrades evicted entries
+to re-detection, never to different decisions.
+
+The plane is *externally owned*: the process that builds it (a CLI, a
+benchmark harness, an embedding application) closes it.  Coordinators
+only borrow it — closing a service must not tear the plane out from
+under its other tenants.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from .. import telemetry
+from ..detection.cache import CacheBackend, InMemoryBackend
+
+__all__ = ["CachePlane"]
+
+
+class CachePlane:
+    """A lock-guarded, backend-pluggable store of encoded detection rows.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`~repro.detection.cache.CacheBackend`; defaults to an
+        unbounded :class:`~repro.detection.cache.InMemoryBackend`.  Pass
+        a :class:`~repro.detection.cache.TieredBackend` to bound the
+        plane's memory (optionally over a persistent store so eviction
+        stays lossless).
+
+    The value format is the encoded row list the cache backends store
+    and the worker wire protocol ships — lookups and fills never pay an
+    encode/decode cycle.  ``hits``/``misses``/``fills`` give the plane's
+    own accounting, independent of any tenant's cache stats.
+    """
+
+    def __init__(self, backend: CacheBackend | None = None):
+        self._backend = backend if backend is not None else InMemoryBackend()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+
+    @property
+    def backend(self) -> CacheBackend:
+        return self._backend
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def lookup(
+        self, dataset: str, frame_indices: Sequence[int]
+    ) -> list[list[dict] | None]:
+        """Encoded rows per frame, ``None`` on a miss; one entry per input."""
+        frames = [int(f) for f in frame_indices]
+        if not frames:
+            return []
+        with self._lock:
+            out = self._backend.get_many(dataset, frames)
+        batch_hits = sum(1 for rows in out if rows is not None)
+        self.hits += batch_hits
+        self.misses += len(out) - batch_hits
+        tel = telemetry.get()
+        if tel.enabled:
+            if batch_hits:
+                tel.counter("repro_cache_plane_hits_total").inc(batch_hits)
+            if batch_hits < len(out):
+                tel.counter("repro_cache_plane_misses_total").inc(
+                    len(out) - batch_hits
+                )
+        return out
+
+    def fill(self, dataset: str, items: Sequence[tuple[int, list[dict]]]) -> None:
+        """Store freshly detected rows so every tenant's next lookup hits."""
+        if not items:
+            return
+        coerced = [(int(frame), rows) for frame, rows in items]
+        with self._lock:
+            self._backend.put_many(dataset, coerced)
+        self.fills += len(coerced)
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.counter("repro_cache_plane_fills_total").inc(len(coerced))
+
+    def frames(self, dataset: str) -> list[int]:
+        with self._lock:
+            return self._backend.frames(dataset)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._backend)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._backend.flush()
+
+    def close(self) -> None:
+        """Close the plane's backend; the plane's owner calls this, not
+        the coordinators borrowing it."""
+        with self._lock:
+            self._backend.close()

@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..detection.cache import DetectionCache, _decode, _encode
+from ..detection.cache import DetectionCache, TieredBackend, _decode, _encode
 from ..detection.detector import Detector, OracleDetector, SimulatedDetector
 from ..video.instances import ObjectInstance
 from ..video.repository import VideoRepository
@@ -86,18 +86,27 @@ class WorkerSpec:
     models); each worker pays it serially for its own frames while other
     shards' workers pay theirs concurrently — the lever the distributed
     throughput benchmark measures.
+
+    ``cache_budget`` bounds the worker's local cache to that many
+    entries (LRU, via :class:`~repro.detection.cache.TieredBackend`);
+    ``None`` keeps it unbounded.  Eviction costs re-detection only —
+    detection content is a pure function of the frame, so a bounded
+    worker returns byte-identical rows.
     """
 
     shard_id: int
     dataset: str
     detector: DetectorSpec = DetectorSpec()
     latency: float = 0.0
+    cache_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.shard_id < 0:
             raise ValueError("shard_id must be non-negative")
         if self.latency < 0.0:
             raise ValueError("latency must be non-negative")
+        if self.cache_budget is not None and self.cache_budget < 0:
+            raise ValueError("cache_budget must be non-negative")
 
 
 class ShardWorker:
@@ -111,7 +120,11 @@ class ShardWorker:
         self._spec = spec
         self._repository = repository
         self._detector = spec.detector.build(repository)
-        self._cache = DetectionCache()
+        self._cache = DetectionCache(
+            TieredBackend(max_entries=spec.cache_budget)
+            if spec.cache_budget is not None
+            else None
+        )
         self._served = 0
 
     @property
@@ -170,6 +183,12 @@ class ShardWorker:
         return {"horizon": self._repository.horizon, "clip_id": clip.clip_id}
 
     def _stats(self) -> dict:
+        backend = self._cache.backend
+        evictions = (
+            backend.tier_stats.evictions
+            if isinstance(backend, TieredBackend)
+            else 0
+        )
         return {
             "shard": self._spec.shard_id,
             "dataset": self._spec.dataset,
@@ -177,6 +196,7 @@ class ShardWorker:
             "detector_calls": self.detector_calls,
             "cache_hits": self._cache.stats.hits,
             "cache_size": len(self._cache),
+            "cache_evictions": evictions,
             "horizon": self._repository.horizon,
             "clips": self._repository.num_clips,
         }

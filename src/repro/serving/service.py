@@ -38,7 +38,9 @@ from ..core.sampler import ExSample
 from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
 from ..detection.detector import Detection, Detector, OracleDetector
 from ..detection.execution import wrap_parallel
+from ..detection.cache import TieredBackend
 from ..distributed.coordinator import ShardCoordinator
+from ..distributed.plane import CachePlane
 from ..distributed.worker import DetectorSpec
 from ..tracking.discriminator import Discriminator, OracleDiscriminator
 from ..video.instances import ObjectInstance
@@ -68,6 +70,23 @@ class QueryService:
     cache:
         The shared :class:`DetectionCache`; defaults to in-memory.  Pass
         one with an on-disk backend to share detections across processes.
+    cache_budget:
+        Optional entry budget for the detection caches.  When ``cache``
+        is not supplied, the default cache becomes a bounded LRU
+        (:class:`~repro.detection.cache.TieredBackend`); an explicitly
+        passed ``cache`` is the caller's to bound (wrap its backend in a
+        ``TieredBackend`` yourself).  Under sharded execution the budget
+        also bounds each worker's local cache.  Eviction degrades to
+        re-detection — sampling decisions never depend on cache
+        contents, so a budget changes detector-call counts, never
+        answers (``tests/test_cache_tiering.py``).
+    cache_plane:
+        An optional shared :class:`~repro.distributed.plane.CachePlane`
+        (sharded execution only): coordinators consult it before fanning
+        batches out and fill it with fresh detections, so a frame
+        detected under any service sharing the plane is a hit for all.
+        The plane is borrowed — :meth:`close` leaves it open for its
+        other tenants.
     scheduler:
         Budget-splitting policy; defaults to round-robin.
     frames_per_tick:
@@ -131,6 +150,8 @@ class QueryService:
         shards: int = 1,
         detector_spec: DetectorSpec | None = None,
         seed: int = 0,
+        cache_budget: int | None = None,
+        cache_plane: CachePlane | None = None,
     ):
         if isinstance(repositories, VideoRepository):
             repositories = {repositories.name: repositories}
@@ -163,8 +184,20 @@ class QueryService:
                     "workers is the in-process pool knob; sharded execution "
                     "runs its own worker processes (use shards instead)"
                 )
+        if cache_budget is not None and cache_budget < 0:
+            raise ValueError("cache_budget must be non-negative")
+        if cache_plane is not None and execution != "sharded":
+            raise ValueError(
+                "cache_plane is consulted by the shard coordinator; it "
+                "requires execution='sharded'"
+            )
         self._repos = dict(repositories)
-        self._cache = cache if cache is not None else DetectionCache()
+        if cache is not None:
+            self._cache = cache
+        elif cache_budget is not None:
+            self._cache = DetectionCache(TieredBackend(max_entries=cache_budget))
+        else:
+            self._cache = DetectionCache()
         self._scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
         self._frames_per_tick = frames_per_tick
         self._chunk_frames = chunk_frames
@@ -185,6 +218,8 @@ class QueryService:
         self._execution = execution
         self._shards = shards
         self._detector_spec = detector_spec
+        self._cache_budget = cache_budget
+        self._cache_plane = cache_plane
         self._seed = seed
         self._rng = DecisionRng((seed, 0x5C4ED))
         self._detectors: dict[str, CachingDetector] = {}
@@ -204,6 +239,11 @@ class QueryService:
     @property
     def cache(self) -> DetectionCache:
         return self._cache
+
+    @property
+    def cache_plane(self) -> CachePlane | None:
+        """The shared cross-coordinator cache plane, if one was passed."""
+        return self._cache_plane
 
     @property
     def frames_per_tick(self) -> int:
@@ -755,6 +795,8 @@ class QueryService:
                     detector_spec=self._detector_spec,
                     latency=self._detector_latency,
                     dataset=dataset,
+                    cache_plane=self._cache_plane,
+                    cache_budget=self._cache_budget,
                 )
             else:
                 inner = wrap_parallel(

@@ -1,0 +1,366 @@
+"""Bounded cache tiering and the eviction-parity contract.
+
+The serving layer's core invariant — sampling decisions depend only on
+each session's seed and step count, never on cache contents — makes
+eviction a pure cost event: a bounded cache may change detector-call
+counts and ``repro_cache_*`` telemetry, but never any query's decision
+stream.  This module pins that contract over a seed matrix × budget
+matrix × execution backends, plus the :class:`TieredBackend` mechanics
+(LRU order, budgets, write-through) and the shared
+:class:`~repro.distributed.plane.CachePlane` (a frame detected under one
+coordinator is a hit for all, again without touching answers).
+
+Deliberately numpy-free at the top level so the whole module runs in the
+no-numpy CI leg — eviction parity is a backend-agnostic promise.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.cache import (
+    DetectionCache,
+    InMemoryBackend,
+    TieredBackend,
+)
+from repro.distributed.coordinator import ShardCoordinator
+from repro.distributed.plane import CachePlane
+from repro.serving.service import QueryService
+from repro.video.geometry import Box, Trajectory
+from repro.video.instances import InstanceSet, ObjectInstance
+from repro.video.repository import VideoClip, VideoRepository
+
+
+def _instance(instance_id, start, duration, category):
+    return ObjectInstance(
+        instance_id=instance_id,
+        category=category,
+        trajectory=Trajectory.stationary(start, duration, Box(0.0, 0.0, 1.0, 1.0)),
+    )
+
+
+def _repository(seed):
+    """Same deterministic multi-clip world the distributed parity matrix
+    uses; seed shifts the ground truth so every row searches different
+    footage."""
+    clips, start = [], 0
+    for clip_id, frames in enumerate((80, 70, 90, 60, 100)):
+        clips.append(VideoClip(clip_id, f"c{clip_id}", start, frames))
+        start += frames
+    instances = [
+        _instance(0, (10 + 31 * seed) % 60, 25, "bus"),
+        _instance(1, 90 + (17 * seed) % 50, 30, "bus"),
+        _instance(2, 230 + (7 * seed) % 40, 20, "bus"),
+        _instance(3, 310 + (11 * seed) % 60, 30, "bus"),
+        _instance(4, 40 + (13 * seed) % 100, 22, "car"),
+        _instance(5, 250 + (19 * seed) % 80, 28, "car"),
+    ]
+    return VideoRepository(clips, InstanceSet(instances), name="cam0")
+
+
+def _fingerprint(service, session_ids):
+    payload = {}
+    for sid in session_ids:
+        session = service.sessions[sid]
+        payload[sid] = {
+            "state": session.state.value,
+            "results_found": session.results_found,
+            "result_frames": session.result_frames(),
+            "frames_processed": session.frames_processed,
+            "per_chunk_samples": [int(n) for n in session.engine.stats.n],
+            "sampled_frames": [int(f) for f in session.engine.history.frame_indices],
+        }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _run(seed, execution, shards, cache_budget, cache_plane=None):
+    """One full service run; returns (fingerprint, detector_calls).
+
+    Sessions are submitted up front on an *empty* cache: a fresh
+    submission's warm-start set is read from the cache at submit time,
+    so submitting mid-run would legitimately couple warm-start contents
+    (and therefore decisions) to the budget — see CONTRIBUTING.md.
+    """
+    service = QueryService(
+        _repository(seed),
+        frames_per_tick=16,
+        chunk_frames=50,
+        execution=execution,
+        shards=shards,
+        seed=seed,
+        cache_budget=cache_budget,
+        cache_plane=cache_plane,
+    )
+    try:
+        sids = [
+            service.submit("cam0", "bus", limit=3, max_samples=50, priority=2.0),
+            service.submit("cam0", "car", max_samples=35),
+        ]
+        service.run_until_idle(max_ticks=200)
+        return _fingerprint(service, sids), service.detector_calls
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------- eviction parity
+
+BUDGETS = (None, 4, 0)  # unbounded, far below working set, nothing
+
+
+def test_eviction_parity_matrix_local():
+    """Decision streams are byte-identical across cache budgets; eviction
+    may only grow the detector-call count (monotonically as the budget
+    shrinks)."""
+    total = [0, 0, 0]
+    for seed in (0, 1, 2, 3, 4):
+        runs = [_run(seed, "local", 1, budget) for budget in BUDGETS]
+        fingerprints = {fp for fp, _ in runs}
+        assert len(fingerprints) == 1, f"seed {seed}: budgets changed answers"
+        calls = [c for _, c in runs]
+        assert calls[0] <= calls[1] <= calls[2], (
+            f"seed {seed}: shrinking the budget must not *save* detector "
+            f"calls: {calls}"
+        )
+        total = [t + c for t, c in zip(total, calls)]
+    # across the matrix, eviction must actually have cost something, or
+    # the budgets were never below the working set and the test is vacuous
+    assert total[2] > total[0], f"zero budget cost nothing: {total}"
+
+
+def test_eviction_parity_matrix_sharded():
+    """The same contract under sharded execution, where the budget also
+    bounds every worker's local cache."""
+    for seed in (0, 1, 2):
+        local_fp, _ = _run(seed, "local", 1, None)
+        for budget in BUDGETS:
+            fp, _ = _run(seed, "sharded", 2, budget)
+            assert fp == local_fp, (
+                f"seed {seed}, budget {budget}: sharded+tiered diverged "
+                "from the unbounded local run"
+            )
+
+
+def test_eviction_parity_with_shared_plane():
+    """A bounded shared plane is equally invisible to answers."""
+    local_fp, _ = _run(0, "local", 1, None)
+    plane = CachePlane(TieredBackend(max_entries=3))
+    fp, _ = _run(0, "sharded", 2, None, cache_plane=plane)
+    assert fp == local_fp
+    plane.close()
+
+
+# ----------------------------------------------------- tiered backend
+
+def _rows(frame, n=1):
+    return [
+        {"frame": frame, "box": [0.0, 0.0, 1.0, 1.0], "category": "bus",
+         "score": 0.9, "instance": i}
+        for i in range(n)
+    ]
+
+
+def test_lru_evicts_oldest_and_touch_refreshes():
+    tier = TieredBackend(max_entries=2)
+    tier.put("d", 1, _rows(1))
+    tier.put("d", 2, _rows(2))
+    assert tier.get("d", 1) is not None  # touch 1: now 2 is the LRU head
+    tier.put("d", 3, _rows(3))  # evicts 2
+    assert tier.get("d", 2) is None
+    assert tier.get("d", 1) is not None
+    assert tier.get("d", 3) is not None
+    assert tier.tier_stats.evictions == 1
+    assert tier.tier_entries == 2
+
+
+def test_byte_budget_evicts_and_rejects_oversized():
+    small = _rows(1)
+    cost = len(json.dumps(small, separators=(",", ":")))
+    tier = TieredBackend(max_bytes=2 * cost)
+    tier.put("d", 1, _rows(1))
+    tier.put("d", 2, _rows(2))
+    assert tier.tier_bytes <= 2 * cost
+    tier.put("d", 3, _rows(3))
+    assert tier.tier_stats.evictions >= 1
+    # an entry larger than the whole budget is never admitted (admitting
+    # it would evict everything and then be evicted itself)
+    tier.put("d", 9, _rows(9, n=50))
+    assert tier.get("d", 9) is None
+    assert tier.tier_bytes <= 2 * cost
+
+
+def test_zero_budget_stores_nothing_but_backing_keeps_all():
+    backing = InMemoryBackend()
+    tier = TieredBackend(backing, max_entries=0)
+    tier.put("d", 1, _rows(1))
+    assert tier.tier_entries == 0
+    assert tier.get("d", 1) == _rows(1)  # served by the backing store
+    assert len(tier) == 1
+
+
+def test_write_through_makes_eviction_lossless():
+    backing = InMemoryBackend()
+    tier = TieredBackend(backing, max_entries=1)
+    tier.put("d", 1, _rows(1))
+    tier.put("d", 2, _rows(2))  # evicts 1 from the tier only
+    assert tier.tier_stats.evictions == 1
+    assert tier.get("d", 1) == _rows(1)  # falls through, re-admitted
+    assert tier.tier_stats.hits == 0 and tier.tier_stats.misses == 1
+    assert tier.get("d", 1) == _rows(1)  # now a tier hit
+    assert tier.tier_stats.hits == 1
+
+
+def test_frames_and_len_delegate_to_backing():
+    backing = InMemoryBackend()
+    tier = TieredBackend(backing, max_entries=1)
+    tier.put_many("d", [(5, _rows(5)), (3, _rows(3)), (8, _rows(8))])
+    assert tier.frames("d") == [3, 5, 8]  # full truth, not the tier's slice
+    assert len(tier) == 3
+    assert tier.tier_entries == 1
+
+
+def test_memory_only_tier_eviction_is_data_loss():
+    tier = TieredBackend(max_entries=1)
+    tier.put("d", 1, _rows(1))
+    tier.put("d", 2, _rows(2))
+    assert tier.get("d", 1) is None  # gone for good: caller re-detects
+    assert tier.frames("d") == [2]
+    assert len(tier) == 1
+
+
+def test_get_many_splits_tier_hits_from_backing():
+    backing = InMemoryBackend()
+    tier = TieredBackend(backing, max_entries=2)
+    tier.put_many("d", [(1, _rows(1)), (2, _rows(2)), (3, _rows(3))])
+    # tier holds {2, 3}; 1 lives only in the backing store
+    out = tier.get_many("d", [1, 2, 3, 99])
+    assert out == [_rows(1), _rows(2), _rows(3), None]
+
+
+def test_facade_over_tiered_backend_round_trips(tmp_path):
+    from repro.detection.cache import SqliteBackend
+    from repro.detection.detector import Detection
+
+    backend = TieredBackend(
+        SqliteBackend(tmp_path / "cache.sqlite"), max_entries=1
+    )
+    cache = DetectionCache(backend)
+    det = Detection(7, Box(1.0, 2.0, 3.0, 4.0), "bus", 0.5, true_instance_id=1)
+    cache.put("d", 7, [det])
+    cache.put("d", 8, [])  # evicts 7 from the tier
+    assert cache.get("d", 7) == (det,)  # sqlite still has it
+    assert cache.frames("d") == [7, 8]
+    cache.close()
+    reopened = DetectionCache(
+        TieredBackend(SqliteBackend(tmp_path / "cache.sqlite"), max_entries=1)
+    )
+    assert reopened.get("d", 7) == (det,)
+    reopened.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=9)),
+        max_size=40,
+    ),
+    max_entries=st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+)
+def test_tiered_backing_always_agrees_with_bare_backend(ops, max_entries):
+    """Property: for any op sequence and any budget, a TieredBackend over
+    a backing store returns exactly what the bare backing store would —
+    the tier is an invisible accelerator, never a source of truth."""
+    bare = InMemoryBackend()
+    tiered = TieredBackend(InMemoryBackend(), max_entries=max_entries)
+    for is_put, frame in ops:
+        if is_put:
+            bare.put("d", frame, _rows(frame))
+            tiered.put("d", frame, _rows(frame))
+        else:
+            assert tiered.get("d", frame) == bare.get("d", frame)
+    frames = list(range(10))
+    assert tiered.get_many("d", frames) == bare.get_many("d", frames)
+    assert tiered.frames("d") == bare.frames("d")
+    assert len(tiered) == len(bare)
+
+
+# ------------------------------------------------------- shared plane
+
+def test_plane_shares_detections_across_coordinators():
+    """A frame one coordinator paid for is a plane hit for the next —
+    its workers never run the detector at all."""
+    plane = CachePlane()
+    frames = [5, 85, 160, 240, 330]
+    first = ShardCoordinator(_repository(0), 2, cache_plane=plane)
+    a = first.detect_many(frames)
+    first_calls = sum(s["detector_calls"] for s in first.worker_stats().values())
+    first.close()
+    assert first_calls == len(frames)
+
+    second = ShardCoordinator(_repository(0), 2, cache_plane=plane)
+    b = second.detect_many(frames)
+    assert second.plane_hits == len(frames)
+    assert second.worker_stats() == {}  # all hits: no worker ever spawned
+    second.close()
+    assert a == b  # plane hits decode byte-identical to worker results
+    assert plane.hit_rate > 0.0
+    plane.close()
+
+
+def test_plane_partial_overlap_dispatches_only_misses():
+    plane = CachePlane()
+    first = ShardCoordinator(_repository(0), 2, cache_plane=plane)
+    first.detect_many([5, 85])
+    first.close()
+    second = ShardCoordinator(_repository(0), 2, cache_plane=plane)
+    second.detect_many([5, 85, 160])
+    assert second.plane_hits == 2
+    calls = sum(s["detector_calls"] for s in second.worker_stats().values())
+    assert calls == 1  # only the miss reached a worker
+    second.close()
+    plane.close()
+
+
+def test_shared_plane_saves_second_tenant_detector_calls():
+    """The multi-tenant story: two services over the same footage.  With
+    a shared plane the second tenant's workers do (almost) nothing; with
+    private planes it pays full price.  Answers are identical either
+    way."""
+
+    def tenant_worker_calls(plane):
+        service = QueryService(
+            _repository(1),
+            frames_per_tick=16,
+            chunk_frames=50,
+            execution="sharded",
+            shards=2,
+            seed=1,
+            cache_plane=plane,
+        )
+        try:
+            sids = [
+                service.submit("cam0", "bus", limit=3, max_samples=50),
+                service.submit("cam0", "car", max_samples=35),
+            ]
+            service.run_until_idle(max_ticks=200)
+            coordinator = service.shard_backend("cam0")
+            calls = sum(
+                s["detector_calls"]
+                for s in coordinator.worker_stats().values()
+            )
+            return _fingerprint(service, sids), calls
+        finally:
+            service.close()
+
+    shared = CachePlane()
+    fp_a, calls_a = tenant_worker_calls(shared)
+    fp_b, calls_b = tenant_worker_calls(shared)
+    shared.close()
+
+    private_fp, private_calls = tenant_worker_calls(CachePlane())
+
+    assert fp_a == fp_b == private_fp  # sharing never changes answers
+    assert calls_a == private_calls  # the first tenant always pays
+    # the second tenant's workload is identical (same seeds), so the
+    # shared plane answers every frame it samples
+    assert calls_b == 0

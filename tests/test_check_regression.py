@@ -214,3 +214,10 @@ def test_server_load_bench_is_a_default_key():
     """The network serving tier's load benchmark is CI-gated: served
     throughput under concurrent sessions cannot silently regress."""
     assert "test_bench_server_load" in checker.DEFAULT_KEYS
+
+
+def test_cache_pressure_bench_is_a_default_key():
+    """The multi-tenant cache-pressure benchmark is CI-gated: the
+    bounded memory tier and shared-plane hot paths cannot silently
+    regress."""
+    assert "test_bench_cache_pressure" in checker.DEFAULT_KEYS

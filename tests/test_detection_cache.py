@@ -1,17 +1,30 @@
 """Tests for the shared detection cache and its backends."""
 
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro import telemetry
 from repro.core.chunking import even_count_chunks
 from repro.core.sampler import ExSample
 from repro.detection.cache import (
+    CacheError,
     CachingDetector,
     CategoryFilterDetector,
     DetectionCache,
     InMemoryBackend,
     JsonlBackend,
     SqliteBackend,
+    TieredBackend,
 )
 from repro.detection.detector import Detection, OracleDetector, SimulatedDetector
 from repro.serving.session import replay_cached_frames
@@ -286,3 +299,318 @@ def test_sqlite_wal_leaves_batch_results_unchanged(tmp_path):
         tuple(items[0][1]),
     ]
     reopened.close()
+
+
+# ------------------------------------------------- crash-safe jsonl open
+
+def _line_count(path):
+    return path.read_bytes().count(b"\n")
+
+
+def test_jsonl_torn_tail_repaired_on_open(tmp_path):
+    """A writer killed mid-append leaves half a line; reopening must
+    truncate it away and serve every committed entry — the same contract
+    the ingest journal honors."""
+    path = tmp_path / "cache.jsonl"
+    backend = JsonlBackend(path)
+    backend.put_many("d", [(3, [{"v": 3}]), (9, [])])
+    backend.close()
+    committed = path.read_bytes()
+    with open(path, "ab") as fh:
+        fh.write(b'{"dataset": "d", "frame": 11, "rows": [')  # no newline
+    reopened = JsonlBackend(path)
+    assert reopened.frames("d") == [3, 9]
+    assert reopened.get("d", 3) == [{"v": 3}]
+    assert reopened.get("d", 11) is None  # never committed, never served
+    assert path.read_bytes() == committed  # the torn bytes are gone
+    reopened.close()
+
+
+def test_jsonl_torn_tail_repair_counts_in_telemetry(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    path.write_bytes(b'{"dataset": "d", "frame": 1, "rows": []}\n{"torn')
+    telemetry.enable()
+    try:
+        backend = JsonlBackend(path)
+        snap = telemetry.get().snapshot()
+        assert snap["counters"]["repro_cache_torn_tail_repairs_total"] == 1
+        assert backend.frames("d") == [1]
+        backend.close()
+    finally:
+        telemetry.disable()
+
+
+def test_jsonl_malformed_committed_line_raises_named_error(tmp_path):
+    """A *committed* line that does not parse is corruption, not a torn
+    append — fail loudly with the file and line, never guess."""
+    path = tmp_path / "cache.jsonl"
+    backend = JsonlBackend(path)
+    backend.put("d", 3, [{"v": 3}])
+    backend.close()
+    with open(path, "ab") as fh:
+        fh.write(b'{"not": "a cache line"}\n')
+    with pytest.raises(CacheError, match=r"cache\.jsonl:2"):
+        JsonlBackend(path)
+    # invalid JSON is reported the same way as a missing key
+    path.write_bytes(b'{oops\n')
+    with pytest.raises(CacheError, match=r"cache\.jsonl:1"):
+        JsonlBackend(path)
+    # callers that predate the named error still catch it
+    assert issubclass(CacheError, ValueError)
+
+
+def test_jsonl_reopen_after_kill9_mid_put_many(tmp_path):
+    """Regression: a process SIGKILLed mid-``put_many`` used to leave a
+    file the next ``JsonlBackend.__init__`` died on with a raw
+    JSONDecodeError.  Reopen must succeed with every committed entry."""
+    path = tmp_path / "cache.jsonl"
+    script = textwrap.dedent(
+        """
+        import os, signal, sys
+        from repro.detection.cache import JsonlBackend
+        backend = JsonlBackend(sys.argv[1])
+        backend.put_many("d", [(1, [{"v": 1}]), (2, [])])
+        # die mid-append: half a line reaches the disk, then SIGKILL —
+        # no close(), no atexit, nothing
+        backend._handle.write(b'{"dataset": "d", "frame": 3, "rows"')
+        backend._handle.flush()
+        os.kill(os.getpid(), signal.SIGKILL)
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(__file__).parent.parent / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(path)],
+        env=env,
+        capture_output=True,
+        timeout=60,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+    reopened = JsonlBackend(path)
+    assert reopened.frames("d") == [1, 2]
+    assert reopened.get("d", 1) == [{"v": 1}]
+    assert reopened.get("d", 2) == []
+    assert reopened.get("d", 3) is None
+    reopened.close()
+
+
+# -------------------------------------------------- flush/close lifecycle
+
+def _lifecycle_backends(tmp_path):
+    return all_backends(tmp_path) + [
+        TieredBackend(max_entries=8),
+        TieredBackend(SqliteBackend(tmp_path / "tiered.sqlite"), max_entries=2),
+    ]
+
+
+def test_flush_and_close_are_idempotent_everywhere(tmp_path):
+    """Regression: ``JsonlBackend.flush()`` after ``close()`` raised
+    ``ValueError: I/O operation on closed file``.  Every backend must
+    tolerate redundant flushes and closes — shutdown paths overlap
+    (service close, atexit, test teardown) and must not race each other
+    into exceptions."""
+    for backend in _lifecycle_backends(tmp_path):
+        cache = DetectionCache(backend)
+        cache.put("d", 7, sample_detections())
+        cache.flush()
+        cache.flush()
+        cache.close()
+        cache.close()  # second close: no-op
+        cache.flush()  # flush after close: no-op, not ValueError
+        backend.flush()
+        backend.close()
+
+
+def test_jsonl_clear_resets_disk_and_stays_usable(tmp_path):
+    """Regression: ``clear()`` swaps the handle before closing it, so a
+    close that raises mid-reopen can never resurface the old handle's
+    buffered lines in the fresh file."""
+    path = tmp_path / "cache.jsonl"
+    backend = JsonlBackend(path)
+    backend.put("d", 1, [{"v": 1}])
+    backend.put("d", 1, [{"v": 2}])
+    assert backend.stale_lines == 1
+    backend.clear()
+    assert len(backend) == 0
+    assert backend.stale_lines == 0
+    assert path.read_bytes() == b""
+    backend.put("d", 5, [])  # the swapped-in handle accepts writes
+    backend.close()
+    reopened = JsonlBackend(path)
+    assert reopened.frames("d") == [5]
+    reopened.close()
+
+
+def test_jsonl_clear_survives_a_close_that_raises(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    backend = JsonlBackend(path)
+    backend.put("d", 1, [{"v": 1}])
+
+    class ExplodingHandle:
+        closed = False
+
+        def close(self):
+            raise OSError("simulated flush failure")
+
+    backend._handle = ExplodingHandle()
+    with pytest.raises(OSError):
+        backend.clear()
+    # the failure propagated, but the backend recovered a fresh handle:
+    # the file is empty and writable, nothing from before resurfaces
+    assert path.read_bytes() == b""
+    backend.put("d", 9, [])
+    backend.close()
+    assert JsonlBackend(path).frames("d") == [9]
+
+
+# --------------------------------------------------- frame-key coercion
+
+def test_numpy_frame_keys_address_plain_int_entries(tmp_path):
+    """Regression: backends disagreed on key coercion — sqlite stored a
+    numpy int64 row a plain-int lookup missed, the dict backends matched
+    by hash.  The facade now coerces once; every backend must behave
+    identically for numpy integer and bool keys."""
+    for backend in _lifecycle_backends(tmp_path):
+        cache = DetectionCache(backend)
+        cache.put("d", np.int64(7), sample_detections())
+        assert cache.get("d", 7) == tuple(sample_detections())
+        assert cache.get("d", np.int32(7)) is not None
+        assert cache.contains("d", np.uint8(7))
+        cache.put("d", np.bool_(True), [])  # bool is an int: frame 1
+        assert cache.get("d", 1) == ()
+        assert cache.frames("d") == [1, 7]
+        assert all(type(f) is int for f in cache.frames("d"))
+        cache.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.booleans()),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_key_coercion_property_across_backends(ops):
+    """Property: any interleaving of numpy-keyed and int-keyed puts
+    reads back identically on every backend — the key's *value* is the
+    identity, never its type."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = pathlib.Path(tmp)
+        backends = [
+            InMemoryBackend(),
+            SqliteBackend(tmp / "c.sqlite"),
+            JsonlBackend(tmp / "c.jsonl"),
+            TieredBackend(max_entries=4),
+        ]
+        reference = {}
+        for frame, as_numpy in ops:
+            reference[frame] = [{"f": frame}]
+        for backend in backends:
+            for frame, as_numpy in ops:
+                key = np.int64(frame) if as_numpy else frame
+                backend.put("d", key, [{"f": frame}])
+            for frame in range(31):
+                got = backend.get("d", np.int64(frame))
+                if backend.frames("d") == sorted(reference):  # full view
+                    assert got == reference.get(frame)
+                elif got is not None:  # bounded tier: subset, never wrong
+                    assert got == reference[frame]
+            backend.close()
+
+
+# --------------------------------------------------------- compaction
+
+def test_jsonl_stale_lines_track_superseded_appends(tmp_path):
+    backend = JsonlBackend(tmp_path / "cache.jsonl")
+    backend.put("d", 1, [{"v": 1}])
+    assert backend.stale_lines == 0
+    backend.put("d", 1, [{"v": 2}])
+    backend.put("d", 2, [])
+    backend.put_many("d", [(1, [{"v": 3}]), (3, [])])
+    assert backend.stale_lines == 2  # frame 1 superseded twice
+    backend.clear()
+
+
+def test_jsonl_compact_drops_dead_lines_and_keeps_latest(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    backend = JsonlBackend(path)
+    backend.put("d", 1, [{"v": 1}])
+    backend.put("d", 1, [{"v": 2}])
+    backend.put("d", 2, [])
+    backend.put_many("d", [(1, [{"v": 3}]), (3, [])])
+    assert _line_count(path) == 5
+    assert backend.compact() == 2
+    assert backend.stale_lines == 0
+    assert _line_count(path) == 3
+    assert backend.get("d", 1) == [{"v": 3}]  # latest line won
+    backend.put("d", 4, [])  # the reopened append handle still works
+    backend.close()
+    reopened = JsonlBackend(path)
+    assert reopened.frames("d") == [1, 2, 3, 4]
+    assert reopened.get("d", 1) == [{"v": 3}]
+    assert reopened.stale_lines == 0
+    reopened.close()
+
+
+def test_jsonl_compact_is_a_noop_when_clean(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    backend = JsonlBackend(path)
+    backend.put("d", 1, [{"v": 1}])
+    backend.put("d", 2, [])
+    before = path.read_bytes()
+    assert backend.compact() == 0
+    assert path.read_bytes() == before  # no rewrite, no reordering
+    backend.close()
+
+
+def test_jsonl_close_auto_compacts(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    backend = JsonlBackend(path)
+    for version in range(3):
+        backend.put("d", 7, [{"v": version}])
+    assert _line_count(path) == 3
+    backend.close()
+    assert _line_count(path) == 1  # close left a garbage-free file
+    reopened = JsonlBackend(path)
+    assert reopened.get("d", 7) == [{"v": 2}]
+    reopened.close()
+
+
+def test_jsonl_compaction_counts_in_telemetry(tmp_path):
+    telemetry.enable()
+    try:
+        backend = JsonlBackend(tmp_path / "cache.jsonl")
+        backend.put("d", 7, [{"v": 0}])
+        backend.put("d", 7, [{"v": 1}])
+        backend.put("d", 7, [{"v": 2}])
+        backend.close()
+        snap = telemetry.get().snapshot()
+        assert snap["counters"]["repro_cache_compactions_total"] == 1
+        assert snap["counters"]["repro_cache_compacted_lines_total"] == 2
+    finally:
+        telemetry.disable()
+
+
+# -------------------------------------------------- tier telemetry drain
+
+def test_tier_counters_drain_at_durability_points():
+    telemetry.enable()
+    try:
+        tier = TieredBackend(max_entries=1)
+        tier.put("d", 1, [{"v": 1}])
+        tier.put("d", 2, [{"v": 2}])  # evicts frame 1
+        assert tier.get("d", 2) is not None  # tier hit
+        assert tier.get("d", 1) is None  # tier miss (and gone: no backing)
+        snap = telemetry.get().snapshot()
+        assert "repro_cache_tier_hits_total" not in snap["counters"]  # pending
+        tier.flush()
+        snap = telemetry.get().snapshot()
+        assert snap["counters"]["repro_cache_tier_hits_total"] == 1
+        assert snap["counters"]["repro_cache_tier_misses_total"] == 1
+        assert snap["counters"]["repro_cache_tier_evictions_total"] == 1
+        assert snap["gauges"]["repro_cache_tier_entries"] == 1
+        assert snap["gauges"]["repro_cache_tier_bytes"] == tier.tier_bytes
+        tier.close()
+    finally:
+        telemetry.disable()
