@@ -72,6 +72,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import pathlib
 import signal
 import sys
@@ -988,13 +989,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _write_metrics_snapshot(path: str | pathlib.Path) -> None:
     """Dump the active pipeline's snapshot as stable JSON (sorted keys,
-    trailing newline) — the ``--metrics-out`` sink."""
-    target = pathlib.Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
+    trailing newline) — the ``--metrics-out`` sink.  Atomic, so a
+    concurrent ``repro stats --watch`` poller never reads a torn file."""
     snapshot = telemetry.get().snapshot()
-    target.write_text(
-        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    telemetry.atomic_write_text(
+        path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
     )
+
+
+def _write_trace_events(path: str | pathlib.Path) -> None:
+    """Dump the active tracer's span events as JSONL (one Chrome
+    trace-event per line) — the ``--trace-out`` sink.  Traces still open
+    (a crashed run, a --ticks cap mid-session) are finished first so
+    every trace exports with a root span."""
+    tracer = telemetry.get().tracer
+    tracer.finish_all()
+    lines = [
+        json.dumps(event, sort_keys=True) for event in tracer.events()
+    ]
+    telemetry.atomic_write_text(path, "\n".join(lines) + "\n" if lines else "")
 
 
 def _histogram_mean(body: dict) -> str:
@@ -1002,36 +1015,19 @@ def _histogram_mean(body: dict) -> str:
     return f"{body['sum'] / count:.6g}" if count else "-"
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    """Render a ``--metrics-out`` snapshot: table, JSON, or Prometheus."""
-    from .telemetry.schema import validation_errors
-
-    path = pathlib.Path(args.metrics)
-    if not path.exists():
-        print(f"error: no metrics snapshot at {path}", file=sys.stderr)
-        return 2
-    try:
-        snapshot = json.loads(path.read_text(encoding="utf-8"))
-    except ValueError as exc:
-        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
-        return 2
-    if args.validate:
-        errors = validation_errors(snapshot)
-        if errors:
-            print(f"error: {path} fails schema validation:", file=sys.stderr)
-            for line in errors:
-                print(f"  {line}", file=sys.stderr)
-            return 1
-    if args.format == "json":
+def _render_stats_snapshot(snapshot: dict, fmt: str) -> None:
+    """Render one parsed snapshot in the requested format."""
+    if fmt == "json":
         print(json.dumps(snapshot, indent=2, sort_keys=True))
-        return 0
-    if args.format == "prometheus":
+        return
+    if fmt == "prometheus":
         print(telemetry.render_prometheus(snapshot), end="")
-        return 0
+        return
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
     histograms = snapshot.get("histograms", {})
     slow_ticks = snapshot.get("slow_ticks", [])
+    slow_queries = snapshot.get("slow_queries", [])
     if counters:
         print(
             format_table(
@@ -1069,9 +1065,242 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 for child in tick.get("children", [])
             )
             print(f"  tick {tick['duration_seconds']:.4f}s  {stages}".rstrip())
-    if not (counters or gauges or histograms or slow_ticks):
+    if slow_queries:
+        print(f"slow queries retained: {len(slow_queries)}")
+        for query in slow_queries:
+            print(
+                f"  {query['session']}  trace={query['trace_id']}  "
+                f"{query['duration_seconds']:.4f}s"
+            )
+    if not (counters or gauges or histograms or slow_ticks or slow_queries):
         print("(snapshot holds no series — was telemetry enabled?)")
+
+
+def _clear_screen() -> None:
+    if sys.stdout.isatty():
+        sys.stdout.write("\x1b[2J\x1b[H")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render a ``--metrics-out`` snapshot: table, JSON, or Prometheus.
+    With ``--watch SECONDS``, re-read and re-render the file on that
+    cadence until interrupted — a poor man's dashboard over any snapshot
+    another process keeps rewriting (atomically, so reads never tear)."""
+    from .telemetry.schema import validation_errors
+
+    path = pathlib.Path(args.metrics)
+
+    def load() -> tuple[dict | None, str | None]:
+        if not path.exists():
+            return None, f"no metrics snapshot at {path}"
+        try:
+            return json.loads(path.read_text(encoding="utf-8")), None
+        except ValueError as exc:
+            return None, f"{path} is not valid JSON: {exc}"
+
+    if args.watch is None:
+        snapshot, problem = load()
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
+        if args.validate:
+            errors = validation_errors(snapshot)
+            if errors:
+                print(f"error: {path} fails schema validation:", file=sys.stderr)
+                for line in errors:
+                    print(f"  {line}", file=sys.stderr)
+                return 1
+        try:
+            _render_stats_snapshot(snapshot, args.format)
+        except BrokenPipeError:
+            # the reader (`head`, a pager) went away mid-render: not an
+            # error.  Point stdout at devnull so the interpreter's exit
+            # flush does not raise the same thing again.
+            sys.stdout = open(os.devnull, "w", encoding="utf-8")
+        return 0
+    if args.watch <= 0:
+        print("error: --watch interval must be positive", file=sys.stderr)
+        return 2
+    # refresh loop: a missing/torn file is a transient, not an error —
+    # keep polling; Ctrl-C and a closed pipe both end the watch cleanly
+    try:
+        while True:
+            snapshot, problem = load()
+            _clear_screen()
+            if problem is not None:
+                print(f"(waiting: {problem})")
+            else:
+                if args.validate:
+                    for line in validation_errors(snapshot):
+                        print(f"schema: {line}")
+                _render_stats_snapshot(snapshot, args.format)
+            print(f"-- every {args.watch:g}s; Ctrl-C exits")
+            sys.stdout.flush()
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+    except (BrokenPipeError, OSError):
+        return 0
+
+
+# ------------------------------------------------------------------- trace
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Package ``--trace-out`` event JSONL into a Chrome trace-event
+    document (load it at https://ui.perfetto.dev or chrome://tracing),
+    optionally running the bundled validator first."""
+    from .telemetry.trace import trace_document, validate_trace
+
+    path = pathlib.Path(args.events)
+    if not path.exists():
+        print(f"error: no trace events at {path}", file=sys.stderr)
+        return 2
+    events = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError as exc:
+            print(
+                f"error: {path}:{lineno} is not valid JSON: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.validate:
+        errors = validate_trace(events)
+        if errors:
+            print(f"error: {path} fails trace validation:", file=sys.stderr)
+            for line in errors:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+    if args.out is not None:
+        document = trace_document(events)
+        telemetry.atomic_write_text(
+            args.out, json.dumps(document, sort_keys=True) + "\n"
+        )
+    traces = {
+        event.get("args", {}).get("trace_id")
+        for event in events
+        if isinstance(event.get("args"), dict)
+    }
+    names = sorted({str(event.get("name", "?")) for event in events})
+    print(
+        f"{len(events)} events across {len(traces)} traces"
+        + (f"; spans: {', '.join(names)}" if names else "")
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}")
     return 0
+
+
+# --------------------------------------------------------------------- top
+
+_TOP_STATES = ("active", "paused", "completed", "exhausted", "cancelled")
+
+
+def _render_top(body: dict, host: str, port: int) -> None:
+    server = body.get("server", {})
+    line = (
+        f"repro top — {host}:{port}"
+        f"  ticks={server.get('ticks', 0)}"
+        f"  sessions={server.get('sessions_active', 0)}/{server.get('sessions', 0)}"
+        f"  queue={server.get('queue_depth', 0)}"
+        f"  rejected={server.get('rejected', 0)}"
+    )
+    if server.get("draining"):
+        line += "  DRAINING"
+    print(line)
+    if not body.get("telemetry", False):
+        print(
+            "(server telemetry is off — start it with --metrics-out to "
+            "get rates and per-shard detail)"
+        )
+    tenants = body.get("tenants", {})
+    if tenants:
+        rows = [
+            [tenant, sum(states.values())]
+            + [states.get(state, 0) for state in _TOP_STATES]
+            for tenant, states in sorted(tenants.items())
+        ]
+        print(format_table(["tenant", "sessions", *_TOP_STATES], rows))
+    shards = body.get("shards", {})
+    if shards:
+        rows = [
+            [
+                shard,
+                int(stats.get("repro_worker_detector_frames_total", 0)),
+                int(stats.get("repro_worker_detector_calls_total", 0)),
+                f"{stats.get('hit_rate', 0.0):.1%}",
+            ]
+            for shard, stats in sorted(
+                shards.items(), key=lambda kv: (len(kv[0]), kv[0])
+            )
+        ]
+        print(format_table(
+            ["shard", "frames", "detector calls", "cache hit rate"], rows
+        ))
+    history = body.get("history", {})
+    moving = sorted(
+        (
+            (key, stats)
+            for key, stats in history.get("counters", {}).items()
+            if stats.get("rate", 0.0) > 0
+        ),
+        key=lambda kv: -kv[1]["rate"],
+    )[:8]
+    if moving:
+        print(format_table(
+            ["series (windowed)", "value", "delta", "per second"],
+            [
+                [key, stats["value"], stats["delta"], f"{stats['rate']:.2f}"]
+                for key, stats in moving
+            ],
+        ))
+    print(f"slow queries retained: {body.get('slow_queries', 0)}")
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running server's ``watch`` op."""
+    from .serving.client import ServerError, ServingClient
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    try:
+        client = ServingClient(args.host, args.port, timeout=10.0)
+    except OSError as exc:
+        print(
+            f"error: cannot connect to {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    rendered = 0
+    try:
+        while True:
+            body = client.watch()
+            _clear_screen()
+            _render_top(body, args.host, args.port)
+            sys.stdout.flush()
+            rendered += 1
+            if args.iterations is not None and rendered >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        return 0
+    except ConnectionError:
+        # the server drained under us — that is how a watch session ends
+        print("(server closed the connection)")
+        return 0
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
 
 
 # ------------------------------------------------------------------ parser
@@ -1305,6 +1534,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and write the metrics snapshot (stable JSON) "
              "to FILE on exit",
     )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable query tracing and write causal span events (Chrome "
+             "trace-event JSONL; package with `repro trace`) to FILE on "
+             "exit — never changes any session's decisions",
+    )
 
     server = sub.add_parser(
         "server",
@@ -1388,6 +1623,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and write the metrics snapshot (stable JSON) "
              "to FILE on exit",
     )
+    server.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable query tracing and write causal span events (Chrome "
+             "trace-event JSONL; package with `repro trace`) to FILE on "
+             "exit — never changes any session's decisions",
+    )
 
     simulate = sub.add_parser(
         "simulate",
@@ -1455,6 +1696,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="check the snapshot against the bundled JSON schema first "
              "(exit 1 on violations)",
     )
+    stats.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-read and re-render the snapshot file on this cadence "
+             "until Ctrl-C (writers rewrite it atomically, so reads "
+             "never tear)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="validate --trace-out span events and package them into a "
+             "Chrome trace-event file (Perfetto-loadable)",
+    )
+    trace.add_argument(
+        "--events", required=True, metavar="FILE",
+        help="span-event JSONL written by --trace-out",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the packaged Chrome trace document here",
+    )
+    trace.add_argument(
+        "--validate", action="store_true",
+        help="run the bundled trace validator first (exit 1 on violations)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running `repro server` "
+             "(per-tenant sessions, per-shard workers, windowed rates)",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server host")
+    top.add_argument("--port", type=int, required=True, help="server port")
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default: 1)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
     return parser
 
 
@@ -1473,20 +1754,28 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_simulate(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     return _cmd_serve(args)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
-    if metrics_out is None:
+    trace_out = getattr(args, "trace_out", None)
+    if metrics_out is None and trace_out is None:
         return _dispatch(args)
-    # --metrics-out: run the whole command under a live pipeline and dump
-    # the snapshot on every exit path (including errors — a failed run's
-    # partial metrics are exactly what an operator wants to see)
-    telemetry.enable()
+    # --metrics-out / --trace-out: run the whole command under a live
+    # pipeline and dump on every exit path (including errors — a failed
+    # run's partial metrics/spans are exactly what an operator wants)
+    telemetry.enable(trace=trace_out is not None)
     try:
         return _dispatch(args)
     finally:
-        _write_metrics_snapshot(metrics_out)
+        if trace_out is not None:
+            _write_trace_events(trace_out)
+        if metrics_out is not None:
+            _write_metrics_snapshot(metrics_out)
         telemetry.disable()

@@ -233,6 +233,9 @@ class ShardCoordinator:
             detector=self._detector_spec,
             latency=self._latency,
             cache_budget=self._cache_budget,
+            # mirror the parent's pipeline state at spawn time, so worker
+            # registries exist exactly when there is a fleet to merge into
+            telemetry=telemetry.get().enabled,
         )
 
     def _spawn(self, shard_id: int) -> WorkerHandle:
@@ -361,6 +364,11 @@ class ShardCoordinator:
             return []
         tel = telemetry.get()
         batch_start = time.perf_counter() if tel.enabled else 0.0
+        # the tick loop declares which traces ride this batch; an empty
+        # tuple (tracing off, or an untraced call like warm-up) keeps the
+        # wire payload in its plain-list form
+        tracer = tel.tracer
+        contexts = tracer.dispatch_contexts() if tracer.enabled else ()
         self._sync()
         # consult the shared plane first: a frame any coordinator on this
         # plane already paid for never reaches a worker.  Plane rows are
@@ -387,8 +395,13 @@ class ShardCoordinator:
             request_id = self._next_request
             self._next_request += 1
             sent_at[shard_id] = time.perf_counter()
+            payload = (
+                {"frames": groups[shard_id], "trace": True}
+                if contexts
+                else groups[shard_id]
+            )
             try:
-                handle.send(("detect", request_id, groups[shard_id]))
+                handle.send(("detect", request_id, payload))
                 in_flight.append((shard_id, request_id))
             except _DEAD_WORKER_ERRORS:
                 self._respawn(shard_id)
@@ -416,10 +429,51 @@ class ShardCoordinator:
                     except _DEAD_WORKER_ERRORS:
                         self._respawn(shard_id)
                 if payload is None:  # the synchronous retry path
-                    payload = self._request(shard_id, "detect", groups[shard_id])
+                    retry = (
+                        {"frames": groups[shard_id], "trace": True}
+                        if contexts
+                        else groups[shard_id]
+                    )
+                    payload = self._request(shard_id, "detect", retry)
             except RuntimeError as exc:  # a shard failed; keep draining
                 failures.append(exc)
                 continue
+            worker_span = None
+            if isinstance(payload, dict):
+                worker_span = payload.get("span")
+                payload = payload["rows"]
+            if contexts:
+                # one shard-dispatch span per participating trace: the
+                # batch coalesces many sessions, and each trace's tree
+                # must stand alone (ids are per-trace counters, so the
+                # duplication costs events, never determinism)
+                end = time.perf_counter()
+                start = sent_at[shard_id]
+                for trace_id, parent in contexts:
+                    dispatch_id = tracer.record_span(
+                        trace_id,
+                        "shard-dispatch",
+                        start,
+                        end - start,
+                        parent_id=parent,
+                        shard=shard_id,
+                        frames=len(groups[shard_id]),
+                    )
+                    if worker_span and dispatch_id:
+                        duration = min(
+                            float(worker_span["duration_seconds"]), end - start
+                        )
+                        tracer.record_span(
+                            trace_id,
+                            "worker-detect",
+                            max(start, end - duration),
+                            duration,
+                            parent_id=dispatch_id,
+                            tid=shard_id + 1,
+                            shard=shard_id,
+                            frames=int(worker_span.get("frames", 0)),
+                            detector_calls=int(worker_span.get("detector_calls", 0)),
+                        )
             if tel.enabled:
                 # send-to-merge latency as the coordinator experiences it
                 # (includes any wait behind earlier shards' responses)
@@ -500,10 +554,48 @@ class ShardCoordinator:
             out[shard_id] = self._request(shard_id, "stats", None)
         return out
 
+    def collect_telemetry(self) -> int:
+        """Harvest every live worker's registry into the parent pipeline.
+
+        Each body lands in the fleet view under ``shard_id``/``dataset``
+        labels (see :meth:`Telemetry.ingest_external`); re-collection
+        replaces a shard's previous body, so this is safe to call
+        periodically *and* at close.  Returns the number of workers
+        collected.  Dead workers are skipped rather than respawned —
+        telemetry must never be the reason a process exists.
+        """
+        tel = telemetry.get()
+        if not tel.enabled or self._closed:
+            return 0
+        collected = 0
+        for shard_id, handle in enumerate(self._handles):
+            if handle is None or not handle.alive:
+                continue
+            request_id = self._next_request
+            self._next_request += 1
+            try:
+                # a direct round-trip, NOT ``_request``: a worker that
+                # dies mid-harvest is skipped, never respawned for this
+                handle.send(("telemetry", request_id, None))
+                body = self._check(handle.recv(), request_id, shard_id)
+            except _DEAD_WORKER_ERRORS + (RuntimeError,):
+                continue
+            tel.ingest_external(
+                body,
+                {"shard_id": str(shard_id), "dataset": self._dataset},
+            )
+            collected += 1
+        return collected
+
     def close(self) -> None:
-        """Shut every worker down; idempotent, safe on dead workers."""
+        """Shut every worker down; idempotent, safe on dead workers.
+
+        The final telemetry harvest happens here, before any shutdown is
+        sent — the last chance to fold worker-side series (cache tiers,
+        detector calls) into the snapshot ``--metrics-out`` writes."""
         if self._closed:
             return
+        self.collect_telemetry()
         self._closed = True
         for handle in self._handles:
             if handle is not None:

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..detection.cache import DetectionCache, TieredBackend, _decode, _encode
 from ..detection.detector import Detector, OracleDetector, SimulatedDetector
 from ..video.instances import ObjectInstance
@@ -92,6 +93,13 @@ class WorkerSpec:
     ``None`` keeps it unbounded.  Eviction costs re-detection only —
     detection content is a pure function of the frame, so a bounded
     worker returns byte-identical rows.
+
+    ``telemetry`` mirrors the parent's pipeline state at spawn time:
+    when true, :func:`worker_main` enables a *fresh* pipeline in the
+    child (under ``fork`` the child would otherwise share a copy of the
+    parent's half-filled registry and double-count on collection), and
+    the ``telemetry`` wire op returns the worker's registry body for
+    the coordinator's fleet merge.
     """
 
     shard_id: int
@@ -99,6 +107,7 @@ class WorkerSpec:
     detector: DetectorSpec = DetectorSpec()
     latency: float = 0.0
     cache_budget: int | None = None
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.shard_id < 0:
@@ -142,7 +151,15 @@ class ShardWorker:
 
     # -------------------------------------------------------------- handlers
 
-    def _detect(self, frames: Sequence[int]) -> list[list[dict]]:
+    def _detect(self, payload) -> list[list[dict]] | dict:
+        # the payload is a bare frame list, or (when the parent traces)
+        # ``{"frames": [...], "trace": true}`` — the dict form answers
+        # with ``{"rows": ..., "span": {...}}`` so the coordinator can
+        # file a worker-detect span under its shard-dispatch span.
+        # Same rows either way; tracing never changes an answer.
+        traced = isinstance(payload, dict)
+        frames = payload["frames"] if traced else payload
+        started = time.perf_counter() if traced else 0.0
         frames = [int(f) for f in frames]
         horizon = self._repository.horizon
         for frame in frames:
@@ -170,7 +187,22 @@ class ShardWorker:
             # wire payload and the cached payload are the same object
             self._cache.backend.put_many(self._spec.dataset, fresh)
         self._served += len(frames)
-        return [rows_by_frame[frame] for frame in frames]
+        tel = telemetry.get()
+        if tel.enabled:
+            tel.counter("repro_detector_batches_total").inc()
+            tel.counter("repro_detector_frames_total").inc(len(frames))
+            tel.counter("repro_detector_calls_total").inc(len(fresh))
+        rows = [rows_by_frame[frame] for frame in frames]
+        if not traced:
+            return rows
+        return {
+            "rows": rows,
+            "span": {
+                "duration_seconds": time.perf_counter() - started,
+                "frames": len(frames),
+                "detector_calls": len(fresh),
+            },
+        }
 
     def _append(self, payload: dict) -> dict:
         instances = payload.get("instances", ())
@@ -201,6 +233,18 @@ class ShardWorker:
             "clips": self._repository.num_clips,
         }
 
+    def _telemetry(self) -> dict:
+        """The worker's registry body for the coordinator's fleet merge.
+
+        Flushing the cache first drains its batched counter deltas, so
+        the body reflects every hit/miss/eviction up to this instant.
+        """
+        self._cache.flush()
+        tel = telemetry.get()
+        if not tel.enabled:
+            return {"counters": {}, "gauges": {}, "histograms": {}}
+        return tel.registry.snapshot()
+
     # ------------------------------------------------------------ dispatch
 
     def handle(self, message: tuple) -> tuple:
@@ -221,6 +265,8 @@ class ShardWorker:
                 return ("ok", request_id, self._append(payload))
             if op == "stats":
                 return ("ok", request_id, self._stats())
+            if op == "telemetry":
+                return ("ok", request_id, self._telemetry())
             if op == "ping":
                 return ("ok", request_id, {"shard": self._spec.shard_id})
             if op == "shutdown":
@@ -243,6 +289,13 @@ def worker_main(conn, spec: WorkerSpec, repository: VideoRepository) -> None:
     Kept to a bare receive/handle/send loop so everything interesting is
     covered in-process through :class:`ShardWorker`.
     """
+    if spec.telemetry:
+        # always a *fresh* pipeline: under fork the child inherits a
+        # copy of the parent's registry, and reporting those inherited
+        # counts back would double-count them at the fleet merge
+        telemetry.enable()
+    else:
+        telemetry.disable()
     worker = ShardWorker(spec, repository)
     try:
         while True:

@@ -42,6 +42,8 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from .. import telemetry
+from ..telemetry.history import SnapshotHistory
+from ..telemetry.registry import parse_series_key
 from ..serving import state as serving_state
 from ..serving import ingest as serving_ingest
 from ..serving.ingest import IngestEntry
@@ -75,6 +77,12 @@ class ServerConfig:
     ``None`` disables quotas.  ``idle_poll`` is how long the tick loop
     sleeps when there is neither queued work nor a schedulable session
     — purely a liveness knob, it cannot affect any session's decisions.
+
+    ``history_capacity`` / ``history_interval`` size the telemetry
+    time-series ring behind the ``watch`` op: at most that many samples,
+    recorded between ticks no more often than the interval.  Recording
+    only reads snapshots — another observational surface, never an
+    input to any session's decisions.
     """
 
     host: str = "127.0.0.1"
@@ -84,6 +92,8 @@ class ServerConfig:
     max_request_bytes: int = MAX_REQUEST_BYTES
     retry_after: float = 0.05
     idle_poll: float = 0.02
+    history_capacity: int = 120
+    history_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -94,6 +104,10 @@ class ServerConfig:
             raise ValueError("max_request_bytes must be at least 1024")
         if self.retry_after <= 0 or self.idle_poll <= 0:
             raise ValueError("retry_after and idle_poll must be positive")
+        if self.history_capacity < 2:
+            raise ValueError("history_capacity must be at least 2")
+        if self.history_interval < 0:
+            raise ValueError("history_interval must be non-negative")
 
 
 def restore_state(
@@ -182,6 +196,8 @@ class AsyncQueryServer:
         self._fatal: BaseException | None = None
         self._address: tuple[str, int] | None = None
         self._tel_memo: tuple | None = None
+        self._history = SnapshotHistory(capacity=self._config.history_capacity)
+        self._history_last = float("-inf")
         if state_dir is not None:
             self._tenants = _load_tenants(state_dir)
 
@@ -258,6 +274,7 @@ class AsyncQueryServer:
                 if self._service.schedulable_sessions():
                     self._service.tick()
                     self._note_first_results()
+                    self._record_history()
                     # yield so connection handlers run between ticks —
                     # the whole fairness story of the cooperative design
                     await asyncio.sleep(0)
@@ -548,6 +565,8 @@ class AsyncQueryServer:
                 return self._op_results(payload)
             if op == "stats":
                 return self._op_stats()
+            if op == "watch":
+                return self._op_watch()
             if op == "drain":
                 self.request_drain()
                 return ok_response(draining=True)
@@ -585,23 +604,89 @@ class AsyncQueryServer:
 
     def _op_stats(self) -> dict:
         sessions = self._service.sessions
+        stats = {
+            "requests": self._counts["requests"],
+            "accepted": self._counts["accepted"],
+            "rejected": self._counts["rejected"],
+            "protocol_errors": self._counts["protocol_errors"],
+            "connections_total": self._counts["connections"],
+            "queue_depth": len(self._pending),
+            "sessions": len(sessions),
+            "sessions_active": sum(
+                1 for s in sessions.values() if not s.state.terminal
+            ),
+            "ticks": self._service.ticks,
+            "detector_calls": self._service.detector_calls,
+            "draining": self._draining,
+        }
+        # with telemetry on, the response carries the *fleet* snapshot —
+        # worker processes harvested just now, so one stats op shows
+        # every layer, including per-shard worker cache tiering
+        snapshot = self._fleet_snapshot()
+        if snapshot is not None:
+            stats["metrics"] = snapshot
+        return ok_response(stats=stats)
+
+    def _op_watch(self) -> dict:
+        """The live dashboard feed behind ``repro top``: current server
+        counters, per-tenant session states, per-shard worker summaries,
+        and windowed deltas/rates from the between-ticks history ring.
+        Read-only over snapshots, like every observability surface."""
+        sessions = self._service.sessions
+        tenants: dict[str, dict[str, int]] = {}
+        for session_id, session in sessions.items():
+            tenant = self._tenants.get(session_id, "default")
+            states = tenants.setdefault(tenant, {})
+            state = session.state.value
+            states[state] = states.get(state, 0) + 1
+        snapshot = self._fleet_snapshot()
         return ok_response(
-            stats={
-                "requests": self._counts["requests"],
-                "accepted": self._counts["accepted"],
-                "rejected": self._counts["rejected"],
-                "protocol_errors": self._counts["protocol_errors"],
-                "connections_total": self._counts["connections"],
-                "queue_depth": len(self._pending),
-                "sessions": len(sessions),
-                "sessions_active": sum(
-                    1 for s in sessions.values() if not s.state.terminal
+            watch={
+                "server": {
+                    "queue_depth": len(self._pending),
+                    "draining": self._draining,
+                    "requests": self._counts["requests"],
+                    "accepted": self._counts["accepted"],
+                    "rejected": self._counts["rejected"],
+                    "protocol_errors": self._counts["protocol_errors"],
+                    "sessions": len(sessions),
+                    "sessions_active": sum(
+                        1 for s in sessions.values() if not s.state.terminal
+                    ),
+                    "ticks": self._service.ticks,
+                    "detector_calls": self._service.detector_calls,
+                },
+                "tenants": {t: tenants[t] for t in sorted(tenants)},
+                "shards": _shard_summary(snapshot) if snapshot else {},
+                "history": self._history.summary(),
+                "slow_queries": (
+                    len(snapshot.get("slow_queries", ())) if snapshot else 0
                 ),
-                "ticks": self._service.ticks,
-                "detector_calls": self._service.detector_calls,
-                "draining": self._draining,
+                "telemetry": snapshot is not None,
             }
         )
+
+    def _fleet_snapshot(self) -> dict | None:
+        """Harvest worker registries (sharded execution only), then one
+        merged snapshot of every layer; ``None`` with telemetry off."""
+        tel = telemetry.get()
+        if not tel.enabled:
+            return None
+        self._service.collect_worker_telemetry()
+        return tel.snapshot()
+
+    def _record_history(self) -> None:
+        """One history sample between ticks, throttled by the config's
+        interval so a hot tick loop cannot turn sampling into overhead."""
+        tel = telemetry.get()
+        if not tel.enabled:
+            return
+        now = time.monotonic()
+        if now - self._history_last < self._config.history_interval:
+            return
+        self._history_last = now
+        self._service.collect_worker_telemetry()
+        self._history.record(tel.snapshot(), stamp=now)
 
     def _count_protocol_error(self, code: str, inst) -> None:
         self._counts["protocol_errors"] += 1
@@ -644,6 +729,34 @@ class AsyncQueryServer:
 
 
 # ------------------------------------------------------------ field helpers
+
+def _shard_summary(snapshot: dict) -> dict[str, dict]:
+    """Fold a merged fleet snapshot into per-shard scalar summaries.
+
+    Worker series carry a ``shard_id`` label (stamped at ingest by the
+    coordinator); everything else is coordinator-local and skipped.  The
+    summary adds a derived ``hit_rate`` from the worker cache counters —
+    the number ``repro top`` renders per shard.
+    """
+    shards: dict[str, dict[str, float]] = {}
+    for section in ("counters", "gauges"):
+        for key, value in snapshot.get(section, {}).items():
+            try:
+                name, labels = parse_series_key(key)
+            except ValueError:
+                continue
+            shard = labels.get("shard_id")
+            if shard is None:
+                continue
+            bucket = shards.setdefault(shard, {})
+            bucket[name] = bucket.get(name, 0) + value
+    for bucket in shards.values():
+        hits = bucket.get("repro_worker_cache_hits_total", 0)
+        misses = bucket.get("repro_worker_cache_misses_total", 0)
+        lookups = hits + misses
+        bucket["hit_rate"] = (hits / lookups) if lookups else 0.0
+    return {shard: shards[shard] for shard in sorted(shards)}
+
 
 def _tenant_of(payload: dict) -> str:
     tenant = payload.get("tenant", "default")

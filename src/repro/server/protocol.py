@@ -71,7 +71,7 @@ __all__ = [
 # can make the server buffer
 MAX_REQUEST_BYTES = 64 * 1024
 
-OPS = ("ping", "submit", "status", "results", "ingest", "stats", "drain")
+OPS = ("ping", "submit", "status", "results", "ingest", "stats", "watch", "drain")
 
 
 class ProtocolError(ValueError):

@@ -123,6 +123,12 @@ class ServingClient:
     def stats(self) -> dict:
         return self.request("stats")["stats"]
 
+    def watch(self) -> dict:
+        """One dashboard sample: server counters, per-tenant session
+        states, per-shard worker summaries, and windowed rates from the
+        server's history ring — the feed ``repro top`` polls."""
+        return self.request("watch")["watch"]
+
     def drain(self) -> bool:
         return bool(self.request("drain").get("draining"))
 

@@ -34,6 +34,7 @@ from .. import telemetry
 from ..core.chunking import IncrementalChunker
 from ..core.rng import DecisionRng
 from ..telemetry import FRAMES_BUCKETS
+from ..telemetry.trace import derive_trace_id
 from ..core.sampler import ExSample
 from ..detection.cache import CachingDetector, CategoryFilterDetector, DetectionCache
 from ..detection.detector import Detection, Detector, OracleDetector
@@ -343,6 +344,8 @@ class QueryService:
         exist yet — the objects it searches for may not have been
         recorded).
         """
+        tracer = telemetry.get().tracer
+        admit_start = time.perf_counter() if tracer.enabled else 0.0
         repo = self._repository(dataset)
         if not follow and category not in repo.categories():
             raise ValueError(
@@ -367,6 +370,20 @@ class QueryService:
         warm_frames = self._cache.frames(dataset) if warm_start else []
         session = self._build_session(session_id, spec, warm_frames)
         self._sessions[session_id] = session
+        if tracer.enabled:
+            # the trace is born here: admission covers validation, session
+            # construction, and the warm-start replay — the first answer
+            # to "why was this query's first result slow"
+            trace_id = tracer.begin_trace(session_id)
+            tracer.record_span(
+                trace_id,
+                "admission",
+                admit_start,
+                time.perf_counter() - admit_start,
+                dataset=dataset,
+                category=category,
+                warm_frames=len(warm_frames),
+            )
         return session_id
 
     def pause(self, session_id: str) -> None:
@@ -538,6 +555,21 @@ class QueryService:
             if not active:
                 return {}
             self._ticks += 1
+            # trace contexts for this tick's sessions.  begin_trace is
+            # idempotent and registers restored sessions (which never
+            # passed through submit in this process), so every traced
+            # session's spans have a home.  Tracing is observation only:
+            # the decision stream is byte-identical on or off.
+            tracer = tel.tracer
+            traced = tracer.enabled
+            trace_ctx: dict[str, tuple[str, str]] = {}
+            if traced:
+                for session in active:
+                    trace_id = tracer.begin_trace(session.session_id)
+                    trace_ctx[session.session_id] = (
+                        trace_id,
+                        tracer.root_span_id(trace_id),
+                    )
             allocation = self._scheduler.allocate(
                 active, self._frames_per_tick, self._rng
             )
@@ -586,7 +618,18 @@ class QueryService:
                     for session in active:  # submission order, policy-free
                         if remaining[session.session_id] <= 0:
                             continue
+                        plan_start = time.perf_counter() if traced else 0.0
                         pending = session.plan_step()
+                        if traced:
+                            trace_id, _root = trace_ctx[session.session_id]
+                            tracer.record_span(
+                                trace_id,
+                                "plan",
+                                plan_start,
+                                time.perf_counter() - plan_start,
+                                tick=self._ticks,
+                                frames=len(pending),
+                            )
                         if enabled:
                             timings = session.last_plan_timings
                             plan_split["draw"] += timings["draw"]
@@ -618,9 +661,24 @@ class QueryService:
                     detections: dict[str, dict[int, list[Detection]]] = {}
                     for dataset, ordered in frames_by_dataset.items():
                         frames = list(ordered)
-                        per_frame = self._shared_detector(dataset).detect_many(
-                            frames
-                        )
+                        if traced:
+                            # declare which traces ride this coalesced
+                            # batch so the shard coordinator can parent
+                            # its dispatch spans; cleared in the finally
+                            # so a detector error never leaks contexts
+                            # into an unrelated later batch
+                            tracer.begin_dispatch(
+                                trace_ctx[session.session_id]
+                                for session, _pending in plans
+                                if session.spec.dataset == dataset
+                            )
+                        try:
+                            per_frame = self._shared_detector(dataset).detect_many(
+                                frames
+                            )
+                        finally:
+                            if traced:
+                                tracer.end_dispatch()
                         detections[dataset] = dict(zip(frames, per_frame))
                         detect_frames += len(frames)
                     if enabled:
@@ -629,9 +687,24 @@ class QueryService:
                         mark = now
                     # stage 3, all sessions: commit in submission order
                     for session, pending in plans:
+                        commit_start = time.perf_counter() if traced else 0.0
                         count = session.commit_step(
                             pending, detections[session.spec.dataset]
                         )
+                        if traced:
+                            trace_id, _root = trace_ctx[session.session_id]
+                            tracer.record_span(
+                                trace_id,
+                                "commit",
+                                commit_start,
+                                time.perf_counter() - commit_start,
+                                tick=self._ticks,
+                                frames=count,
+                            )
+                            if session.state.terminal:
+                                tracer.finish_trace(
+                                    trace_id, session.state.value
+                                )
                         processed[session.session_id] += count
                         remaining[session.session_id] -= count
                     if enabled:
@@ -700,9 +773,36 @@ class QueryService:
             executed += 1
         return executed
 
+    def collect_worker_telemetry(self) -> int:
+        """Harvest every built shard coordinator's workers into the
+        active pipeline's fleet view (no-op under local execution or
+        with telemetry disabled); returns workers collected.  The stats
+        surfaces call this so a snapshot taken mid-run already carries
+        ``repro_worker_*`` series — :meth:`close` harvests once more for
+        the final ``--metrics-out`` write."""
+        if self._execution != "sharded":
+            return 0
+        collected = 0
+        for detector in self._detectors.values():
+            inner = detector.wrapped
+            if isinstance(inner, ShardCoordinator):
+                collected += inner.collect_telemetry()
+        return collected
+
     def close(self) -> None:
         """Release execution resources: detector worker pools and the
-        cache handle (committing any buffered on-disk writes)."""
+        cache handle (committing any buffered on-disk writes).  Under
+        sharded execution each coordinator harvests its workers'
+        telemetry before shutting them down; open traces are closed so
+        the export carries a root span for every session."""
+        tracer = telemetry.get().tracer
+        if tracer.enabled:
+            tracer.finish_all(
+                {
+                    derive_trace_id(session_id): session.state.value
+                    for session_id, session in self._sessions.items()
+                }
+            )
         for detector in self._detectors.values():
             closer = getattr(detector.wrapped, "close", None)
             if closer is not None:

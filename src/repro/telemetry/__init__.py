@@ -42,6 +42,9 @@ CONTRIBUTING.md); layers in the catalog today: ``serving``, ``cache``,
 
 from __future__ import annotations
 
+import os
+import pathlib
+import threading
 from typing import Mapping, Sequence
 
 from .registry import (
@@ -51,9 +54,12 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshot_bodies,
+    parse_series_key,
     series_key,
 )
 from .spans import NULL_SPAN, SpanCollector, SpanRecord
+from .trace import NULL_TRACER, Tracer
 
 __all__ = [
     "Counter",
@@ -64,20 +70,30 @@ __all__ = [
     "SpanRecord",
     "Telemetry",
     "NullTelemetry",
+    "Tracer",
     "SECONDS_BUCKETS",
     "FRAMES_BUCKETS",
     "series_key",
+    "parse_series_key",
     "get",
     "enable",
     "disable",
     "render_prometheus",
+    "atomic_write_text",
 ]
 
 SNAPSHOT_VERSION = 1
 
+# worker-process series are re-published under this prefix in the fleet
+# snapshot: ``repro_cache_tier_hits_total`` measured inside shard 2's
+# worker becomes ``repro_worker_cache_tier_hits_total{shard_id="2",...}``
+# in the coordinator's merged view — same catalog grammar, one new layer
+WORKER_PREFIX = "repro_worker_"
+
 
 class Telemetry:
-    """A live telemetry pipeline: one registry plus one span collector."""
+    """A live telemetry pipeline: one registry, one span collector, and
+    (opt-in) one query tracer plus externally ingested worker bodies."""
 
     enabled = True
 
@@ -85,12 +101,61 @@ class Telemetry:
         self,
         slow_tick_threshold: float = 0.1,
         slow_tick_capacity: int = 32,
+        trace: bool = False,
+        slow_query_threshold: float = 0.25,
+        trace_capacity: int = 8192,
     ):
         self.registry = MetricsRegistry()
         self.spans = SpanCollector(
             slow_tick_threshold=slow_tick_threshold,
             slow_tick_capacity=slow_tick_capacity,
         )
+        self.tracer = (
+            Tracer(
+                capacity=trace_capacity,
+                slow_query_threshold=slow_query_threshold,
+            )
+            if trace
+            else NULL_TRACER
+        )
+        # registry bodies ingested from other processes (shard workers),
+        # keyed by source so re-collection replaces instead of
+        # double-counting; folded into every snapshot
+        self._external: dict[tuple, dict] = {}
+        self._external_lock = threading.Lock()
+
+    # ---------------------------------------------------- fleet aggregation
+
+    def ingest_external(
+        self,
+        body: Mapping[str, object],
+        labels: Mapping[str, object],
+        prefix: str = WORKER_PREFIX,
+    ) -> None:
+        """Fold another process's registry snapshot into this pipeline's
+        fleet view.  Every series is renamed under ``prefix`` (its own
+        ``repro_`` prefix stripped) and stamped with ``labels`` (e.g.
+        ``shard_id``); ingesting again from the same ``labels`` source
+        *replaces* the previous body, so periodic collection stays
+        idempotent."""
+        source = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        transformed: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for kind in transformed:
+            for key, value in dict(body.get(kind, {})).items():
+                name, series_labels = parse_series_key(key)
+                if name.startswith("repro_"):
+                    name = prefix + name[len("repro_"):]
+                else:
+                    name = prefix + name
+                merged_labels = {**series_labels, **dict(labels)}
+                transformed[kind][series_key(name, merged_labels)] = value
+        with self._external_lock:
+            self._external[source] = transformed
+
+    def external_sources(self) -> int:
+        """How many distinct processes have been ingested (tests/UI)."""
+        with self._external_lock:
+            return len(self._external)
 
     # -------------------------------------------------------- instruments
 
@@ -117,8 +182,13 @@ class Telemetry:
     # ------------------------------------------------------------ output
 
     def snapshot(self) -> dict:
-        """The stable JSON body: registry series (sorted) + slow ticks."""
+        """The stable JSON body: registry series (sorted) merged with
+        every ingested worker body, plus slow ticks and slow queries."""
         body = self.registry.snapshot()
+        with self._external_lock:
+            externals = [self._external[src] for src in sorted(self._external)]
+        for external in externals:
+            body = merge_snapshot_bodies(body, external)
         return {
             "version": SNAPSHOT_VERSION,
             "enabled": True,
@@ -126,6 +196,7 @@ class Telemetry:
             "gauges": body["gauges"],
             "histograms": body["histograms"],
             "slow_ticks": self.spans.slow_ticks(),
+            "slow_queries": self.tracer.slow_queries(),
         }
 
 
@@ -164,6 +235,7 @@ class NullTelemetry:
     """
 
     enabled = False
+    tracer = NULL_TRACER
 
     def counter(self, name, labels=None) -> _NullInstrument:
         return _NULL_INSTRUMENT
@@ -180,6 +252,12 @@ class NullTelemetry:
     def record_span(self, name, duration, **meta) -> None:
         pass
 
+    def ingest_external(self, body, labels, prefix=WORKER_PREFIX) -> None:
+        pass
+
+    def external_sources(self) -> int:
+        return 0
+
     def snapshot(self) -> dict:
         return {
             "version": SNAPSHOT_VERSION,
@@ -188,6 +266,7 @@ class NullTelemetry:
             "gauges": {},
             "histograms": {},
             "slow_ticks": [],
+            "slow_queries": [],
         }
 
 
@@ -203,17 +282,23 @@ def get() -> Telemetry | NullTelemetry:
 def enable(
     slow_tick_threshold: float = 0.1,
     slow_tick_capacity: int = 32,
+    trace: bool = False,
+    slow_query_threshold: float = 0.25,
 ) -> Telemetry:
     """Install (and return) a fresh live pipeline.
 
     Always fresh: enabling twice starts clean rather than accumulating
     across runs, so a snapshot always describes exactly one enablement
-    window.
+    window.  ``trace=True`` additionally attaches a query
+    :class:`~repro.telemetry.trace.Tracer`; the default keeps tracing
+    off so metrics-only runs pay nothing for the span plumbing.
     """
     global _active
     _active = Telemetry(
         slow_tick_threshold=slow_tick_threshold,
         slow_tick_capacity=slow_tick_capacity,
+        trace=trace,
+        slow_query_threshold=slow_query_threshold,
     )
     return _active
 
@@ -222,6 +307,31 @@ def disable() -> None:
     """Reinstall the shared no-op default."""
     global _active
     _active = _NULL
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically: tmp file in the same
+    directory, fsync, then ``os.replace``.  Every observability sink
+    (``--metrics-out``, ``--trace-out``, exported trace documents) goes
+    through this, so a reader — ``repro stats --watch`` polling the
+    file, CI picking up an artifact — sees either the previous complete
+    document or the new one, never a torn write, even if the writer is
+    SIGKILLed mid-dump."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():  # an exception left the partial tmp behind
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 def render_prometheus(snapshot: dict | None = None) -> str:

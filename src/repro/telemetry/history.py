@@ -1,0 +1,100 @@
+"""A bounded ring of registry snapshots with delta/rate derivation.
+
+Point-in-time snapshots answer "how much, ever"; operators ask "how fast,
+*now*".  :class:`SnapshotHistory` keeps the last N scalar snapshots
+(counters and gauges only — histogram bodies are heavy and their
+``count``/``sum`` scalars carry the rate signal) stamped with a
+monotonic clock, and derives windowed deltas and per-second rates
+between the oldest and newest retained samples.  The ring is sized in
+entries, so a long-lived server's history footprint is a constant.
+
+This module never touches wall-clock structure that matters for replay:
+history is read-only over snapshots, recorded outside the tick loop
+(the server records between ticks; ``repro stats --watch`` records from
+a file poller), and feeds only the ``watch`` op and ``repro top`` —
+surfaces, not decisions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["SnapshotHistory"]
+
+
+def _scalars(snapshot: dict) -> tuple[dict, dict]:
+    """Flatten one registry snapshot into (counters, gauges) scalar maps,
+    folding each histogram's ``count``/``sum`` in as counter-like series
+    (they are monotone, so deltas/rates are meaningful)."""
+    counters = dict(snapshot.get("counters", {}))
+    for key, body in snapshot.get("histograms", {}).items():
+        counters[f"{key}:count"] = body.get("count", 0)
+        counters[f"{key}:sum"] = body.get("sum", 0.0)
+    return counters, dict(snapshot.get("gauges", {}))
+
+
+class SnapshotHistory:
+    """The bounded time-series ring behind ``watch`` and ``repro top``."""
+
+    def __init__(self, capacity: int = 120, min_interval: float = 0.0):
+        if capacity < 2:
+            raise ValueError("history needs at least 2 samples to derive rates")
+        self.min_interval = float(min_interval)
+        self._ring: deque[tuple[float, dict, dict]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, snapshot: dict, stamp: float | None = None) -> bool:
+        """Append one sample (skipped when ``min_interval`` hasn't elapsed
+        since the last); returns whether it was recorded."""
+        if stamp is None:
+            stamp = time.monotonic()
+        counters, gauges = _scalars(snapshot)
+        with self._lock:
+            if self._ring and stamp - self._ring[-1][0] < self.min_interval:
+                return False
+            self._ring.append((float(stamp), counters, gauges))
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def summary(self) -> dict:
+        """The derived view: latest values plus windowed deltas and
+        per-second rates across the retained window.
+
+        Counters report ``{"value", "delta", "rate"}``; gauges report
+        their latest value (a gauge's delta is rarely meaningful and its
+        latest value always is).  Series appearing mid-window are rated
+        from their first appearance as zero — a counter born at 100
+        contributes a delta of 100, matching what an operator watching
+        the ring would have seen.
+        """
+        with self._lock:
+            samples = list(self._ring)
+        if not samples:
+            return {"samples": 0, "span_seconds": 0.0, "counters": {}, "gauges": {}}
+        first_stamp, first_counters, _ = samples[0]
+        last_stamp, last_counters, last_gauges = samples[-1]
+        span = max(0.0, last_stamp - first_stamp)
+        counters: dict[str, dict] = {}
+        for key in sorted(last_counters):
+            value = last_counters[key]
+            delta = value - first_counters.get(key, 0)
+            counters[key] = {
+                "value": value,
+                "delta": delta,
+                "rate": (delta / span) if span > 0 else 0.0,
+            }
+        return {
+            "samples": len(samples),
+            "span_seconds": span,
+            "counters": counters,
+            "gauges": {key: last_gauges[key] for key in sorted(last_gauges)},
+        }

@@ -13,11 +13,20 @@ point of ``--metrics-out``.  Histograms are emitted with cumulative
 exposition format; counters and gauges are single sample lines.  Series
 arrive already sorted from the snapshot and are emitted in that order,
 so rendered output is deterministic too.
+
+Label values are escaped at series-creation time
+(:func:`~repro.telemetry.registry.escape_label_value`, per the
+exposition format's backslash/quote/newline rules), so every key a
+snapshot carries is already exposition-safe; :func:`parse_sample`
+inverts one rendered sample line back to ``(name, labels, value)`` —
+the round-trip the hostile-label tests pin down.
 """
 
 from __future__ import annotations
 
-__all__ = ["render"]
+from .registry import parse_series_key
+
+__all__ = ["render", "parse_sample"]
 
 
 def _split_series(key: str) -> tuple[str, str]:
@@ -43,6 +52,20 @@ def _type_lines(out: list[str], seen: set[str], name: str, kind: str) -> None:
     if name not in seen:
         seen.add(name)
         out.append(f"# TYPE {name} {kind}")
+
+
+def parse_sample(line: str) -> tuple[str, dict[str, str], float]:
+    """One exposition sample line back to ``(name, labels, value)`` with
+    label values unescaped — the exact inverse of what :func:`render`
+    emits for a series key built by ``series_key``.  Raises
+    ``ValueError`` on comment lines or malformed samples."""
+    if line.startswith("#"):
+        raise ValueError(f"not a sample line: {line!r}")
+    series, _, value = line.rpartition(" ")
+    if not series:
+        raise ValueError(f"not a sample line: {line!r}")
+    name, labels = parse_series_key(series)
+    return name, labels, float(value)
 
 
 def render(snapshot: dict) -> str:

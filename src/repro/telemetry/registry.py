@@ -33,6 +33,11 @@ __all__ = [
     "SECONDS_BUCKETS",
     "FRAMES_BUCKETS",
     "series_key",
+    "parse_series_key",
+    "escape_label_value",
+    "unescape_label_value",
+    "merge_histogram_dicts",
+    "merge_snapshot_bodies",
 ]
 
 # fixed default bucket bounds (upper-inclusive; +Inf is implicit).  Two
@@ -46,13 +51,126 @@ SECONDS_BUCKETS = (
 FRAMES_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
 
 
+def escape_label_value(value: object) -> str:
+    """A label value escaped per the Prometheus exposition format:
+    backslash, double-quote, and newline — in that order, so escaping is
+    unambiguous and :func:`unescape_label_value` is its exact inverse."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """The inverse of :func:`escape_label_value` (single left-to-right
+    pass, so ``\\\\n`` round-trips as a backslash + ``n``, not a newline)."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def series_key(name: str, labels: Mapping[str, object] | None = None) -> str:
     """The canonical series identity: ``name`` or ``name{k="v",...}``
-    with label keys sorted (so call-site dict ordering never matters)."""
+    with label keys sorted (so call-site dict ordering never matters)
+    and values escaped (so a hostile value can never forge a different
+    series or corrupt the exposition output)."""
     if not labels:
         return name
-    rendered = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    rendered = ",".join(
+        f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return f"{name}{{{rendered}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`series_key`: ``name{k="v",...}`` back into
+    ``(name, labels)`` with values unescaped.  Raises ``ValueError`` on
+    keys this module could not have produced."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed series key: {key!r}")
+    name, body = key[:brace], key[brace + 1 : -1]
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.find('="', i)
+        if eq < 0:
+            raise ValueError(f"malformed series key: {key!r}")
+        label = body[i:eq]
+        j = eq + 2
+        while j < len(body):
+            if body[j] == "\\":
+                j += 2
+                continue
+            if body[j] == '"':
+                break
+            j += 1
+        if j >= len(body):
+            raise ValueError(f"malformed series key: {key!r}")
+        labels[label] = unescape_label_value(body[eq + 2 : j])
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(f"malformed series key: {key!r}")
+            i += 1
+    return name, labels
+
+
+def merge_histogram_dicts(base: dict, other: dict) -> dict:
+    """Bucket-merge two histogram bodies sharing the same bounds:
+    element-wise count addition plus summed ``sum``/``count``.  Mismatched
+    bounds are a catalog bug and raise rather than silently mangle."""
+    if list(base["buckets"]) != list(other["buckets"]):
+        raise ValueError(
+            f"cannot merge histograms with different buckets: "
+            f"{base['buckets']} vs {other['buckets']}"
+        )
+    return {
+        "buckets": list(base["buckets"]),
+        "counts": [a + b for a, b in zip(base["counts"], other["counts"])],
+        "sum": base["sum"] + other["sum"],
+        "count": base["count"] + other["count"],
+    }
+
+
+def merge_snapshot_bodies(base: dict, other: dict) -> dict:
+    """Fold one registry snapshot body into another (fleet aggregation):
+    counter-sum, gauge-last (``other`` wins), histogram-bucket-merge.
+    Returns a new body with series re-sorted; inputs are not mutated."""
+    counters = dict(base.get("counters", {}))
+    for key, value in other.get("counters", {}).items():
+        counters[key] = counters.get(key, 0) + value
+    gauges = dict(base.get("gauges", {}))
+    gauges.update(other.get("gauges", {}))
+    histograms = dict(base.get("histograms", {}))
+    for key, body in other.get("histograms", {}).items():
+        if key in histograms:
+            histograms[key] = merge_histogram_dicts(histograms[key], body)
+        else:
+            histograms[key] = dict(body)
+    return {
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "gauges": {key: gauges[key] for key in sorted(gauges)},
+        "histograms": {key: histograms[key] for key in sorted(histograms)},
+    }
 
 
 class Counter:

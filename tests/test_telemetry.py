@@ -228,6 +228,75 @@ def test_slow_tick_ring_buffer_bounds_and_filters():
         SpanCollector(slow_tick_capacity=0)
 
 
+def test_slow_tick_ring_evicts_in_strict_fifo_order_at_capacity():
+    """At capacity the ring is a sliding window: after N insertions with
+    capacity C, exactly the last C survive, oldest first — never a
+    reordering, never a skip."""
+    capacity = 5
+    collector = SpanCollector(slow_tick_threshold=0.0, slow_tick_capacity=capacity)
+    for i in range(17):
+        collector.record("tick", duration=0.001, tick=i)
+    retained = collector.slow_ticks()
+    assert [t["meta"]["tick"] for t in retained] == list(range(12, 17))
+    # one more evicts exactly the oldest retained entry
+    collector.record("tick", duration=0.001, tick=17)
+    assert [t["meta"]["tick"] for t in collector.slow_ticks()] == list(
+        range(13, 18)
+    )
+
+
+def test_slow_tick_threshold_boundary_is_inclusive():
+    """``>=`` semantics: a tick exactly at the threshold is slow; one
+    strictly below is not.  ``record`` files pre-timed durations, so the
+    boundary is testable without sleeping."""
+    collector = SpanCollector(slow_tick_threshold=0.1)
+    collector.record("tick", duration=0.1, tick=0)      # == threshold: kept
+    collector.record("tick", duration=0.0999, tick=1)   # below: dropped
+    collector.record("tick", duration=0.1001, tick=2)   # above: kept
+    assert [t["meta"]["tick"] for t in collector.slow_ticks()] == [0, 2]
+    # non-"tick" roots never qualify regardless of duration
+    collector.record("not-a-tick", duration=9.0)
+    assert len(collector.slow_ticks()) == 2
+
+
+def test_span_stacks_are_thread_local_under_concurrent_recorders():
+    """Two threads recording nested spans through one collector must
+    never see each other's children: the open-span stack is per-thread,
+    only completed roots funnel through the shared ring."""
+    collector = SpanCollector(slow_tick_threshold=0.0, slow_tick_capacity=256)
+    barrier = threading.Barrier(4)
+    errors: list[str] = []
+
+    def recorder(worker: int):
+        barrier.wait()
+        for i in range(50):
+            with collector.span("tick", worker=worker, i=i):
+                with collector.span(f"stage-{worker}") as stage:
+                    stage.note(worker=worker)
+                collector.record(f"inner-{worker}", duration=0.0)
+
+    threads = [threading.Thread(target=recorder, args=(w,)) for w in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    ticks = collector.slow_ticks()
+    assert len(ticks) == 200  # every root from every thread landed
+    for tick in ticks:
+        worker = tick["meta"]["worker"]
+        children = tick.get("children", [])
+        # exactly this thread's two children — no leakage, no loss
+        names = [child["name"] for child in children]
+        if names != [f"stage-{worker}", f"inner-{worker}"]:
+            errors.append(f"worker {worker} tick has children {names}")
+        if any(
+            child.get("meta", {}).get("worker", worker) != worker
+            for child in children
+        ):
+            errors.append(f"foreign meta in worker {worker}'s tick")
+    assert not errors, errors[:5]
+
+
 # --------------------------------------------------------------- prometheus
 
 def test_prometheus_rendering():
@@ -355,10 +424,10 @@ def _parity_repository(seed):
     return VideoRepository(clips, InstanceSet(instances), name="cam0")
 
 
-def _decision_stream(seed, scheduler, shards=1, enabled=False):
+def _decision_stream(seed, scheduler, shards=1, enabled=False, trace=False):
     """Run a fixed workload and return the canonical decision bytes."""
-    if enabled:
-        telemetry.enable(slow_tick_threshold=0.0)
+    if enabled or trace:
+        telemetry.enable(slow_tick_threshold=0.0, trace=trace)
     else:
         telemetry.disable()
     service = QueryService(
@@ -374,6 +443,8 @@ def _decision_stream(seed, scheduler, shards=1, enabled=False):
         a = service.submit("cam0", "bus", limit=3, max_samples=40, priority=2.0)
         b = service.submit("cam0", "car", max_samples=30)
         service.run_until_idle(max_ticks=50)
+        if trace:  # the traced leg must actually trace, or parity is vacuous
+            assert telemetry.get().tracer.events()
         payload = {}
         for sid in (a, b):
             session = service.sessions[sid]
@@ -407,6 +478,21 @@ def test_parity_holds_under_sharded_execution():
     off = _decision_stream(3, "round-robin", shards=2, enabled=False)
     on = _decision_stream(3, "round-robin", shards=2, enabled=True)
     assert on == off
+
+
+@pytest.mark.parametrize("scheduler", ["round-robin", "priority"])
+@pytest.mark.parametrize("shards", [1, 4])
+def test_decision_streams_identical_tracing_on_or_off(shards, scheduler):
+    """The tracing acceptance matrix: causal span recording — including
+    the dispatch-context handoff into shard workers and back — observes
+    only.  Same seed, same workload => byte-identical decision streams
+    with tracing fully on versus telemetry fully off, across shard
+    counts and scheduler policies."""
+    off = _decision_stream(7, scheduler, shards=shards, enabled=False)
+    on = _decision_stream(7, scheduler, shards=shards, trace=True)
+    assert on == off
+    # metrics-only (tracing off) sits between the two and matches both
+    assert _decision_stream(7, scheduler, shards=shards, enabled=True) == off
 
 
 # --------------------------------------- five-layer coverage + surfaces
